@@ -1,0 +1,99 @@
+"""Extension bench: the pipeline on a deeper (5-weighted-layer) network.
+
+§2.3 motivates the interface problem with deep networks (VGG-19) and
+§2.4 argues the ReLU-based quantization should "promote ... to networks
+with deeper layers".  This bench measures exactly that, plus the two
+remedies this library adds for the depth-compounding loss:
+
+* coordinate-descent refinement of the thresholds
+  (``SearchConfig(refine_passes=...)``);
+* quantization-aware fine-tuning with a straight-through estimator
+  (:func:`repro.core.quantization_aware_finetune`).
+"""
+
+import pytest
+
+from repro.arch import evaluate_network_design, format_table
+from repro.core import (
+    BinarizedNetwork,
+    FinetuneConfig,
+    SearchConfig,
+    quantization_aware_finetune,
+    search_thresholds,
+)
+from repro.nn import evaluate_accuracy
+from repro.zoo import get_deep_network
+
+from benchmarks.conftest import heading
+
+
+def run_deep(dataset):
+    network = get_deep_network(dataset)
+    float_error = 1 - evaluate_accuracy(
+        network, dataset.test.images, dataset.test.labels
+    )
+
+    search = search_thresholds(
+        network,
+        dataset.train.images[:2000],
+        dataset.train.labels[:2000],
+        SearchConfig(),
+    )
+    greedy_error = search.binarized().error_rate(
+        dataset.test.images, dataset.test.labels
+    )
+
+    quantization_aware_finetune(
+        search.network,
+        search.thresholds,
+        dataset.train.images,
+        dataset.train.labels,
+        FinetuneConfig(epochs=3),
+    )
+    finetuned_error = BinarizedNetwork(
+        search.network, search.thresholds
+    ).error_rate(dataset.test.images, dataset.test.labels)
+
+    costs = {
+        structure: evaluate_network_design(search.network, structure)
+        for structure in ("dac_adc", "sei")
+    }
+    return float_error, greedy_error, finetuned_error, costs
+
+
+@pytest.mark.benchmark(group="deep")
+def test_deep_network_pipeline(benchmark, dataset):
+    float_err, greedy_err, finetuned_err, costs = benchmark.pedantic(
+        run_deep, args=(dataset,), rounds=1, iterations=1
+    )
+
+    heading("Extension — 5-weighted-layer network through the full flow")
+    print(
+        format_table(
+            [
+                {"stage": "float", "test error (%)": 100 * float_err},
+                {
+                    "stage": "greedy 1-bit (Algorithm 1)",
+                    "test error (%)": 100 * greedy_err,
+                },
+                {
+                    "stage": "+ STE fine-tuning",
+                    "test error (%)": 100 * finetuned_err,
+                },
+            ]
+        )
+    )
+    saving = costs["sei"].cost.energy_saving_vs(costs["dac_adc"].cost)
+    print(
+        f"\nSEI vs baseline on the deep network: "
+        f"{costs['dac_adc'].energy_uj_per_picture:.2f} -> "
+        f"{costs['sei'].energy_uj_per_picture:.2f} uJ/pic "
+        f"({saving:.1%} saving)"
+    )
+
+    # Depth makes greedy quantization lossy; fine-tuning recovers most.
+    assert greedy_err >= float_err
+    assert finetuned_err <= greedy_err
+    assert finetuned_err < 0.05
+    # The SEI advantage persists on deeper stacks.
+    assert saving > 0.9

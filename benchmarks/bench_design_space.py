@@ -1,0 +1,64 @@
+"""Design-space exploration over the cost model (extension bench).
+
+Sweeps (crossbar size x cell precision) for Network 1 and reports the
+response surface plus its Pareto front, quantifying §5.3's closing
+remark — "the energy efficiency gains and area saving further increase
+if we have to use smaller crossbars ... or [weights] can be stored into
+the same crossbar" — across the whole grid rather than two points.
+"""
+
+import pytest
+
+from repro.analysis import design_space_sweep, pareto_front
+from repro.arch import format_table
+
+from benchmarks.conftest import heading
+
+
+def run_sweep():
+    rows = design_space_sweep(
+        "network1",
+        crossbar_sizes=(1024, 512, 256, 128),
+        cell_bits=(2, 4, 8),
+    )
+    sei_rows = [r for r in rows if r["structure"] == "sei"]
+    front = pareto_front(sei_rows)
+    return rows, front
+
+
+@pytest.mark.benchmark(group="design_space")
+def test_design_space_exploration(benchmark):
+    rows, front = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    heading("Design space — (crossbar size x cell bits), Network 1")
+    print(format_table(rows, floatfmt="{:.3f}"))
+    print("\nPareto front (energy, area) among SEI points:")
+    print(format_table(front, floatfmt="{:.3f}"))
+
+    sei = [r for r in rows if r["structure"] == "sei"]
+
+    # §5.3 trend: relative saving grows as crossbars shrink, for every
+    # cell precision (tiny non-monotonic ripples from block-count
+    # rounding are tolerated).
+    for bits in (2, 4, 8):
+        by_size = sorted(
+            (r for r in sei if r["cell_bits"] == bits),
+            key=lambda r: r["crossbar"],
+            reverse=True,
+        )
+        savings = [r["energy_saving_vs_baseline"] for r in by_size]
+        assert savings[-1] > savings[0], bits
+        for earlier, later in zip(savings, savings[1:]):
+            assert later >= earlier - 0.005, bits
+
+    # Higher-precision cells shrink the SEI fabric (fewer cells/weight).
+    at512 = {
+        r["cell_bits"]: r["energy_uj"]
+        for r in sei
+        if r["crossbar"] == 512
+    }
+    assert at512[8] < at512[4] < at512[2]
+
+    # The Pareto front is non-empty and contained in the sweep.
+    assert front
+    assert all(r in sei for r in front)

@@ -1,0 +1,38 @@
+"""Figure 1: power and area breakdown of the 8-bit DAC+ADC baseline.
+
+Paper claim: for the 4-layer MNIST CNN (Network 1) with 8-bit data, ADCs
+and DACs consume more than 98% of total power and area, per layer and in
+total — the motivation for the whole paper.
+"""
+
+import pytest
+
+from repro.arch import breakdown_rows, evaluate_design, format_table
+
+from benchmarks.conftest import heading
+
+
+def run_fig1():
+    evaluation = evaluate_design("network1", "dac_adc")
+    return evaluation, breakdown_rows(evaluation.cost)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_power_area_breakdown(benchmark):
+    evaluation, rows = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+
+    heading("Fig. 1 — power/area breakdown, Network 1, 8-bit DAC+ADC design")
+    print(format_table(rows, floatfmt="{:.3f}"))
+    print(
+        f"\nTotal: ADC+DAC power share = "
+        f"{evaluation.cost.energy_share('adc', 'dac'):.3f}, "
+        f"area share = {evaluation.cost.area_share('adc', 'dac'):.3f} "
+        "(paper: >0.98 for both)"
+    )
+
+    total = rows[-1]
+    assert total["DAC power"] + total["ADC power"] > 0.98
+    assert total["DAC area"] + total["ADC area"] > 0.98
+    # Per-layer: converters dominate every layer.
+    for row in rows:
+        assert row["DAC power"] + row["ADC power"] > 0.9, row["layer"]

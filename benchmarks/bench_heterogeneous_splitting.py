@@ -1,0 +1,153 @@
+"""Mechanism demonstration: Table 4's catastrophic splitting failure.
+
+On our trained networks the random/natural-order degradation is mild
+(EXPERIMENTS.md) because their weight rows are statistically homogeneous.
+This bench reconstructs the regime where the paper's dramatic numbers
+(54% accuracy for the unhomogenized order, 98% after homogenization)
+come from, and shows the proposed fix working at that magnitude.
+
+Construction: a 300x64 conv-style matrix whose rows group into 12 input
+channels (25 rows each, as the paper's Network 1 conv2 does) with
+heavy-tailed per-channel scales — some channels matter 100x more than
+others, CaffeNet-style.  Inputs are channel-correlated 1-bit patterns
+(two active channels per sample).  The natural row order — which IS the
+channel order a naive mapper would use — then concentrates each hot
+channel inside one block, so a firing event raises one block over
+``Thres/3`` while the other two stay silent: the paper's "0,0,1 ...
+recognized as 0".
+
+Metric: the *miss rate* — the fraction of true firing events the split
+vote drops.  (Plain agreement is dominated by the ~90% silent outputs.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import format_table
+from repro.core import (
+    SplitDecision,
+    SplitMatrix,
+    binarize,
+    block_mean_distance,
+    homogenize,
+    natural_partition,
+    random_partition,
+)
+
+from benchmarks.conftest import heading
+
+ROWS, COLS, BLOCKS = 300, 64, 3
+CHANNELS, CHANNEL_ROWS = 12, 25
+SAMPLES = 3000
+
+
+def _channel_structured_case(seed=7):
+    rng = np.random.default_rng(seed)
+    channel_scale = rng.lognormal(0.0, 2.0, size=(CHANNELS, COLS))
+    matrix = np.abs(rng.normal(size=(ROWS, COLS))) * np.repeat(
+        channel_scale, CHANNEL_ROWS, axis=0
+    )
+    matrix /= matrix.max()
+
+    bits = np.zeros((SAMPLES, ROWS))
+    for i in range(SAMPLES):
+        for channel in rng.choice(CHANNELS, size=2, replace=False):
+            active = channel * CHANNEL_ROWS + np.flatnonzero(
+                rng.random(CHANNEL_ROWS) < 0.4
+            )
+            bits[i, active] = 1.0
+
+    sums = bits @ matrix
+    threshold = float(np.percentile(sums, 90))  # ~10% firing events
+    return matrix, bits, threshold
+
+
+def _miss_rate(matrix, partition, bits, threshold, vote=2):
+    reference = binarize(bits @ matrix, threshold)
+    split = SplitMatrix(
+        matrix,
+        partition,
+        SplitDecision(block_threshold=threshold / BLOCKS, vote_threshold=vote),
+    )
+    out = split.fire(bits)
+    misses = ((out == 0) & (reference == 1)).sum()
+    return float(misses / max(reference.sum(), 1))
+
+
+def run_mechanism():
+    matrix, bits, threshold = _channel_structured_case()
+
+    natural = natural_partition(ROWS, BLOCKS)
+    homogenized = homogenize(matrix, BLOCKS, iterations=6000, seed=0)
+    random_misses = [
+        _miss_rate(
+            matrix,
+            random_partition(ROWS, BLOCKS, np.random.default_rng(seed)),
+            bits,
+            threshold,
+        )
+        for seed in range(10)
+    ]
+
+    rows = [
+        {
+            "row order": "natural (channel-clustered)",
+            "Equ.10 distance": block_mean_distance(matrix, natural),
+            "missed firing events": _miss_rate(
+                matrix, natural, bits, threshold
+            ),
+        },
+        {
+            "row order": "random (10 orders, min-max)",
+            "Equ.10 distance": float("nan"),
+            "missed firing events": (
+                f"{min(random_misses):.3f} - {max(random_misses):.3f}"
+            ),
+        },
+        {
+            "row order": "homogenized",
+            "Equ.10 distance": block_mean_distance(matrix, homogenized),
+            "missed firing events": _miss_rate(
+                matrix, homogenized, bits, threshold
+            ),
+        },
+    ]
+    return rows, random_misses, matrix, natural, homogenized, bits, threshold
+
+
+@pytest.mark.benchmark(group="mechanism")
+def test_heterogeneous_splitting_mechanism(benchmark):
+    (
+        rows,
+        random_misses,
+        matrix,
+        natural,
+        homogenized,
+        bits,
+        threshold,
+    ) = benchmark.pedantic(run_mechanism, rounds=1, iterations=1)
+
+    heading(
+        "Mechanism — splitting a channel-structured heavy-tailed matrix "
+        "(the Table 4 regime)"
+    )
+    print(format_table(rows, floatfmt="{:.4f}"))
+    print(
+        "\npaper: 54.21% accuracy for the unhomogenized order vs 98.22% "
+        "homogenized; here the natural (channel) order drops >80% of the "
+        "firing events and homogenization recovers an order of magnitude."
+    )
+
+    natural_miss = rows[0]["missed firing events"]
+    homog_miss = rows[2]["missed firing events"]
+
+    # The collapse at the paper's magnitude...
+    assert natural_miss > 0.5
+    # ...recovered by an order of magnitude...
+    assert homog_miss < natural_miss / 5
+    assert homog_miss < max(random_misses) + 1e-9
+    # ...and predicted by the Equ. 10 distance (>90% reduction).
+    reduction = 1 - block_mean_distance(matrix, homogenized) / (
+        block_mean_distance(matrix, natural)
+    )
+    assert reduction > 0.9

@@ -1,0 +1,115 @@
+"""Future-work benches: non-ideality robustness and the power-time knob.
+
+The paper's conclusion promises analysis of "the register buffer design
+in Conv layers" and a "design optimization flow ... considering the
+non-ideal factors of RRAM and circuit".  These benches provide both
+measurements on our models:
+
+* Monte-Carlo accuracy of the SEI design under programming variation,
+  read noise and sense-amp noise (network2);
+* the §5.3 power-time tradeoff via fabric replication, and the conv
+  line-buffer plan (network1).
+"""
+
+import pytest
+
+from repro.analysis import sei_variation_sweep, sense_amp_noise_sweep
+from repro.arch import buffer_plan, format_table, power_time_tradeoff
+
+from benchmarks.conftest import heading
+
+SAMPLES = 400
+
+
+def run_noise(quantized_models, dataset):
+    qm = quantized_models["network2"]
+    net, th = qm.search.network, qm.search.thresholds
+    images = dataset.test.images[:SAMPLES]
+    labels = dataset.test.labels[:SAMPLES]
+    program = sei_variation_sweep(
+        net, th, images, labels, sigmas=(0.0, 0.2, 0.5, 1.0), trials=5
+    )
+    read = sei_variation_sweep(
+        net, th, images, labels, sigmas=(0.0, 0.02, 0.05, 0.1),
+        trials=5, kind="read",
+    )
+    stuck = sei_variation_sweep(
+        net, th, images, labels, sigmas=(0.0, 0.005, 0.02, 0.05),
+        trials=5, kind="stuck",
+    )
+    sense = sense_amp_noise_sweep(
+        net, th, images, labels, sigmas=(0.0, 0.1, 0.2, 0.4), trials=5
+    )
+    return program, read, stuck, sense
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_nonideality_robustness(benchmark, quantized_models, dataset):
+    program, read, stuck, sense = benchmark.pedantic(
+        run_noise, args=(quantized_models, dataset), rounds=1, iterations=1
+    )
+
+    heading("Non-ideality robustness of the SEI design (network2)")
+    for result, label in (
+        (program, "programming variation (fraction of a level step)"),
+        (read, "read / telegraph noise (relative)"),
+        (stuck, "stuck-at-g_min cell fault rate"),
+        (sense, "sense-amp noise (relative to threshold)"),
+    ):
+        print(f"\n-- {label} --")
+        print(format_table(result.rows(), floatfmt="{:.4f}"))
+
+    # Noiseless trials all agree with the software quantized error.
+    base = quantized_models["network2"].quantized_test_error
+    for result in (program, read, stuck, sense):
+        assert result.mean_error[0] == pytest.approx(base, abs=0.02)
+    # Moderate noise degrades gracefully: < 5% absolute at mid levels.
+    assert program.mean_error[2] < base + 0.05
+    assert read.mean_error[2] < base + 0.05
+    # Extreme sense-amp noise visibly hurts (sanity: the knob works).
+    assert sense.mean_error[-1] > sense.mean_error[0]
+
+
+def run_timing():
+    tradeoff = power_time_tradeoff(
+        "network1", "sei", replications=(1, 2, 4, 8)
+    )
+    baseline = power_time_tradeoff(
+        "network1", "dac_adc", replications=(1,)
+    )
+    buffers = {
+        structure: buffer_plan("network1", structure)
+        for structure in ("dac_adc", "sei")
+    }
+    return tradeoff, baseline, buffers
+
+
+@pytest.mark.benchmark(group="timing")
+def test_power_time_tradeoff_and_buffers(benchmark):
+    tradeoff, baseline, buffers = benchmark.pedantic(
+        run_timing, rounds=1, iterations=1
+    )
+
+    heading("§5.3 power-time tradeoff (network1, SEI fabric replication)")
+    print(format_table(tradeoff))
+    print("\nbaseline (DAC+ADC, replication 1):")
+    print(format_table(baseline))
+
+    heading("§6 conv register-buffer plan (network1)")
+    for structure, rows in buffers.items():
+        print(f"\n-- {structure} --")
+        print(format_table(rows))
+
+    # Energy per picture is replication-invariant; power scales ~linearly.
+    energies = [row["energy_uj"] for row in tradeoff]
+    assert max(energies) == pytest.approx(min(energies), rel=1e-9)
+    assert tradeoff[-1]["power_mw"] > 4 * tradeoff[0]["power_mw"]
+    assert tradeoff[-1]["latency_us"] < tradeoff[0]["latency_us"] / 4
+
+    # SEI at full replication still uses less power than the baseline at 1.
+    assert tradeoff[2]["power_mw"] < baseline[0]["power_mw"]
+
+    # 1-bit intermediate data cuts buffer bytes by 8x.
+    assert buffers["dac_adc"][0]["full map (bytes)"] == pytest.approx(
+        8 * buffers["sei"][0]["full map (bytes)"], abs=1
+    )

@@ -1,0 +1,63 @@
+"""§6 future-work extension: SNN support on the SEI structure.
+
+Not a paper table — the paper only *announces* SNN support as future
+work ("We will also use the proposed structure to support other
+applications using 1-bit data like RRAM-based Spiking Neural
+Networks").  This bench demonstrates it: the quantized CNN converted to
+a rate-coded spiking network converges to the 1-bit CNN's accuracy as
+the number of timesteps grows, with spikes driving the SEI selection
+gates directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import format_table
+from repro.snn import SpikingNetwork, estimate_sei_spike_energy
+
+from benchmarks.conftest import heading
+
+SAMPLES = 300
+
+
+def run_snn(quantized_models, dataset):
+    model = quantized_models["network2"]
+    images = dataset.test.images[:SAMPLES]
+    labels = dataset.test.labels[:SAMPLES]
+    snn = SpikingNetwork(
+        model.search.network, model.search.thresholds, threshold_scale=1.5
+    )
+    rows = []
+    for timesteps in (1, 4, 16, 32):
+        err = snn.error_rate(
+            images, labels, timesteps, encoder="deterministic"
+        )
+        rows.append({"timesteps": timesteps, "error (%)": 100 * err})
+    result = snn.simulate(images[:64], 16, encoder="deterministic")
+    energy = estimate_sei_spike_energy(model.search.network, result)
+    return rows, model.quantized_test_error, result, energy
+
+
+@pytest.mark.benchmark(group="snn")
+def test_snn_converges_to_binarized_accuracy(
+    benchmark, quantized_models, dataset
+):
+    rows, cnn_error, result, energy = benchmark.pedantic(
+        run_snn, args=(quantized_models, dataset), rounds=1, iterations=1
+    )
+
+    heading("§6 extension — SNN on SEI (network2, deterministic rate code)")
+    print(format_table(rows))
+    print(f"1-bit CNN reference error: {100 * cnn_error:.2f}%")
+    print(
+        "firing rates: "
+        + ", ".join(f"layer {k}: {v:.1%}" for k, v in result.firing_rates.items())
+    )
+    print(f"event-driven energy estimate: {energy['total'] / 1000:.1f} nJ/pic")
+
+    # Accuracy improves with timesteps and lands near the 1-bit CNN.
+    errors = [row["error (%)"] for row in rows]
+    assert errors[-1] <= errors[0] + 1e-9
+    assert errors[-1] < 100 * cnn_error + 3.0
+    # Spiking activity is sparse — the event-driven premise.
+    assert all(rate < 0.5 for rate in result.firing_rates.values())

@@ -1,0 +1,63 @@
+"""Table 2: the experiment setup (three 4-layer CNNs).
+
+Not a measurement — this bench regenerates the configuration table and
+asserts that our built networks match the paper's declared weight-matrix
+shapes and complexity figures.
+"""
+
+import pytest
+
+from repro.arch import format_table
+from repro.configs import (
+    NETWORK_SPECS,
+    build_network,
+    count_operations,
+    get_network_spec,
+    network_weight_matrix_shapes,
+)
+
+from benchmarks.conftest import heading
+
+
+def run_table2():
+    rows = []
+    for name in ("network1", "network2", "network3"):
+        spec = get_network_spec(name)
+        desc = spec.describe()
+        ops = count_operations(spec)
+        rows.append(
+            {
+                "network": name,
+                **desc,
+                "2*MACs (GOPs)": ops["total_ops"] / 1e9,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_network_configurations(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+
+    heading("Table 2 — experiment setup")
+    print(format_table(rows, floatfmt="{:.5f}"))
+
+    expected_shapes = {
+        "network1": [(25, 12), (300, 64), (1024, 10)],
+        "network2": [(9, 4), (36, 8), (200, 10)],
+        "network3": [(9, 6), (54, 12), (300, 10)],
+    }
+    for name, shapes in expected_shapes.items():
+        spec = get_network_spec(name)
+        assert network_weight_matrix_shapes(spec) == shapes
+        network = build_network(spec)
+        weighted = [
+            l for l in network.layers if hasattr(l, "weight_matrix")
+        ]
+        assert [w.weight_matrix.shape for w in weighted] == shapes
+
+    # Complexity figures in the paper's order: net1 >> net3 > net2.
+    gops = {
+        name: NETWORK_SPECS[name].paper_gops for name in expected_shapes
+    }
+    assert gops["network1"] > gops["network3"] > gops["network2"]

@@ -1,0 +1,102 @@
+"""Table 5: energy and area of the three structures on 4-bit RRAM devices.
+
+Paper (per-picture energy, savings vs the 8-bit DAC+ADC baseline):
+
+    Network 1 @512: 74.25 uJ | 62.31 uJ (16.08%) | 2.58 uJ (96.52%)
+    Network 1 @256: 93.75 uJ | 81.80 uJ          | 2.68 uJ (97.15%)
+    Network 2 @512: 12.15 uJ | 10.45 uJ (13.97%) | 0.68 uJ (94.37%)
+    Network 3 @512: 17.77 uJ | [292.01 uJ]*      | 0.73 uJ (95.89%)
+
+    Area savings: 1-bit+ADC 36.8-56.3%, SEI 74.4-86.6%.
+    SEI efficiency: >2000 GOPs/J, ~2 orders above FPGA [2] / GPU.
+
+(*) The paper lists 292.01 uJ for Network 3's 1-bit-Input+ADC design while
+simultaneously reporting a 15.22% saving — mutually inconsistent; we treat
+it as a typo for ~15 uJ and reproduce the consistent trend instead (see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.arch import (
+    evaluate_design,
+    format_table,
+    reference_efficiency_rows,
+    table5_rows,
+)
+
+from benchmarks.conftest import heading
+
+
+def run_table5():
+    return table5_rows()
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_energy_and_area(benchmark):
+    rows = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+
+    heading("Table 5 — energy/area of the three structures (4-bit devices)")
+    print(format_table(rows))
+    print()
+    print("reference platforms (§5.3):")
+    print(format_table(reference_efficiency_rows()))
+
+    by_key = {
+        (r["network"], r["crossbar"], r["structure"]): r for r in rows
+    }
+
+    # Energy orderings and savings bands per configuration.
+    for name, size in [
+        ("network1", 512),
+        ("network1", 256),
+        ("network2", 512),
+        ("network3", 512),
+    ]:
+        base = by_key[(name, size, "DAC+ADC")]
+        onebit = by_key[(name, size, "1-bit-Input+ADC")]
+        sei = by_key[(name, size, "SEI")]
+        assert sei["energy_uj"] < onebit["energy_uj"] < base["energy_uj"]
+        assert sei["energy_saving_pct"] > 95.0
+        assert 8.0 < onebit["energy_saving_pct"] < 30.0
+        assert sei["area_saving_pct"] > 74.0
+        assert 25.0 < onebit["area_saving_pct"] < 60.0
+
+    # Network 1 baseline in the paper's decade; SEI in the paper's decade.
+    n1 = by_key[("network1", 512, "DAC+ADC")]
+    assert 30 < n1["energy_uj"] < 150
+    n1_sei = by_key[("network1", 512, "SEI")]
+    assert 0.5 < n1_sei["energy_uj"] < 10
+
+    # >2000 GOPs/J and ~2 orders of magnitude over FPGA/GPU.
+    assert n1_sei["gops_per_j"] > 2000
+    for ref in reference_efficiency_rows():
+        assert n1_sei["gops_per_j"] > 50 * ref["gops_per_j"]
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_smaller_crossbars_increase_gains(benchmark):
+    """§5.3: gains grow when smaller crossbars force more merging."""
+
+    def run():
+        savings = {}
+        for size in (512, 256, 128):
+            base = evaluate_design(
+                "network1",
+                "dac_adc",
+                _tech_with_size(size),
+            )
+            sei = evaluate_design("network1", "sei", _tech_with_size(size))
+            savings[size] = sei.cost.energy_saving_vs(base.cost)
+        return savings
+
+    savings = benchmark.pedantic(run, rounds=1, iterations=1)
+    heading("Table 5 follow-up — SEI energy saving vs crossbar size limit")
+    print({k: f"{v:.2%}" for k, v in savings.items()})
+    assert savings[128] >= savings[256] >= savings[512]
+
+
+def _tech_with_size(size):
+    from repro.hw import TechnologyModel
+
+    return TechnologyModel().with_crossbar_size(size)

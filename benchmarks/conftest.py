@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation (see DESIGN.md §4).  They use the full-scale Table 2 networks
+from :mod:`repro.zoo`; the first run trains them (a few minutes) and
+caches weights + thresholds under ``.cache/models/``, so subsequent runs
+are fast.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(-s shows the regenerated tables.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.zoo import get_dataset, get_quantized
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return get_dataset()
+
+
+@pytest.fixture(scope="session")
+def quantized_models(dataset):
+    """Algorithm-1 bundles for the three Table 2 networks (cached)."""
+    return {
+        name: get_quantized(name, dataset=dataset)
+        for name in ("network1", "network2", "network3")
+    }
+
+
+def heading(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,87 @@
+"""Beyond the 4-layer case study: a deeper CNN through the same pipeline.
+
+The paper argues its ReLU-based quantization "might be easier to promote
+... to networks with deeper layers and more complex structure" (§2.4)
+and motivates the interface problem with VGG-19 (§2.3).  This example
+runs a 5-weighted-layer CNN (3 conv + 2 FC) through the complete flow —
+training, Algorithm 1, and generic architecture costing — exercising the
+code paths that do not assume the Table 2 shape.
+
+Run:  python examples/deep_network.py
+"""
+
+from repro.arch import evaluate_network_design, format_table
+from repro.core import SearchConfig, search_thresholds
+from repro.nn import evaluate_accuracy
+from repro.zoo import get_dataset, get_deep_network
+
+
+def main() -> None:
+    dataset = get_dataset()
+    print("loading/training the 5-weighted-layer network...")
+    network = get_deep_network(dataset)
+
+    float_error = 1 - evaluate_accuracy(
+        network, dataset.test.images, dataset.test.labels
+    )
+    print(f"float test error: {float_error:.2%}")
+
+    # Algorithm 1 over FOUR intermediate layers (3 conv + hidden FC).
+    print("\nrunning Algorithm 1 over 4 intermediate layers...")
+    result = search_thresholds(
+        network,
+        dataset.train.images[:2500],
+        dataset.train.labels[:2500],
+        SearchConfig(),
+    )
+    print(
+        "thresholds: "
+        + ", ".join(
+            f"layer {k}: {v:.3f}" for k, v in result.thresholds.items()
+        )
+    )
+    quant_error = result.binarized().error_rate(
+        dataset.test.images, dataset.test.labels
+    )
+    print(f"1-bit quantized test error: {quant_error:.2%}")
+    print(
+        "(the greedy post-training loss compounds over depth — the "
+        "failure mode §2.4 worries about)"
+    )
+
+    # Quantization-aware fine-tuning (STE) recovers the deep network.
+    from repro.core import BinarizedNetwork, FinetuneConfig
+    from repro.core import quantization_aware_finetune
+
+    print("\nfine-tuning the weights under hard 1-bit activations (STE)...")
+    quantization_aware_finetune(
+        result.network,
+        result.thresholds,
+        dataset.train.images,
+        dataset.train.labels,
+        FinetuneConfig(epochs=3),
+    )
+    finetuned = BinarizedNetwork(result.network, result.thresholds)
+    finetuned_error = finetuned.error_rate(
+        dataset.test.images, dataset.test.labels
+    )
+    print(f"after fine-tuning: {finetuned_error:.2%}")
+
+    # Generic architecture costing (no Table 2 assumptions).
+    rows = []
+    for structure in ("dac_adc", "onebit_adc", "sei"):
+        ev = evaluate_network_design(result.network, structure)
+        rows.append(
+            {
+                "structure": structure,
+                "energy (uJ/pic)": ev.energy_uj_per_picture,
+                "area (mm^2)": ev.area_mm2,
+                "GOPs/J": ev.gops_per_joule(),
+            }
+        )
+    print("\n== Hardware cost of the deep network ==")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

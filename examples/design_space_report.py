@@ -1,0 +1,74 @@
+"""Architecture design-space report: Fig. 1 and Table 5 from the cost model.
+
+Pure cost-model exploration (no training needed): the converter
+bottleneck of the baseline, the savings of the 1-bit and SEI structures,
+and sweeps over crossbar size and device precision.
+
+Run:  python examples/design_space_report.py
+"""
+
+from repro.arch import (
+    breakdown_rows,
+    evaluate_all_designs,
+    evaluate_design,
+    format_table,
+    reference_efficiency_rows,
+    table5_rows,
+)
+from repro.hw import TechnologyModel
+
+
+def main() -> None:
+    # -- Fig. 1 -------------------------------------------------------------
+    print("== Fig. 1: why RRAM-CNNs are converter-bound ==")
+    baseline = evaluate_design("network1", "dac_adc")
+    print(format_table(breakdown_rows(baseline.cost), floatfmt="{:.3f}"))
+    print(
+        f"ADC+DAC: {baseline.cost.energy_share('adc', 'dac'):.1%} of power, "
+        f"{baseline.cost.area_share('adc', 'dac'):.1%} of area\n"
+    )
+
+    # -- Table 5 ------------------------------------------------------------
+    print("== Table 5: the three structures ==")
+    print(format_table(table5_rows()))
+    print()
+    print("== Reference platforms (§5.3) ==")
+    print(format_table(reference_efficiency_rows()))
+
+    # -- Crossbar size sweep ----------------------------------------------------
+    print("\n== SEI energy saving vs maximum crossbar size ==")
+    rows = []
+    for size in (1024, 512, 256, 128, 64):
+        tech = TechnologyModel().with_crossbar_size(size)
+        designs = evaluate_all_designs("network1", tech)
+        saving = designs["sei"].cost.energy_saving_vs(designs["dac_adc"].cost)
+        rows.append(
+            {
+                "crossbar": size,
+                "baseline uJ": designs["dac_adc"].energy_uj_per_picture,
+                "SEI uJ": designs["sei"].energy_uj_per_picture,
+                "saving": f"{saving:.2%}",
+            }
+        )
+    print(format_table(rows))
+
+    # -- Device precision sweep -----------------------------------------------------
+    print("\n== SEI cost vs RRAM cell precision (network1) ==")
+    rows = []
+    for bits in (1, 2, 4, 8):
+        tech = TechnologyModel(cell_bits=bits)
+        ev = evaluate_design("network1", "sei", tech)
+        rows.append(
+            {
+                "cell bits": bits,
+                "cells/weight": 2 * (8 // bits),
+                "crossbars": sum(m.crossbars for m in ev.mappings),
+                "energy uJ": ev.energy_uj_per_picture,
+                "area mm^2": ev.area_mm2,
+            }
+        )
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""The tape-out story: from trained weights to verified chip artefacts.
+
+Chains everything a deployment of the SEI accelerator needs:
+
+1. quantized model (Algorithm 1, from the zoo cache);
+2. full-chip functional verification — the complete SEI design (4-bit
+   crossbars, split blocks, digital votes) classifies the test set and
+   is compared against the software pipeline and against the ADC-based
+   designs (Table 5's error-rate column);
+3. the cell-level programming images (layout compiler) with bit-exact
+   verification;
+4. one-time programming cost and its amortization;
+5. the operating point: latency, throughput and power.
+
+Run:  python examples/full_hardware_deployment.py
+"""
+
+from repro.arch import (
+    compile_sei_layout,
+    design_timing,
+    evaluate_design,
+    format_table,
+    programming_cost,
+    verify_layout,
+)
+from repro.core import (
+    HardwareConfig,
+    assemble_adc_network,
+    assemble_sei_network,
+)
+from repro.hw import RRAMDevice
+from repro.zoo import get_dataset, get_quantized
+
+NETWORK = "network1"
+SAMPLES = 600
+
+
+def main() -> None:
+    dataset = get_dataset()
+    model = get_quantized(NETWORK, dataset=dataset)
+    images = dataset.test.images[:SAMPLES]
+    labels = dataset.test.labels[:SAMPLES]
+
+    # -- 1/2: functional verification of the full designs ----------------
+    print(f"== Functional verification ({NETWORK}, {SAMPLES} pictures) ==")
+    sei = assemble_sei_network(
+        model.search.network,
+        model.search.thresholds,
+        HardwareConfig(max_crossbar_size=512),
+    )
+    sei_noisy = assemble_sei_network(
+        model.search.network,
+        model.search.thresholds,
+        HardwareConfig(
+            max_crossbar_size=512,
+            device=RRAMDevice(bits=4, program_sigma=0.3),
+        ),
+    )
+    onebit = assemble_adc_network(
+        model.search.network,
+        thresholds=model.search.thresholds,
+        data_bits=1,
+        calibration_images=dataset.train.images[:200],
+    )
+    rows = [
+        {"path": "software 1-bit pipeline", "error": f"{model.quantized_test_error:.2%}"},
+        {
+            "path": "1-bit-Input + ADC hardware",
+            "error": f"{onebit.error_rate(images, labels):.2%}",
+        },
+        {
+            "path": "full SEI hardware (ideal devices)",
+            "error": f"{sei.error_rate(images, labels):.2%}",
+        },
+        {
+            "path": "full SEI hardware (prog. sigma 0.3)",
+            "error": f"{sei_noisy.error_rate(images, labels):.2%}",
+        },
+    ]
+    print(format_table(rows))
+
+    # -- 3: programming images -------------------------------------------------
+    print("\n== Programming images (cell-level layout) ==")
+    layout = compile_sei_layout(model.search.network)
+    for image in layout:
+        print("  " + image.summary())
+    errors = verify_layout(layout, model.search.network)
+    worst = max(errors.values())
+    print(f"bit-exact verification: worst reconstruction error {worst:.3f} LSB")
+
+    # -- 4: programming cost -----------------------------------------------------
+    evaluation = evaluate_design(NETWORK, "sei")
+    setup = programming_cost(
+        evaluation.mappings, evaluation.energy_uj_per_picture
+    )
+    print("\n== One-time programming cost ==")
+    print(
+        f"{setup.total_cells} cells, {setup.energy_uj:.1f} uJ, "
+        f"{setup.time_ms:.1f} ms; amortized below 1% of total energy "
+        f"after {setup.pictures_to_amortize(0.01):.0f} pictures"
+    )
+
+    # -- 5: operating point ------------------------------------------------------
+    timing = design_timing(NETWORK, "sei")
+    print("\n== Operating point (replication 1) ==")
+    print(
+        f"latency {timing.latency_us:.1f} us/picture, throughput "
+        f"{timing.throughput_kfps * 1000:.0f} pictures/s, average power "
+        f"{timing.average_power_mw:.1f} mW, "
+        f"{evaluation.energy_uj_per_picture:.2f} uJ/picture"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: the paper's pipeline in ~40 lines.
+
+Trains (or loads from cache) the smallest Table 2 network, quantizes its
+intermediate data to 1 bit with Algorithm 1, and compares the three
+hardware structures of Table 5.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.arch import evaluate_all_designs, format_table
+from repro.zoo import get_dataset, get_quantized
+
+
+def main() -> None:
+    # 1. Data + trained + quantized model (cached under .cache/ after the
+    #    first run; the first call trains for a minute or two).
+    dataset = get_dataset()
+    model = get_quantized("network2", dataset=dataset)
+
+    print("== Accuracy (Table 3 row) ==")
+    print(f"float test error:      {model.float_test_error:.2%}")
+    print(f"1-bit quantized error: {model.quantized_test_error:.2%}")
+    print(f"thresholds per layer:  { {k: round(v, 3) for k, v in model.search.thresholds.items()} }")
+
+    # 2. Run the quantized network on a few test digits.
+    binarized = model.search.binarized()
+    logits = binarized.predict(dataset.test.images[:8])
+    print("\n== Sample predictions ==")
+    print(f"predicted: {logits.argmax(axis=1).tolist()}")
+    print(f"actual:    {dataset.test.labels[:8].tolist()}")
+
+    # 3. Hardware cost: the three structures of Table 5.
+    designs = evaluate_all_designs("network2")
+    baseline = designs["dac_adc"]
+    rows = []
+    for structure, ev in designs.items():
+        rows.append(
+            {
+                "structure": structure,
+                "energy (uJ/pic)": ev.energy_uj_per_picture,
+                "area (mm^2)": ev.area_mm2,
+                "energy saving": f"{ev.cost.energy_saving_vs(baseline.cost):.1%}",
+                "GOPs/J": ev.gops_per_joule(),
+            }
+        )
+    print("\n== Hardware cost (Table 5 rows) ==")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

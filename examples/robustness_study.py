@@ -1,0 +1,108 @@
+"""Non-ideality study: how much silicon imperfection can SEI absorb?
+
+The paper's conclusion defers "the non-ideal factors of RRAM and
+circuit" to future work; this example runs that study on our models:
+
+1. Monte-Carlo accuracy sweeps over programming variation, read noise,
+   stuck-at cell faults and sense-amp noise;
+2. the closed-loop program-and-verify tuning of ref [13], measuring how
+   many iterations a sloppy device needs to hit 4-bit placement;
+3. noise-aware threshold calibration, recovering accuracy when the
+   deployment is known to be noisy.
+
+Run:  python examples/robustness_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    sei_variation_sweep,
+    sense_amp_noise_sweep,
+)
+from repro.arch import format_table
+from repro.core import RobustSearchConfig, SearchConfig, robustify_thresholds
+from repro.hw import RRAMDevice, tune_cells
+from repro.zoo import get_dataset, get_quantized
+
+SAMPLES = 400
+
+
+def main() -> None:
+    dataset = get_dataset()
+    model = get_quantized("network2", dataset=dataset)
+    net, thresholds = model.search.network, model.search.thresholds
+    images = dataset.test.images[:SAMPLES]
+    labels = dataset.test.labels[:SAMPLES]
+    print(f"nominal 1-bit error: {model.quantized_test_error:.2%}\n")
+
+    # -- 1: sweeps ----------------------------------------------------------
+    print("== Monte-Carlo non-ideality sweeps (SEI hardware, 5 trials) ==")
+    for kind, sigmas, label in (
+        ("program", (0.0, 0.3, 1.0, 2.0), "programming sigma (level steps)"),
+        ("read", (0.0, 0.02, 0.05, 0.1), "read noise (relative)"),
+        ("stuck", (0.0, 0.01, 0.03, 0.08), "stuck-at-g_min fault rate"),
+    ):
+        sweep = sei_variation_sweep(
+            net, thresholds, images, labels, sigmas=sigmas, trials=5, kind=kind
+        )
+        print(f"\n-- {label} --")
+        print(format_table(sweep.rows(), floatfmt="{:.4f}"))
+
+    sense = sense_amp_noise_sweep(
+        net, thresholds, images, labels, sigmas=(0.0, 0.1, 0.25, 0.5), trials=5
+    )
+    print("\n-- sense-amp noise (relative to threshold) --")
+    print(format_table(sense.rows(), floatfmt="{:.4f}"))
+
+    # -- 2: program-and-verify tuning ([13]) ---------------------------------
+    print("\n== Closed-loop tuning (ref [13]) ==")
+    rng = np.random.default_rng(0)
+    targets = rng.random(20000)
+    rows = []
+    for sigma in (0.2, 0.5, 1.0, 2.0):
+        result = tune_cells(
+            RRAMDevice(bits=4, program_sigma=sigma),
+            targets,
+            tolerance=0.5,
+            rng=np.random.default_rng(1),
+        )
+        rows.append(
+            {
+                "open-loop sigma": sigma,
+                "mean iterations": result.mean_iterations,
+                "yield": result.yield_fraction,
+            }
+        )
+    print(format_table(rows, floatfmt="{:.3f}"))
+
+    # -- 3: noise-aware calibration ---------------------------------------------
+    sigma = 2.5
+    print(f"\n== Noise-aware threshold calibration (sigma {sigma}) ==")
+    robust = robustify_thresholds(
+        model.search,
+        dataset.train.images[:1500],
+        dataset.train.labels[:1500],
+        RobustSearchConfig(
+            program_sigma=sigma, trials=5, search=SearchConfig(search_step=0.01)
+        ),
+    )
+    rows = []
+    for th, label in (
+        (thresholds, "Algorithm 1 (nominal)"),
+        (robust, "noise-aware"),
+    ):
+        sweep = sei_variation_sweep(
+            net, th, images, labels, sigmas=(sigma,), trials=8, seed=42
+        )
+        rows.append(
+            {
+                "calibration": label,
+                "thresholds": str({k: round(v, 3) for k, v in th.items()}),
+                "mean error": sweep.mean_error[0],
+            }
+        )
+    print(format_table(rows, floatfmt="{:.4f}"))
+
+
+if __name__ == "__main__":
+    main()

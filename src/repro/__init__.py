@@ -1,0 +1,60 @@
+"""repro: reproduction of "Switched by Input: Power Efficient Structure
+for RRAM-based Convolutional Neural Network" (Xia et al., DAC 2016).
+
+The package is organised as:
+
+* :mod:`repro.nn` — a from-scratch numpy CNN substrate (training +
+  inference);
+* :mod:`repro.data` — a procedural MNIST-like digit dataset (offline
+  substitute for MNIST);
+* :mod:`repro.hw` — behavioural RRAM device / crossbar / peripheral
+  models and the technology cost constants;
+* :mod:`repro.core` — the paper's contribution: 1-bit quantization
+  (Algorithm 1), the SEI structure, dynamic thresholds, ADC-less matrix
+  splitting and homogenization;
+* :mod:`repro.arch` — the architecture mapper and the Fig. 1 / Table 5
+  cost model;
+* :mod:`repro.analysis` — distribution and metric helpers;
+* :mod:`repro.configs` — the Table 2 network definitions;
+* :mod:`repro.zoo` — cached trained/quantized models for experiments.
+
+Quickstart::
+
+    from repro.zoo import get_dataset, get_quantized
+    from repro.arch import evaluate_all_designs
+
+    dataset = get_dataset()
+    model = get_quantized("network1")       # trains + runs Algorithm 1
+    print(model.float_test_error, model.quantized_test_error)
+    designs = evaluate_all_designs("network1")
+    print(designs["sei"].cost.energy_saving_vs(designs["dac_adc"].cost))
+"""
+
+from repro import analysis, arch, configs, core, data, hw, nn
+from repro.errors import (
+    ConfigurationError,
+    MappingError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    TrainingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "data",
+    "hw",
+    "core",
+    "arch",
+    "analysis",
+    "configs",
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "MappingError",
+    "QuantizationError",
+    "TrainingError",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Experiment metrics shared by the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["error_rate_pct", "summarize_range", "relative_change_pct"]
+
+
+def error_rate_pct(error_rate: float) -> float:
+    """Convert a [0, 1] error rate into the paper's percentage convention."""
+    if not 0.0 <= error_rate <= 1.0:
+        raise ShapeError(f"error rate must lie in [0, 1], got {error_rate}")
+    return 100.0 * error_rate
+
+
+def summarize_range(values: Sequence[float]) -> Dict[str, float]:
+    """Min / max / mean / std summary (Table 4's random-order row)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ShapeError("cannot summarise an empty sequence")
+    return {
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+    }
+
+
+def relative_change_pct(value: float, baseline: float) -> float:
+    """Signed percentage change of ``value`` relative to ``baseline``."""
+    if baseline == 0:
+        raise ShapeError("baseline must be non-zero")
+    return 100.0 * (value - baseline) / baseline

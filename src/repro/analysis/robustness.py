@@ -1,0 +1,184 @@
+"""Monte-Carlo robustness analysis under circuit non-idealities.
+
+The paper's conclusion announces "the complete design optimization flow
+for RRAM-based CNN considering the non-ideal factors of RRAM and
+circuit" as future work; this module provides the measurement side of
+that flow for the SEI structure:
+
+* **programming variation** — each trial programs the SEI crossbars with
+  Gaussian conductance error (:class:`repro.hw.RRAMDevice`'s
+  ``program_sigma``) and measures test error;
+* **read (telegraph) noise** — per-read conductance jitter
+  (``read_sigma``);
+* **sense-amp noise** — input-referred comparator noise, modelled as
+  Gaussian jitter on each threshold decision.
+
+Each sweep returns mean/std/worst error per noise level over independent
+trials, ready for plotting or tabulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.device import RRAMDevice
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.network import Sequential
+
+from repro.core.binarized import BinarizedNetwork
+from repro.core.sei import sei_layer_compute
+
+__all__ = ["NoiseSweepResult", "sei_variation_sweep", "sense_amp_noise_sweep"]
+
+
+@dataclass
+class NoiseSweepResult:
+    """Aggregated Monte-Carlo errors for one noise knob."""
+
+    knob: str
+    levels: List[float]
+    mean_error: List[float]
+    std_error: List[float]
+    worst_error: List[float]
+    trials: int
+
+    def rows(self) -> List[Dict[str, float]]:
+        """Table rows for printing."""
+        return [
+            {
+                self.knob: level,
+                "mean error": self.mean_error[i],
+                "std": self.std_error[i],
+                "worst": self.worst_error[i],
+            }
+            for i, level in enumerate(self.levels)
+        ]
+
+
+def _weighted_indices(network: Sequential) -> List[int]:
+    return [
+        i
+        for i, layer in enumerate(network.layers)
+        if isinstance(layer, (Conv2D, Dense))
+    ]
+
+
+def _aggregate(knob, levels, errors, trials) -> NoiseSweepResult:
+    arr = np.asarray(errors)  # (levels, trials)
+    return NoiseSweepResult(
+        knob=knob,
+        levels=list(levels),
+        mean_error=arr.mean(axis=1).tolist(),
+        std_error=arr.std(axis=1).tolist(),
+        worst_error=arr.max(axis=1).tolist(),
+        trials=trials,
+    )
+
+
+def sei_variation_sweep(
+    network: Sequential,
+    thresholds: Dict[int, float],
+    images: np.ndarray,
+    labels: np.ndarray,
+    sigmas: Sequence[float] = (0.0, 0.1, 0.3, 0.6),
+    trials: int = 5,
+    kind: str = "program",
+    device_bits: int = 4,
+    seed: int = 0,
+) -> NoiseSweepResult:
+    """Error vs device noise for SEI crossbars on every hidden layer.
+
+    ``kind='program'`` sweeps programming variation (fixed per trial);
+    ``kind='read'`` sweeps per-read noise; ``kind='stuck'`` sweeps the
+    stuck-at-g_min cell fault rate (forming/endurance failures).  The
+    first weighted layer (DAC-driven input layer, §3.2) keeps exact
+    software math.
+    """
+    if kind not in ("program", "read", "stuck"):
+        raise ConfigurationError(
+            f"kind must be 'program', 'read' or 'stuck', got {kind!r}"
+        )
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+
+    indices = _weighted_indices(network)[1:]  # skip the input layer
+    errors: List[List[float]] = []
+    for sigma in sigmas:
+        level_errors = []
+        for trial in range(trials):
+            rng = np.random.default_rng(seed * 1000 + trial)
+            device = RRAMDevice(
+                bits=device_bits,
+                program_sigma=sigma if kind == "program" else 0.0,
+                read_sigma=sigma if kind == "read" else 0.0,
+                stuck_low_rate=sigma if kind == "stuck" else 0.0,
+            )
+            binarized = BinarizedNetwork(network, dict(thresholds))
+            for index in indices:
+                binarized.layer_computes[index] = sei_layer_compute(
+                    network.layers[index],
+                    device=device,
+                    max_crossbar_size=1 << 20,
+                    rng=rng,
+                )
+            level_errors.append(binarized.error_rate(images, labels))
+        errors.append(level_errors)
+    return _aggregate(f"{kind}_sigma", sigmas, errors, trials)
+
+
+def sense_amp_noise_sweep(
+    network: Sequential,
+    thresholds: Dict[int, float],
+    images: np.ndarray,
+    labels: np.ndarray,
+    sigmas: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    trials: int = 5,
+    seed: int = 0,
+) -> NoiseSweepResult:
+    """Error vs input-referred sense-amp noise.
+
+    Each SA decision compares the column value against its threshold plus
+    Gaussian jitter with std ``sigma * threshold`` — fresh per decision,
+    like the comparator noise it models.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    indices = _weighted_indices(network)
+
+    errors: List[List[float]] = []
+    for sigma in sigmas:
+        level_errors = []
+        for trial in range(trials):
+            rng = np.random.default_rng(seed * 1000 + trial + 17)
+            binarized = BinarizedNetwork(network, dict(thresholds))
+            for index in indices:
+                threshold = thresholds.get(index)
+                if threshold is None:
+                    continue  # analog classifier readout
+                binarized.layer_computes[index] = _noisy_compute(
+                    sigma, threshold, rng
+                )
+            level_errors.append(binarized.error_rate(images, labels))
+        errors.append(level_errors)
+    return _aggregate("sa_sigma", sigmas, errors, trials)
+
+
+def _noisy_compute(sigma: float, threshold: float, rng: np.random.Generator):
+    """Layer compute adding per-decision threshold jitter.
+
+    Adding noise to the pre-threshold value is equivalent to jittering
+    the reference by the same amount (and composes with the downstream
+    exact comparison in BinarizedNetwork).
+    """
+
+    def compute(layer, x):
+        out = layer.forward(x)
+        if sigma > 0:
+            out = out + rng.normal(0.0, sigma * threshold, out.shape)
+        return out
+
+    return compute

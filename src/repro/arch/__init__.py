@@ -1,0 +1,94 @@
+"""Architecture-level mapping, designs and cost model (Fig. 1 / Table 5)."""
+
+from repro.arch.cost import (
+    COMPONENTS,
+    DesignCost,
+    LayerCost,
+    design_cost,
+    layer_area_um2,
+    layer_energy_pj,
+)
+from repro.arch.designs import (
+    DesignEvaluation,
+    NetworkDesignEvaluation,
+    evaluate_all_designs,
+    evaluate_design,
+    evaluate_network_design,
+)
+from repro.arch.mapper import (
+    STRUCTURES,
+    LayerGeometry,
+    LayerMapping,
+    geometries_from_network,
+    map_layer,
+    network_layer_geometries,
+)
+from repro.arch.chip import ChipDatasheet, chip_datasheet
+from repro.arch.layout import (
+    CrossbarImage,
+    RowAssignment,
+    compile_sei_layout,
+    load_layout,
+    save_layout,
+    verify_layout,
+)
+from repro.arch.programming import (
+    ProgrammingCost,
+    ProgrammingModel,
+    programming_cost,
+)
+from repro.arch.scheduling import (
+    DesignTiming,
+    TimingModel,
+    buffer_plan,
+    design_timing,
+    layer_latency_ns,
+    power_time_tradeoff,
+)
+from repro.arch.report import (
+    breakdown_rows,
+    format_table,
+    reference_efficiency_rows,
+    table5_rows,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "STRUCTURES",
+    "LayerGeometry",
+    "LayerMapping",
+    "map_layer",
+    "network_layer_geometries",
+    "LayerCost",
+    "DesignCost",
+    "design_cost",
+    "layer_energy_pj",
+    "layer_area_um2",
+    "DesignEvaluation",
+    "NetworkDesignEvaluation",
+    "evaluate_design",
+    "evaluate_all_designs",
+    "evaluate_network_design",
+    "geometries_from_network",
+    "breakdown_rows",
+    "table5_rows",
+    "reference_efficiency_rows",
+    "format_table",
+    "TimingModel",
+    "DesignTiming",
+    "layer_latency_ns",
+    "design_timing",
+    "power_time_tradeoff",
+    "buffer_plan",
+    "ProgrammingModel",
+    "ProgrammingCost",
+    "programming_cost",
+    "CrossbarImage",
+    "RowAssignment",
+    "compile_sei_layout",
+    "verify_layout",
+    "save_layout",
+    "load_layout",
+    "ChipDatasheet",
+    "chip_datasheet",
+]

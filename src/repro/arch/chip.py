@@ -1,0 +1,153 @@
+"""Chip datasheet: one object aggregating every model in repro.arch.
+
+A designer evaluating the SEI accelerator wants the whole picture at
+once — energy, area, component breakdowns, per-layer mapping, timing,
+buffering and the one-time programming cost.  :func:`chip_datasheet`
+collects all of it for one (network, structure, technology) point and
+renders a text datasheet; the CLI exposes it as ``repro-cli datasheet``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.configs import NetworkSpec, get_network_spec
+from repro.hw.tech import TechnologyModel
+
+from repro.arch.cost import COMPONENTS
+from repro.arch.designs import DesignEvaluation, evaluate_design
+from repro.arch.programming import ProgrammingCost, ProgrammingModel, programming_cost
+from repro.arch.report import format_table
+from repro.arch.scheduling import DesignTiming, TimingModel, buffer_plan, design_timing
+
+__all__ = ["ChipDatasheet", "chip_datasheet"]
+
+
+@dataclass
+class ChipDatasheet:
+    """Everything about one design point."""
+
+    spec: NetworkSpec
+    structure: str
+    evaluation: DesignEvaluation
+    timing: DesignTiming
+    programming: ProgrammingCost
+    buffers: List[Dict[str, object]]
+
+    # -- headline numbers -----------------------------------------------------
+    @property
+    def summary(self) -> Dict[str, float]:
+        return {
+            "energy_uj_per_picture": self.evaluation.energy_uj_per_picture,
+            "area_mm2": self.evaluation.area_mm2,
+            "latency_us": self.timing.latency_us,
+            "throughput_kfps": self.timing.throughput_kfps,
+            "power_mw": self.timing.average_power_mw,
+            "gops_per_j": self.evaluation.gops_per_joule(),
+            "programming_uj": self.programming.energy_uj,
+            "programming_ms": self.programming.time_ms,
+        }
+
+    def layer_rows(self) -> List[Dict[str, object]]:
+        """Per-layer mapping and cost table."""
+        rows = []
+        for layer_cost in self.evaluation.cost.layers:
+            mapping = layer_cost.mapping
+            rows.append(
+                {
+                    "layer": mapping.geometry.name,
+                    "matrix": (
+                        f"{mapping.geometry.rows}x{mapping.geometry.cols}"
+                    ),
+                    "positions": mapping.geometry.positions,
+                    "crossbars": mapping.crossbars,
+                    "blocks": mapping.split_blocks,
+                    "DACs": mapping.dac_channels,
+                    "ADCs": mapping.adc_channels,
+                    "SAs": mapping.sense_amps,
+                    "energy_uj": layer_cost.total_energy_pj * 1e-6,
+                    "area_mm2": layer_cost.total_area_um2 * 1e-6,
+                }
+            )
+        return rows
+
+    def component_rows(self) -> List[Dict[str, object]]:
+        energy = self.evaluation.cost.energy_pj
+        area = self.evaluation.cost.area_um2
+        total_e = sum(energy.values())
+        total_a = sum(area.values())
+        return [
+            {
+                "component": key,
+                "energy share": energy[key] / total_e if total_e else 0.0,
+                "area share": area[key] / total_a if total_a else 0.0,
+            }
+            for key in COMPONENTS
+        ]
+
+    def render(self) -> str:
+        """The full text datasheet."""
+        lines = [
+            f"=== {self.spec.name} on the {self.structure} structure "
+            f"(crossbars <= {self.evaluation.tech.max_crossbar_size}, "
+            f"{self.evaluation.tech.cell_bits}-bit cells) ===",
+            "",
+            "-- headline --",
+        ]
+        for key, value in self.summary.items():
+            lines.append(f"  {key:<24} {value:,.3f}")
+        lines += [
+            "",
+            "-- per-layer mapping --",
+            format_table(self.layer_rows(), floatfmt="{:.4f}"),
+            "",
+            "-- component breakdown --",
+            format_table(self.component_rows(), floatfmt="{:.4f}"),
+            "",
+            "-- intermediate-data buffers --",
+            format_table(self.buffers, floatfmt="{:.2f}"),
+            "",
+            (
+                "-- programming: "
+                f"{self.programming.total_cells} cells, "
+                f"{self.programming.energy_uj:.1f} uJ, "
+                f"{self.programming.time_ms:.2f} ms; "
+                "amortized <1% of energy after "
+                f"{self.programming.pictures_to_amortize(0.01):.0f} pictures"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def chip_datasheet(
+    spec: NetworkSpec | str,
+    structure: str = "sei",
+    tech: Optional[TechnologyModel] = None,
+    timing_model: Optional[TimingModel] = None,
+    programming_model: Optional[ProgrammingModel] = None,
+    replication: int = 1,
+) -> ChipDatasheet:
+    """Assemble the complete datasheet for one design point."""
+    if isinstance(spec, str):
+        spec = get_network_spec(spec)
+    tech = tech if tech is not None else TechnologyModel()
+
+    evaluation = evaluate_design(spec, structure, tech)
+    timing = design_timing(
+        spec, structure, tech, timing_model, replication=replication
+    )
+    programming = programming_cost(
+        evaluation.mappings,
+        evaluation.energy_uj_per_picture,
+        tech=tech,
+        model=programming_model,
+    )
+    return ChipDatasheet(
+        spec=spec,
+        structure=structure,
+        evaluation=evaluation,
+        timing=timing,
+        programming=programming,
+        buffers=buffer_plan(spec, structure),
+    )

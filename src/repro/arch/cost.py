@@ -1,0 +1,163 @@
+"""Energy and area accounting over layer mappings.
+
+Every cost is itemised per component class so the Fig. 1 breakdowns and
+Table 5 savings come from the same numbers.  Component keys:
+
+``dac``, ``adc``, ``rram`` (cell reads / cell area), ``sa`` (sense
+amplifiers), ``digital`` (merge/vote/neuron logic), ``buffer``
+(intermediate-data SRAM), ``driver`` (row transmission gates + decoders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.hw.tech import TechnologyModel
+
+from repro.arch.mapper import LayerMapping
+
+__all__ = [
+    "COMPONENTS",
+    "layer_energy_pj",
+    "layer_area_um2",
+    "LayerCost",
+    "DesignCost",
+    "design_cost",
+]
+
+COMPONENTS = ("dac", "adc", "rram", "sa", "digital", "buffer", "driver")
+
+
+def layer_energy_pj(
+    mapping: LayerMapping, tech: TechnologyModel
+) -> Dict[str, float]:
+    """Per-picture energy (pJ) of one mapped layer, itemised by component."""
+    return {
+        "dac": mapping.dac_conversions * tech.dac_energy_pj,
+        "adc": mapping.adc_conversions * tech.adc_energy_pj,
+        "rram": mapping.cell_activations * tech.cell_read_energy_pj,
+        "sa": mapping.sa_events * tech.sense_amp_energy_pj,
+        "digital": mapping.digital_ops * tech.digital_op_energy_pj,
+        "buffer": 2 * mapping.buffer_bytes * tech.buffer_access_energy_pj,
+        "driver": mapping.row_drive_events * tech.row_drive_energy_pj,
+    }
+
+
+def layer_area_um2(
+    mapping: LayerMapping, tech: TechnologyModel
+) -> Dict[str, float]:
+    """Area (um^2) of one mapped layer, itemised by component."""
+    decoder_area = mapping.decoder_rows * tech.decoder_area_per_row_um2
+    if mapping.structure == "sei":
+        decoder_area += mapping.decoder_rows * tech.sei_mux_area_per_row_um2
+    digital_lanes = mapping.geometry.cols * max(
+        1, mapping.crossbars // max(mapping.split_blocks, 1)
+    )
+    return {
+        "dac": mapping.dac_channels * tech.dac_area_um2,
+        "adc": mapping.adc_channels * tech.adc_area_um2,
+        "rram": mapping.cells * tech.cell_area_um2,
+        "sa": mapping.sense_amps * tech.sense_amp_area_um2,
+        "digital": digital_lanes * tech.digital_op_area_um2,
+        "buffer": mapping.buffer_bytes * tech.buffer_area_per_byte_um2,
+        "driver": decoder_area,
+    }
+
+
+@dataclass
+class LayerCost:
+    """Cost breakdown of one layer."""
+
+    mapping: LayerMapping
+    energy_pj: Dict[str, float]
+    area_um2: Dict[str, float]
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_pj.values())
+
+    @property
+    def total_area_um2(self) -> float:
+        return sum(self.area_um2.values())
+
+
+@dataclass
+class DesignCost:
+    """Full-design cost: per-layer breakdowns plus totals and ratios."""
+
+    structure: str
+    layers: List[LayerCost] = field(default_factory=list)
+
+    # -- totals -------------------------------------------------------------
+    @property
+    def energy_pj(self) -> Dict[str, float]:
+        totals = {key: 0.0 for key in COMPONENTS}
+        for layer in self.layers:
+            for key, value in layer.energy_pj.items():
+                totals[key] += value
+        return totals
+
+    @property
+    def area_um2(self) -> Dict[str, float]:
+        totals = {key: 0.0 for key in COMPONENTS}
+        for layer in self.layers:
+            for key, value in layer.area_um2.items():
+                totals[key] += value
+        return totals
+
+    @property
+    def total_energy_uj(self) -> float:
+        return sum(self.energy_pj.values()) * 1e-6
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(self.area_um2.values()) * 1e-6
+
+    # -- analysis ---------------------------------------------------------------
+    def energy_share(self, *components: str) -> float:
+        """Fraction of total energy consumed by the given components."""
+        totals = self.energy_pj
+        total = sum(totals.values())
+        if total <= 0:
+            raise ConfigurationError("design consumes no energy")
+        return sum(totals[c] for c in components) / total
+
+    def area_share(self, *components: str) -> float:
+        totals = self.area_um2
+        total = sum(totals.values())
+        if total <= 0:
+            raise ConfigurationError("design occupies no area")
+        return sum(totals[c] for c in components) / total
+
+    def energy_saving_vs(self, baseline: "DesignCost") -> float:
+        """Fractional energy saving relative to ``baseline``."""
+        return 1.0 - self.total_energy_uj / baseline.total_energy_uj
+
+    def area_saving_vs(self, baseline: "DesignCost") -> float:
+        return 1.0 - self.total_area_mm2 / baseline.total_area_mm2
+
+    def gops_per_joule(self, gops_per_picture: float) -> float:
+        """Energy efficiency given the per-picture workload in GOPs."""
+        if gops_per_picture <= 0:
+            raise ConfigurationError("gops_per_picture must be positive")
+        return gops_per_picture / (self.total_energy_uj * 1e-6)
+
+
+def design_cost(
+    structure: str,
+    mappings: List[LayerMapping],
+    tech: TechnologyModel,
+) -> DesignCost:
+    """Bundle per-layer costs for a full design."""
+    cost = DesignCost(structure=structure)
+    for mapping in mappings:
+        cost.layers.append(
+            LayerCost(
+                mapping=mapping,
+                energy_pj=layer_energy_pj(mapping, tech),
+                area_um2=layer_area_um2(mapping, tech),
+            )
+        )
+    return cost

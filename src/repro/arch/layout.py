@@ -1,0 +1,351 @@
+"""Cell-level layout compiler: quantized network -> programming images.
+
+The cost model counts crossbars; this module *produces* them.  For every
+weighted layer of a quantized network it emits one
+:class:`CrossbarImage` per physical crossbar block: the integer level of
+every RRAM cell, the row map (which logical weight row and which
+component — sign/significance slice — each physical row carries), the
+extra-port voltage coefficient per row (the "common information of
+weights" of §4.1), and the Fig. 4 threshold column.
+
+This is the artefact a programming tool would stream to the chip's
+write path, and it closes the loop: :func:`verify_layout` reconstructs
+the represented weight matrix from the raw cell levels alone and checks
+it against the network, cell by cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MappingError, ShapeError
+from repro.hw.device import RRAMDevice
+from repro.hw.tech import TechnologyModel
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.network import Sequential
+
+from repro.core.homogenize import Partition, natural_partition
+from repro.core.matrix_compute import layer_weight_matrix
+from repro.core.sei import decompose_weights
+
+__all__ = [
+    "RowAssignment",
+    "CrossbarImage",
+    "compile_sei_layout",
+    "verify_layout",
+    "save_layout",
+    "load_layout",
+]
+
+
+@dataclass(frozen=True)
+class RowAssignment:
+    """What one physical crossbar row carries."""
+
+    #: Index of the logical weight row (into the layer's weight matrix).
+    logical_row: int
+    #: 'pos_high' | 'pos_low' | 'neg_high' | 'neg_low' | ... slice labels.
+    component: str
+    #: Extra-port voltage coefficient A_k for this row (+/- 2^(k*bits)).
+    coefficient: float
+
+
+@dataclass
+class CrossbarImage:
+    """The complete programming image of one physical crossbar."""
+
+    name: str
+    layer_index: int
+    block_index: int
+    #: Integer cell levels, shape (physical_rows, cols + 1); the last
+    #: column is the threshold/reference column (zeros when unused).
+    levels: np.ndarray
+    rows: List[RowAssignment]
+    #: Output column labels (kernel names plus 'threshold').
+    col_labels: List[str]
+    #: Scale mapping the integer representation back to weight units.
+    scale: float
+    device_bits: int
+
+    def __post_init__(self) -> None:
+        if self.levels.ndim != 2:
+            raise ShapeError("levels must be a 2D integer array")
+        if len(self.rows) != self.levels.shape[0]:
+            raise ShapeError(
+                f"{len(self.rows)} row assignments for "
+                f"{self.levels.shape[0]} rows"
+            )
+        max_level = 2**self.device_bits - 1
+        if self.levels.min(initial=0) < 0 or self.levels.max(initial=0) > max_level:
+            raise ShapeError(
+                f"cell levels must lie in [0, {max_level}]"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.levels.shape
+
+    @property
+    def used_cells(self) -> int:
+        """Cells holding a non-zero level (a zero cell still exists but
+        carries no conductance above g_min)."""
+        return int((self.levels > 0).sum())
+
+    def reconstruct_weights(self, num_logical_rows: int) -> np.ndarray:
+        """Signed weight block represented by this image's raw levels."""
+        cols = self.levels.shape[1] - 1
+        block = np.zeros((num_logical_rows, cols))
+        cell_max = 2**self.device_bits - 1
+        del cell_max  # levels are already integers; scale handles range
+        for physical, assignment in enumerate(self.rows):
+            block[assignment.logical_row] += (
+                assignment.coefficient
+                * self.levels[physical, :cols]
+                * self.scale
+            )
+        return block
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        rows, cols = self.shape
+        return (
+            f"{self.name}: {rows}x{cols} cells, "
+            f"{self.used_cells}/{rows * cols} programmed, "
+            f"{self.device_bits}-bit levels"
+        )
+
+
+_COMPONENT_LABELS = {
+    (1.0, True): "pos",
+    (-1.0, True): "neg",
+}
+
+
+def compile_sei_layout(
+    network: Sequential,
+    tech: Optional[TechnologyModel] = None,
+    device: Optional[RRAMDevice] = None,
+    partitions: Optional[Dict[int, Partition]] = None,
+) -> List[CrossbarImage]:
+    """Compile every weighted layer onto SEI crossbar images.
+
+    Oversized layers split into row blocks (natural partition unless one
+    is supplied per layer index — pass the homogenized partitions from
+    :func:`repro.core.pipeline.build_split_network` for the deployed
+    order).  The input layer is compiled like the others: its crossbars
+    are DAC-driven rather than input-selected, but the stored image is
+    identical.
+    """
+    tech = tech if tech is not None else TechnologyModel()
+    device = device if device is not None else RRAMDevice(bits=tech.cell_bits)
+    if device.bits != tech.cell_bits:
+        raise ConfigurationError(
+            f"device bits ({device.bits}) disagree with the technology "
+            f"model ({tech.cell_bits})"
+        )
+    partitions = partitions if partitions is not None else {}
+
+    images: List[CrossbarImage] = []
+    for index, layer in enumerate(network.layers):
+        if not isinstance(layer, (Conv2D, Dense)):
+            continue
+        matrix = layer_weight_matrix(layer)
+        images.extend(
+            _compile_layer(index, layer, matrix, tech, device, partitions)
+        )
+    if not images:
+        raise MappingError("network has no weighted layers to compile")
+    return images
+
+
+def _compile_layer(
+    index: int,
+    layer,
+    matrix: np.ndarray,
+    tech: TechnologyModel,
+    device: RRAMDevice,
+    partitions: Dict[int, Partition],
+) -> List[CrossbarImage]:
+    cells_per_weight = tech.bit_slices * 2
+    logical_rows, cols = matrix.shape
+    blocks_needed = max(
+        1, ceil(logical_rows * cells_per_weight / tech.max_crossbar_size)
+    )
+    partition = partitions.get(
+        index, natural_partition(logical_rows, blocks_needed)
+    )
+    if partition.num_rows != logical_rows:
+        raise MappingError(
+            f"layer {index}: partition covers {partition.num_rows} rows, "
+            f"matrix has {logical_rows}"
+        )
+
+    layer_name = type(layer).__name__.lower()
+    images = []
+    for block_index, block_rows in enumerate(partition.blocks()):
+        block_matrix = matrix[block_rows]
+        slices, coefficients, scale = decompose_weights(
+            block_matrix, tech.weight_bits, device.bits
+        )
+        cell_max = 2**device.bits - 1
+        num_components = len(coefficients)
+        physical_rows = len(block_rows) * num_components
+        if physical_rows > tech.max_crossbar_size:
+            raise MappingError(
+                f"layer {index} block {block_index}: {physical_rows} rows "
+                f"exceed the {tech.max_crossbar_size} crossbar limit"
+            )
+
+        levels = np.zeros((physical_rows, cols + 1), dtype=np.int64)
+        assignments: List[RowAssignment] = []
+        physical = 0
+        for local_row, logical_row in enumerate(block_rows):
+            for k, coefficient in enumerate(coefficients):
+                levels[physical, :cols] = np.rint(
+                    slices[k][local_row] * cell_max
+                ).astype(np.int64)
+                sign = "pos" if coefficient > 0 else "neg"
+                significance = (
+                    "high" if abs(coefficient) > 1 else "low"
+                )
+                assignments.append(
+                    RowAssignment(
+                        logical_row=int(logical_row),
+                        component=f"{sign}_{significance}",
+                        coefficient=float(coefficient),
+                    )
+                )
+                physical += 1
+
+        col_labels = [f"kernel{c}" for c in range(cols)] + ["threshold"]
+        images.append(
+            CrossbarImage(
+                name=f"{layer_name}{index}/block{block_index}",
+                layer_index=index,
+                block_index=block_index,
+                levels=levels,
+                rows=assignments,
+                col_labels=col_labels,
+                scale=scale,
+                device_bits=device.bits,
+            )
+        )
+    return images
+
+
+def save_layout(images: List[CrossbarImage], path) -> None:
+    """Persist a compiled layout to a single ``.npz`` archive.
+
+    This is the file a programming tool would stream to the chip: every
+    crossbar's cell levels plus the row/column maps needed to interpret
+    them.
+    """
+    import json
+    from pathlib import Path
+
+    if not images:
+        raise MappingError("cannot save an empty layout")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays = {}
+    metadata = []
+    for i, image in enumerate(images):
+        arrays[f"levels_{i}"] = image.levels
+        arrays[f"logical_rows_{i}"] = np.array(
+            [r.logical_row for r in image.rows], dtype=np.int64
+        )
+        arrays[f"coefficients_{i}"] = np.array(
+            [r.coefficient for r in image.rows]
+        )
+        metadata.append(
+            {
+                "name": image.name,
+                "layer_index": image.layer_index,
+                "block_index": image.block_index,
+                "components": [r.component for r in image.rows],
+                "col_labels": image.col_labels,
+                "scale": image.scale,
+                "device_bits": image.device_bits,
+            }
+        )
+    arrays["metadata"] = np.array(json.dumps(metadata))
+    np.savez_compressed(path, **arrays)
+
+
+def load_layout(path) -> List[CrossbarImage]:
+    """Load a layout archive written by :func:`save_layout`."""
+    import json
+    from pathlib import Path
+
+    with np.load(Path(path)) as data:
+        metadata = json.loads(str(data["metadata"]))
+        images = []
+        for i, meta in enumerate(metadata):
+            rows = [
+                RowAssignment(
+                    logical_row=int(logical),
+                    component=component,
+                    coefficient=float(coefficient),
+                )
+                for logical, component, coefficient in zip(
+                    data[f"logical_rows_{i}"],
+                    meta["components"],
+                    data[f"coefficients_{i}"],
+                )
+            ]
+            images.append(
+                CrossbarImage(
+                    name=meta["name"],
+                    layer_index=meta["layer_index"],
+                    block_index=meta["block_index"],
+                    levels=data[f"levels_{i}"],
+                    rows=rows,
+                    col_labels=list(meta["col_labels"]),
+                    scale=float(meta["scale"]),
+                    device_bits=int(meta["device_bits"]),
+                )
+            )
+    return images
+
+
+def verify_layout(
+    images: List[CrossbarImage],
+    network: Sequential,
+    tolerance_lsb: float = 0.75,
+) -> Dict[int, float]:
+    """Check every image set against the network it was compiled from.
+
+    Reconstructs each layer's signed weight matrix purely from the stored
+    cell levels (as a chip reader would) and compares with the layer's
+    weights.  Returns the maximum error per layer in units of the layer's
+    8-bit LSB; raises :class:`MappingError` if any exceeds
+    ``tolerance_lsb``.
+    """
+    by_layer: Dict[int, List[CrossbarImage]] = {}
+    for image in images:
+        by_layer.setdefault(image.layer_index, []).append(image)
+
+    errors: Dict[int, float] = {}
+    for index, layer_images in by_layer.items():
+        layer = network.layers[index]
+        matrix = layer_weight_matrix(layer)
+        recon = np.zeros_like(matrix)
+        for image in layer_images:
+            recon += image.reconstruct_weights(matrix.shape[0])
+        lsb = np.abs(matrix).max(initial=0.0) / 255.0
+        if lsb == 0:
+            errors[index] = 0.0
+            continue
+        max_err = float(np.abs(recon - matrix).max() / lsb)
+        errors[index] = max_err
+        if max_err > tolerance_lsb:
+            raise MappingError(
+                f"layer {index}: reconstruction error {max_err:.2f} LSB "
+                f"exceeds tolerance {tolerance_lsb}"
+            )
+    return errors

@@ -1,0 +1,344 @@
+"""Mapping network layers onto crossbar fabrics for the three structures.
+
+The paper compares three designs (Table 5):
+
+* ``dac_adc`` — the traditional baseline: 8-bit activations through DACs,
+  signed 8-bit weights as 2 bit-slices x 2 signs = 4 crossbar copies,
+  per-column ADCs, digital shift/add/subtract merging;
+* ``onebit_adc`` — activations quantized to 1 bit (no intermediate DACs),
+  but merging still by ADCs;
+* ``sei`` — the proposed structure: 1-bit inputs drive the row selection,
+  the freed voltage port carries bit-significance and sign, so a weight
+  occupies 4 cells of a *single* crossbar (plus the Fig. 4 threshold
+  column); no ADCs anywhere — sense amplifiers threshold each column, and
+  oversized matrices split into K blocks merged by digital votes.
+
+Accounting conventions (also documented in :mod:`repro.hw.tech`):
+
+* the input picture is converted once per pixel per picture (it is static
+  during inference), while intermediate-data DACs in the baseline convert
+  on every crossbar activation;
+* crossbars are instantiated once per layer and reused across positions
+  ("reuses the kernels for multiple feature maps", §5.3), so area counts
+  one fabric copy per layer;
+* the input layer of the SEI design keeps the DAC-driven crossbars
+  (§3.2) but merges its 4 copies in the analog domain into sense
+  amplifiers, since its outputs only need threshold processing;
+* the final classifier is read out by ADCs in the ADC designs and by a
+  winner-take-all sense-amp stage in the SEI design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List
+
+from repro.configs import NetworkSpec, get_network_spec, network_weight_matrix_shapes
+from repro.errors import ConfigurationError
+from repro.hw.tech import TechnologyModel
+
+__all__ = [
+    "STRUCTURES",
+    "LayerGeometry",
+    "LayerMapping",
+    "network_layer_geometries",
+    "geometries_from_network",
+    "map_layer",
+]
+
+STRUCTURES = ("dac_adc", "onebit_adc", "sei")
+
+#: Pixels of the input picture (28 x 28), converted once per picture.
+INPUT_PIXELS = 28 * 28
+
+
+@dataclass(frozen=True)
+class LayerGeometry:
+    """Shape facts of one weighted layer, independent of the structure."""
+
+    name: str
+    rows: int
+    cols: int
+    #: MVM activations per picture (conv positions; 1 for FC).
+    positions: int
+    is_input: bool = False
+    is_final: bool = False
+    #: Unique input values of the picture (input-layer DAC conversions).
+    input_pixels: int = INPUT_PIXELS
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0 or self.positions <= 0:
+            raise ConfigurationError(
+                f"layer {self.name}: rows/cols/positions must be positive"
+            )
+
+    @property
+    def macs_per_picture(self) -> int:
+        return self.rows * self.cols * self.positions
+
+
+def network_layer_geometries(spec: NetworkSpec | str) -> List[LayerGeometry]:
+    """Geometries of the three weighted layers of a Table 2 network."""
+    if isinstance(spec, str):
+        spec = get_network_spec(spec)
+    shapes = network_weight_matrix_shapes(spec)
+    conv1_out = spec.input_size - spec.conv1_size + 1
+    pool1_out = conv1_out // spec.pool
+    conv2_out = pool1_out - spec.conv2_size + 1
+    return [
+        LayerGeometry(
+            "conv1",
+            rows=shapes[0][0],
+            cols=shapes[0][1],
+            positions=conv1_out**2,
+            is_input=True,
+        ),
+        LayerGeometry(
+            "conv2",
+            rows=shapes[1][0],
+            cols=shapes[1][1],
+            positions=conv2_out**2,
+        ),
+        LayerGeometry(
+            "fc",
+            rows=shapes[2][0],
+            cols=shapes[2][1],
+            positions=1,
+            is_final=True,
+        ),
+    ]
+
+
+def geometries_from_network(network) -> List[LayerGeometry]:
+    """Geometries of every weighted layer of an arbitrary Sequential.
+
+    Generalises :func:`network_layer_geometries` beyond the Table 2
+    networks: any stack of Conv2D / Dense layers (with pooling, ReLU,
+    flatten in between) can be costed — e.g. the deeper VGG-style
+    networks the paper's §2.3 motivates.  Conv layers contribute one MVM
+    per output position; Dense layers one per picture.  The first
+    weighted layer is the (DAC-driven) input layer; the last is the
+    classifier readout.
+
+    The per-picture input conversion count of the generic path follows
+    the same convention as the Table 2 path (one DAC conversion per input
+    pixel, applied by the mapper via ``LayerGeometry.is_input``).
+    """
+    # Imported here to keep repro.arch import-light for cost-only users.
+    from repro.nn.layers import Conv2D, Dense
+    from repro.nn.network import Sequential
+
+    if not isinstance(network, Sequential):
+        raise ConfigurationError(
+            "geometries_from_network expects a repro.nn.Sequential, got "
+            f"{type(network).__name__}"
+        )
+    weighted = [
+        (i, layer)
+        for i, layer in enumerate(network.layers)
+        if isinstance(layer, (Conv2D, Dense))
+    ]
+    if not weighted:
+        raise ConfigurationError("network has no weighted layers to map")
+
+    geometries: List[LayerGeometry] = []
+    last_index = weighted[-1][0]
+    for order, (index, layer) in enumerate(weighted):
+        matrix = layer.weight_matrix
+        if isinstance(layer, Conv2D):
+            _, out_h, out_w = network.shape_at(index)
+            positions = out_h * out_w
+            name = f"conv{order + 1}"
+        else:
+            positions = 1
+            name = f"fc{order + 1}"
+        input_pixels = int(
+            network.input_shape[-1] * network.input_shape[-2]
+        )
+        geometries.append(
+            LayerGeometry(
+                name=name,
+                rows=matrix.shape[0],
+                cols=matrix.shape[1],
+                positions=positions,
+                is_input=(order == 0),
+                is_final=(index == last_index),
+                input_pixels=input_pixels,
+            )
+        )
+    return geometries
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Hardware instance counts and per-picture event counts for one layer."""
+
+    geometry: LayerGeometry
+    structure: str
+    #: Physical crossbar instances.
+    crossbars: int
+    #: Programmed RRAM cells across all crossbars of the layer.
+    cells: int
+    #: Converter channel counts (area) and conversions per picture (energy).
+    dac_channels: int
+    dac_conversions: int
+    adc_channels: int
+    adc_conversions: int
+    #: Sense amplifiers and their firing events per picture.
+    sense_amps: int
+    sa_events: int
+    #: Transmission-gate row drive events per picture.
+    row_drive_events: int
+    #: Active-cell read events per picture (crossbar energy).
+    cell_activations: int
+    #: Digital add/shift/subtract/vote operations per picture.
+    digital_ops: int
+    #: Bytes of intermediate data buffered for this layer's output.
+    buffer_bytes: int
+    #: Decoder rows across crossbars (area bookkeeping).
+    decoder_rows: int
+    #: Number of row blocks K the matrix is split into (1 = unsplit).
+    split_blocks: int = 1
+
+
+def map_layer(
+    geometry: LayerGeometry,
+    structure: str,
+    tech: TechnologyModel,
+) -> LayerMapping:
+    """Map one layer onto the fabric of one of the three structures."""
+    if structure not in STRUCTURES:
+        raise ConfigurationError(
+            f"structure must be one of {STRUCTURES}, got {structure!r}"
+        )
+    if structure == "dac_adc":
+        return _map_adc_based(geometry, tech, one_bit_inputs=False)
+    if structure == "onebit_adc":
+        return _map_adc_based(geometry, tech, one_bit_inputs=True)
+    return _map_sei(geometry, tech)
+
+
+# -- ADC-based structures -----------------------------------------------------
+
+
+def _map_adc_based(
+    geometry: LayerGeometry, tech: TechnologyModel, one_bit_inputs: bool
+) -> LayerMapping:
+    max_size = tech.max_crossbar_size
+    copies = tech.bit_slices * 2  # bit slices x {positive, negative}
+    tiles_r = ceil(geometry.rows / max_size)
+    tiles_c = ceil(geometry.cols / max_size)
+    crossbars = tiles_r * tiles_c * copies
+    cells = geometry.rows * geometry.cols * copies
+
+    uses_dacs = not one_bit_inputs or geometry.is_input
+    if uses_dacs:
+        dac_channels = geometry.rows
+        dac_conversions = (
+            geometry.input_pixels
+            if geometry.is_input
+            else geometry.positions * geometry.rows
+        )
+    else:
+        dac_channels = 0
+        dac_conversions = 0
+
+    adc_channels = geometry.cols * copies * tiles_r
+    adc_conversions = geometry.positions * adc_channels
+
+    # Merging: each output column combines (copies * tiles_r) partial
+    # results with shift/add/subtract, then the neuron/pooling logic.
+    merge_ops = geometry.positions * geometry.cols * (copies * tiles_r - 1)
+    neuron_ops = geometry.positions * geometry.cols
+    output_bits = 1 if (one_bit_inputs and not geometry.is_final) else 8
+    buffer_bytes = ceil(geometry.positions * geometry.cols * output_bits / 8)
+
+    return LayerMapping(
+        geometry=geometry,
+        structure="onebit_adc" if one_bit_inputs else "dac_adc",
+        crossbars=crossbars,
+        cells=cells,
+        dac_channels=dac_channels,
+        dac_conversions=dac_conversions,
+        adc_channels=adc_channels,
+        adc_conversions=adc_conversions,
+        sense_amps=0,
+        sa_events=0,
+        row_drive_events=geometry.positions * geometry.rows,
+        cell_activations=geometry.positions * cells,
+        digital_ops=merge_ops + neuron_ops,
+        buffer_bytes=buffer_bytes,
+        decoder_rows=geometry.rows * copies * tiles_c,
+        split_blocks=tiles_r,
+    )
+
+
+# -- SEI structure -------------------------------------------------------------
+
+
+def _map_sei(geometry: LayerGeometry, tech: TechnologyModel) -> LayerMapping:
+    max_size = tech.max_crossbar_size
+    cells_per_weight = tech.bit_slices * 2
+
+    if geometry.is_input:
+        # §3.2: the input layer keeps DAC-driven crossbars (4 copies), but
+        # their partial currents merge in the analog domain straight into
+        # sense amplifiers — the conv1 output only needs thresholding.
+        copies = cells_per_weight
+        tiles_r = ceil(geometry.rows / max_size)
+        crossbars = tiles_r * copies
+        cells = geometry.rows * geometry.cols * copies
+        merge_ops = geometry.positions * geometry.cols * (copies - 1)
+        return LayerMapping(
+            geometry=geometry,
+            structure="sei",
+            crossbars=crossbars,
+            cells=cells,
+            dac_channels=geometry.rows,
+            dac_conversions=geometry.input_pixels,
+            adc_channels=0,
+            adc_conversions=0,
+            sense_amps=geometry.cols,
+            sa_events=geometry.positions * geometry.cols,
+            row_drive_events=geometry.positions * geometry.rows,
+            cell_activations=geometry.positions * cells,
+            digital_ops=merge_ops + geometry.positions * geometry.cols,
+            buffer_bytes=ceil(geometry.positions * geometry.cols / 8),
+            decoder_rows=geometry.rows * copies,
+            split_blocks=1,
+        )
+
+    physical_rows = geometry.rows * cells_per_weight
+    blocks = max(1, ceil(physical_rows / max_size))
+    # +1 column: the Fig. 4 threshold column (reference generation).
+    physical_cols = geometry.cols + 1
+    tiles_c = ceil(physical_cols / max_size)
+    crossbars = blocks * tiles_c
+    cells = physical_rows * physical_cols
+
+    sense_amps = geometry.cols * blocks
+    sa_events = geometry.positions * sense_amps
+    vote_ops = geometry.positions * geometry.cols * blocks if blocks > 1 else 0
+    pooling_ops = geometry.positions * geometry.cols
+    output_bits = 8 if geometry.is_final else 1
+    buffer_bytes = ceil(geometry.positions * geometry.cols * output_bits / 8)
+
+    return LayerMapping(
+        geometry=geometry,
+        structure="sei",
+        crossbars=crossbars,
+        cells=cells,
+        dac_channels=0,
+        dac_conversions=0,
+        adc_channels=0,
+        adc_conversions=0,
+        sense_amps=sense_amps,
+        sa_events=sa_events,
+        row_drive_events=geometry.positions * physical_rows,
+        cell_activations=geometry.positions * cells,
+        digital_ops=vote_ops + pooling_ops,
+        buffer_bytes=buffer_bytes,
+        decoder_rows=physical_rows,
+        split_blocks=blocks,
+    )

@@ -1,0 +1,104 @@
+"""One-time programming (weight-write) costs of a mapped design.
+
+The evaluation in the paper is per-picture inference cost; a deployable
+accelerator also pays a one-time cost to program the weights into the
+RRAM cells.  State-of-the-art tuning writes each cell with an iterative
+program-and-verify loop (Alibart et al. [13]); with one-hot row selection
+(the Fig. 3 write path) cells program row by row, all columns of a
+crossbar in parallel.
+
+This module quantifies that setup cost and its amortization: after how
+many inferred pictures does programming energy fall below a given share
+of the total?  (For the Table 2 networks: a handful of pictures — the
+paper is right to ignore it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hw.tech import TechnologyModel
+
+from repro.arch.mapper import LayerMapping
+
+__all__ = ["ProgrammingModel", "ProgrammingCost", "programming_cost"]
+
+
+@dataclass(frozen=True)
+class ProgrammingModel:
+    """Write-path parameters."""
+
+    #: One programming pulse duration, ns.
+    write_pulse_ns: float = 100.0
+    #: Average program-and-verify iterations to land on a level ([13]
+    #: reports single-digit iteration counts for 4-6 bit targets).
+    verify_iterations: float = 6.0
+    #: Verify read duration, ns.
+    verify_read_ns: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.write_pulse_ns <= 0 or self.verify_read_ns <= 0:
+            raise ConfigurationError("pulse durations must be positive")
+        if self.verify_iterations < 1:
+            raise ConfigurationError("verify_iterations must be >= 1")
+
+
+@dataclass
+class ProgrammingCost:
+    """Setup cost of programming all weights of a design."""
+
+    total_cells: int
+    energy_uj: float
+    time_ms: float
+    #: Per-picture inference energy, for amortization maths.
+    inference_energy_uj: float
+
+    def pictures_to_amortize(self, share: float = 0.01) -> float:
+        """Pictures after which programming is < ``share`` of total energy."""
+        if not 0 < share < 1:
+            raise ConfigurationError(f"share must be in (0, 1), got {share}")
+        # energy_prog <= share * (energy_prog + n * energy_inf)
+        return (
+            self.energy_uj
+            * (1 - share)
+            / (share * self.inference_energy_uj)
+        )
+
+
+def programming_cost(
+    mappings: List[LayerMapping],
+    inference_energy_uj: float,
+    tech: Optional[TechnologyModel] = None,
+    model: Optional[ProgrammingModel] = None,
+) -> ProgrammingCost:
+    """Setup energy/time for programming every cell of a design.
+
+    Rows program sequentially (one-hot write selection), the columns of a
+    row in parallel; each cell costs ``verify_iterations`` pulse+verify
+    rounds.
+    """
+    tech = tech if tech is not None else TechnologyModel()
+    model = model if model is not None else ProgrammingModel()
+    if inference_energy_uj <= 0:
+        raise ConfigurationError("inference energy must be positive")
+
+    total_cells = sum(m.cells for m in mappings)
+    energy_pj = (
+        total_cells * model.verify_iterations * tech.cell_write_energy_pj
+    )
+    # Time: every *row* of every crossbar is a sequential step; columns
+    # of the row program together.
+    total_rows = sum(m.decoder_rows for m in mappings)
+    per_row_ns = model.verify_iterations * (
+        model.write_pulse_ns + model.verify_read_ns
+    )
+    time_ns = total_rows * per_row_ns
+
+    return ProgrammingCost(
+        total_cells=total_cells,
+        energy_uj=energy_pj * 1e-6,
+        time_ms=time_ns * 1e-6,
+        inference_energy_uj=inference_energy_uj,
+    )

@@ -1,0 +1,148 @@
+"""Report formatting: the rows/series of Fig. 1 and Table 5.
+
+These helpers return plain data structures (lists of dicts) and render
+them as aligned text tables, so benchmarks can both assert on the numbers
+and print the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hw.tech import REFERENCE_PLATFORMS, TechnologyModel
+
+from repro.arch.cost import COMPONENTS, DesignCost
+from repro.arch.designs import DesignEvaluation, evaluate_all_designs
+
+__all__ = [
+    "breakdown_rows",
+    "format_table",
+    "table5_rows",
+    "reference_efficiency_rows",
+]
+
+#: Fig. 1 groups the non-converter components into "RRAM" and "Other".
+_FIG1_GROUPS = {
+    "DAC": ("dac",),
+    "ADC": ("adc",),
+    "RRAM": ("rram",),
+    "Other": ("sa", "digital", "buffer", "driver"),
+}
+
+
+def breakdown_rows(cost: DesignCost) -> List[Dict[str, object]]:
+    """Fig. 1 data: per-layer and total power/area shares by group.
+
+    Returns one row per layer plus a ``Total`` row; each row maps group
+    name to its fractional share of that layer's energy and area.
+    """
+    rows: List[Dict[str, object]] = []
+
+    def shares(energy: Dict[str, float], area: Dict[str, float]):
+        total_e = sum(energy.values())
+        total_a = sum(area.values())
+        if total_e <= 0 or total_a <= 0:
+            raise ConfigurationError("layer with zero energy or area")
+        row = {}
+        for group, keys in _FIG1_GROUPS.items():
+            row[f"{group} power"] = sum(energy[k] for k in keys) / total_e
+            row[f"{group} area"] = sum(area[k] for k in keys) / total_a
+        return row
+
+    for layer in cost.layers:
+        rows.append(
+            {
+                "layer": layer.mapping.geometry.name,
+                **shares(layer.energy_pj, layer.area_um2),
+            }
+        )
+    rows.append({"layer": "total", **shares(cost.energy_pj, cost.area_um2)})
+    return rows
+
+
+def table5_rows(
+    networks: Sequence[str] = ("network1", "network2", "network3"),
+    tech: Optional[TechnologyModel] = None,
+    crossbar_sizes: Optional[Dict[str, Sequence[int]]] = None,
+) -> List[Dict[str, object]]:
+    """Table 5: energy/area of the three structures per network.
+
+    ``crossbar_sizes`` maps network name to the sizes to evaluate (the
+    paper evaluates Network 1 at both 512 and 256).
+    """
+    tech = tech if tech is not None else TechnologyModel()
+    if crossbar_sizes is None:
+        crossbar_sizes = {
+            "network1": (512, 256),
+            "network2": (512,),
+            "network3": (512,),
+        }
+
+    rows: List[Dict[str, object]] = []
+    for name in networks:
+        for size in crossbar_sizes.get(name, (512,)):
+            sized_tech = tech.with_crossbar_size(size)
+            evaluations = evaluate_all_designs(name, sized_tech)
+            baseline = evaluations["dac_adc"]
+            for structure in ("dac_adc", "onebit_adc", "sei"):
+                ev = evaluations[structure]
+                rows.append(
+                    {
+                        "network": name,
+                        "crossbar": size,
+                        "structure": _STRUCTURE_LABELS[structure],
+                        "data_bits": ev.data_bits,
+                        "energy_uj": ev.energy_uj_per_picture,
+                        "energy_saving_pct": 100.0
+                        * ev.cost.energy_saving_vs(baseline.cost),
+                        "area_mm2": ev.area_mm2,
+                        "area_saving_pct": 100.0
+                        * ev.cost.area_saving_vs(baseline.cost),
+                        "gops_per_j": ev.gops_per_joule(),
+                    }
+                )
+    return rows
+
+
+_STRUCTURE_LABELS = {
+    "dac_adc": "DAC+ADC",
+    "onebit_adc": "1-bit-Input+ADC",
+    "sei": "SEI",
+}
+
+
+def reference_efficiency_rows() -> List[Dict[str, object]]:
+    """The FPGA/GPU comparison points of §5.3."""
+    return [
+        {"platform": ref.name, "gops_per_j": ref.gops_per_joule, "source": ref.source}
+        for ref in REFERENCE_PLATFORMS.values()
+    ]
+
+
+def format_table(
+    rows: Iterable[Dict[str, object]], floatfmt: str = "{:.2f}"
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    headers = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    cells = [[render(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""Timing, throughput, buffering and the power-time tradeoff.
+
+Two loose ends of the paper live here:
+
+* §5.3: "Since each kernel is used multiple times in the procession of
+  one picture, we can use buffer amounts to trade-off the power with
+  time."  The crossbars of a layer are time-multiplexed over the conv
+  positions; replicating a layer's fabric r times cuts its latency by r
+  at r times the fabric area and higher instantaneous power, while the
+  *energy per picture* stays (nearly) constant.  :func:`power_time_tradeoff`
+  quantifies that knob.
+* §6: "we will further analyze the register buffer design in Conv
+  layers."  :func:`buffer_plan` compares full-feature-map buffering with
+  streaming line buffers (the k-row sliding window a conv layer actually
+  needs), in bytes, for the 8-bit and the 1-bit designs.
+
+Latency model
+-------------
+A layer processes its ``positions`` MVMs sequentially on its (possibly
+replicated) fabric; one position costs the analog read plus the
+structure's readout:
+
+* ``dac_adc`` / ``onebit_adc``: DAC settle (only where DACs drive the
+  rows) + crossbar read + one ADC conversion (each column has its own
+  ADC, all copies convert in parallel);
+* ``sei``: crossbar read + sense-amp decision + a digital vote where the
+  matrix is split.
+
+Layers pipeline picture-to-picture, so throughput is set by the slowest
+layer and single-picture latency by the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List, Optional, Sequence
+
+from repro.configs import NetworkSpec, get_network_spec
+from repro.errors import ConfigurationError
+from repro.hw.tech import TechnologyModel
+
+from repro.arch.cost import DesignCost, design_cost
+from repro.arch.mapper import LayerMapping, map_layer, network_layer_geometries
+
+__all__ = [
+    "TimingModel",
+    "layer_latency_ns",
+    "DesignTiming",
+    "design_timing",
+    "power_time_tradeoff",
+    "buffer_plan",
+]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Per-operation latencies, nanoseconds."""
+
+    #: Analog settle + read of one crossbar MVM.
+    crossbar_read_ns: float = 100.0
+    #: One 8-bit SAR ADC conversion.
+    adc_conversion_ns: float = 100.0
+    #: DAC settle before a read (intermediate-data drives).
+    dac_settle_ns: float = 50.0
+    #: Sense-amp (comparator) decision.
+    sa_decision_ns: float = 10.0
+    #: One digital merge/vote operation (pipelined adders).
+    digital_op_ns: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "crossbar_read_ns",
+            "adc_conversion_ns",
+            "dac_settle_ns",
+            "sa_decision_ns",
+            "digital_op_ns",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+def layer_latency_ns(
+    mapping: LayerMapping,
+    timing: Optional[TimingModel] = None,
+    replication: int = 1,
+) -> float:
+    """Latency of one layer for one picture, ns."""
+    timing = timing if timing is not None else TimingModel()
+    if replication < 1:
+        raise ConfigurationError(
+            f"replication must be >= 1, got {replication}"
+        )
+    geometry = mapping.geometry
+
+    per_position = timing.crossbar_read_ns
+    if mapping.structure in ("dac_adc", "onebit_adc"):
+        if mapping.dac_channels > 0 and not geometry.is_input:
+            per_position += timing.dac_settle_ns
+        per_position += timing.adc_conversion_ns
+        per_position += timing.digital_op_ns  # pipelined merge tree
+    else:  # sei
+        per_position += timing.sa_decision_ns
+        if mapping.split_blocks > 1:
+            per_position += timing.digital_op_ns
+
+    positions = ceil(geometry.positions / replication)
+    return positions * per_position
+
+
+@dataclass
+class DesignTiming:
+    """Latency/throughput summary of a full design."""
+
+    structure: str
+    #: Per-layer latencies, ns (replication applied).
+    layer_latency_ns: List[float]
+    replication: int
+    energy_uj_per_picture: float
+
+    @property
+    def latency_us(self) -> float:
+        """Single-picture latency (layer-sequential streaming), us."""
+        return sum(self.layer_latency_ns) / 1000.0
+
+    @property
+    def bottleneck_ns(self) -> float:
+        return max(self.layer_latency_ns)
+
+    @property
+    def throughput_kfps(self) -> float:
+        """Pipelined kilo-pictures per second (bottleneck-limited)."""
+        return 1e9 / self.bottleneck_ns / 1000.0
+
+    @property
+    def average_power_mw(self) -> float:
+        """Power when running at full pipelined throughput."""
+        pictures_per_second = 1e9 / self.bottleneck_ns
+        return self.energy_uj_per_picture * 1e-6 * pictures_per_second * 1e3
+
+
+def design_timing(
+    spec: NetworkSpec | str,
+    structure: str,
+    tech: Optional[TechnologyModel] = None,
+    timing: Optional[TimingModel] = None,
+    replication: int = 1,
+) -> DesignTiming:
+    """Timing summary of one (network, structure) design."""
+    if isinstance(spec, str):
+        spec = get_network_spec(spec)
+    tech = tech if tech is not None else TechnologyModel()
+    timing = timing if timing is not None else TimingModel()
+    mappings = [
+        map_layer(geometry, structure, tech)
+        for geometry in network_layer_geometries(spec)
+    ]
+    cost = design_cost(structure, mappings, tech)
+    return DesignTiming(
+        structure=structure,
+        layer_latency_ns=[
+            layer_latency_ns(m, timing, replication) for m in mappings
+        ],
+        replication=replication,
+        energy_uj_per_picture=cost.total_energy_uj,
+    )
+
+
+def power_time_tradeoff(
+    spec: NetworkSpec | str,
+    structure: str,
+    replications: Sequence[int] = (1, 2, 4, 8),
+    tech: Optional[TechnologyModel] = None,
+    timing: Optional[TimingModel] = None,
+) -> List[Dict[str, float]]:
+    """§5.3's buffer/replication knob: speed vs instantaneous power.
+
+    Energy per picture is replication-invariant (the same MVMs run, just
+    in parallel), so power rises with throughput while latency falls —
+    the "trade-off the power with time" the paper describes.  Fabric area
+    scales with replication; converters and fabric are replicated
+    together.
+    """
+    if isinstance(spec, str):
+        spec = get_network_spec(spec)
+    tech = tech if tech is not None else TechnologyModel()
+    mappings = [
+        map_layer(g, structure, tech) for g in network_layer_geometries(spec)
+    ]
+    base_area = design_cost(structure, mappings, tech).total_area_mm2
+
+    rows = []
+    for replication in replications:
+        t = design_timing(spec, structure, tech, timing, replication)
+        rows.append(
+            {
+                "replication": float(replication),
+                "latency_us": t.latency_us,
+                "throughput_kfps": t.throughput_kfps,
+                "energy_uj": t.energy_uj_per_picture,
+                "power_mw": t.average_power_mw,
+                "area_mm2": base_area * replication,
+            }
+        )
+    return rows
+
+
+def buffer_plan(
+    spec: NetworkSpec | str,
+    structure: str,
+) -> List[Dict[str, object]]:
+    """§6's conv register-buffer analysis: full map vs line buffers.
+
+    For each layer boundary, the bytes needed to buffer the producing
+    layer's output when (a) the whole feature map is stored before the
+    consumer starts, vs (b) the consumer streams with a sliding window of
+    ``kernel`` rows (plus one row being filled).  1-bit intermediate data
+    (quantized designs) divides every figure by 8.
+    """
+    if isinstance(spec, str):
+        spec = get_network_spec(spec)
+    bits = 8 if structure == "dac_adc" else 1
+
+    conv1_out = spec.input_size - spec.conv1_size + 1
+    pool1_out = conv1_out // spec.pool
+    conv2_out = pool1_out - spec.conv2_size + 1
+    pool2_out = conv2_out // spec.pool
+
+    boundaries = [
+        # (name, feature map h, w, channels, consumer kernel rows)
+        (
+            "conv1->conv2 (after pool1)",
+            pool1_out,
+            pool1_out,
+            spec.conv1_kernels,
+            spec.conv2_size,
+        ),
+        (
+            "conv2->fc (after pool2)",
+            pool2_out,
+            pool2_out,
+            spec.conv2_kernels,
+            # The FC layer consumes the whole map at once.
+            pool2_out,
+        ),
+    ]
+    rows: List[Dict[str, object]] = []
+    for name, h, w, channels, window_rows in boundaries:
+        full_bits = h * w * channels * bits
+        line_bits = min(window_rows + 1, h) * w * channels * bits
+        rows.append(
+            {
+                "boundary": name,
+                "data bits": bits,
+                "full map (bytes)": ceil(full_bits / 8),
+                "line buffer (bytes)": ceil(line_bits / 8),
+                "saving": 1.0 - line_bits / full_bits,
+            }
+        )
+    return rows

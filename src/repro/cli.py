@@ -1,0 +1,251 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+Usage::
+
+    python -m repro.cli info
+    python -m repro.cli fig1
+    python -m repro.cli table1|table2|table3|table5
+    python -m repro.cli quantize network2
+    python -m repro.cli split network1 --crossbar 256 --method homogenize
+    python -m repro.cli tradeoff network1 --structure sei
+
+Accuracy commands train models on first use and cache them under
+``.cache/`` (a few minutes); cost-model commands are instant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arch import (
+    breakdown_rows,
+    buffer_plan,
+    evaluate_design,
+    format_table,
+    power_time_tradeoff,
+    reference_efficiency_rows,
+    table5_rows,
+)
+from repro.configs import NETWORK_SPECS, get_network_spec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Switched by Input: Power Efficient Structure "
+            "for RRAM-based CNN' (DAC 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and paper summary")
+    sub.add_parser("fig1", help="Fig. 1: baseline power/area breakdown")
+    sub.add_parser("table1", help="Table 1: activation distribution")
+    sub.add_parser("table2", help="Table 2: network configurations")
+    sub.add_parser("table3", help="Table 3: quantization error rates")
+    sub.add_parser("table5", help="Table 5: energy/area of the structures")
+
+    quantize = sub.add_parser("quantize", help="run Algorithm 1 on a network")
+    quantize.add_argument("network", choices=sorted(NETWORK_SPECS))
+
+    split = sub.add_parser("split", help="split a network across crossbars")
+    split.add_argument("network", choices=sorted(NETWORK_SPECS))
+    split.add_argument("--crossbar", type=int, default=512)
+    split.add_argument(
+        "--method",
+        choices=("natural", "random", "homogenize"),
+        default="homogenize",
+    )
+    split.add_argument("--dynamic", action="store_true")
+
+    tradeoff = sub.add_parser(
+        "tradeoff", help="power-time tradeoff and buffer plan"
+    )
+    tradeoff.add_argument("network", choices=sorted(NETWORK_SPECS))
+    tradeoff.add_argument(
+        "--structure", choices=("dac_adc", "onebit_adc", "sei"), default="sei"
+    )
+
+    datasheet = sub.add_parser(
+        "datasheet", help="full chip datasheet for one design point"
+    )
+    datasheet.add_argument("network", choices=sorted(NETWORK_SPECS))
+    datasheet.add_argument(
+        "--structure", choices=("dac_adc", "onebit_adc", "sei"), default="sei"
+    )
+    datasheet.add_argument("--crossbar", type=int, default=512)
+    datasheet.add_argument("--replication", type=int, default=1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = _HANDLERS[args.command]
+    handler(args)
+    return 0
+
+
+# -- command handlers -----------------------------------------------------------
+
+
+def _cmd_info(args) -> None:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print(__doc__)
+    print("networks:")
+    for name in sorted(NETWORK_SPECS):
+        spec = get_network_spec(name)
+        print(f"  {name}: {spec.describe()['Conv Layer 1']}, ...")
+
+
+def _cmd_fig1(args) -> None:
+    evaluation = evaluate_design("network1", "dac_adc")
+    print(format_table(breakdown_rows(evaluation.cost), floatfmt="{:.3f}"))
+    print(
+        f"\nADC+DAC: {evaluation.cost.energy_share('adc', 'dac'):.1%} power, "
+        f"{evaluation.cost.area_share('adc', 'dac'):.1%} area"
+    )
+
+
+def _cmd_table1(args) -> None:
+    from repro.analysis import conv_output_distribution
+    from repro.zoo import get_dataset, get_quantized
+
+    dataset = get_dataset()
+    rows = []
+    for name in sorted(NETWORK_SPECS):
+        model = get_quantized(name, dataset=dataset)
+        dist = conv_output_distribution(
+            model.search.network, dataset.train.images[:500]
+        )
+        for layer, fractions in dist.items():
+            rows.append(
+                {
+                    "network": name,
+                    "layer": layer,
+                    "0~1/16": fractions[0],
+                    "1/16~1/8": fractions[1],
+                    "1/8~1/4": fractions[2],
+                    "1/4~1": fractions[3],
+                }
+            )
+    print(format_table(rows, floatfmt="{:.4f}"))
+
+
+def _cmd_table2(args) -> None:
+    rows = [
+        {"network": name, **get_network_spec(name).describe()}
+        for name in sorted(NETWORK_SPECS)
+    ]
+    print(format_table(rows))
+
+
+def _cmd_table3(args) -> None:
+    from repro.zoo import get_dataset, get_quantized
+
+    dataset = get_dataset()
+    rows = []
+    for name in sorted(NETWORK_SPECS):
+        model = get_quantized(name, dataset=dataset)
+        rows.append(
+            {
+                "network": name,
+                "before quant (%)": 100 * model.float_test_error,
+                "after quant (%)": 100 * model.quantized_test_error,
+            }
+        )
+    print(format_table(rows))
+
+
+def _cmd_table5(args) -> None:
+    print(format_table(table5_rows()))
+    print()
+    print(format_table(reference_efficiency_rows()))
+
+
+def _cmd_quantize(args) -> None:
+    from repro.zoo import get_dataset, get_quantized
+
+    dataset = get_dataset()
+    model = get_quantized(args.network, dataset=dataset)
+    print(f"float test error:     {model.float_test_error:.2%}")
+    print(f"quantized test error: {model.quantized_test_error:.2%}")
+    print("thresholds:")
+    for layer, threshold in model.search.thresholds.items():
+        print(
+            f"  layer {layer}: {threshold:.4f} "
+            f"(rescaled by {model.search.divisors[layer]:.3f})"
+        )
+
+
+def _cmd_split(args) -> None:
+    from repro.core import SplitConfig, build_split_network
+    from repro.zoo import get_dataset, get_quantized
+
+    dataset = get_dataset()
+    model = get_quantized(args.network, dataset=dataset)
+    result = build_split_network(
+        model.search.network,
+        model.search.thresholds,
+        dataset.train.images,
+        dataset.train.labels,
+        SplitConfig(
+            max_crossbar_size=args.crossbar,
+            partition_method=args.method,
+            dynamic=args.dynamic,
+        ),
+    )
+    error = result.binarized.error_rate(
+        dataset.test.images, dataset.test.labels
+    )
+    print(f"unsplit quantized error: {model.quantized_test_error:.2%}")
+    print(f"split error ({args.method}, crossbar {args.crossbar}): {error:.2%}")
+    for index, report in result.reports.items():
+        print(
+            f"  layer {index}: {report.num_blocks} blocks, vote "
+            f"{report.decision.vote_threshold}, Equ.10 distance "
+            f"{report.distance:.4f} (natural {report.natural_distance:.4f})"
+        )
+
+
+def _cmd_tradeoff(args) -> None:
+    print(format_table(power_time_tradeoff(args.network, args.structure)))
+    print()
+    print(format_table(buffer_plan(args.network, args.structure)))
+
+
+def _cmd_datasheet(args) -> None:
+    from repro.arch import chip_datasheet
+    from repro.hw import TechnologyModel
+
+    sheet = chip_datasheet(
+        args.network,
+        args.structure,
+        tech=TechnologyModel().with_crossbar_size(args.crossbar),
+        replication=args.replication,
+    )
+    print(sheet.render())
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "fig1": _cmd_fig1,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table5": _cmd_table5,
+    "quantize": _cmd_quantize,
+    "split": _cmd_split,
+    "tradeoff": _cmd_tradeoff,
+    "datasheet": _cmd_datasheet,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

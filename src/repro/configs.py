@@ -1,0 +1,209 @@
+"""The paper's network configurations (Table 2) and their metadata.
+
+Three 4-layer CNNs are evaluated on MNIST: two Conv layers (each followed
+by ReLU and 2x2 max pooling) and one FC layer.  The "weight matrix" shapes
+of Table 2 are the crossbar images of each layer:
+
+=============  ==============  ==============  ==============
+Layer          Network 1       Network 2       Network 3
+=============  ==============  ==============  ==============
+Input          28 x 28         28 x 28         28 x 28
+Conv 1         12 k @ 5x5      4 k @ 3x3       6 k @ 3x3
+Weight mat 1   25 x 12         9 x 4           9 x 6
+Pooling        2 x 2           2 x 2           2 x 2
+Conv 2         64 k @ 5x5      8 k @ 3x3       12 k @ 3x3
+Weight mat 2   300 x 64        36 x 8          54 x 12
+Pooling        2 x 2           2 x 2           2 x 2
+FC             1024 x 10       200 x 10        300 x 10
+Complexity     0.006 GOPs      0.00016 GOPs    0.0003 GOPs
+=============  ==============  ==============  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+__all__ = [
+    "NetworkSpec",
+    "NETWORK_SPECS",
+    "get_network_spec",
+    "build_network",
+    "network_weight_matrix_shapes",
+    "count_operations",
+]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Static description of one Table 2 network."""
+
+    name: str
+    input_size: int = 28
+    conv1_kernels: int = 12
+    conv1_size: int = 5
+    conv2_kernels: int = 64
+    conv2_size: int = 5
+    pool: int = 2
+    fc_inputs: int = 1024
+    num_classes: int = 10
+    #: Complexity in GOPs as reported by the paper's Table 2 / Table 5.
+    paper_gops: float = 0.006
+    #: Error rates the paper reports (Table 3), for EXPERIMENTS.md comparison.
+    paper_error_before: float = 0.0093
+    paper_error_after: float = 0.0163
+
+    def describe(self) -> Dict[str, str]:
+        """Human-readable Table 2 row for this network."""
+        shapes = network_weight_matrix_shapes(self)
+        return {
+            "Input Layer": f"{self.input_size} x {self.input_size}",
+            "Conv Layer 1": (
+                f"{self.conv1_kernels} kernels sized of "
+                f"{self.conv1_size} x {self.conv1_size}"
+            ),
+            "Weight Matrix 1": f"{shapes[0][0]} x {shapes[0][1]}",
+            "Pooling": f"{self.pool} x {self.pool}",
+            "Conv Layer 2": (
+                f"{self.conv2_kernels} kernels sized of "
+                f"{self.conv2_size} x {self.conv2_size}"
+            ),
+            "Weight Matrix 2": f"{shapes[1][0]} x {shapes[1][1]}",
+            "FC Layer": f"{shapes[2][0]} x {shapes[2][1]}",
+            "Complexity (GOPs)": f"{self.paper_gops:g}",
+        }
+
+
+NETWORK_SPECS: Dict[str, NetworkSpec] = {
+    "network1": NetworkSpec(
+        name="network1",
+        conv1_kernels=12,
+        conv1_size=5,
+        conv2_kernels=64,
+        conv2_size=5,
+        fc_inputs=1024,
+        paper_gops=0.006,
+        paper_error_before=0.0093,
+        paper_error_after=0.0163,
+    ),
+    "network2": NetworkSpec(
+        name="network2",
+        conv1_kernels=4,
+        conv1_size=3,
+        conv2_kernels=8,
+        conv2_size=3,
+        fc_inputs=200,
+        paper_gops=0.00016,
+        paper_error_before=0.0288,
+        paper_error_after=0.0342,
+    ),
+    "network3": NetworkSpec(
+        name="network3",
+        conv1_kernels=6,
+        conv1_size=3,
+        conv2_kernels=12,
+        conv2_size=3,
+        fc_inputs=300,
+        paper_gops=0.0003,
+        paper_error_before=0.0153,
+        paper_error_after=0.0207,
+    ),
+}
+
+
+def get_network_spec(name: str) -> NetworkSpec:
+    """Look up a Table 2 network by name ('network1'|'network2'|'network3')."""
+    try:
+        return NETWORK_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(NETWORK_SPECS))
+        raise ConfigurationError(
+            f"unknown network {name!r}; known: {known}"
+        ) from None
+
+
+def _spatial_sizes(spec: NetworkSpec) -> Tuple[int, int, int, int]:
+    """(conv1_out, pool1_out, conv2_out, pool2_out) spatial sizes."""
+    conv1 = spec.input_size - spec.conv1_size + 1
+    pool1 = conv1 // spec.pool
+    conv2 = pool1 - spec.conv2_size + 1
+    pool2 = conv2 // spec.pool
+    return conv1, pool1, conv2, pool2
+
+
+def network_weight_matrix_shapes(
+    spec: NetworkSpec,
+) -> List[Tuple[int, int]]:
+    """Weight-matrix (crossbar image) shapes per layer, as in Table 2."""
+    _, _, _, pool2 = _spatial_sizes(spec)
+    return [
+        (spec.conv1_size**2, spec.conv1_kernels),
+        (spec.conv2_size**2 * spec.conv1_kernels, spec.conv2_kernels),
+        (spec.conv2_kernels * pool2**2, spec.num_classes),
+    ]
+
+
+def build_network(
+    spec: NetworkSpec | str, seed: int = 0
+) -> Sequential:
+    """Instantiate the 4-layer CNN described by ``spec`` (untrained)."""
+    if isinstance(spec, str):
+        spec = get_network_spec(spec)
+
+    _, _, _, pool2 = _spatial_sizes(spec)
+    fc_inputs = spec.conv2_kernels * pool2**2
+    if fc_inputs != spec.fc_inputs:
+        raise ConfigurationError(
+            f"{spec.name}: derived FC input size {fc_inputs} does not match "
+            f"the declared {spec.fc_inputs}; the spec is inconsistent"
+        )
+
+    rng = np.random.default_rng(seed)
+    layers = [
+        Conv2D(1, spec.conv1_kernels, spec.conv1_size, use_bias=False, rng=rng),
+        ReLU(),
+        MaxPool2D(spec.pool),
+        Conv2D(
+            spec.conv1_kernels,
+            spec.conv2_kernels,
+            spec.conv2_size,
+            use_bias=False,
+            rng=rng,
+        ),
+        ReLU(),
+        MaxPool2D(spec.pool),
+        Flatten(),
+        Dense(fc_inputs, spec.num_classes, use_bias=True, rng=rng),
+    ]
+    return Sequential(layers, (1, spec.input_size, spec.input_size))
+
+
+def count_operations(spec: NetworkSpec | str) -> Dict[str, int]:
+    """Multiply-accumulate and total-op counts per layer for one picture.
+
+    The paper counts "operations" such that Network 1 totals ~0.006 GOPs;
+    counting one multiply + one add per weight access (2 ops per MAC)
+    reproduces the order of magnitude.  Both MACs and 2x-MAC "ops" are
+    returned so the benchmarks can report either convention.
+    """
+    if isinstance(spec, str):
+        spec = get_network_spec(spec)
+    conv1, pool1, conv2, pool2 = _spatial_sizes(spec)
+    shapes = network_weight_matrix_shapes(spec)
+
+    macs = {
+        "conv1": conv1**2 * shapes[0][0] * shapes[0][1],
+        "conv2": conv2**2 * shapes[1][0] * shapes[1][1],
+        "fc": shapes[2][0] * shapes[2][1],
+    }
+    total_macs = sum(macs.values())
+    return {
+        **{f"{k}_macs": v for k, v in macs.items()},
+        "total_macs": total_macs,
+        "total_ops": 2 * total_macs,
+    }

@@ -1,0 +1,467 @@
+"""Full-chip hardware assembly: every layer through crossbar models.
+
+The accuracy experiments elsewhere swap hardware models in layer by
+layer.  This module assembles the *whole* inference path the way the
+paper's SPICE emulation does (§5.1: "an 4-bit RRAM device model ... is
+used to build up the SPICE-level crossbar array"):
+
+* :func:`assemble_sei_network` — every weighted layer runs on
+  :class:`repro.core.sei.SEIMatrix` crossbars (4-bit cells, optional
+  programming variation / read noise / IR drop).  Oversized layers are
+  split into blocks, each block its *own* SEI crossbar feeding its own
+  sense amplifiers, merged by the §4.3 digital vote — the complete
+  Fig. 2(d) structure with non-ideal silicon underneath.
+* :func:`adc_layer_compute` / :func:`assemble_adc_network` — the
+  functional model of the traditional designs: activations quantized by
+  the DACs, weights on bit-sliced positive/negative crossbars, column
+  currents digitised by ADCs and merged digitally.  Used to check that
+  the baseline's accuracy matches the float network (the premise of
+  Table 5's error-rate column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.device import RRAMDevice
+from repro.hw.peripherals import ADC, DAC
+from repro.hw.tech import TechnologyModel
+from repro.nn.layers import Conv2D, Dense, Layer
+from repro.nn.network import Sequential
+
+from repro.core.binarized import BinarizedNetwork
+from repro.core.homogenize import Partition, homogenize, natural_partition
+from repro.core.matrix_compute import apply_matrix_fn, layer_bias, layer_weight_matrix
+from repro.core.sei import SEIMatrix
+from repro.core.splitting import SplitDecision, SplitMatrix, required_blocks
+
+__all__ = [
+    "HardwareConfig",
+    "HardwareSplitMatrix",
+    "assemble_sei_network",
+    "adc_layer_compute",
+    "assemble_adc_network",
+]
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Device/fabric parameters for full-hardware assembly."""
+
+    device: RRAMDevice = RRAMDevice(bits=4)
+    weight_bits: int = 8
+    max_crossbar_size: int = 512
+    ir_drop_lambda: float = 0.0
+    #: Partition choice for split layers: 'natural' or 'homogenize'.
+    partition_method: str = "homogenize"
+    homogenize_iterations: int = 2000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.partition_method not in ("natural", "homogenize"):
+            raise ConfigurationError(
+                "partition_method must be 'natural' or 'homogenize', got "
+                f"{self.partition_method!r}"
+            )
+
+
+class HardwareSplitMatrix(SplitMatrix):
+    """A split matrix whose blocks are real SEI crossbars.
+
+    Overrides the exact partial sums of :class:`SplitMatrix` with
+    per-block :class:`SEIMatrix` computations, so 4-bit cell
+    quantization, programming variation, read noise and IR drop all
+    reach the block decisions.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        partition: Partition,
+        decision: SplitDecision,
+        config: HardwareConfig,
+        bias: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(weights, partition, decision, bias=bias)
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self._block_crossbars = [
+            SEIMatrix(
+                self.weights[block],
+                device=config.device,
+                weight_bits=config.weight_bits,
+                max_crossbar_size=config.max_crossbar_size,
+                ir_drop_lambda=config.ir_drop_lambda,
+                rng=rng,
+            )
+            for block in self.blocks
+        ]
+
+    def block_sums(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.float64)
+        if bits.ndim == 1:
+            bits = bits[None, :]
+        sums = np.empty((bits.shape[0], self.num_blocks, self.cols))
+        for k, (block, crossbar) in enumerate(
+            zip(self.blocks, self._block_crossbars)
+        ):
+            sums[:, k, :] = crossbar.compute(bits[:, block]) + self.block_bias
+        return sums
+
+
+def assemble_sei_network(
+    network: Sequential,
+    thresholds: Dict[int, float],
+    config: Optional[HardwareConfig] = None,
+    decisions: Optional[Dict[int, SplitDecision]] = None,
+    partitions: Optional[Dict[int, Partition]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BinarizedNetwork:
+    """Build a BinarizedNetwork whose every layer runs on SEI hardware.
+
+    ``decisions``/``partitions`` override the split configuration per
+    layer index (pass the calibrated ones from
+    :func:`repro.core.pipeline.build_split_network`); defaults are
+    ``T/K`` static thresholds with a majority vote and the config's
+    partition method.  The final classifier merges its blocks in analog
+    (current summing into the WTA readout), matching the pipeline
+    default.
+    """
+    config = config if config is not None else HardwareConfig()
+    decisions = decisions if decisions is not None else {}
+    partitions = partitions if partitions is not None else {}
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+
+    binarized = BinarizedNetwork(network, dict(thresholds))
+    weighted = [
+        i
+        for i, layer in enumerate(network.layers)
+        if isinstance(layer, (Conv2D, Dense))
+    ]
+    final_index = weighted[-1]
+
+    for index in weighted:
+        layer = network.layers[index]
+        matrix = layer_weight_matrix(layer)
+        cells_per_weight = 2 * (config.weight_bits // config.device.bits)
+        blocks = required_blocks(
+            matrix.shape[0], config.max_crossbar_size, cells_per_weight
+        )
+
+        if index == weighted[0]:
+            # §3.2: the input layer stays DAC-driven (analog voltages on
+            # the rows); its bit-sliced crossbars merge in analog into
+            # the sense amplifiers.
+            binarized.layer_computes[index] = dac_analog_layer_compute(
+                layer,
+                device=config.device,
+                weight_bits=config.weight_bits,
+                rng=rng,
+            )
+            continue
+
+        if blocks <= 1:
+            crossbar = SEIMatrix(
+                matrix,
+                device=config.device,
+                weight_bits=config.weight_bits,
+                max_crossbar_size=config.max_crossbar_size,
+                ir_drop_lambda=config.ir_drop_lambda,
+                rng=rng,
+            )
+            binarized.layer_computes[index] = _unsplit_compute(crossbar)
+            continue
+
+        partition = partitions.get(index)
+        if partition is None:
+            if config.partition_method == "homogenize":
+                partition = homogenize(
+                    matrix,
+                    blocks,
+                    iterations=config.homogenize_iterations,
+                    seed=config.seed,
+                )
+            else:
+                partition = natural_partition(matrix.shape[0], blocks)
+
+        if index == final_index:
+            # Analog merge: per-block crossbars, currents summed into the
+            # WTA readout — functionally the sum of block computes.
+            crossbars = [
+                SEIMatrix(
+                    matrix[block],
+                    device=config.device,
+                    weight_bits=config.weight_bits,
+                    max_crossbar_size=config.max_crossbar_size,
+                    ir_drop_lambda=config.ir_drop_lambda,
+                    rng=rng,
+                )
+                for block in partition.blocks()
+            ]
+            binarized.layer_computes[index] = _analog_merge_compute(
+                partition, crossbars
+            )
+            continue
+
+        decision = decisions.get(
+            index,
+            SplitDecision(
+                block_threshold=thresholds[index] / blocks,
+                vote_threshold=max(1, (blocks + 1) // 2),
+            ),
+        )
+        split = HardwareSplitMatrix(
+            matrix,
+            partition,
+            decision,
+            config,
+            bias=layer_bias(layer),
+            rng=rng,
+        )
+        binarized.layer_computes[index] = _split_compute(split)
+
+    return binarized
+
+
+def _unsplit_compute(crossbar: SEIMatrix):
+    def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
+        return apply_matrix_fn(layer, x, crossbar.compute)
+
+    return compute
+
+
+def _split_compute(split: HardwareSplitMatrix):
+    def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
+        return apply_matrix_fn(layer, x, split.fire, add_bias=False)
+
+    return compute
+
+
+def _analog_merge_compute(partition: Partition, crossbars):
+    blocks = partition.blocks()
+
+    def matrix_fn(bits: np.ndarray) -> np.ndarray:
+        total = None
+        for block, crossbar in zip(blocks, crossbars):
+            part = crossbar.compute(bits[:, block])
+            total = part if total is None else total + part
+        return total
+
+    def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
+        return apply_matrix_fn(layer, x, matrix_fn)
+
+    return compute
+
+
+def dac_analog_layer_compute(
+    layer: Layer,
+    device: Optional[RRAMDevice] = None,
+    weight_bits: int = 8,
+    data_bits: int = 8,
+    rng: Optional[np.random.Generator] = None,
+):
+    """The SEI design's input layer: DAC-driven crossbars, analog merge.
+
+    Activations pass through ``data_bits`` DACs; the bit-sliced
+    positive/negative crossbars are programmed through the device; their
+    output currents combine in the analog domain (scaled summing) before
+    the sense amplifiers — no ADC anywhere (§3.2 / mapper convention).
+    """
+    device = device if device is not None else RRAMDevice(bits=4)
+    rng = rng if rng is not None else np.random.default_rng()
+
+    from repro.core.sei import decompose_weights
+
+    matrix = layer_weight_matrix(layer)
+    slices, coefficients, scale = decompose_weights(
+        matrix, weight_bits, device.bits
+    )
+    programmed = [
+        device.conductance_to_normalized(device.program(s, rng))
+        for s in slices
+    ]
+    dac = DAC(bits=data_bits)
+    cell_max = 2**device.bits - 1
+
+    def matrix_fn(x: np.ndarray) -> np.ndarray:
+        driven = dac.quantize(np.clip(x, 0.0, 1.0))
+        out = np.zeros(x.shape[:-1] + (matrix.shape[1],))
+        for coeff, cells in zip(coefficients, programmed):
+            out = out + coeff * (driven @ cells) * cell_max
+        return out * scale
+
+    def compute(inner_layer: Layer, x: np.ndarray) -> np.ndarray:
+        return apply_matrix_fn(inner_layer, x, matrix_fn)
+
+    return compute
+
+
+# -- the traditional (ADC) designs, functionally --------------------------------
+
+
+def adc_layer_compute(
+    layer: Layer,
+    tech: Optional[TechnologyModel] = None,
+    device: Optional[RRAMDevice] = None,
+    data_bits: int = 8,
+    calibration: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Functional model of one DAC+crossbar+ADC layer (Fig. 2a/b).
+
+    Activations pass through ``data_bits`` DACs; each weight bit-slice
+    lives on a positive and a negative crossbar; every crossbar column is
+    digitised by an 8-bit ADC before the digital shift/add/subtract
+    merge.
+
+    ADC full scale: designs calibrate each converter's range to the
+    currents it actually sees, not the theoretical worst case — sparse
+    layers would otherwise waste most of their codes.  Pass
+    ``calibration`` (example crossbar input rows, ``(n, rows)``) to set
+    the per-slice range from the observed maxima (with 25% headroom);
+    without it the range defaults to the all-inputs-high worst case.
+    """
+    tech = tech if tech is not None else TechnologyModel()
+    device = device if device is not None else RRAMDevice(bits=tech.cell_bits)
+    rng = rng if rng is not None else np.random.default_rng()
+
+    from repro.core.sei import decompose_weights
+
+    matrix = layer_weight_matrix(layer)
+    slices, coefficients, scale = decompose_weights(
+        matrix, tech.weight_bits, device.bits
+    )
+    # Program each slice crossbar through the device.
+    programmed = [
+        device.conductance_to_normalized(device.program(s, rng))
+        for s in slices
+    ]
+    dac = DAC(bits=data_bits)
+    adc = ADC(bits=8)
+    cell_max = 2**device.bits - 1
+
+    if calibration is not None:
+        driven = dac.quantize(np.clip(np.asarray(calibration), 0.0, 1.0))
+        full_scales = [
+            max(float(((driven @ cells) * cell_max).max()) * 1.25, 1e-12)
+            for cells in programmed
+        ]
+    else:
+        # Worst case: all inputs at 1 on the largest column.
+        full_scales = [
+            max(float(cells.sum(axis=0).max()) * cell_max, 1e-12)
+            for cells in programmed
+        ]
+
+    def matrix_fn(x: np.ndarray) -> np.ndarray:
+        driven = dac.quantize(np.clip(x, 0.0, 1.0))
+        out = np.zeros(x.shape[:-1] + (matrix.shape[1],))
+        for coeff, cells, full_scale in zip(
+            coefficients, programmed, full_scales
+        ):
+            currents = (driven @ cells) * cell_max
+            digitised = adc.quantize(currents, full_scale)
+            out = out + coeff * digitised
+        return out * scale
+
+    def compute(inner_layer: Layer, x: np.ndarray) -> np.ndarray:
+        return apply_matrix_fn(inner_layer, x, matrix_fn)
+
+    return compute
+
+
+def assemble_adc_network(
+    network: Sequential,
+    thresholds: Optional[Dict[int, float]] = None,
+    tech: Optional[TechnologyModel] = None,
+    device: Optional[RRAMDevice] = None,
+    data_bits: int = 8,
+    calibration_images: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BinarizedNetwork:
+    """Every weighted layer through the DAC+ADC functional model.
+
+    With ``thresholds=None`` the network runs at full 8-bit data
+    precision (the Table 5 baseline, which should match the float
+    network's predictions); passing Algorithm 1 thresholds gives the
+    "1-bit-Input + ADC" middle design.
+
+    ``calibration_images`` (a small sample of inputs) sets each layer's
+    ADC ranges from observed currents — important for sparse 1-bit
+    layers, where worst-case ranges would waste the converter's codes.
+
+    The *input picture* always passes through 8-bit DACs (§3.2 — it
+    needs high precision in every design); ``data_bits`` describes the
+    intermediate-data precision, which the thresholds already enforce in
+    the 1-bit case.
+
+    Note the full-precision path still assumes inputs to each crossbar
+    lie in [0, 1] — true for the paper's networks only after
+    :func:`repro.core.rescale.rescale_network`-style normalisation, so
+    callers should pass a re-scaled network.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    input_bits = 8
+    binarized = BinarizedNetwork(
+        network,
+        dict(thresholds) if thresholds else {},
+        input_bits=input_bits,
+    ) if thresholds else _plain_wrapper(network, input_bits)
+
+    calibration_flow = (
+        binarized._quantize_input(calibration_images)
+        if calibration_images is not None
+        else None
+    )
+    first_weighted = True
+    for index, layer in enumerate(network.layers):
+        if isinstance(layer, (Conv2D, Dense)):
+            layer_calibration = None
+            if calibration_flow is not None:
+                layer_calibration = _as_matrix_rows(layer, calibration_flow)
+            binarized.layer_computes[index] = adc_layer_compute(
+                layer,
+                tech=tech,
+                device=device,
+                # The input layer's DACs are always 8-bit (§3.2).
+                data_bits=input_bits if first_weighted else data_bits,
+                calibration=layer_calibration,
+                rng=rng,
+            )
+            first_weighted = False
+        if calibration_flow is not None:
+            # Propagate the calibration batch through the (now hooked)
+            # layer so deeper layers calibrate on realistic inputs.
+            calibration_flow = binarized.run_layer(index, calibration_flow)
+    return binarized
+
+
+def _as_matrix_rows(layer: Layer, x: np.ndarray) -> np.ndarray:
+    """A layer's input activations as crossbar input rows (im2col'd)."""
+    if isinstance(layer, Dense):
+        return x
+    assert isinstance(layer, Conv2D)
+    from repro.nn.functional import im2col
+
+    return im2col(
+        x, layer.kernel_size, layer.kernel_size, layer.stride, layer.padding
+    )
+
+
+def _plain_wrapper(network: Sequential, data_bits: int) -> BinarizedNetwork:
+    """A BinarizedNetwork with no thresholds: plain layer-by-layer run.
+
+    BinarizedNetwork requires thresholds for intermediate layers; for the
+    full-precision baseline we bypass that check with an empty mapping
+    via object construction, keeping the layer_computes hook machinery.
+    """
+    wrapper = BinarizedNetwork.__new__(BinarizedNetwork)
+    wrapper.network = network
+    wrapper.thresholds = {}
+    wrapper.input_bits = data_bits
+    wrapper.layer_computes = {}
+    return wrapper

@@ -1,0 +1,260 @@
+"""Matrix homogenization: row partitioning for ADC-less splitting (§4.3).
+
+When a weight matrix is split row-wise into K blocks that each make an
+independent threshold decision, accuracy collapses if the blocks are
+unbalanced — one block can hoard all the large weights and fire alone.
+The paper fixes this off-line by *re-ordering the rows* ("enhancing the
+priori knowledge of the weight matrix"): find a partition of the rows
+into K equal blocks minimising the total Euclidean distance between the
+blocks' column-mean vectors (Equ. 10)
+
+    dist = sum_{i != j} || a_i - a_j ||
+
+where ``a_i`` is the column-wise mean of block i.  The paper notes the
+exact problem is a stack of knapsacks (NP-complete), accepts brute force
+for small cases, and uses a genetic/heuristic search ("randomly exchange
+the position of two vectors") otherwise; it reports 80-90% distance
+reduction over natural row order.
+
+This module implements the distance metric, a brute-force exact optimiser
+for small matrices, and two stochastic optimisers: steepest-ascent hill
+climbing on random pair swaps and a small genetic algorithm with swap
+mutations — either reproduces the 80-90% reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = [
+    "Partition",
+    "natural_partition",
+    "random_partition",
+    "block_mean_distance",
+    "homogenize",
+    "brute_force_partition",
+]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of matrix rows to K blocks.
+
+    ``order`` is a permutation of row indices; block ``i`` holds rows
+    ``order[bounds[i]:bounds[i+1]]``.  Blocks are as equal-sized as
+    possible (the hardware blocks are crossbars of the same height).
+    """
+
+    order: np.ndarray
+    num_blocks: int
+
+    def __post_init__(self) -> None:
+        order = np.asarray(self.order)
+        if self.num_blocks <= 0:
+            raise ConfigurationError(
+                f"num_blocks must be positive, got {self.num_blocks}"
+            )
+        if self.num_blocks > len(order):
+            raise ConfigurationError(
+                f"cannot split {len(order)} rows into {self.num_blocks} blocks"
+            )
+        if sorted(order.tolist()) != list(range(len(order))):
+            raise ShapeError("order must be a permutation of 0..rows-1")
+        object.__setattr__(self, "order", order.astype(np.int64))
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.order)
+
+    def bounds(self) -> np.ndarray:
+        """Start offsets of each block within ``order`` (length K+1)."""
+        base, extra = divmod(self.num_rows, self.num_blocks)
+        sizes = np.full(self.num_blocks, base, dtype=np.int64)
+        sizes[:extra] += 1
+        return np.concatenate([[0], np.cumsum(sizes)])
+
+    def blocks(self) -> List[np.ndarray]:
+        """Row-index arrays, one per block."""
+        bounds = self.bounds()
+        return [
+            self.order[bounds[i] : bounds[i + 1]]
+            for i in range(self.num_blocks)
+        ]
+
+    def swapped(self, i: int, j: int) -> "Partition":
+        """A new partition with positions i and j of the order exchanged."""
+        order = self.order.copy()
+        order[i], order[j] = order[j], order[i]
+        return Partition(order, self.num_blocks)
+
+
+def natural_partition(num_rows: int, num_blocks: int) -> Partition:
+    """Rows in their natural order, split contiguously."""
+    return Partition(np.arange(num_rows), num_blocks)
+
+
+def random_partition(
+    num_rows: int, num_blocks: int, rng: Optional[np.random.Generator] = None
+) -> Partition:
+    """A uniformly random row order, split contiguously."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return Partition(rng.permutation(num_rows), num_blocks)
+
+
+def block_mean_distance(matrix: np.ndarray, partition: Partition) -> float:
+    """Equ. 10: total pairwise distance between block column-mean vectors."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ShapeError(f"matrix must be 2D, got shape {matrix.shape}")
+    if matrix.shape[0] != partition.num_rows:
+        raise ShapeError(
+            f"matrix has {matrix.shape[0]} rows, partition covers "
+            f"{partition.num_rows}"
+        )
+    means = np.stack(
+        [matrix[block].mean(axis=0) for block in partition.blocks()]
+    )
+    total = 0.0
+    for i, j in combinations(range(partition.num_blocks), 2):
+        total += float(np.linalg.norm(means[i] - means[j]))
+    return total
+
+
+def brute_force_partition(matrix: np.ndarray, num_blocks: int) -> Partition:
+    """Exact minimiser by enumerating all balanced partitions.
+
+    Only feasible for small matrices (about 12 rows); raises
+    :class:`ConfigurationError` beyond that — use :func:`homogenize`.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    num_rows = matrix.shape[0]
+    if num_rows > 12:
+        raise ConfigurationError(
+            f"brute force over {num_rows} rows is intractable; "
+            "use homogenize() instead"
+        )
+
+    best: Optional[Partition] = None
+    best_dist = np.inf
+    for order in _balanced_orders(num_rows, num_blocks):
+        partition = Partition(np.asarray(order), num_blocks)
+        dist = block_mean_distance(matrix, partition)
+        if dist < best_dist:
+            best_dist = dist
+            best = partition
+    assert best is not None
+    return best
+
+
+def _balanced_orders(num_rows: int, num_blocks: int):
+    """Yield one row order per distinct balanced set-partition."""
+    bounds = natural_partition(num_rows, num_blocks).bounds()
+
+    def recurse(remaining: frozenset, block: int):
+        if block == num_blocks:
+            yield []
+            return
+        size = int(bounds[block + 1] - bounds[block])
+        # Fix the smallest remaining row into this block to avoid counting
+        # permutations of equal-sized blocks twice.
+        items = sorted(remaining)
+        head, rest = items[0], items[1:]
+        for companions in combinations(rest, size - 1):
+            chosen = (head, *companions)
+            for tail in recurse(remaining - set(chosen), block + 1):
+                yield list(chosen) + tail
+
+    for order in recurse(frozenset(range(num_rows)), 0):
+        yield order
+
+
+def homogenize(
+    matrix: np.ndarray,
+    num_blocks: int,
+    method: str = "hillclimb",
+    iterations: int = 4000,
+    population: int = 24,
+    seed: int = 0,
+) -> Partition:
+    """Stochastic minimisation of :func:`block_mean_distance`.
+
+    Parameters
+    ----------
+    method:
+        ``'hillclimb'`` — repeated random pair-swap, keep improvements
+        (the paper's "randomly exchange the position of two vectors");
+        ``'genetic'`` — a small GA with swap mutation and elitist
+        selection.
+    iterations:
+        Swap attempts (hillclimb) or generations (genetic).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    if method == "hillclimb":
+        return _hillclimb(matrix, num_blocks, iterations, rng)
+    if method == "genetic":
+        return _genetic(matrix, num_blocks, iterations, population, rng)
+    raise ConfigurationError(
+        f"method must be 'hillclimb' or 'genetic', got {method!r}"
+    )
+
+
+def _hillclimb(
+    matrix: np.ndarray,
+    num_blocks: int,
+    iterations: int,
+    rng: np.random.Generator,
+) -> Partition:
+    current = natural_partition(matrix.shape[0], num_blocks)
+    current_dist = block_mean_distance(matrix, current)
+    num_rows = matrix.shape[0]
+    for _ in range(iterations):
+        i, j = rng.integers(0, num_rows, size=2)
+        if i == j:
+            continue
+        candidate = current.swapped(int(i), int(j))
+        dist = block_mean_distance(matrix, candidate)
+        if dist < current_dist:
+            current, current_dist = candidate, dist
+    return current
+
+
+def _genetic(
+    matrix: np.ndarray,
+    num_blocks: int,
+    generations: int,
+    population: int,
+    rng: np.random.Generator,
+) -> Partition:
+    num_rows = matrix.shape[0]
+    pool = [natural_partition(num_rows, num_blocks)] + [
+        random_partition(num_rows, num_blocks, rng)
+        for _ in range(population - 1)
+    ]
+    scores = [block_mean_distance(matrix, p) for p in pool]
+
+    for _ in range(generations):
+        # Elitist truncation selection: keep the better half, refill with
+        # swap-mutated children of random survivors.
+        ranked = sorted(range(len(pool)), key=lambda idx: scores[idx])
+        survivors = [pool[idx] for idx in ranked[: population // 2]]
+        survivor_scores = [scores[idx] for idx in ranked[: population // 2]]
+        children = []
+        child_scores = []
+        while len(survivors) + len(children) < population:
+            parent = survivors[int(rng.integers(0, len(survivors)))]
+            i, j = rng.integers(0, num_rows, size=2)
+            child = parent.swapped(int(i), int(j)) if i != j else parent
+            children.append(child)
+            child_scores.append(block_mean_distance(matrix, child))
+        pool = survivors + children
+        scores = survivor_scores + child_scores
+
+    best_index = int(np.argmin(scores))
+    return pool[best_index]

@@ -1,0 +1,88 @@
+"""Apply matrix-level hardware models to Conv2D / Dense layers.
+
+The paper treats every weighted layer as a matrix-vector multiplication:
+FC layers natively, Conv layers through the im2col view (each output
+position is one MVM against the ``(S*S*I, kernels)`` weight matrix).  The
+hardware structures (SEI, splitting) are therefore defined on matrices;
+this module adapts them to the two layer types so they can be plugged into
+:class:`repro.core.binarized.BinarizedNetwork` as layer computes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn.layers import Conv2D, Dense, Layer
+
+__all__ = ["MatrixFn", "apply_matrix_fn", "layer_weight_matrix", "layer_bias"]
+
+#: A function mapping a batch of input rows ``(N, rows)`` to output values
+#: ``(N, cols)`` — the hardware model of one weight matrix.
+MatrixFn = Callable[[np.ndarray], np.ndarray]
+
+
+def layer_weight_matrix(layer: Layer) -> np.ndarray:
+    """The ``(rows, cols)`` crossbar image of a weighted layer."""
+    if isinstance(layer, (Conv2D, Dense)):
+        return layer.weight_matrix
+    raise ShapeError(
+        f"layer {type(layer).__name__} has no weight matrix"
+    )
+
+
+def layer_bias(layer: Layer) -> np.ndarray:
+    """Bias vector of a weighted layer (zeros when the layer has none)."""
+    if not isinstance(layer, (Conv2D, Dense)):
+        raise ShapeError(f"layer {type(layer).__name__} has no bias")
+    bias = layer.params.get("bias")
+    if bias is None:
+        cols = layer.weight_matrix.shape[1]
+        return np.zeros(cols)
+    return bias
+
+
+def apply_matrix_fn(
+    layer: Layer, x: np.ndarray, fn: MatrixFn, add_bias: bool = True
+) -> np.ndarray:
+    """Run a layer's forward pass with ``fn`` replacing the matrix product.
+
+    For Dense the input is used directly; for Conv2D the input feature
+    maps are unfolded with im2col (the same receptive fields the crossbar
+    sees position by position), ``fn`` is applied to all positions at
+    once, and the result is folded back into output feature maps.  The
+    layer's bias is added afterwards (the paper keeps biases only in FC
+    layers; Equ. 6 folds them into the threshold, which is numerically
+    identical) unless the hardware model already accounts for it
+    (``add_bias=False``).
+    """
+    if isinstance(layer, Dense):
+        if x.ndim != 2 or x.shape[1] != layer.in_features:
+            raise ShapeError(
+                f"Dense hardware compute expects (n, {layer.in_features}), "
+                f"got {x.shape}"
+            )
+        out = fn(x)
+        return out + layer_bias(layer) if add_bias else out
+
+    if isinstance(layer, Conv2D):
+        n, c, h, w = x.shape
+        kernel = layer.kernel_size
+        out_h = F.conv_output_size(h, kernel, layer.stride, layer.padding)
+        out_w = F.conv_output_size(w, kernel, layer.stride, layer.padding)
+        cols = F.im2col(x, kernel, kernel, layer.stride, layer.padding)
+        out = fn(cols)
+        if add_bias:
+            out = out + layer_bias(layer)
+        return np.ascontiguousarray(
+            out.reshape(n, out_h, out_w, layer.out_channels).transpose(
+                0, 3, 1, 2
+            )
+        )
+
+    raise ShapeError(
+        f"cannot apply a matrix compute to {type(layer).__name__}"
+    )

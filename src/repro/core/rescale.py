@@ -1,0 +1,102 @@
+"""Weight re-scaling (§3.1 of the paper).
+
+Intermediate outputs of different layers span very different ranges (the
+paper quotes [0-2048] .. [0-4096] for CaffeNet conv layers).  To search all
+layer thresholds with one common step, each layer's weights are divided by
+the maximum output of that layer observed on the training set, bringing its
+outputs into [0, 1].
+
+Scaling a layer by a positive constant does not change the classification
+result of a ReLU CNN (positive scaling commutes with ReLU and max-pooling
+and only rescales the logits), so this step is loss-free — the paper's
+"weight scaling without numeral precision loss".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.network import Sequential
+
+__all__ = ["max_layer_output", "rescale_layer", "rescale_network"]
+
+
+def max_layer_output(
+    network: Sequential, images: np.ndarray, layer_index: int, batch_size: int = 256
+) -> float:
+    """Maximum activation of layer ``layer_index`` over a dataset."""
+    best = 0.0
+    for start in range(0, len(images), batch_size):
+        batch = images[start : start + batch_size]
+        x = batch
+        for layer in network.layers[: layer_index + 1]:
+            x = layer.forward(x)
+        best = max(best, float(x.max(initial=0.0)))
+    return best
+
+
+def rescale_layer(
+    network: Sequential,
+    layer_index: int,
+    divisor: float,
+    cascade_bias: bool = False,
+) -> None:
+    """Divide the weights (and bias) of one layer by ``divisor`` in place.
+
+    With ``cascade_bias=True`` the biases of every *deeper* weighted layer
+    are divided as well.  That is required for the float network to stay
+    classification-invariant: scaling layer L's output by 1/d scales the
+    inputs of deeper layers, so their biases must shrink with them for the
+    logits to scale uniformly.  The quantized pipeline does NOT cascade —
+    1-bit quantization resets the scale to {0, 1} right after the layer,
+    so deeper layers never see the 1/d factor.
+    """
+    if divisor <= 0 or not np.isfinite(divisor):
+        raise QuantizationError(
+            f"cannot rescale layer {layer_index} by {divisor}; the layer "
+            "produced no positive outputs on the calibration set"
+        )
+    layer = network.layers[layer_index]
+    if not isinstance(layer, (Conv2D, Dense)):
+        raise QuantizationError(
+            f"layer {layer_index} ({type(layer).__name__}) has no weights "
+            "to rescale"
+        )
+    layer.params["weight"] = layer.params["weight"] / divisor
+    if "bias" in layer.params:
+        layer.params["bias"] = layer.params["bias"] / divisor
+    if cascade_bias:
+        for deeper in network.layers[layer_index + 1 :]:
+            if isinstance(deeper, (Conv2D, Dense)) and "bias" in deeper.params:
+                deeper.params["bias"] = deeper.params["bias"] / divisor
+
+
+def rescale_network(
+    network: Sequential, images: np.ndarray, batch_size: int = 256
+) -> Dict[int, float]:
+    """Re-scale every weighted layer so its max output over ``images`` is 1.
+
+    Works layer by layer (earlier rescalings change deeper ranges) and
+    returns the divisors applied, keyed by layer index.  This is the
+    float-network variant used when no quantization is interleaved; the
+    greedy quantization pipeline performs its own interleaved rescaling.
+    """
+    divisors: Dict[int, float] = {}
+    for index in network.quantizable_indices() + _final_weighted(network):
+        divisor = max_layer_output(network, images, index, batch_size)
+        rescale_layer(network, index, divisor, cascade_bias=True)
+        divisors[index] = divisor
+    return divisors
+
+
+def _final_weighted(network: Sequential) -> List[int]:
+    """Index of the final weighted layer if it is not already quantizable."""
+    quantizable = set(network.quantizable_indices())
+    for index in range(len(network.layers) - 1, -1, -1):
+        if isinstance(network.layers[index], (Conv2D, Dense)):
+            return [] if index in quantizable else [index]
+    return []

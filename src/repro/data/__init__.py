@@ -1,0 +1,24 @@
+"""Synthetic MNIST-like dataset (offline substitute for LeCun's MNIST)."""
+
+from repro.data.datasets import Dataset, MnistLike, default_cache_dir, load_mnist_like
+from repro.data.synthetic_mnist import (
+    IMAGE_SIZE,
+    NUM_CLASSES,
+    DigitStyle,
+    digit_skeleton,
+    generate_images,
+    render_digit,
+)
+
+__all__ = [
+    "Dataset",
+    "MnistLike",
+    "load_mnist_like",
+    "default_cache_dir",
+    "IMAGE_SIZE",
+    "NUM_CLASSES",
+    "DigitStyle",
+    "digit_skeleton",
+    "generate_images",
+    "render_digit",
+]

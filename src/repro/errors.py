@@ -1,0 +1,32 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class MappingError(ReproError):
+    """A weight matrix cannot be mapped onto the requested crossbar fabric."""
+
+
+class QuantizationError(ReproError):
+    """A quantization step failed (empty search range, untrained net, ...)."""
+
+
+class TrainingError(ReproError):
+    """Model training could not proceed (bad loss, empty dataset, ...)."""

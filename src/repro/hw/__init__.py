@@ -1,0 +1,22 @@
+"""RRAM hardware substrate: device, crossbar, peripherals, technology model."""
+
+from repro.hw.crossbar import Crossbar
+from repro.hw.device import RRAMDevice
+from repro.hw.peripherals import ADC, DAC, SEIDecoder, SenseAmp, TraditionalDecoder
+from repro.hw.tech import REFERENCE_PLATFORMS, ReferencePlatform, TechnologyModel
+from repro.hw.tuning import TuningResult, tune_cells
+
+__all__ = [
+    "RRAMDevice",
+    "Crossbar",
+    "ADC",
+    "DAC",
+    "SenseAmp",
+    "TraditionalDecoder",
+    "SEIDecoder",
+    "TechnologyModel",
+    "ReferencePlatform",
+    "REFERENCE_PLATFORMS",
+    "TuningResult",
+    "tune_cells",
+]

@@ -1,0 +1,167 @@
+"""Behavioural RRAM device model.
+
+The paper's accuracy emulation uses a 4-bit RRAM device model in Verilog-A
+[21] inside a SPICE crossbar.  This module provides the behavioural Python
+equivalent: a device with ``2**bits`` discrete conductance levels between
+``g_min`` (high-resistance state) and ``g_max`` (low-resistance state),
+programming variation (the achieved conductance deviates from the target
+level) and read noise (random telegraph noise class effects [8]).
+
+Weights are mapped linearly onto the conductance range; the mapping
+utilities work on whole arrays because crossbars program many cells at
+once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["RRAMDevice"]
+
+
+@dataclass(frozen=True)
+class RRAMDevice:
+    """An RRAM device type: conductance range, precision and non-idealities.
+
+    Parameters
+    ----------
+    bits:
+        Number of programmable bits; the device has ``2**bits`` levels.
+        State of the art is 4-6 bits [13]; the paper uses 4.
+    g_min, g_max:
+        Conductance of the highest/lowest resistance state, in siemens.
+    program_sigma:
+        Relative (fraction of the level step) std-dev of programming error.
+        The variation-tolerant tuning of [13] achieves within-level
+        placement, so values < 0.5 keep levels distinguishable.
+    read_sigma:
+        Relative std-dev of per-read conductance fluctuation (RTN [8]).
+    stuck_low_rate, stuck_high_rate:
+        Fractions of cells permanently stuck at the high-resistance
+        (g_min) / low-resistance (g_max) state — forming/endurance
+        failures.  Applied at program time (a stuck cell ignores its
+        target).
+    """
+
+    bits: int = 4
+    g_min: float = 1e-6
+    g_max: float = 1e-4
+    program_sigma: float = 0.0
+    read_sigma: float = 0.0
+    stuck_low_rate: float = 0.0
+    stuck_high_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ConfigurationError(f"bits must be >= 1, got {self.bits}")
+        if self.g_min < 0 or self.g_max <= self.g_min:
+            raise ConfigurationError(
+                f"need 0 <= g_min < g_max, got g_min={self.g_min}, "
+                f"g_max={self.g_max}"
+            )
+        if self.program_sigma < 0 or self.read_sigma < 0:
+            raise ConfigurationError("noise sigmas must be non-negative")
+        if not 0 <= self.stuck_low_rate <= 1 or not 0 <= self.stuck_high_rate <= 1:
+            raise ConfigurationError("stuck rates must lie in [0, 1]")
+        if self.stuck_low_rate + self.stuck_high_rate > 1:
+            raise ConfigurationError(
+                "stuck_low_rate + stuck_high_rate must not exceed 1"
+            )
+
+    # -- level arithmetic -------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        return 2**self.bits
+
+    @property
+    def level_step(self) -> float:
+        """Conductance difference between adjacent levels."""
+        return (self.g_max - self.g_min) / (self.num_levels - 1)
+
+    def level_conductance(self, levels: np.ndarray) -> np.ndarray:
+        """Ideal conductance of integer level indices."""
+        levels = np.asarray(levels)
+        if levels.min(initial=0) < 0 or levels.max(initial=0) >= self.num_levels:
+            raise ShapeError(
+                f"levels must lie in [0, {self.num_levels}), "
+                f"got range [{levels.min()}, {levels.max()}]"
+            )
+        return self.g_min + levels * self.level_step
+
+    def quantize_levels(self, normalized: np.ndarray) -> np.ndarray:
+        """Round weights already normalised to [0, 1] to integer levels."""
+        normalized = np.asarray(normalized, dtype=np.float64)
+        if normalized.size and (
+            normalized.min() < -1e-9 or normalized.max() > 1 + 1e-9
+        ):
+            raise ShapeError(
+                "normalized weights must lie in [0, 1]; got range "
+                f"[{normalized.min():.4g}, {normalized.max():.4g}]"
+            )
+        levels = np.rint(np.clip(normalized, 0, 1) * (self.num_levels - 1))
+        return levels.astype(np.int64)
+
+    def quantize_normalized(self, normalized: np.ndarray) -> np.ndarray:
+        """Quantize [0, 1] values through the device levels, back to [0, 1].
+
+        This is the *functional* effect 4-bit cells have on weights and is
+        what the accuracy experiments consume.
+        """
+        levels = self.quantize_levels(normalized)
+        return levels / (self.num_levels - 1)
+
+    # -- non-ideal behaviour -----------------------------------------------
+    def program(
+        self,
+        normalized: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Program target weights in [0, 1]; returns achieved conductances.
+
+        Programming error is Gaussian with std ``program_sigma *
+        level_step`` (the tuning loop of [13] places the device within a
+        fraction of a level), clipped to the physical conductance range.
+        """
+        levels = self.quantize_levels(normalized)
+        conductance = self.level_conductance(levels)
+        needs_rng = (
+            self.program_sigma > 0
+            or self.stuck_low_rate > 0
+            or self.stuck_high_rate > 0
+        )
+        if needs_rng:
+            rng = rng if rng is not None else np.random.default_rng()
+        if self.program_sigma > 0:
+            conductance = conductance + rng.normal(
+                0.0, self.program_sigma * self.level_step, conductance.shape
+            )
+        if self.stuck_low_rate > 0 or self.stuck_high_rate > 0:
+            draw = rng.random(conductance.shape)
+            conductance = np.where(draw < self.stuck_low_rate, self.g_min, conductance)
+            conductance = np.where(
+                draw > 1.0 - self.stuck_high_rate, self.g_max, conductance
+            )
+        return np.clip(conductance, self.g_min, self.g_max)
+
+    def read(
+        self,
+        conductance: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """One noisy read of programmed conductances (RTN-style jitter)."""
+        if self.read_sigma <= 0:
+            return conductance
+        rng = rng if rng is not None else np.random.default_rng()
+        noisy = conductance * (
+            1.0 + rng.normal(0.0, self.read_sigma, conductance.shape)
+        )
+        return np.clip(noisy, 0.0, self.g_max * (1.0 + 5 * self.read_sigma))
+
+    def conductance_to_normalized(self, conductance: np.ndarray) -> np.ndarray:
+        """Map conductances back to the [0, 1] weight scale."""
+        return (conductance - self.g_min) / (self.g_max - self.g_min)

@@ -1,0 +1,166 @@
+"""Peripheral circuit models: ADC, DAC, sense amplifier, decoders.
+
+These are behavioural models — they reproduce the *functional* effect each
+circuit has on the data (quantization, thresholding, input-gated row
+selection) — plus the bookkeeping the cost model needs.  Fig. 2/3 of the
+paper define the structures:
+
+* a **traditional decoder** (Fig. 3a) either selects one row for write /
+  verify or turns on all transmission gates for compute;
+* the **SEI decoder** (Fig. 3b) muxes the transmission gates onto the 1-bit
+  input data during compute, freeing the row voltage port to carry common
+  weight information (bit significance, sign) via an extra port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["ADC", "DAC", "SenseAmp", "TraditionalDecoder", "SEIDecoder"]
+
+
+@dataclass(frozen=True)
+class ADC:
+    """Analog-to-digital converter with ``bits`` resolution over a range."""
+
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ConfigurationError(f"ADC bits must be >= 1, got {self.bits}")
+
+    def convert(
+        self, values: np.ndarray, full_scale: float
+    ) -> np.ndarray:
+        """Quantize analog ``values`` in [0, full_scale] to integer codes."""
+        if full_scale <= 0:
+            raise ConfigurationError(
+                f"full_scale must be positive, got {full_scale}"
+            )
+        values = np.asarray(values, dtype=np.float64)
+        codes = np.rint(np.clip(values / full_scale, 0.0, 1.0) * (2**self.bits - 1))
+        return codes.astype(np.int64)
+
+    def reconstruct(self, codes: np.ndarray, full_scale: float) -> np.ndarray:
+        """Analog value represented by integer codes."""
+        return np.asarray(codes, dtype=np.float64) / (2**self.bits - 1) * full_scale
+
+    def quantize(self, values: np.ndarray, full_scale: float) -> np.ndarray:
+        """Round-trip convert+reconstruct: the ADC's effect on the data."""
+        return self.reconstruct(self.convert(values, full_scale), full_scale)
+
+
+@dataclass(frozen=True)
+class DAC:
+    """Digital-to-analog converter: the quantization it imposes on inputs."""
+
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ConfigurationError(f"DAC bits must be >= 1, got {self.bits}")
+
+    def quantize(self, values: np.ndarray, full_scale: float = 1.0) -> np.ndarray:
+        """Digital inputs in [0, full_scale] -> the analog levels produced."""
+        if full_scale <= 0:
+            raise ConfigurationError(
+                f"full_scale must be positive, got {full_scale}"
+            )
+        values = np.asarray(values, dtype=np.float64)
+        steps = 2**self.bits - 1
+        return np.rint(np.clip(values / full_scale, 0, 1) * steps) / steps * full_scale
+
+
+@dataclass(frozen=True)
+class SenseAmp:
+    """Sense amplifier: compares a column current against a reference.
+
+    The paper merges the monotonic neuron function and the 1-bit
+    quantization into this comparison (§3.1), and the dynamic-threshold
+    structure feeds the reference from an extra RRAM column (§4.2).
+    """
+
+    #: Comparator input-referred noise, as a fraction of the reference.
+    noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0:
+            raise ConfigurationError("noise_sigma must be non-negative")
+
+    def fire(
+        self,
+        values: np.ndarray,
+        reference: np.ndarray | float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """1 where ``values`` exceed the (possibly per-column) reference."""
+        values = np.asarray(values, dtype=np.float64)
+        reference = np.asarray(reference, dtype=np.float64)
+        if self.noise_sigma > 0:
+            rng = rng if rng is not None else np.random.default_rng()
+            scale = np.maximum(np.abs(reference), 1e-12)
+            reference = reference + rng.normal(
+                0.0, self.noise_sigma, np.broadcast(values, reference).shape
+            ) * scale
+        return (values > reference).astype(np.int8)
+
+
+class TraditionalDecoder:
+    """Fig. 3a decoder: single-row select for write, all-on for compute."""
+
+    def __init__(self, rows: int) -> None:
+        if rows <= 0:
+            raise ConfigurationError(f"rows must be positive, got {rows}")
+        self.rows = rows
+
+    def select_for_write(self, row: int) -> np.ndarray:
+        """One-hot gate vector selecting a single row for programming."""
+        if not 0 <= row < self.rows:
+            raise ConfigurationError(
+                f"row {row} outside [0, {self.rows})"
+            )
+        gates = np.zeros(self.rows, dtype=np.int8)
+        gates[row] = 1
+        return gates
+
+    def select_for_compute(self) -> np.ndarray:
+        """All transmission gates on (the OR gate of Fig. 3a)."""
+        return np.ones(self.rows, dtype=np.int8)
+
+
+class SEIDecoder:
+    """Fig. 3b decoder: during compute the gates follow the 1-bit input.
+
+    ``select_for_compute(input_bits)`` is where "switched by input"
+    happens — a row only connects its (common-information) voltage to the
+    crossbar when its input bit is 1.
+    """
+
+    def __init__(self, rows: int) -> None:
+        if rows <= 0:
+            raise ConfigurationError(f"rows must be positive, got {rows}")
+        self.rows = rows
+
+    def select_for_write(self, row: int) -> np.ndarray:
+        """Write path is unchanged from the traditional decoder."""
+        return TraditionalDecoder(self.rows).select_for_write(row)
+
+    def select_for_compute(self, input_bits: np.ndarray) -> np.ndarray:
+        """Gate vector equal to the 1-bit input data."""
+        input_bits = np.asarray(input_bits)
+        if input_bits.shape[-1] != self.rows:
+            raise ShapeError(
+                f"input has {input_bits.shape[-1]} bits, decoder drives "
+                f"{self.rows} rows"
+            )
+        unique = np.unique(input_bits)
+        if not np.all(np.isin(unique, (0, 1))):
+            raise ShapeError(
+                f"SEI selection signals must be 0/1, got values {unique[:8]}"
+            )
+        return input_bits.astype(np.int8)

@@ -1,0 +1,33 @@
+"""Pure-numpy CNN substrate: layers, networks, losses, optimisers, training.
+
+This subpackage implements the convolutional-network machinery the paper's
+experiments run on (Conv / ReLU / MaxPool / FC layers with full forward and
+backward passes), built from scratch on numpy.
+"""
+
+from repro.nn.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, ReLU
+from repro.nn.losses import accuracy, error_rate, softmax, softmax_cross_entropy
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.training import TrainConfig, Trainer, TrainHistory, evaluate_accuracy
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "MaxPool2D",
+    "ReLU",
+    "Sequential",
+    "softmax",
+    "softmax_cross_entropy",
+    "accuracy",
+    "error_rate",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "TrainConfig",
+    "TrainHistory",
+    "Trainer",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,289 @@
+"""Low-level numerical primitives for the numpy CNN substrate.
+
+This module implements the convolution and pooling arithmetic used by the
+layer classes in :mod:`repro.nn.layers`.  Convolution is implemented with
+the classic ``im2col`` transformation so that the heavy lifting happens in
+a single BLAS matmul — exactly the "conv kernel as matrix-vector
+multiplication" view the paper relies on when mapping kernels onto RRAM
+crossbars (each crossbar column stores one flattened ``S x S x I`` kernel).
+
+All functions use the layout ``(batch, channels, height, width)`` for
+feature maps and ``(out_channels, in_channels, kh, kw)`` for kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv2d_backward",
+    "maxpool2d",
+    "maxpool2d_backward",
+    "relu",
+    "relu_backward",
+]
+
+
+def conv_output_size(
+    size: int, kernel: int, stride: int, padding: int, allow_partial: bool = False
+) -> int:
+    """Return the spatial output size of a convolution/pooling window.
+
+    With ``allow_partial=True`` a trailing partial window is silently
+    dropped (floor semantics, the convention for pooling layers — e.g. the
+    11x11 maps of the paper's Networks 2/3 pool down to 5x5).  Otherwise a
+    partial window raises :class:`ShapeError`.
+    """
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"window of size {kernel} (stride {stride}, padding {padding}) "
+            f"does not fit input of size {size}"
+        )
+    if not allow_partial and (size + 2 * padding - kernel) % stride != 0:
+        raise ShapeError(
+            f"input size {size} with kernel {kernel}, stride {stride}, "
+            f"padding {padding} leaves a partial window; adjust the shape"
+        )
+    return out
+
+
+def im2col(
+    images: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Unfold sliding windows of a batch of images into a matrix.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(n, c, h, w)``.
+    kernel_h, kernel_w:
+        Window height and width.
+    stride, padding:
+        Window stride and symmetric zero padding.
+
+    Returns
+    -------
+    Array of shape ``(n * out_h * out_w, c * kernel_h * kernel_w)``.  Each
+    row is one receptive field flattened in ``(channel, kh, kw)`` order,
+    which matches the row ordering used when mapping kernels onto crossbar
+    rows.
+    """
+    if images.ndim != 4:
+        raise ShapeError(f"im2col expects a 4D array, got shape {images.shape}")
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    if padding > 0:
+        images = np.pad(
+            images,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+
+    # Strided view: (n, c, out_h, out_w, kernel_h, kernel_w)
+    sn, sc, sh, sw = images.strides
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, c, out_h, out_w, kernel_h, kernel_w),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # -> (n, out_h, out_w, c, kernel_h, kernel_w) then flatten.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kernel_h * kernel_w
+    )
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` used by the convolution backward pass.
+
+    Overlapping window contributions are accumulated (summed), which is the
+    correct adjoint of the unfolding operation.
+    """
+    n, c, h, w = image_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    expected_rows = n * out_h * out_w
+    expected_cols = c * kernel_h * kernel_w
+    if cols.shape != (expected_rows, expected_cols):
+        raise ShapeError(
+            f"col2im expected shape {(expected_rows, expected_cols)}, "
+            f"got {cols.shape}"
+        )
+
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    windows = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    for i in range(kernel_h):
+        for j in range(kernel_w):
+            padded[
+                :,
+                :,
+                i : i + out_h * stride : stride,
+                j : j + out_w * stride : stride,
+            ] += windows[:, :, :, :, i, j]
+
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    images: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """2D convolution (technically cross-correlation, as in all CNN code).
+
+    Parameters
+    ----------
+    images:
+        ``(n, c_in, h, w)`` input feature maps.
+    weights:
+        ``(c_out, c_in, kh, kw)`` kernels.
+    bias:
+        Optional ``(c_out,)`` bias.
+
+    Returns
+    -------
+    ``(output, cols)`` where ``output`` has shape ``(n, c_out, out_h,
+    out_w)`` and ``cols`` is the im2col matrix, returned so the backward
+    pass (and the crossbar mapper) can reuse it.
+    """
+    if weights.ndim != 4:
+        raise ShapeError(f"conv2d weights must be 4D, got {weights.shape}")
+    c_out, c_in, kh, kw = weights.shape
+    n, c, h, w = images.shape
+    if c != c_in:
+        raise ShapeError(
+            f"input has {c} channels but kernels expect {c_in} channels"
+        )
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(images, kh, kw, stride, padding)
+    weight_matrix = weights.reshape(c_out, -1)  # (c_out, c_in*kh*kw)
+    out = cols @ weight_matrix.T
+    if bias is not None:
+        out = out + bias
+    output = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    return np.ascontiguousarray(output), cols
+
+
+def conv2d_backward(
+    grad_output: np.ndarray,
+    cols: np.ndarray,
+    weights: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv2d`.
+
+    Returns ``(grad_images, grad_weights, grad_bias)``.
+    """
+    c_out, c_in, kh, kw = weights.shape
+    n = grad_output.shape[0]
+    # (n, c_out, oh, ow) -> (n*oh*ow, c_out)
+    grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, c_out)
+
+    grad_bias = grad_flat.sum(axis=0)
+    grad_weight_matrix = grad_flat.T @ cols  # (c_out, c_in*kh*kw)
+    grad_weights = grad_weight_matrix.reshape(weights.shape)
+
+    grad_cols = grad_flat @ weights.reshape(c_out, -1)
+    grad_images = col2im(grad_cols, image_shape, kh, kw, stride, padding)
+    return grad_images, grad_weights, grad_bias
+
+
+def maxpool2d(
+    images: np.ndarray, pool: int, stride: int | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling over non-overlapping (by default) square windows.
+
+    Returns ``(output, argmax)`` where ``argmax`` holds, for each output
+    element, the flat index of the winning element inside its window; it is
+    consumed by :func:`maxpool2d_backward`.
+    """
+    stride = pool if stride is None else stride
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, pool, stride, 0, allow_partial=True)
+    out_w = conv_output_size(w, pool, stride, 0, allow_partial=True)
+
+    sn, sc, sh, sw = images.strides
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, c, out_h, out_w, pool, pool),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, pool * pool)
+    argmax = flat.argmax(axis=-1)
+    output = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+    return np.ascontiguousarray(output), argmax
+
+
+def maxpool2d_backward(
+    grad_output: np.ndarray,
+    argmax: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    pool: int,
+    stride: int | None = None,
+) -> np.ndarray:
+    """Backward pass of :func:`maxpool2d`: routes gradients to the argmax."""
+    stride = pool if stride is None else stride
+    n, c, h, w = image_shape
+    out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+    grad_images = np.zeros(image_shape, dtype=grad_output.dtype)
+
+    # Window-local coordinates of each winner.
+    win_i = argmax // pool
+    win_j = argmax % pool
+    base_i = (np.arange(out_h) * stride)[None, None, :, None]
+    base_j = (np.arange(out_w) * stride)[None, None, None, :]
+    rows = (base_i + win_i).reshape(n, c, -1)
+    cols_idx = (base_j + win_j).reshape(n, c, -1)
+
+    n_idx = np.arange(n)[:, None, None]
+    c_idx = np.arange(c)[None, :, None]
+    np.add.at(
+        grad_images,
+        (n_idx, c_idx, rows, cols_idx),
+        grad_output.reshape(n, c, -1),
+    )
+    return grad_images
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit, the paper's non-linear neuron (h = max(g, 0))."""
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(grad_output: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Backward pass of :func:`relu` given the forward input ``x``."""
+    return grad_output * (x > 0)

@@ -1,0 +1,50 @@
+"""Weight initialisation schemes for the numpy CNN substrate."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["he_normal", "glorot_uniform", "zeros", "get_initializer"]
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He-normal init, appropriate for ReLU networks (the paper's neuron)."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+    fan_out = int(shape[0])
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=tuple(shape))
+
+
+def zeros(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    del rng
+    return np.zeros(tuple(shape))
+
+
+_INITIALIZERS = {
+    "he_normal": he_normal,
+    "glorot_uniform": glorot_uniform,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name; raises ConfigurationError if unknown."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_INITIALIZERS))
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,335 @@
+"""Layer classes for the numpy CNN substrate.
+
+Each layer implements ``forward``/``backward`` and exposes its trainable
+``params`` and accumulated ``grads`` as dictionaries keyed by parameter
+name, so optimisers can update them generically.  Layers cache whatever the
+backward pass needs during ``forward`` (mirroring define-by-run
+frameworks); inference-only users can pass ``train=False`` to skip caching.
+
+The four layer types are exactly the building blocks of the paper's CNNs
+(Table 2): convolution kernels, ReLU neurons, max pooling and fully
+connected layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import functional as F
+from repro.nn.initializers import get_initializer
+
+__all__ = ["Layer", "Conv2D", "ReLU", "MaxPool2D", "Flatten", "Dense"]
+
+
+class Layer:
+    """Base class for all layers."""
+
+    #: True for layers whose output is an activation the paper quantizes.
+    quantizable: bool = False
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    # -- interface ---------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape of the output (excluding batch) for a given input shape."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+    def zero_grad(self) -> None:
+        for name in self.grads:
+            self.grads[name][...] = 0.0
+
+    @property
+    def num_params(self) -> int:
+        return int(sum(p.size for p in self.params.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Conv2D(Layer):
+    """2D convolution layer (a bank of ``out_channels`` kernels).
+
+    The flattened weight matrix (``in_channels*kh*kw`` rows by
+    ``out_channels`` columns) is what gets mapped onto RRAM crossbars:
+    each column stores one kernel, exactly as described in §2.2 of the
+    paper.
+    """
+
+    quantizable = True
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        use_bias: bool = True,
+        weight_init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ConfigurationError(
+                "Conv2D dimensions must be positive, got "
+                f"in={in_channels}, out={out_channels}, k={kernel_size}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.use_bias = use_bias
+
+        rng = rng if rng is not None else np.random.default_rng()
+        init = get_initializer(weight_init)
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.params["weight"] = init(shape, rng).astype(np.float64)
+        self.grads["weight"] = np.zeros(shape)
+        if use_bias:
+            self.params["bias"] = np.zeros(out_channels)
+            self.grads["bias"] = np.zeros(out_channels)
+
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+
+    # -- paper-facing helpers ---------------------------------------------
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        """Kernels as an ``(in_channels*kh*kw, out_channels)`` matrix.
+
+        This is the "weight matrix" of Table 2 (e.g. 25 x 12 for Network 1
+        conv layer 1) and the array that is mapped onto crossbars.
+        """
+        return self.params["weight"].reshape(self.out_channels, -1).T
+
+    def set_weight_matrix(self, matrix: np.ndarray) -> None:
+        """Inverse of :attr:`weight_matrix`; used by quantization rescaling."""
+        expected = (
+            self.in_channels * self.kernel_size * self.kernel_size,
+            self.out_channels,
+        )
+        if matrix.shape != expected:
+            raise ShapeError(
+                f"weight matrix must have shape {expected}, got {matrix.shape}"
+            )
+        self.params["weight"] = np.ascontiguousarray(
+            matrix.T.reshape(self.params["weight"].shape)
+        )
+
+    # -- forward/backward ---------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        bias = self.params.get("bias")
+        out, cols = F.conv2d(
+            x, self.params["weight"], bias, self.stride, self.padding
+        )
+        if train:
+            self._cache = (cols, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward(train=True)")
+        cols, image_shape = self._cache
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            grad_output,
+            cols,
+            self.params["weight"],
+            image_shape,
+            self.stride,
+            self.padding,
+        )
+        self.grads["weight"] += grad_w
+        if self.use_bias:
+            self.grads["bias"] += grad_b
+        return grad_x
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ShapeError(
+                f"layer expects {self.in_channels} channels, got {c}"
+            )
+        oh = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        ow = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, oh, ow)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2D({self.in_channels}->{self.out_channels}, "
+            f"k={self.kernel_size}, stride={self.stride}, pad={self.padding})"
+        )
+
+
+class ReLU(Layer):
+    """Rectified linear neuron, applied one-by-one after a kernel."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if train:
+            self._cache = x
+        return F.relu(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward(train=True)")
+        return F.relu_backward(grad_output, self._cache)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape
+
+
+class MaxPool2D(Layer):
+    """Spatial max pooling; degenerates to OR over 1-bit activations."""
+
+    def __init__(self, pool: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        if pool <= 0:
+            raise ConfigurationError(f"pool size must be positive, got {pool}")
+        self.pool = pool
+        self.stride = pool if stride is None else stride
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out, argmax = F.maxpool2d(x, self.pool, self.stride)
+        if train:
+            self._cache = (argmax, x.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward(train=True)")
+        argmax, image_shape = self._cache
+        return F.maxpool2d_backward(
+            grad_output, argmax, image_shape, self.pool, self.stride
+        )
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        oh = F.conv_output_size(h, self.pool, self.stride, 0, allow_partial=True)
+        ow = F.conv_output_size(w, self.pool, self.stride, 0, allow_partial=True)
+        return (c, oh, ow)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaxPool2D({self.pool})"
+
+
+class Flatten(Layer):
+    """Flattens feature maps into vectors for the fully connected layer."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if train:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ShapeError("backward called before forward(train=True)")
+        return grad_output.reshape(self._shape)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+
+class Dense(Layer):
+    """Fully connected layer: ``output = x @ W + b`` (Equ. 2 of the paper).
+
+    Weights are stored as ``(in_features, out_features)`` so the matrix is
+    directly the crossbar image (rows = inputs, columns = outputs).
+    """
+
+    quantizable = True
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        weight_init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError(
+                "Dense dimensions must be positive, got "
+                f"in={in_features}, out={out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = use_bias
+
+        rng = rng if rng is not None else np.random.default_rng()
+        init = get_initializer(weight_init)
+        # Initialise in (out, in) convention, store transposed.
+        self.params["weight"] = np.ascontiguousarray(
+            init((out_features, in_features), rng).T
+        )
+        self.grads["weight"] = np.zeros((in_features, out_features))
+        if use_bias:
+            self.params["bias"] = np.zeros(out_features)
+            self.grads["bias"] = np.zeros(out_features)
+
+        self._cache: Optional[np.ndarray] = None
+
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        """The ``(in_features, out_features)`` crossbar image of the layer."""
+        return self.params["weight"]
+
+    def set_weight_matrix(self, matrix: np.ndarray) -> None:
+        expected = (self.in_features, self.out_features)
+        if matrix.shape != expected:
+            raise ShapeError(
+                f"weight matrix must have shape {expected}, got {matrix.shape}"
+            )
+        self.params["weight"] = np.ascontiguousarray(matrix)
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Dense expects (n, {self.in_features}), got {x.shape}"
+            )
+        if train:
+            self._cache = x
+        out = x @ self.params["weight"]
+        if self.use_bias:
+            out = out + self.params["bias"]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward(train=True)")
+        x = self._cache
+        self.grads["weight"] += x.T @ grad_output
+        if self.use_bias:
+            self.grads["bias"] += grad_output.sum(axis=0)
+        return grad_output @ self.params["weight"].T
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ShapeError(
+                f"Dense expects input shape ({self.in_features},), "
+                f"got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}->{self.out_features})"

@@ -1,0 +1,65 @@
+"""Loss functions for training the CNN substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["softmax", "softmax_cross_entropy", "accuracy", "error_rate"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, classes)`` raw scores.
+    labels:
+        ``(n,)`` integer class labels.
+    """
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be 2D, got shape {logits.shape}")
+    n, num_classes = logits.shape
+    if labels.shape != (n,):
+        raise ShapeError(
+            f"labels must have shape ({n},), got {labels.shape}"
+        )
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ShapeError(
+            f"labels out of range [0, {num_classes}) for given logits"
+        )
+
+    probs = softmax(logits)
+    log_probs = np.log(np.clip(probs[np.arange(n), labels], 1e-12, None))
+    loss = float(-log_probs.mean())
+
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose argmax logit matches the label."""
+    if len(labels) == 0:
+        raise ShapeError("accuracy of an empty batch is undefined")
+    predictions = logits.argmax(axis=-1)
+    return float((predictions == labels).mean())
+
+
+def error_rate(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Classification error rate (1 - accuracy), the paper's metric."""
+    return 1.0 - accuracy(logits, labels)

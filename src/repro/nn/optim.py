@@ -1,0 +1,113 @@
+"""Optimisers for the numpy CNN substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+ParamGroup = Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]
+
+
+class Optimizer:
+    """Base optimiser operating on (params, grads) dictionary pairs."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def step(self, groups: Iterable[ParamGroup]) -> None:
+        """Apply one update to every parameter in every group."""
+        for params, grads in groups:
+            for name, value in params.items():
+                self._update(id(params), name, value, grads[name])
+
+    def _update(
+        self, group_id: int, name: str, param: np.ndarray, grad: np.ndarray
+    ) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self, lr: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0
+    ) -> None:
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ConfigurationError(
+                f"weight decay must be non-negative, got {weight_decay}"
+            )
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _update(
+        self, group_id: int, name: str, param: np.ndarray, grad: np.ndarray
+    ) -> None:
+        if self.weight_decay and name != "bias":
+            grad = grad + self.weight_decay * param
+        if self.momentum:
+            key = (group_id, name)
+            velocity = self._velocity.get(key)
+            if velocity is None:
+                velocity = np.zeros_like(param)
+                self._velocity[key] = velocity
+            velocity *= self.momentum
+            velocity -= self.lr * grad
+            param += velocity
+        else:
+            param -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError(
+                f"betas must be in [0, 1), got beta1={beta1}, beta2={beta2}"
+            )
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[Tuple[int, str], np.ndarray] = {}
+        self._v: Dict[Tuple[int, str], np.ndarray] = {}
+        self._t = 0
+
+    def step(self, groups: Iterable[ParamGroup]) -> None:
+        self._t += 1
+        super().step(groups)
+
+    def _update(
+        self, group_id: int, name: str, param: np.ndarray, grad: np.ndarray
+    ) -> None:
+        if self.weight_decay and name != "bias":
+            grad = grad + self.weight_decay * param
+        key = (group_id, name)
+        m = self._m.setdefault(key, np.zeros_like(param))
+        v = self._v.setdefault(key, np.zeros_like(param))
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad * grad
+        m_hat = m / (1 - self.beta1**self._t)
+        v_hat = v / (1 - self.beta2**self._t)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

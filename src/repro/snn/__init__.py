@@ -1,0 +1,24 @@
+"""Spiking neural network extension (§6 future work, ref [22]).
+
+Rate-coded SNN conversion of the quantized CNNs: spikes are 1-bit signals
+that the SEI structure processes natively, and the sense amplifier plus
+an integration capacitor realise the integrate-and-fire neuron.
+"""
+
+from repro.snn.converter import (
+    SimulationResult,
+    SpikingNetwork,
+    estimate_sei_spike_energy,
+)
+from repro.snn.encoding import bernoulli_spikes, deterministic_spikes, spike_rate
+from repro.snn.neurons import IntegrateFireState
+
+__all__ = [
+    "SpikingNetwork",
+    "SimulationResult",
+    "estimate_sei_spike_energy",
+    "bernoulli_spikes",
+    "deterministic_spikes",
+    "spike_rate",
+    "IntegrateFireState",
+]

@@ -1,0 +1,258 @@
+"""CNN -> SNN conversion on top of the SEI structure (§6 future work).
+
+A rate-coded spiking network is the natural tenant of SEI hardware: every
+signal between layers is a 1-bit spike, i.e. exactly the selection signal
+the SEI decoder expects, and the sense amplifier + integration capacitor
+realise the integrate-and-fire neuron.
+
+The conversion follows the standard rate-coding recipe applied to the
+already re-scaled network from Algorithm 1:
+
+* input pixels become spike trains (:mod:`repro.snn.encoding`);
+* each weighted layer's crossbar current feeds an integrate-and-fire
+  array whose firing threshold is the layer's Algorithm-1 threshold
+  scaled by ``threshold_scale`` (soft reset preserves the rate code);
+* max-pooling degenerates to a per-timestep OR, as in §3.1;
+* the final classifier integrates its current over all timesteps and the
+  argmax of the accumulated potential is the prediction.
+
+Because spiking activity is sparse, an event-driven energy estimate is
+also provided: row-drive and cell-read energy scale with the *actual
+spike count*, unlike the clocked 1-bit CNN where every position fires
+its full crossbar each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.hw.tech import TechnologyModel
+from repro.nn.functional import maxpool2d
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Sequential
+
+from repro.snn.encoding import bernoulli_spikes, deterministic_spikes
+from repro.snn.neurons import IntegrateFireState
+
+__all__ = ["SpikingNetwork", "SimulationResult", "estimate_sei_spike_energy"]
+
+_ENCODERS = {
+    "bernoulli": bernoulli_spikes,
+    "deterministic": lambda images, timesteps, rng=None: deterministic_spikes(
+        images, timesteps
+    ),
+}
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one spiking simulation."""
+
+    #: Accumulated output-layer potential: the classification scores.
+    logits: np.ndarray
+    timesteps: int
+    #: Mean firing rate of each hidden weighted layer (by layer index).
+    firing_rates: Dict[int, float]
+    #: Total spikes entering each weighted layer per sample (by index).
+    input_spike_counts: Dict[int, float]
+
+    def predictions(self) -> np.ndarray:
+        return self.logits.argmax(axis=-1)
+
+
+class SpikingNetwork:
+    """A rate-coded spiking version of a quantized CNN."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        thresholds: Dict[int, float],
+        threshold_scale: float = 1.0,
+        leak: float = 0.0,
+        reset: str = "subtract",
+        layer_computes: Optional[Dict[int, object]] = None,
+    ) -> None:
+        """``layer_computes`` optionally replaces a weighted layer's matrix
+        product with a hardware model (same ``(layer, x) -> current``
+        signature as :class:`repro.core.binarized.BinarizedNetwork`
+        hooks) — e.g. :func:`repro.core.sei.sei_layer_compute`, since a
+        spike train is exactly the 1-bit selection signal SEI expects."""
+        if threshold_scale <= 0:
+            raise ConfigurationError(
+                f"threshold_scale must be positive, got {threshold_scale}"
+            )
+        self.network = network
+        self.thresholds = dict(thresholds)
+        self.threshold_scale = threshold_scale
+        self.leak = leak
+        self.reset = reset
+        self.layer_computes = dict(layer_computes or {})
+
+        weighted = [
+            i
+            for i, layer in enumerate(network.layers)
+            if isinstance(layer, (Conv2D, Dense))
+        ]
+        if not weighted:
+            raise ConfigurationError("network has no weighted layers")
+        self._final_index = weighted[-1]
+        missing = [
+            i for i in weighted[:-1] if i not in self.thresholds
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"missing firing thresholds for layers {missing}; run "
+                "Algorithm 1 first"
+            )
+
+    # -- simulation -------------------------------------------------------
+    def simulate(
+        self,
+        images: np.ndarray,
+        timesteps: int,
+        encoder: str = "bernoulli",
+        rng: Optional[np.random.Generator] = None,
+    ) -> SimulationResult:
+        """Run the spiking network for ``timesteps`` on a batch of images."""
+        if encoder not in _ENCODERS:
+            known = ", ".join(sorted(_ENCODERS))
+            raise ConfigurationError(
+                f"unknown encoder {encoder!r}; known: {known}"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        spike_train = _ENCODERS[encoder](images, timesteps, rng=rng)
+
+        states: Dict[int, IntegrateFireState] = {}
+        accumulator: Optional[np.ndarray] = None
+        spike_totals: Dict[int, float] = {}
+        rate_totals: Dict[int, float] = {}
+
+        batch = images.shape[0]
+        for t in range(timesteps):
+            x = spike_train[t]
+            for index, layer in enumerate(self.network.layers):
+                if isinstance(layer, (Conv2D, Dense)):
+                    spike_totals[index] = spike_totals.get(index, 0.0) + float(
+                        x.sum()
+                    )
+                    compute = self.layer_computes.get(index)
+                    current = (
+                        compute(layer, x)
+                        if compute is not None
+                        else layer.forward(x)
+                    )
+                    if index == self._final_index:
+                        if accumulator is None:
+                            accumulator = np.zeros_like(current)
+                        accumulator += current
+                        x = current  # unused past the final layer
+                    else:
+                        state = states.get(index)
+                        if state is None:
+                            state = IntegrateFireState(
+                                shape=current.shape,
+                                threshold=self.thresholds[index]
+                                * self.threshold_scale,
+                                leak=self.leak,
+                                reset=self.reset,
+                            )
+                            states[index] = state
+                        x = state.step(current)
+                        rate_totals[index] = float(state.firing_rate.mean())
+                elif isinstance(layer, MaxPool2D):
+                    x, _ = maxpool2d(x, layer.pool, layer.stride)  # OR
+                elif isinstance(layer, (ReLU, Flatten)):
+                    x = layer.forward(x)
+                else:  # pragma: no cover - no other layer types exist
+                    x = layer.forward(x)
+
+        assert accumulator is not None
+        return SimulationResult(
+            logits=accumulator,
+            timesteps=timesteps,
+            firing_rates=rate_totals,
+            input_spike_counts={
+                k: v / batch for k, v in spike_totals.items()
+            },
+        )
+
+    def error_rate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        timesteps: int,
+        encoder: str = "bernoulli",
+        rng: Optional[np.random.Generator] = None,
+        batch_size: int = 128,
+    ) -> float:
+        """Classification error over a dataset."""
+        if len(images) != len(labels):
+            raise ShapeError("images and labels length mismatch")
+        wrong = 0
+        for start in range(0, len(images), batch_size):
+            batch = images[start : start + batch_size]
+            result = self.simulate(batch, timesteps, encoder=encoder, rng=rng)
+            wrong += int(
+                (result.predictions() != labels[start : start + batch_size]).sum()
+            )
+        return wrong / len(images)
+
+
+def estimate_sei_spike_energy(
+    network: Sequential,
+    result: SimulationResult,
+    tech: Optional[TechnologyModel] = None,
+) -> Dict[str, float]:
+    """Event-driven energy estimate (pJ per picture) of the SNN on SEI.
+
+    Row drives and cell reads are charged per *actual spike* (a silent row
+    never connects, thanks to the SEI selection gates); sense-amp
+    decisions are charged per column per timestep (the SA is clocked).
+    Conv positions multiply the SA count exactly as in the CNN mapping.
+    """
+    tech = tech if tech is not None else TechnologyModel()
+    cells_per_weight = tech.bit_slices * 2
+
+    row_drive_pj = 0.0
+    cell_read_pj = 0.0
+    sa_pj = 0.0
+    for index, layer in enumerate(network.layers):
+        if not isinstance(layer, (Conv2D, Dense)):
+            continue
+        spikes = result.input_spike_counts.get(index, 0.0)
+        cols = layer.weight_matrix.shape[1]
+        row_drive_pj += spikes * cells_per_weight * tech.row_drive_energy_pj
+        cell_read_pj += (
+            spikes * cells_per_weight * (cols + 1) * tech.cell_read_energy_pj
+        )
+        if isinstance(layer, Conv2D):
+            # Positions are already folded into the spike counts (spikes
+            # are counted on the unfolded feature map per timestep); SA
+            # fires once per output element per timestep.
+            out_elems = np.prod(layer.output_shape(
+                _input_shape_of(network, index)
+            ))
+        else:
+            out_elems = cols
+        sa_pj += (
+            float(out_elems) * result.timesteps * tech.sense_amp_energy_pj
+        )
+
+    total = row_drive_pj + cell_read_pj + sa_pj
+    return {
+        "driver": row_drive_pj,
+        "rram": cell_read_pj,
+        "sa": sa_pj,
+        "total": total,
+    }
+
+
+def _input_shape_of(network: Sequential, index: int):
+    """Input shape (excluding batch) of layer ``index``."""
+    if index == 0:
+        return network.input_shape
+    return network.shape_at(index - 1)

@@ -1,0 +1,82 @@
+"""Spike encodings: pictures -> 1-bit spike trains.
+
+The SEI structure processes 1-bit inputs natively, which is exactly what
+a spike train is — the paper's stated future-work direction ("use the
+proposed structure to support other applications using 1-bit data like
+RRAM-based Spiking Neural Networks", §6, citing Tang et al. [22]).
+
+Two standard rate codes are provided:
+
+* **Bernoulli (Poisson-like)** — at each timestep a pixel emits a spike
+  with probability equal to its intensity; unbiased but noisy;
+* **deterministic rate** — a pixel of intensity p spikes on the
+  ``round(p * T)`` evenly spread timesteps; zero-variance rate coding,
+  useful to isolate quantization effects from sampling noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["bernoulli_spikes", "deterministic_spikes", "spike_rate"]
+
+
+def _check_images(images: np.ndarray, timesteps: int) -> np.ndarray:
+    images = np.asarray(images, dtype=np.float64)
+    if timesteps <= 0:
+        raise ConfigurationError(f"timesteps must be positive, got {timesteps}")
+    if images.size == 0:
+        raise ShapeError("cannot encode an empty image batch")
+    if images.min() < -1e-9 or images.max() > 1 + 1e-9:
+        raise ShapeError(
+            "pixel intensities must lie in [0, 1] for rate coding; got "
+            f"range [{images.min():.3g}, {images.max():.3g}]"
+        )
+    return np.clip(images, 0.0, 1.0)
+
+
+def bernoulli_spikes(
+    images: np.ndarray,
+    timesteps: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Bernoulli rate code: ``spikes[t] ~ Bernoulli(pixel)`` per timestep.
+
+    Returns an array of shape ``(timesteps, *images.shape)`` with 0/1
+    entries; the time-average converges to the pixel intensity.
+    """
+    images = _check_images(images, timesteps)
+    rng = rng if rng is not None else np.random.default_rng()
+    draws = rng.random((timesteps,) + images.shape)
+    return (draws < images[None]).astype(np.float64)
+
+
+def deterministic_spikes(images: np.ndarray, timesteps: int) -> np.ndarray:
+    """Deterministic rate code with evenly spread spikes.
+
+    A pixel of intensity p produces exactly ``round(p * timesteps)``
+    spikes, placed by the classic accumulate-and-fire (error-diffusion)
+    rule: spike at step t iff ``floor((t+1) * p) > floor(t * p)``.
+    """
+    images = _check_images(images, timesteps)
+    steps = np.arange(1, timesteps + 1, dtype=np.float64)
+    # (T, ...) via broadcasting; tiny epsilon guards float edge cases
+    # like p = 0.5 at even steps.
+    eps = 1e-12
+    cum_now = np.floor(steps.reshape((-1,) + (1,) * images.ndim) * (images[None] + eps))
+    cum_prev = np.floor(
+        (steps - 1).reshape((-1,) + (1,) * images.ndim) * (images[None] + eps)
+    )
+    return (cum_now > cum_prev).astype(np.float64)
+
+
+def spike_rate(spikes: np.ndarray) -> np.ndarray:
+    """Time-averaged firing rate of a spike train (axis 0 = time)."""
+    spikes = np.asarray(spikes)
+    if spikes.ndim < 2:
+        raise ShapeError("spike train must have a leading time axis")
+    return spikes.mean(axis=0)

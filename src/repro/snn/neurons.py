@@ -1,0 +1,91 @@
+"""Integrate-and-fire neuron state for the SNN extension.
+
+The sense amplifier of the SEI structure compares a column current with a
+threshold; adding a capacitor that integrates the current over timesteps
+turns the same column into an integrate-and-fire neuron.  This module
+models that neuron array behaviourally: membrane integration, optional
+leak, threshold firing and two reset styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+__all__ = ["IntegrateFireState"]
+
+
+@dataclass
+class IntegrateFireState:
+    """A (batched) array of integrate-and-fire neurons.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the neuron array, including the batch axis.
+    threshold:
+        Firing threshold (the SA reference).
+    leak:
+        Fraction of membrane potential lost per step (0 = perfect
+        integrator, the usual choice for rate-coded conversion).
+    reset:
+        ``'subtract'`` (soft reset: carry the residual, best rate-coding
+        fidelity) or ``'zero'`` (hard reset).
+    """
+
+    shape: Tuple[int, ...]
+    threshold: float
+    leak: float = 0.0
+    reset: str = "subtract"
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ConfigurationError(
+                f"firing threshold must be positive, got {self.threshold}"
+            )
+        if not 0.0 <= self.leak < 1.0:
+            raise ConfigurationError(f"leak must be in [0, 1), got {self.leak}")
+        if self.reset not in ("subtract", "zero"):
+            raise ConfigurationError(
+                f"reset must be 'subtract' or 'zero', got {self.reset!r}"
+            )
+        self.membrane = np.zeros(self.shape)
+        self.spike_count = np.zeros(self.shape)
+        self.steps = 0
+
+    def step(self, current: np.ndarray) -> np.ndarray:
+        """Integrate one timestep of input current; return 0/1 spikes."""
+        current = np.asarray(current, dtype=np.float64)
+        if current.shape != self.membrane.shape:
+            raise ShapeError(
+                f"current shape {current.shape} does not match neuron "
+                f"array {self.membrane.shape}"
+            )
+        if self.leak:
+            self.membrane *= 1.0 - self.leak
+        self.membrane += current
+        spikes = (self.membrane > self.threshold).astype(np.float64)
+        if self.reset == "subtract":
+            self.membrane -= spikes * self.threshold
+        else:
+            self.membrane = np.where(spikes > 0, 0.0, self.membrane)
+        self.spike_count += spikes
+        self.steps += 1
+        return spikes
+
+    @property
+    def firing_rate(self) -> np.ndarray:
+        """Average spikes per step so far."""
+        if self.steps == 0:
+            raise ConfigurationError("no steps have been simulated yet")
+        return self.spike_count / self.steps
+
+    def reset_state(self) -> None:
+        """Clear membrane and counters (new inference)."""
+        self.membrane[...] = 0.0
+        self.spike_count[...] = 0.0
+        self.steps = 0

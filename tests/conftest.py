@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite.
+
+Heavy artefacts (dataset, a trained network) are built once per session on
+deliberately small sizes so the whole suite stays fast; the full-scale
+Table 2 networks are exercised by the benchmarks, not the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_mnist import generate_images
+from repro.nn import Adam, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.nn import TrainConfig, Trainer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small train/test pair of synthetic digits."""
+    train_x, train_y = generate_images(400, seed=11)
+    test_x, test_y = generate_images(120, seed=1011)
+    return {
+        "train_x": train_x,
+        "train_y": train_y,
+        "test_x": test_x,
+        "test_y": test_y,
+    }
+
+
+def build_tiny_network(seed: int = 3) -> Sequential:
+    """A small 4-layer CNN in the paper's shape (conv-pool-conv-pool-fc)."""
+    gen = np.random.default_rng(seed)
+    layers = [
+        Conv2D(1, 4, 5, use_bias=False, rng=gen),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(4, 8, 5, use_bias=False, rng=gen),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(8 * 16, 10, rng=gen),
+    ]
+    return Sequential(layers, (1, 28, 28))
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_network(tiny_dataset):
+    """The tiny network trained to usable accuracy (session-scoped)."""
+    network = build_tiny_network()
+    trainer = Trainer(
+        network,
+        Adam(2e-3),
+        TrainConfig(epochs=10, batch_size=32, seed=0, activation_l1=0.005),
+    )
+    trainer.fit(tiny_dataset["train_x"], tiny_dataset["train_y"])
+    return network
+
+
+@pytest.fixture(scope="session")
+def tiny_quantized(trained_tiny_network, tiny_dataset):
+    """Algorithm-1 output for the tiny network (session-scoped)."""
+    from repro.core import SearchConfig, search_thresholds
+
+    return search_thresholds(
+        trained_tiny_network,
+        tiny_dataset["train_x"],
+        tiny_dataset["train_y"],
+        SearchConfig(thres_max=0.3, search_step=0.02),
+    )

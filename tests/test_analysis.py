@@ -1,0 +1,100 @@
+"""Tests for repro.analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    TABLE1_BINS,
+    bin_fractions,
+    conv_output_distribution,
+    error_rate_pct,
+    relative_change_pct,
+    summarize_range,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+class TestBinFractions:
+    def test_fractions_sum_to_one(self, rng):
+        fractions = bin_fractions(rng.random(1000))
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_known_values(self):
+        values = np.array([0.0, 0.05, 0.1, 0.2, 0.9])
+        fractions = bin_fractions(values)
+        np.testing.assert_allclose(fractions, [0.4, 0.2, 0.2, 0.2])
+
+    def test_negative_clamped_to_lowest_bin(self):
+        fractions = bin_fractions(np.array([-0.5, -0.1]))
+        assert fractions[0] == pytest.approx(1.0)
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ShapeError):
+            bin_fractions(np.array([1.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            bin_fractions(np.array([]))
+
+    def test_rejects_unsorted_bins(self, rng):
+        with pytest.raises(ConfigurationError):
+            bin_fractions(rng.random(10), bins=(0.5, 0.25, 1.0))
+
+    def test_table1_bins_are_paper_values(self):
+        assert TABLE1_BINS == (1 / 16, 1 / 8, 1 / 4, 1.0)
+
+
+class TestConvOutputDistribution:
+    def test_rows_and_normalisation(self, trained_tiny_network, tiny_dataset):
+        dist = conv_output_distribution(
+            trained_tiny_network, tiny_dataset["test_x"][:64]
+        )
+        assert set(dist) == {"layer 1", "layer 2", "all layers"}
+        for fractions in dist.values():
+            assert sum(fractions) == pytest.approx(1.0)
+
+    def test_long_tail_shape(self, trained_tiny_network, tiny_dataset):
+        """The trained (activation-L1) network reproduces Table 1's shape:
+        the lowest bin dominates, and bins decay monotonically."""
+        dist = conv_output_distribution(
+            trained_tiny_network, tiny_dataset["test_x"][:64]
+        )
+        for key, fractions in dist.items():
+            assert fractions[0] > 0.6, key
+            assert fractions[0] > fractions[1] > fractions[3], key
+
+    def test_requires_conv_layers(self, rng):
+        from repro.nn import Dense, Flatten, Sequential
+
+        net = Sequential([Flatten(), Dense(16, 4, rng=rng)], (1, 4, 4))
+        with pytest.raises(ConfigurationError):
+            conv_output_distribution(net, rng.random((2, 1, 4, 4)))
+
+
+class TestMetrics:
+    def test_error_rate_pct(self):
+        assert error_rate_pct(0.0163) == pytest.approx(1.63)
+        with pytest.raises(ShapeError):
+            error_rate_pct(1.5)
+
+    def test_summarize_range(self):
+        summary = summarize_range([0.039, 0.4589, 0.1])
+        assert summary["min"] == pytest.approx(0.039)
+        assert summary["max"] == pytest.approx(0.4589)
+        with pytest.raises(ShapeError):
+            summarize_range([])
+
+    def test_relative_change(self):
+        assert relative_change_pct(62.31, 74.25) == pytest.approx(-16.08, abs=0.01)
+        with pytest.raises(ShapeError):
+            relative_change_pct(1.0, 0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=200))
+def test_bin_fractions_property(values):
+    fractions = bin_fractions(np.array(values))
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    assert sum(fractions) == pytest.approx(1.0)

@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.robustness."""
+
+import pytest
+
+from repro.analysis import sei_variation_sweep, sense_amp_noise_sweep
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def sweep_inputs(request):
+    # Resolved lazily through the session fixtures.
+    tiny_quantized = request.getfixturevalue("tiny_quantized")
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    return (
+        tiny_quantized.network,
+        tiny_quantized.thresholds,
+        tiny_dataset["test_x"][:60],
+        tiny_dataset["test_y"][:60],
+    )
+
+
+class TestVariationSweep:
+    def test_shapes_and_monotone_tendency(self, sweep_inputs):
+        net, th, x, y = sweep_inputs
+        result = sei_variation_sweep(
+            net, th, x, y, sigmas=(0.0, 1.5), trials=3
+        )
+        assert result.levels == [0.0, 1.5]
+        assert result.trials == 3
+        assert len(result.mean_error) == 2
+        # Massive programming error cannot *improve* on noiseless.
+        assert result.mean_error[1] >= result.mean_error[0] - 0.05
+
+    def test_zero_sigma_deterministic(self, sweep_inputs):
+        net, th, x, y = sweep_inputs
+        result = sei_variation_sweep(net, th, x, y, sigmas=(0.0,), trials=3)
+        assert result.std_error[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_read_kind(self, sweep_inputs):
+        net, th, x, y = sweep_inputs
+        result = sei_variation_sweep(
+            net, th, x, y, sigmas=(0.0, 0.1), trials=2, kind="read"
+        )
+        assert result.knob == "read_sigma"
+
+    def test_invalid_kind_and_trials(self, sweep_inputs):
+        net, th, x, y = sweep_inputs
+        with pytest.raises(ConfigurationError):
+            sei_variation_sweep(net, th, x, y, kind="write")
+        with pytest.raises(ConfigurationError):
+            sei_variation_sweep(net, th, x, y, trials=0)
+
+    def test_rows_format(self, sweep_inputs):
+        net, th, x, y = sweep_inputs
+        result = sei_variation_sweep(net, th, x, y, sigmas=(0.0,), trials=1)
+        rows = result.rows()
+        assert rows[0]["program_sigma"] == 0.0
+        assert "mean error" in rows[0]
+
+
+class TestSenseAmpSweep:
+    def test_large_noise_degrades(self, sweep_inputs):
+        net, th, x, y = sweep_inputs
+        result = sense_amp_noise_sweep(
+            net, th, x, y, sigmas=(0.0, 2.0), trials=3
+        )
+        assert result.mean_error[1] > result.mean_error[0]
+
+    def test_trials_validation(self, sweep_inputs):
+        net, th, x, y = sweep_inputs
+        with pytest.raises(ConfigurationError):
+            sense_amp_noise_sweep(net, th, x, y, trials=0)
+
+    def test_worst_at_least_mean(self, sweep_inputs):
+        net, th, x, y = sweep_inputs
+        result = sense_amp_noise_sweep(
+            net, th, x, y, sigmas=(0.5,), trials=4
+        )
+        assert result.worst_error[0] >= result.mean_error[0] - 1e-12

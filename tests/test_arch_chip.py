@@ -1,0 +1,97 @@
+"""Tests for repro.arch.chip (the datasheet aggregator)."""
+
+import pytest
+
+from repro.arch import ChipDatasheet, chip_datasheet
+from repro.hw import TechnologyModel
+
+
+@pytest.fixture(scope="module")
+def sei_sheet():
+    return chip_datasheet("network1", "sei")
+
+
+class TestChipDatasheet:
+    def test_summary_keys(self, sei_sheet):
+        summary = sei_sheet.summary
+        for key in (
+            "energy_uj_per_picture",
+            "area_mm2",
+            "latency_us",
+            "throughput_kfps",
+            "power_mw",
+            "gops_per_j",
+            "programming_uj",
+            "programming_ms",
+        ):
+            assert key in summary
+            assert summary[key] > 0
+
+    def test_summary_consistent_with_models(self, sei_sheet):
+        from repro.arch import design_timing, evaluate_design
+
+        ev = evaluate_design("network1", "sei")
+        assert sei_sheet.summary["energy_uj_per_picture"] == pytest.approx(
+            ev.energy_uj_per_picture
+        )
+        timing = design_timing("network1", "sei")
+        assert sei_sheet.summary["latency_us"] == pytest.approx(
+            timing.latency_us
+        )
+
+    def test_layer_rows(self, sei_sheet):
+        rows = sei_sheet.layer_rows()
+        assert [r["layer"] for r in rows] == ["conv1", "conv2", "fc"]
+        conv2 = rows[1]
+        assert conv2["blocks"] == 3  # the paper's three-crossbar example
+        assert conv2["ADCs"] == 0
+
+    def test_component_shares_sum_to_one(self, sei_sheet):
+        rows = sei_sheet.component_rows()
+        assert sum(r["energy share"] for r in rows) == pytest.approx(1.0)
+        assert sum(r["area share"] for r in rows) == pytest.approx(1.0)
+
+    def test_render_contains_sections(self, sei_sheet):
+        text = sei_sheet.render()
+        for fragment in (
+            "headline",
+            "per-layer mapping",
+            "component breakdown",
+            "buffers",
+            "programming",
+        ):
+            assert fragment in text
+
+    def test_structure_comparison(self):
+        baseline = chip_datasheet("network1", "dac_adc")
+        sei = chip_datasheet("network1", "sei")
+        assert (
+            sei.summary["energy_uj_per_picture"]
+            < baseline.summary["energy_uj_per_picture"]
+        )
+        assert sei.summary["power_mw"] < baseline.summary["power_mw"]
+
+    def test_replication_speeds_up(self):
+        slow = chip_datasheet("network2", "sei", replication=1)
+        fast = chip_datasheet("network2", "sei", replication=4)
+        assert fast.summary["latency_us"] < slow.summary["latency_us"]
+        assert fast.summary["energy_uj_per_picture"] == pytest.approx(
+            slow.summary["energy_uj_per_picture"]
+        )
+
+    def test_custom_tech(self):
+        sheet = chip_datasheet(
+            "network1",
+            "sei",
+            tech=TechnologyModel().with_crossbar_size(256),
+        )
+        conv2 = sheet.layer_rows()[1]
+        assert conv2["blocks"] == 5  # 1200 rows over 256 -> 5 blocks
+
+    def test_cli_datasheet_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["datasheet", "network2", "--structure", "sei"]) == 0
+        out = capsys.readouterr().out
+        assert "headline" in out
+        assert "network2" in out

@@ -1,0 +1,113 @@
+"""Tests for repro.arch.cost and repro.arch.designs."""
+
+import pytest
+
+from repro.arch import (
+    COMPONENTS,
+    evaluate_all_designs,
+    evaluate_design,
+    layer_area_um2,
+    layer_energy_pj,
+    map_layer,
+    network_layer_geometries,
+)
+from repro.errors import ConfigurationError
+from repro.hw import TechnologyModel
+
+TECH = TechnologyModel()
+
+
+class TestLayerCosts:
+    def test_energy_components_present(self):
+        geo = network_layer_geometries("network1")[1]
+        mapping = map_layer(geo, "dac_adc", TECH)
+        energy = layer_energy_pj(mapping, TECH)
+        assert set(energy) == set(COMPONENTS)
+        assert energy["adc"] > 0 and energy["dac"] > 0
+
+    def test_energy_scales_with_conversions(self):
+        geo = network_layer_geometries("network1")[1]
+        mapping = map_layer(geo, "dac_adc", TECH)
+        energy = layer_energy_pj(mapping, TECH)
+        assert energy["adc"] == mapping.adc_conversions * TECH.adc_energy_pj
+
+    def test_sei_layer_has_no_converter_energy(self):
+        geo = network_layer_geometries("network1")[1]
+        mapping = map_layer(geo, "sei", TECH)
+        energy = layer_energy_pj(mapping, TECH)
+        assert energy["adc"] == 0.0 and energy["dac"] == 0.0
+        assert energy["sa"] > 0.0
+
+    def test_area_components(self):
+        geo = network_layer_geometries("network1")[2]
+        mapping = map_layer(geo, "dac_adc", TECH)
+        area = layer_area_um2(mapping, TECH)
+        assert area["dac"] == 1024 * TECH.dac_area_um2
+        assert area["adc"] == 80 * TECH.adc_area_um2
+
+
+class TestDesignCost:
+    def test_totals_sum_layers(self):
+        ev = evaluate_design("network1", "dac_adc")
+        layer_sum = sum(l.total_energy_pj for l in ev.cost.layers)
+        assert sum(ev.cost.energy_pj.values()) == pytest.approx(layer_sum)
+
+    def test_shares_sum_to_one(self):
+        ev = evaluate_design("network1", "dac_adc")
+        assert ev.cost.energy_share(*COMPONENTS) == pytest.approx(1.0)
+        assert ev.cost.area_share(*COMPONENTS) == pytest.approx(1.0)
+
+    def test_savings_antisymmetry(self):
+        designs = evaluate_all_designs("network1")
+        base = designs["dac_adc"].cost
+        sei = designs["sei"].cost
+        assert sei.energy_saving_vs(base) > 0
+        assert base.energy_saving_vs(sei) < 0
+
+    def test_gops_positive(self):
+        ev = evaluate_design("network1", "sei")
+        assert ev.gops_per_joule() > 0
+        assert ev.gops_per_joule(use_paper_ops=False) > 0
+        with pytest.raises(ConfigurationError):
+            ev.cost.gops_per_joule(0.0)
+
+    def test_data_bits_column(self):
+        designs = evaluate_all_designs("network2")
+        assert designs["dac_adc"].data_bits == 8
+        assert designs["onebit_adc"].data_bits == 1
+        assert designs["sei"].data_bits == 1
+
+    def test_smaller_crossbars_cost_more(self):
+        big = evaluate_design("network1", "dac_adc", TECH.with_crossbar_size(512))
+        small = evaluate_design(
+            "network1", "dac_adc", TECH.with_crossbar_size(256)
+        )
+        assert small.energy_uj_per_picture > big.energy_uj_per_picture
+        assert small.area_mm2 > big.area_mm2
+
+
+class TestStructureOrdering:
+    """The qualitative Table 5 orderings that must always hold."""
+
+    @pytest.mark.parametrize("name", ["network1", "network2", "network3"])
+    def test_sei_cheapest_baseline_most_expensive(self, name):
+        designs = evaluate_all_designs(name)
+        energies = {
+            s: d.energy_uj_per_picture for s, d in designs.items()
+        }
+        assert energies["sei"] < energies["onebit_adc"] < energies["dac_adc"]
+
+    @pytest.mark.parametrize("name", ["network1", "network2", "network3"])
+    def test_area_ordering(self, name):
+        designs = evaluate_all_designs(name)
+        areas = {s: d.area_mm2 for s, d in designs.items()}
+        assert areas["sei"] < areas["onebit_adc"] < areas["dac_adc"]
+
+    @pytest.mark.parametrize("name", ["network1", "network2", "network3"])
+    def test_sei_beats_onebit_by_a_lot(self, name):
+        """§5.3: SEI saves >90% even against the quantized ADC design."""
+        designs = evaluate_all_designs(name)
+        saving = designs["sei"].cost.energy_saving_vs(
+            designs["onebit_adc"].cost
+        )
+        assert saving > 0.9

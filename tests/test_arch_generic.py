@@ -1,0 +1,113 @@
+"""Tests for the generic (arbitrary-network) mapping path."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    evaluate_network_design,
+    geometries_from_network,
+    network_layer_geometries,
+)
+from repro.configs import build_network
+from repro.errors import ConfigurationError
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+from tests.conftest import build_tiny_network
+
+
+class TestGeometriesFromNetwork:
+    def test_matches_spec_path_for_table2_networks(self):
+        """The generic walker agrees with the hand-derived Table 2 path."""
+        for name in ("network1", "network2", "network3"):
+            net = build_network(name)
+            generic = geometries_from_network(net)
+            spec_based = network_layer_geometries(name)
+            assert len(generic) == len(spec_based)
+            for g, s in zip(generic, spec_based):
+                assert (g.rows, g.cols, g.positions) == (
+                    s.rows,
+                    s.cols,
+                    s.positions,
+                ), name
+                assert g.is_input == s.is_input
+                assert g.is_final == s.is_final
+
+    def test_tiny_network(self):
+        geos = geometries_from_network(build_tiny_network())
+        assert [(g.rows, g.cols, g.positions) for g in geos] == [
+            (25, 4, 576),
+            (100, 8, 64),
+            (128, 10, 1),
+        ]
+
+    def test_deeper_network(self, rng):
+        """A 6-layer VGG-ish stack maps without special cases."""
+        net = Sequential(
+            [
+                Conv2D(1, 8, 3, rng=rng),
+                ReLU(),
+                Conv2D(8, 8, 3, rng=rng),
+                ReLU(),
+                MaxPool2D(2),
+                Conv2D(8, 16, 3, rng=rng),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(16 * 25, 32, rng=rng),
+                ReLU(),
+                Dense(32, 10, rng=rng),
+            ],
+            (1, 28, 28),
+        )
+        geos = geometries_from_network(net)
+        assert len(geos) == 5
+        assert geos[0].is_input and geos[-1].is_final
+        assert not geos[1].is_input and not geos[3].is_final
+        # Second conv: 26x26 -> 24x24 positions, 8*9 rows.
+        assert geos[1].rows == 72 and geos[1].positions == 576
+
+    def test_rejects_non_sequential(self):
+        with pytest.raises(ConfigurationError):
+            geometries_from_network("network1")
+
+    def test_rejects_weightless_network(self, rng):
+        net = Sequential([Flatten()], (1, 4, 4))
+        with pytest.raises(ConfigurationError):
+            geometries_from_network(net)
+
+    def test_input_pixels_follow_input_shape(self, rng):
+        net = Sequential(
+            [Flatten(), Dense(8 * 8, 4, rng=rng), ReLU(), Dense(4, 2, rng=rng)],
+            (1, 8, 8),
+        )
+        geos = geometries_from_network(net)
+        assert geos[0].input_pixels == 64
+
+
+class TestEvaluateNetworkDesign:
+    def test_matches_spec_evaluation(self):
+        """Generic costing of a Table 2 network equals the spec path."""
+        from repro.arch import evaluate_design
+
+        net = build_network("network2")
+        generic = evaluate_network_design(net, "sei")
+        spec = evaluate_design("network2", "sei")
+        assert generic.energy_uj_per_picture == pytest.approx(
+            spec.energy_uj_per_picture
+        )
+        assert generic.area_mm2 == pytest.approx(spec.area_mm2)
+
+    def test_orderings_hold_for_custom_network(self):
+        net = build_tiny_network()
+        energies = {
+            s: evaluate_network_design(net, s).energy_uj_per_picture
+            for s in ("dac_adc", "onebit_adc", "sei")
+        }
+        assert energies["sei"] < energies["onebit_adc"] < energies["dac_adc"]
+
+    def test_gops_uses_own_macs(self):
+        net = build_tiny_network()
+        ev = evaluate_network_design(net, "sei")
+        expected_macs = 576 * 25 * 4 + 64 * 100 * 8 + 128 * 10
+        assert ev.total_macs == expected_macs
+        assert ev.gops_per_joule() > 0

@@ -1,0 +1,201 @@
+"""Tests for repro.arch.layout (the cell-level compiler)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    CrossbarImage,
+    RowAssignment,
+    compile_sei_layout,
+    verify_layout,
+)
+from repro.core import homogenize
+from repro.errors import ConfigurationError, MappingError, ShapeError
+from repro.hw import RRAMDevice, TechnologyModel
+
+from tests.conftest import build_tiny_network
+
+
+@pytest.fixture(scope="module")
+def tiny_images():
+    network = build_tiny_network(seed=1)
+    return compile_sei_layout(network), network
+
+
+class TestCompile:
+    def test_every_weighted_layer_compiled(self, tiny_images):
+        images, _ = tiny_images
+        layers = {img.layer_index for img in images}
+        assert layers == {0, 3, 7}
+
+    def test_block_geometry(self, tiny_images):
+        images, _ = tiny_images
+        # conv2: 100 logical rows x 4 cells = 400 -> one 512 block.
+        conv2 = [i for i in images if i.layer_index == 3]
+        assert len(conv2) == 1
+        assert conv2[0].shape == (400, 9)  # 8 kernels + threshold column
+
+    def test_fc_splits_at_small_crossbar(self):
+        network = build_tiny_network(seed=1)
+        tech = TechnologyModel(max_crossbar_size=256)
+        images = compile_sei_layout(network, tech=tech)
+        fc = [i for i in images if i.layer_index == 7]
+        # 128 logical rows x 4 = 512 -> two 256-row blocks.
+        assert len(fc) == 2
+        assert all(img.shape[0] == 256 for img in fc)
+
+    def test_row_assignments_cover_components(self, tiny_images):
+        images, _ = tiny_images
+        img = images[0]
+        components = {r.component for r in img.rows}
+        assert components == {"pos_high", "pos_low", "neg_high", "neg_low"}
+        coefficients = {r.coefficient for r in img.rows}
+        assert coefficients == {16.0, 1.0, -16.0, -1.0}
+
+    def test_each_logical_row_has_four_cells(self, tiny_images):
+        images, _ = tiny_images
+        img = images[0]
+        per_row = {}
+        for assignment in img.rows:
+            per_row.setdefault(assignment.logical_row, 0)
+            per_row[assignment.logical_row] += 1
+        assert set(per_row.values()) == {4}
+
+    def test_levels_within_device_range(self, tiny_images):
+        images, _ = tiny_images
+        for img in images:
+            assert img.levels.min() >= 0
+            assert img.levels.max() <= 15
+
+    def test_custom_partition_respected(self):
+        network = build_tiny_network(seed=1)
+        tech = TechnologyModel(max_crossbar_size=256)
+        matrix = network.layers[7].weight_matrix
+        partition = homogenize(matrix, 2, iterations=200, seed=0)
+        images = compile_sei_layout(
+            network, tech=tech, partitions={7: partition}
+        )
+        fc0 = next(
+            i for i in images if i.layer_index == 7 and i.block_index == 0
+        )
+        block_rows = sorted(
+            {r.logical_row for r in fc0.rows}
+        )
+        assert block_rows == sorted(partition.blocks()[0].tolist())
+
+    def test_device_mismatch_rejected(self):
+        network = build_tiny_network(seed=1)
+        with pytest.raises(ConfigurationError):
+            compile_sei_layout(network, device=RRAMDevice(bits=2))
+
+    def test_summary_format(self, tiny_images):
+        images, _ = tiny_images
+        text = images[0].summary()
+        assert "4-bit levels" in text
+
+
+class TestVerify:
+    def test_round_trip_within_half_lsb(self, tiny_images):
+        images, network = tiny_images
+        errors = verify_layout(images, network)
+        assert set(errors) == {0, 3, 7}
+        for err in errors.values():
+            assert err <= 0.51
+
+    def test_detects_corruption(self, tiny_images):
+        images, network = tiny_images
+        corrupted = []
+        for img in images:
+            levels = img.levels.copy()
+            corrupted.append(
+                CrossbarImage(
+                    name=img.name,
+                    layer_index=img.layer_index,
+                    block_index=img.block_index,
+                    levels=levels,
+                    rows=img.rows,
+                    col_labels=img.col_labels,
+                    scale=img.scale,
+                    device_bits=img.device_bits,
+                )
+            )
+        # Flip the most significant cells of the first image.
+        corrupted[0].levels[:, 0] = 15 - corrupted[0].levels[:, 0]
+        with pytest.raises(MappingError):
+            verify_layout(corrupted, network)
+
+    def test_reconstruct_weights_shape(self, tiny_images):
+        images, network = tiny_images
+        img = next(i for i in images if i.layer_index == 3)
+        block = img.reconstruct_weights(100)
+        assert block.shape == (100, 8)
+
+
+class TestImageValidation:
+    def test_levels_must_be_2d(self):
+        with pytest.raises(ShapeError):
+            CrossbarImage(
+                name="x",
+                layer_index=0,
+                block_index=0,
+                levels=np.zeros(4, dtype=np.int64),
+                rows=[],
+                col_labels=[],
+                scale=1.0,
+                device_bits=4,
+            )
+
+    def test_row_count_checked(self):
+        with pytest.raises(ShapeError):
+            CrossbarImage(
+                name="x",
+                layer_index=0,
+                block_index=0,
+                levels=np.zeros((2, 3), dtype=np.int64),
+                rows=[RowAssignment(0, "pos_high", 16.0)],
+                col_labels=["a", "b", "threshold"],
+                scale=1.0,
+                device_bits=4,
+            )
+
+    def test_level_range_checked(self):
+        with pytest.raises(ShapeError):
+            CrossbarImage(
+                name="x",
+                layer_index=0,
+                block_index=0,
+                levels=np.full((1, 2), 99, dtype=np.int64),
+                rows=[RowAssignment(0, "pos_high", 16.0)],
+                col_labels=["a", "threshold"],
+                scale=1.0,
+                device_bits=4,
+            )
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tiny_images, tmp_path):
+        import numpy as np
+
+        from repro.arch import load_layout, save_layout
+
+        images, network = tiny_images
+        path = tmp_path / "layout.npz"
+        save_layout(images, path)
+        loaded = load_layout(path)
+        assert len(loaded) == len(images)
+        for original, restored in zip(images, loaded):
+            assert restored.name == original.name
+            np.testing.assert_array_equal(restored.levels, original.levels)
+            assert restored.scale == pytest.approx(original.scale)
+            assert [r.component for r in restored.rows] == [
+                r.component for r in original.rows
+            ]
+        # The restored layout still verifies against the network.
+        errors = verify_layout(loaded, network)
+        assert max(errors.values()) <= 0.51
+
+    def test_empty_layout_rejected(self, tmp_path):
+        from repro.arch import save_layout
+
+        with pytest.raises(MappingError):
+            save_layout([], tmp_path / "empty.npz")

@@ -1,0 +1,133 @@
+"""Tests for repro.arch.mapper."""
+
+import pytest
+
+from repro.arch import LayerGeometry, map_layer, network_layer_geometries
+from repro.errors import ConfigurationError
+from repro.hw import TechnologyModel
+
+
+TECH = TechnologyModel()
+
+
+class TestGeometries:
+    def test_network1(self):
+        geos = network_layer_geometries("network1")
+        assert [(g.name, g.rows, g.cols, g.positions) for g in geos] == [
+            ("conv1", 25, 12, 576),
+            ("conv2", 300, 64, 64),
+            ("fc", 1024, 10, 1),
+        ]
+        assert geos[0].is_input and geos[2].is_final
+
+    def test_network2(self):
+        geos = network_layer_geometries("network2")
+        assert [(g.rows, g.cols, g.positions) for g in geos] == [
+            (9, 4, 676),
+            (36, 8, 121),
+            (200, 10, 1),
+        ]
+
+    def test_macs(self):
+        geo = network_layer_geometries("network1")[1]
+        assert geo.macs_per_picture == 64 * 300 * 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            LayerGeometry("bad", rows=0, cols=4, positions=1)
+
+
+class TestDacAdcMapping:
+    def test_conv2_counts(self):
+        geo = network_layer_geometries("network1")[1]
+        m = map_layer(geo, "dac_adc", TECH)
+        assert m.crossbars == 4  # 2 slices x 2 signs, one tile
+        assert m.cells == 300 * 64 * 4
+        assert m.dac_channels == 300
+        assert m.dac_conversions == 64 * 300
+        assert m.adc_channels == 64 * 4
+        assert m.adc_conversions == 64 * 64 * 4
+        assert m.sense_amps == 0
+
+    def test_input_layer_dac_convention(self):
+        geo = network_layer_geometries("network1")[0]
+        m = map_layer(geo, "dac_adc", TECH)
+        # The static input picture converts once per pixel.
+        assert m.dac_conversions == 28 * 28
+
+    def test_fc_layer_tiles_vertically(self):
+        geo = network_layer_geometries("network1")[2]
+        m = map_layer(geo, "dac_adc", TECH)
+        assert m.split_blocks == 2  # 1024 rows over 512 limit
+        assert m.crossbars == 8
+        assert m.adc_channels == 10 * 4 * 2
+
+    def test_buffer_bytes_8bit(self):
+        geo = network_layer_geometries("network1")[1]
+        m = map_layer(geo, "dac_adc", TECH)
+        assert m.buffer_bytes == 64 * 64  # one byte per output value
+
+
+class TestOneBitAdcMapping:
+    def test_intermediate_layer_loses_dacs(self):
+        geo = network_layer_geometries("network1")[1]
+        m = map_layer(geo, "onebit_adc", TECH)
+        assert m.dac_channels == 0
+        assert m.dac_conversions == 0
+        # ADCs unchanged relative to the baseline.
+        base = map_layer(geo, "dac_adc", TECH)
+        assert m.adc_conversions == base.adc_conversions
+
+    def test_input_layer_keeps_dacs(self):
+        geo = network_layer_geometries("network1")[0]
+        m = map_layer(geo, "onebit_adc", TECH)
+        assert m.dac_conversions == 784
+
+    def test_buffer_shrinks_to_1bit(self):
+        geo = network_layer_geometries("network1")[1]
+        m = map_layer(geo, "onebit_adc", TECH)
+        assert m.buffer_bytes == 64 * 64 // 8
+
+
+class TestSEIMapping:
+    def test_paper_example_three_blocks(self):
+        """§5.1: SEI turns conv2 (300x64) into a 1200-row array needing
+        three crossbars under the 512 limit."""
+        geo = network_layer_geometries("network1")[1]
+        m = map_layer(geo, "sei", TECH)
+        assert m.split_blocks == 3
+        assert m.crossbars == 3
+        assert m.adc_channels == 0 and m.adc_conversions == 0
+        assert m.dac_channels == 0
+        assert m.sense_amps == 64 * 3
+
+    def test_threshold_column_counted(self):
+        geo = network_layer_geometries("network1")[1]
+        m = map_layer(geo, "sei", TECH)
+        assert m.cells == 1200 * 65
+
+    def test_input_layer_keeps_dac_crossbars_but_no_adc(self):
+        geo = network_layer_geometries("network1")[0]
+        m = map_layer(geo, "sei", TECH)
+        assert m.dac_conversions == 784
+        assert m.adc_conversions == 0
+        assert m.sense_amps == 12
+
+    def test_fc_blocks_at_256(self):
+        tech = TECH.with_crossbar_size(256)
+        geo = network_layer_geometries("network1")[2]
+        m = map_layer(geo, "sei", tech)
+        assert m.split_blocks == 16
+
+    def test_vote_ops_only_when_split(self):
+        geo = network_layer_geometries("network2")[1]  # 36 rows -> fits
+        m = map_layer(geo, "sei", TECH)
+        assert m.split_blocks == 1
+        geo1 = network_layer_geometries("network1")[1]
+        m1 = map_layer(geo1, "sei", TECH)
+        assert m1.digital_ops > m1.geometry.positions * m1.geometry.cols
+
+    def test_unknown_structure(self):
+        geo = network_layer_geometries("network1")[0]
+        with pytest.raises(ConfigurationError):
+            map_layer(geo, "analog", TECH)

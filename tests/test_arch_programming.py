@@ -1,0 +1,125 @@
+"""Tests for repro.arch.programming and the IR-drop extensions."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    ProgrammingModel,
+    evaluate_design,
+    programming_cost,
+)
+from repro.core import DynamicThresholdMatrix, SEIMatrix, binarize
+from repro.errors import ConfigurationError
+
+
+class TestProgrammingModel:
+    def test_defaults_valid(self):
+        model = ProgrammingModel()
+        assert model.verify_iterations >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProgrammingModel(write_pulse_ns=0)
+        with pytest.raises(ConfigurationError):
+            ProgrammingModel(verify_iterations=0.5)
+
+
+class TestProgrammingCost:
+    def test_counts_all_cells(self):
+        ev = evaluate_design("network1", "sei")
+        cost = programming_cost(ev.mappings, ev.energy_uj_per_picture)
+        assert cost.total_cells == sum(m.cells for m in ev.mappings)
+        assert cost.energy_uj > 0 and cost.time_ms > 0
+
+    def test_energy_scales_with_iterations(self):
+        ev = evaluate_design("network2", "sei")
+        cheap = programming_cost(
+            ev.mappings,
+            ev.energy_uj_per_picture,
+            model=ProgrammingModel(verify_iterations=2),
+        )
+        costly = programming_cost(
+            ev.mappings,
+            ev.energy_uj_per_picture,
+            model=ProgrammingModel(verify_iterations=8),
+        )
+        assert costly.energy_uj == pytest.approx(4 * cheap.energy_uj)
+
+    def test_amortization_reasonable(self):
+        """Programming amortizes within O(1000) pictures — ignoring it in
+        Table 5, as the paper does, is justified."""
+        ev = evaluate_design("network1", "sei")
+        cost = programming_cost(ev.mappings, ev.energy_uj_per_picture)
+        assert cost.pictures_to_amortize(0.01) < 5000
+
+    def test_amortization_validation(self):
+        ev = evaluate_design("network2", "sei")
+        cost = programming_cost(ev.mappings, ev.energy_uj_per_picture)
+        with pytest.raises(ConfigurationError):
+            cost.pictures_to_amortize(0.0)
+        with pytest.raises(ConfigurationError):
+            programming_cost(ev.mappings, 0.0)
+
+    def test_baseline_programs_more_cells_than_sei_for_small_nets(self):
+        """SEI stores 4 cells/weight in one crossbar; the baseline stores
+        the same 4 copies across crossbars — similar totals, plus SEI's
+        threshold column."""
+        base = evaluate_design("network2", "dac_adc")
+        sei = evaluate_design("network2", "sei")
+        base_cells = sum(m.cells for m in base.mappings)
+        sei_cells = sum(m.cells for m in sei.mappings)
+        assert sei_cells == pytest.approx(base_cells, rel=0.2)
+
+
+class TestIRDrop:
+    def test_sei_attenuation_factor(self, rng):
+        clean = SEIMatrix(rng.normal(size=(20, 4)), max_crossbar_size=512)
+        droop = SEIMatrix(
+            rng.normal(size=(20, 4)),
+            max_crossbar_size=512,
+            ir_drop_lambda=1.0,
+        )
+        assert clean.ir_drop_attenuation == 1.0
+        assert droop.ir_drop_attenuation < 1.0
+
+    def test_sei_output_attenuated(self, rng):
+        weights = rng.normal(size=(30, 4))
+        bits = (rng.random((10, 30)) < 0.3).astype(float)
+        clean = SEIMatrix(weights, max_crossbar_size=512)
+        droop = SEIMatrix(
+            weights, max_crossbar_size=512, ir_drop_lambda=2.0
+        )
+        np.testing.assert_allclose(
+            droop.compute(bits),
+            clean.compute(bits) * droop.ir_drop_attenuation,
+            atol=1e-12,
+        )
+
+    def test_dynamic_threshold_fire_is_ir_drop_invariant(self, rng):
+        """Fig. 4's in-crossbar reference column cancels uniform IR drop."""
+        weights = rng.normal(size=(40, 6)) * 0.05
+        bits = (rng.random((200, 40)) < 0.25).astype(float)
+        clean = DynamicThresholdMatrix(
+            weights, threshold=0.06, max_crossbar_size=1024
+        )
+        droop = DynamicThresholdMatrix(
+            weights,
+            threshold=0.06,
+            max_crossbar_size=1024,
+            ir_drop_lambda=3.0,
+        )
+        np.testing.assert_array_equal(clean.fire(bits), droop.fire(bits))
+
+    def test_plain_sei_decisions_biased_by_ir_drop(self, rng):
+        """An external SA reference does not track the attenuation, so
+        decisions flip — the weakness the Fig. 4 structure removes."""
+        weights = np.abs(rng.normal(size=(60, 8))) * 0.02
+        bits = (rng.random((500, 60)) < 0.3).astype(float)
+        threshold = 0.08
+        clean = SEIMatrix(weights, max_crossbar_size=1024)
+        droop = SEIMatrix(
+            weights, max_crossbar_size=1024, ir_drop_lambda=3.0
+        )
+        fire_clean = binarize(clean.compute(bits), threshold)
+        fire_droop = binarize(droop.compute(bits), threshold)
+        assert (fire_clean == fire_droop).mean() < 1.0

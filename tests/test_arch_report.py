@@ -1,0 +1,74 @@
+"""Tests for repro.arch.report."""
+
+import pytest
+
+from repro.arch import (
+    breakdown_rows,
+    evaluate_design,
+    format_table,
+    reference_efficiency_rows,
+    table5_rows,
+)
+
+
+class TestBreakdownRows:
+    def test_rows_cover_layers_plus_total(self):
+        ev = evaluate_design("network1", "dac_adc")
+        rows = breakdown_rows(ev.cost)
+        assert [r["layer"] for r in rows] == ["conv1", "conv2", "fc", "total"]
+
+    def test_shares_sum_to_one(self):
+        ev = evaluate_design("network1", "dac_adc")
+        for row in breakdown_rows(ev.cost):
+            power = sum(v for k, v in row.items() if k.endswith("power"))
+            area = sum(v for k, v in row.items() if k.endswith("area"))
+            assert power == pytest.approx(1.0)
+            assert area == pytest.approx(1.0)
+
+    def test_fig1_headline_shape(self):
+        """Fig. 1: converters dominate every layer of the baseline."""
+        ev = evaluate_design("network1", "dac_adc")
+        for row in breakdown_rows(ev.cost):
+            assert row["DAC power"] + row["ADC power"] > 0.9
+
+
+class TestTable5Rows:
+    def test_row_count_matches_paper(self):
+        rows = table5_rows()
+        # network1 at 512 and 256 (3 structures each) + networks 2, 3.
+        assert len(rows) == 12
+
+    def test_baseline_rows_have_zero_saving(self):
+        for row in table5_rows():
+            if row["structure"] == "DAC+ADC":
+                assert row["energy_saving_pct"] == pytest.approx(0.0)
+                assert row["area_saving_pct"] == pytest.approx(0.0)
+
+    def test_custom_size_selection(self):
+        rows = table5_rows(
+            networks=("network2",), crossbar_sizes={"network2": (128,)}
+        )
+        assert len(rows) == 3
+        assert all(r["crossbar"] == 128 for r in rows)
+
+    def test_sei_efficiency_two_orders_above_references(self):
+        """§5.3: SEI ~2 orders of magnitude above FPGA/GPU."""
+        rows = table5_rows(networks=("network1",))
+        sei = next(r for r in rows if r["structure"] == "SEI")
+        for ref in reference_efficiency_rows():
+            assert sei["gops_per_j"] > 50 * ref["gops_per_j"]
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "10" in lines[3]
+
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_float_format(self):
+        text = format_table([{"x": 1.23456}], floatfmt="{:.1f}")
+        assert "1.2" in text

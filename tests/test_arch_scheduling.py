@@ -1,0 +1,129 @@
+"""Tests for repro.arch.scheduling (timing, tradeoff, buffers)."""
+
+import pytest
+
+from repro.arch import (
+    TimingModel,
+    buffer_plan,
+    design_timing,
+    layer_latency_ns,
+    map_layer,
+    network_layer_geometries,
+    power_time_tradeoff,
+)
+from repro.errors import ConfigurationError
+from repro.hw import TechnologyModel
+
+TECH = TechnologyModel()
+TIMING = TimingModel()
+
+
+class TestTimingModel:
+    def test_defaults_positive(self):
+        timing = TimingModel()
+        assert timing.crossbar_read_ns > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(crossbar_read_ns=0)
+        with pytest.raises(ConfigurationError):
+            TimingModel(sa_decision_ns=-1)
+
+
+class TestLayerLatency:
+    def test_scales_with_positions(self):
+        conv1, conv2, _ = network_layer_geometries("network1")
+        m1 = map_layer(conv1, "sei", TECH)
+        m2 = map_layer(conv2, "sei", TECH)
+        l1 = layer_latency_ns(m1, TIMING)
+        l2 = layer_latency_ns(m2, TIMING)
+        assert l1 / l2 == pytest.approx(conv1.positions / conv2.positions, rel=0.1)
+
+    def test_sei_faster_than_adc_per_layer(self):
+        geometry = network_layer_geometries("network1")[1]
+        sei = layer_latency_ns(map_layer(geometry, "sei", TECH), TIMING)
+        adc = layer_latency_ns(map_layer(geometry, "dac_adc", TECH), TIMING)
+        assert sei < adc
+
+    def test_replication_divides_latency(self):
+        geometry = network_layer_geometries("network1")[0]
+        mapping = map_layer(geometry, "sei", TECH)
+        full = layer_latency_ns(mapping, TIMING, replication=1)
+        half = layer_latency_ns(mapping, TIMING, replication=2)
+        assert half == pytest.approx(full / 2, rel=0.01)
+
+    def test_invalid_replication(self):
+        geometry = network_layer_geometries("network1")[0]
+        mapping = map_layer(geometry, "sei", TECH)
+        with pytest.raises(ConfigurationError):
+            layer_latency_ns(mapping, TIMING, replication=0)
+
+    def test_input_layer_dacs_not_on_critical_path(self):
+        """Input pixels are pre-converted and held, so the input layer
+        pays no per-position DAC settle."""
+        conv1 = network_layer_geometries("network1")[0]
+        conv2 = network_layer_geometries("network1")[1]
+        m1 = map_layer(conv1, "dac_adc", TECH)
+        m2 = map_layer(conv2, "dac_adc", TECH)
+        per_pos_1 = layer_latency_ns(m1, TIMING) / conv1.positions
+        per_pos_2 = layer_latency_ns(m2, TIMING) / conv2.positions
+        assert per_pos_2 == pytest.approx(
+            per_pos_1 + TIMING.dac_settle_ns, rel=1e-6
+        )
+
+
+class TestDesignTiming:
+    def test_latency_is_sum_throughput_is_bottleneck(self):
+        t = design_timing("network1", "sei")
+        assert t.latency_us == pytest.approx(
+            sum(t.layer_latency_ns) / 1000.0
+        )
+        assert t.bottleneck_ns == max(t.layer_latency_ns)
+
+    def test_sei_lower_power_than_baseline(self):
+        sei = design_timing("network1", "sei")
+        base = design_timing("network1", "dac_adc")
+        assert sei.average_power_mw < base.average_power_mw
+
+    def test_three_layers(self):
+        t = design_timing("network2", "onebit_adc")
+        assert len(t.layer_latency_ns) == 3
+
+
+class TestPowerTimeTradeoff:
+    def test_energy_invariant_power_scales(self):
+        rows = power_time_tradeoff("network1", "sei", replications=(1, 4))
+        assert rows[0]["energy_uj"] == pytest.approx(rows[1]["energy_uj"])
+        assert rows[1]["power_mw"] > rows[0]["power_mw"]
+        assert rows[1]["latency_us"] < rows[0]["latency_us"]
+        assert rows[1]["area_mm2"] == pytest.approx(4 * rows[0]["area_mm2"])
+
+    def test_rows_cover_replications(self):
+        rows = power_time_tradeoff("network2", "dac_adc", replications=(1, 2, 8))
+        assert [r["replication"] for r in rows] == [1.0, 2.0, 8.0]
+
+
+class TestBufferPlan:
+    def test_quantized_designs_divide_by_eight(self):
+        full8 = buffer_plan("network1", "dac_adc")
+        full1 = buffer_plan("network1", "sei")
+        for row8, row1 in zip(full8, full1):
+            assert row8["full map (bytes)"] == pytest.approx(
+                8 * row1["full map (bytes)"], abs=1
+            )
+
+    def test_line_buffer_never_larger(self):
+        for structure in ("dac_adc", "sei"):
+            for row in buffer_plan("network1", structure):
+                assert row["line buffer (bytes)"] <= row["full map (bytes)"]
+                assert 0.0 <= row["saving"] <= 1.0
+
+    def test_conv_boundary_saves(self):
+        rows = buffer_plan("network1", "sei")
+        conv_boundary = rows[0]
+        assert conv_boundary["saving"] > 0.0
+
+    def test_known_sizes_network1(self):
+        rows = buffer_plan("network1", "dac_adc")
+        # pool1 output: 12x12x12 bytes at 8-bit.
+        assert rows[0]["full map (bytes)"] == 12 * 12 * 12

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface (cost-model commands only; the
+accuracy commands train models and are exercised by benchmarks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["info"],
+            ["fig1"],
+            ["table2"],
+            ["table5"],
+            ["quantize", "network1"],
+            ["split", "network2", "--crossbar", "256"],
+            ["tradeoff", "network3", "--structure", "dac_adc"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quantize", "network9"])
+
+    def test_split_defaults(self):
+        args = build_parser().parse_args(["split", "network1"])
+        assert args.crossbar == 512
+        assert args.method == "homogenize"
+        assert not args.dynamic
+
+
+class TestCostCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "ADC+DAC" in out
+        assert "conv1" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "300 x 64" in out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "SEI" in out
+        assert "FPGA" in out
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff", "network1", "--structure", "sei"]) == 0
+        out = capsys.readouterr().out
+        assert "replication" in out
+        assert "line buffer" in out
+
+
+class TestModelCommands:
+    """Exercised only when the repo's model cache is already populated
+    (benchmarks build it); otherwise they would retrain for minutes."""
+
+    @pytest.fixture(autouse=True)
+    def _require_cache(self):
+        from repro.data import default_cache_dir
+
+        if not (default_cache_dir() / "models" / "network2_quantized.npz").exists():
+            pytest.skip("model cache not populated")
+
+    def test_quantize_command(self, capsys):
+        assert main(["quantize", "network2"]) == 0
+        out = capsys.readouterr().out
+        assert "quantized test error" in out
+        assert "layer 0" in out

@@ -1,0 +1,86 @@
+"""Tests for repro.configs (Table 2 definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.configs import (
+    NETWORK_SPECS,
+    build_network,
+    count_operations,
+    get_network_spec,
+    network_weight_matrix_shapes,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSpecs:
+    def test_three_networks_defined(self):
+        assert set(NETWORK_SPECS) == {"network1", "network2", "network3"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_network_spec("network9")
+
+    def test_table2_weight_matrix_shapes(self):
+        """The exact Table 2 'Weight Matrix' rows."""
+        assert network_weight_matrix_shapes(get_network_spec("network1")) == [
+            (25, 12),
+            (300, 64),
+            (1024, 10),
+        ]
+        assert network_weight_matrix_shapes(get_network_spec("network2")) == [
+            (9, 4),
+            (36, 8),
+            (200, 10),
+        ]
+        assert network_weight_matrix_shapes(get_network_spec("network3")) == [
+            (9, 6),
+            (54, 12),
+            (300, 10),
+        ]
+
+    def test_describe_matches_table2(self):
+        desc = get_network_spec("network1").describe()
+        assert desc["Conv Layer 1"] == "12 kernels sized of 5 x 5"
+        assert desc["Weight Matrix 2"] == "300 x 64"
+        assert desc["FC Layer"] == "1024 x 10"
+        assert desc["Complexity (GOPs)"] == "0.006"
+
+
+class TestBuildNetwork:
+    @pytest.mark.parametrize("name", ["network1", "network2", "network3"])
+    def test_builds_and_runs(self, name, rng):
+        net = build_network(name, seed=0)
+        out = net.forward(rng.random((2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_layer_matrices_match_spec(self):
+        net = build_network("network1")
+        spec = get_network_spec("network1")
+        shapes = network_weight_matrix_shapes(spec)
+        assert net.layers[0].weight_matrix.shape == shapes[0]
+        assert net.layers[3].weight_matrix.shape == shapes[1]
+        assert net.layers[7].weight_matrix.shape == shapes[2]
+
+    def test_deterministic_by_seed(self, rng):
+        a = build_network("network2", seed=5)
+        b = build_network("network2", seed=5)
+        x = rng.random((1, 1, 28, 28))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+
+class TestCountOperations:
+    def test_network1_macs(self):
+        ops = count_operations("network1")
+        assert ops["conv1_macs"] == 576 * 25 * 12
+        assert ops["conv2_macs"] == 64 * 300 * 64
+        assert ops["fc_macs"] == 1024 * 10
+        assert ops["total_ops"] == 2 * ops["total_macs"]
+
+    def test_paper_gops_same_order_of_magnitude(self):
+        """Our 2*MACs count is within ~3x of the paper's GOPs figure."""
+        for name in NETWORK_SPECS:
+            spec = get_network_spec(name)
+            ours = count_operations(spec)["total_ops"] / 1e9
+            ratio = spec.paper_gops / ours
+            assert 0.3 < ratio < 3.5, (name, ratio)

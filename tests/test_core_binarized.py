@@ -1,0 +1,127 @@
+"""Tests for repro.core.binarized (1-bit inference, §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinarizedNetwork,
+    binarize,
+    intermediate_quantizable_indices,
+    or_pool,
+)
+from repro.errors import QuantizationError, ShapeError
+from repro.nn import Dense, Flatten, Sequential
+from repro.nn.functional import maxpool2d
+
+from tests.conftest import build_tiny_network
+
+
+class TestBinarize:
+    def test_strict_threshold(self):
+        out = binarize(np.array([0.0, 0.1, 0.2]), 0.1)
+        np.testing.assert_array_equal(out, [0.0, 0.0, 1.0])
+
+    def test_negative_values_are_zero(self):
+        assert binarize(np.array([-5.0]), 0.0)[0] == 0.0
+
+    def test_relu_merging_identity(self, rng):
+        """relu(g) > t == g > t for t >= 0 — the neuron merges into the SA."""
+        g = rng.normal(size=1000)
+        t = 0.05
+        np.testing.assert_array_equal(
+            binarize(np.maximum(g, 0.0), t), binarize(g, t)
+        )
+
+
+class TestOrPool:
+    def test_is_logical_or(self):
+        bits = np.zeros((1, 1, 4, 4))
+        bits[0, 0, 0, 1] = 1.0
+        out = or_pool(bits, 2)
+        np.testing.assert_array_equal(out[0, 0], [[1, 0], [0, 0]])
+
+    def test_rejects_non_binary(self, rng):
+        with pytest.raises(ShapeError):
+            or_pool(rng.random((1, 1, 4, 4)), 2)
+
+    def test_quantize_before_equals_after_pooling(self, rng):
+        """§3.1: quantize-then-OR == pool-then-quantize (same threshold)."""
+        values = rng.random((3, 2, 8, 8))
+        t = 0.4
+        quantize_first = or_pool(binarize(values, t), 2)
+        pooled, _ = maxpool2d(values, 2)
+        pool_first = binarize(pooled, t)
+        np.testing.assert_array_equal(quantize_first, pool_first)
+
+
+class TestIntermediateIndices:
+    def test_tiny_network(self):
+        net = build_tiny_network()
+        assert intermediate_quantizable_indices(net) == [0, 3]
+
+    def test_single_layer_network_rejected(self, rng):
+        net = Sequential(
+            [Flatten(), Dense(784, 10, rng=rng)], (1, 28, 28)
+        )
+        with pytest.raises(QuantizationError):
+            intermediate_quantizable_indices(net)
+
+
+class TestBinarizedNetwork:
+    def test_requires_all_thresholds(self, trained_tiny_network):
+        with pytest.raises(QuantizationError):
+            BinarizedNetwork(trained_tiny_network, {0: 0.1})
+
+    def test_forward_matches_manual_pipeline(self, tiny_quantized, tiny_dataset):
+        """The wrapper must equal an explicit layer-by-layer simulation."""
+        bn = tiny_quantized.binarized(input_bits=None)
+        net = tiny_quantized.network
+        t = tiny_quantized.thresholds
+        x = tiny_dataset["test_x"][:8]
+
+        manual = binarize(net.layers[0].forward(x), t[0])
+        manual, _ = maxpool2d(manual, 2)  # OR over bits
+        manual = binarize(net.layers[3].forward(manual), t[3])
+        manual, _ = maxpool2d(manual, 2)
+        manual = net.layers[7].forward(net.layers[6].forward(manual))
+
+        np.testing.assert_allclose(bn.forward(x), manual)
+
+    def test_predict_batching_consistent(self, tiny_quantized, tiny_dataset):
+        bn = tiny_quantized.binarized()
+        x = tiny_dataset["test_x"][:20]
+        np.testing.assert_allclose(
+            bn.predict(x, batch_size=6), bn.predict(x, batch_size=20)
+        )
+
+    def test_error_rate_reasonable(self, tiny_quantized, tiny_dataset):
+        bn = tiny_quantized.binarized()
+        err = bn.error_rate(tiny_dataset["test_x"], tiny_dataset["test_y"])
+        assert 0.0 <= err < 0.4
+
+    def test_input_quantization_changes_little(self, tiny_quantized, tiny_dataset):
+        x = tiny_dataset["test_x"][:40]
+        ideal = tiny_quantized.binarized(input_bits=None).predict(x)
+        coarse = tiny_quantized.binarized(input_bits=8).predict(x)
+        agreement = (ideal.argmax(1) == coarse.argmax(1)).mean()
+        assert agreement > 0.9
+
+    def test_collect_binary_activations(self, tiny_quantized, tiny_dataset):
+        bn = tiny_quantized.binarized()
+        captured = bn.collect_binary_activations(tiny_dataset["test_x"][:4])
+        # conv2 (index 3) and fc (index 7) receive binary data.
+        assert set(captured) == {3, 7}
+        for bits in captured.values():
+            assert np.all(np.isin(bits, (0.0, 1.0)))
+
+    def test_layer_compute_hook_is_used(self, tiny_quantized, tiny_dataset):
+        bn = tiny_quantized.binarized()
+        calls = []
+
+        def spy(layer, x):
+            calls.append(x.shape)
+            return layer.forward(x)
+
+        bn.layer_computes[3] = spy
+        bn.forward(tiny_dataset["test_x"][:2])
+        assert len(calls) == 1

@@ -1,0 +1,160 @@
+"""Tests for repro.core.dynamic_threshold (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicThresholdMatrix,
+    LinearTransform,
+    binarize,
+    dynamic_threshold_layer_compute,
+)
+from repro.errors import MappingError, ShapeError
+from repro.hw import RRAMDevice
+
+
+def random_bits(rng, shape, density=0.2):
+    return (rng.random(shape) < density).astype(np.float64)
+
+
+class TestLinearTransform:
+    def test_round_trip(self, rng):
+        weights = rng.normal(size=(10, 4))
+        transform = LinearTransform.for_weights(weights)
+        stored = transform.store(weights)
+        np.testing.assert_allclose(transform.recover(stored), weights)
+
+    def test_stored_in_unit_interval(self, rng):
+        weights = rng.normal(size=(30, 5))
+        transform = LinearTransform.for_weights(weights)
+        stored = transform.store(weights)
+        assert stored.min() >= -1e-12 and stored.max() <= 1.0 + 1e-12
+
+    def test_extremes_map_to_bounds(self):
+        weights = np.array([[-2.0, 3.0]])
+        transform = LinearTransform.for_weights(weights)
+        stored = transform.store(weights)
+        assert stored[0, 0] == pytest.approx(0.0)
+        assert stored[0, 1] == pytest.approx(1.0)
+
+    def test_constant_matrix(self):
+        transform = LinearTransform.for_weights(np.zeros((2, 2)))
+        assert transform.k > 0  # degenerate span guarded
+
+
+class TestDynamicThresholdMatrix:
+    def test_geometry_includes_reference_column_and_bias_row(self, rng):
+        matrix = DynamicThresholdMatrix(
+            rng.normal(size=(20, 6)), threshold=0.1, max_crossbar_size=512
+        )
+        assert matrix.cells_per_weight == 2  # unsigned 8-bit on 4-bit cells
+        assert matrix.physical_rows == 20 * 2 + 1
+        assert matrix.physical_cols == 7
+        assert matrix.num_cells == 41 * 7
+
+    def test_size_limit(self, rng):
+        with pytest.raises(MappingError):
+            DynamicThresholdMatrix(
+                rng.normal(size=(300, 6)), threshold=0.1, max_crossbar_size=512
+            )
+
+    def test_fire_matches_software_binarize(self, rng):
+        """Equ. 9: hardware fire == software (sum > threshold), up to
+        8-bit quantization on rare marginal cases."""
+        weights = rng.normal(size=(60, 8)) * 0.05
+        threshold = 0.08
+        matrix = DynamicThresholdMatrix(
+            weights, threshold=threshold, max_crossbar_size=1024
+        )
+        bits = random_bits(rng, (300, 60))
+        hw = matrix.fire(bits)
+        sw = binarize(bits @ weights, threshold)
+        assert (hw == sw).mean() > 0.98
+
+    def test_compute_close_to_exact(self, rng):
+        weights = rng.normal(size=(40, 5))
+        matrix = DynamicThresholdMatrix(
+            weights, threshold=0.1, max_crossbar_size=1024
+        )
+        bits = random_bits(rng, (50, 40))
+        exact = bits @ weights
+        out = matrix.compute(bits)
+        # Error sources: 8-bit storage plus the quantized w0 cell times the
+        # ones count; bounded by a few weight-LSBs per active row.
+        tol = np.abs(weights).max() / 255 * (bits.sum(axis=1).max() + 2)
+        assert np.abs(out - exact).max() <= tol
+
+    def test_stored_sum_non_negative(self, rng):
+        """Unipolar devices: everything stored and summed is >= 0."""
+        weights = rng.normal(size=(30, 4))
+        matrix = DynamicThresholdMatrix(
+            weights, threshold=0.0, max_crossbar_size=1024
+        )
+        bits = random_bits(rng, (20, 30))
+        assert matrix.stored_sum(bits).min() >= -1e-12
+
+    def test_reference_grows_with_ones_count(self, rng):
+        weights = -np.abs(rng.normal(size=(20, 3)))  # all-negative: w0 > 0
+        matrix = DynamicThresholdMatrix(
+            weights, threshold=0.05, max_crossbar_size=1024
+        )
+        few = np.zeros(20)
+        few[:2] = 1.0
+        many = np.ones(20)
+        assert matrix.reference(many[None])[0, 0] > matrix.reference(few[None])[0, 0]
+
+    def test_bias_vector_shifts_decision(self, rng):
+        weights = rng.normal(size=(10, 2)) * 0.1
+        bits = random_bits(rng, (50, 10), density=0.5)
+        base = DynamicThresholdMatrix(
+            weights, threshold=0.0, max_crossbar_size=512
+        )
+        biased = DynamicThresholdMatrix(
+            weights,
+            threshold=0.0,
+            bias=np.array([10.0, 10.0]),
+            max_crossbar_size=512,
+        )
+        assert biased.fire(bits).mean() >= base.fire(bits).mean()
+
+    def test_bad_bias_shape(self, rng):
+        with pytest.raises(ShapeError):
+            DynamicThresholdMatrix(
+                rng.normal(size=(10, 2)),
+                threshold=0.0,
+                bias=np.zeros(3),
+                max_crossbar_size=512,
+            ).fire(random_bits(rng, (1, 10)))
+
+    def test_rejects_non_binary(self, rng):
+        matrix = DynamicThresholdMatrix(
+            rng.normal(size=(10, 2)), threshold=0.0, max_crossbar_size=512
+        )
+        with pytest.raises(ShapeError):
+            matrix.fire(np.full(10, 0.3))
+
+    def test_device_bits_affect_cells_per_weight(self, rng):
+        matrix = DynamicThresholdMatrix(
+            rng.normal(size=(10, 2)),
+            threshold=0.0,
+            device=RRAMDevice(bits=2),
+            max_crossbar_size=512,
+        )
+        assert matrix.cells_per_weight == 4
+
+
+class TestDynamicThresholdLayerCompute:
+    def test_predictions_match_software(self, tiny_quantized, tiny_dataset):
+        bn_sw = tiny_quantized.binarized(input_bits=None)
+        bn_hw = tiny_quantized.binarized(input_bits=None)
+        net = tiny_quantized.network
+        bn_hw.layer_computes[3] = dynamic_threshold_layer_compute(
+            net.layers[3],
+            threshold=tiny_quantized.thresholds[3],
+            max_crossbar_size=4096,
+        )
+        x = tiny_dataset["test_x"][:40]
+        agreement = (
+            bn_sw.predict(x).argmax(1) == bn_hw.predict(x).argmax(1)
+        ).mean()
+        assert agreement > 0.85

@@ -1,0 +1,137 @@
+"""Tests for repro.core.finetune (STE quantization-aware fine-tuning)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinarizedNetwork,
+    FinetuneConfig,
+    quantization_aware_finetune,
+)
+from repro.errors import QuantizationError, TrainingError
+
+
+class TestFinetuneConfig:
+    def test_validation(self):
+        with pytest.raises(QuantizationError):
+            FinetuneConfig(epochs=0)
+        with pytest.raises(QuantizationError):
+            FinetuneConfig(learning_rate=0.0)
+        with pytest.raises(QuantizationError):
+            FinetuneConfig(ste_window=0.0)
+
+
+class TestFinetune:
+    def test_does_not_wreck_a_calibrated_network(
+        self, tiny_quantized, tiny_dataset
+    ):
+        """On an already well-calibrated net, fine-tuning is roughly
+        neutral (its value shows on miscalibrated/deeper nets)."""
+        net = tiny_quantized.network.copy()
+        thresholds = dict(tiny_quantized.thresholds)
+        before = BinarizedNetwork(net, thresholds).error_rate(
+            tiny_dataset["test_x"], tiny_dataset["test_y"]
+        )
+        quantization_aware_finetune(
+            net,
+            thresholds,
+            tiny_dataset["train_x"],
+            tiny_dataset["train_y"],
+            FinetuneConfig(epochs=2, seed=0),
+        )
+        after = BinarizedNetwork(net, thresholds).error_rate(
+            tiny_dataset["test_x"], tiny_dataset["test_y"]
+        )
+        assert after <= before + 0.08
+
+    def test_recovers_miscalibrated_thresholds(
+        self, tiny_quantized, tiny_dataset
+    ):
+        """The headline property: weights adapt to (fixed) bad thresholds,
+        recovering a large part of the lost accuracy."""
+        bad = {
+            k: min(2 * v + 0.05, 0.9)
+            for k, v in tiny_quantized.thresholds.items()
+        }
+        net = tiny_quantized.network.copy()
+        before = BinarizedNetwork(net, bad).error_rate(
+            tiny_dataset["test_x"], tiny_dataset["test_y"]
+        )
+        quantization_aware_finetune(
+            net,
+            bad,
+            tiny_dataset["train_x"],
+            tiny_dataset["train_y"],
+            FinetuneConfig(epochs=4, seed=0),
+        )
+        after = BinarizedNetwork(net, bad).error_rate(
+            tiny_dataset["test_x"], tiny_dataset["test_y"]
+        )
+        assert after < before - 0.1
+
+    def test_history_recorded(self, tiny_quantized, tiny_dataset):
+        net = tiny_quantized.network.copy()
+        history = quantization_aware_finetune(
+            net,
+            dict(tiny_quantized.thresholds),
+            tiny_dataset["train_x"][:128],
+            tiny_dataset["train_y"][:128],
+            FinetuneConfig(epochs=2),
+        )
+        assert len(history.train_loss) == 2
+        assert len(history.train_accuracy) == 2
+        assert all(0 <= a <= 1 for a in history.train_accuracy)
+
+    def test_training_loss_decreases(self, tiny_quantized, tiny_dataset):
+        net = tiny_quantized.network.copy()
+        history = quantization_aware_finetune(
+            net,
+            dict(tiny_quantized.thresholds),
+            tiny_dataset["train_x"],
+            tiny_dataset["train_y"],
+            FinetuneConfig(epochs=4, seed=1),
+        )
+        assert history.train_loss[-1] <= history.train_loss[0]
+
+    def test_mutates_weights_in_place(self, tiny_quantized, tiny_dataset):
+        net = tiny_quantized.network.copy()
+        before = net.layers[0].params["weight"].copy()
+        quantization_aware_finetune(
+            net,
+            dict(tiny_quantized.thresholds),
+            tiny_dataset["train_x"][:64],
+            tiny_dataset["train_y"][:64],
+            FinetuneConfig(epochs=1),
+        )
+        assert not np.allclose(net.layers[0].params["weight"], before)
+
+    def test_requires_thresholds(self, tiny_quantized, tiny_dataset):
+        net = tiny_quantized.network.copy()
+        with pytest.raises(QuantizationError):
+            quantization_aware_finetune(
+                net, {0: 0.1}, tiny_dataset["train_x"], tiny_dataset["train_y"]
+            )
+
+    def test_empty_dataset(self, tiny_quantized):
+        net = tiny_quantized.network.copy()
+        with pytest.raises(TrainingError):
+            quantization_aware_finetune(
+                net,
+                dict(tiny_quantized.thresholds),
+                np.zeros((0, 1, 28, 28)),
+                np.zeros(0, dtype=int),
+            )
+
+    def test_deterministic_given_seed(self, tiny_quantized, tiny_dataset):
+        results = []
+        for _ in range(2):
+            net = tiny_quantized.network.copy()
+            quantization_aware_finetune(
+                net,
+                dict(tiny_quantized.thresholds),
+                tiny_dataset["train_x"][:96],
+                tiny_dataset["train_y"][:96],
+                FinetuneConfig(epochs=1, seed=5),
+            )
+            results.append(net.layers[0].params["weight"].copy())
+        np.testing.assert_allclose(results[0], results[1])

@@ -1,0 +1,138 @@
+"""Tests for repro.core.hardware_network (full-chip assembly)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HardwareConfig,
+    HardwareSplitMatrix,
+    SplitDecision,
+    assemble_adc_network,
+    assemble_sei_network,
+    natural_partition,
+)
+from repro.errors import ConfigurationError
+from repro.hw import RRAMDevice
+
+
+class TestHardwareConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(partition_method="random")
+
+
+class TestHardwareSplitMatrix:
+    def test_block_sums_close_to_exact(self, rng):
+        weights = rng.normal(size=(40, 6)) * 0.1
+        partition = natural_partition(40, 2)
+        decision = SplitDecision(block_threshold=0.05, vote_threshold=1)
+        config = HardwareConfig(max_crossbar_size=4096)
+        hw = HardwareSplitMatrix(weights, partition, decision, config)
+        bits = (rng.random((30, 40)) < 0.3).astype(float)
+
+        from repro.core import SplitMatrix
+
+        exact = SplitMatrix(weights, partition, decision)
+        np.testing.assert_allclose(
+            hw.block_sums(bits),
+            exact.block_sums(bits),
+            atol=np.abs(weights).max() * 40 / 255,
+        )
+
+    def test_fire_mostly_agrees_with_exact(self, rng):
+        weights = rng.normal(size=(60, 4)) * 0.05
+        partition = natural_partition(60, 3)
+        decision = SplitDecision(block_threshold=0.02, vote_threshold=2)
+        config = HardwareConfig(max_crossbar_size=4096)
+        hw = HardwareSplitMatrix(weights, partition, decision, config)
+
+        from repro.core import SplitMatrix
+
+        exact = SplitMatrix(weights, partition, decision)
+        bits = (rng.random((200, 60)) < 0.25).astype(float)
+        agreement = (hw.fire(bits) == exact.fire(bits)).mean()
+        assert agreement > 0.95
+
+
+class TestAssembleSEI:
+    def test_every_weighted_layer_gets_hardware(
+        self, tiny_quantized, tiny_dataset
+    ):
+        hw = assemble_sei_network(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            HardwareConfig(max_crossbar_size=4096),
+        )
+        assert set(hw.layer_computes) == {0, 3, 7}
+
+    def test_accuracy_close_to_software(self, tiny_quantized, tiny_dataset):
+        hw = assemble_sei_network(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            HardwareConfig(max_crossbar_size=4096),
+        )
+        sw_err = tiny_quantized.binarized().error_rate(
+            tiny_dataset["test_x"], tiny_dataset["test_y"]
+        )
+        hw_err = hw.error_rate(tiny_dataset["test_x"], tiny_dataset["test_y"])
+        assert hw_err <= sw_err + 0.1
+
+    def test_splitting_engaged_at_small_crossbars(
+        self, tiny_quantized, tiny_dataset
+    ):
+        hw = assemble_sei_network(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            HardwareConfig(max_crossbar_size=256),
+        )
+        err = hw.error_rate(tiny_dataset["test_x"], tiny_dataset["test_y"])
+        assert err < 0.6  # still a usable classifier
+
+    def test_noise_degrades_gracefully(self, tiny_quantized, tiny_dataset):
+        noisy = assemble_sei_network(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            HardwareConfig(
+                device=RRAMDevice(bits=4, program_sigma=0.3),
+                max_crossbar_size=4096,
+            ),
+        )
+        clean_err = tiny_quantized.binarized().error_rate(
+            tiny_dataset["test_x"], tiny_dataset["test_y"]
+        )
+        assert (
+            noisy.error_rate(tiny_dataset["test_x"], tiny_dataset["test_y"])
+            <= clean_err + 0.15
+        )
+
+
+class TestAssembleADC:
+    def test_full_precision_matches_float_predictions(
+        self, trained_tiny_network, tiny_dataset
+    ):
+        """8-bit DAC+ADC baseline ~= original CNN (Table 5 error column)."""
+        from repro.core import rescale_network
+
+        net = trained_tiny_network.copy()
+        rescale_network(net, tiny_dataset["train_x"][:64])
+        baseline = assemble_adc_network(net)
+        x = tiny_dataset["test_x"][:60]
+        hw_preds = baseline.predict(x).argmax(1)
+        float_preds = net.predict(x).argmax(1)
+        assert (hw_preds == float_preds).mean() > 0.93
+
+    def test_onebit_adc_close_to_quantized(self, tiny_quantized, tiny_dataset):
+        mid = assemble_adc_network(
+            tiny_quantized.network,
+            thresholds=tiny_quantized.thresholds,
+            data_bits=1,
+        )
+        sw_err = tiny_quantized.binarized().error_rate(
+            tiny_dataset["test_x"], tiny_dataset["test_y"]
+        )
+        hw_err = mid.error_rate(tiny_dataset["test_x"], tiny_dataset["test_y"])
+        assert hw_err <= sw_err + 0.1
+
+    def test_all_layers_hooked(self, trained_tiny_network):
+        wrapper = assemble_adc_network(trained_tiny_network)
+        assert set(wrapper.layer_computes) == {0, 3, 7}

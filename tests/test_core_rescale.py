@@ -1,0 +1,73 @@
+"""Tests for repro.core.rescale (weight re-scaling, §3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import max_layer_output, rescale_layer, rescale_network
+from repro.errors import QuantizationError
+
+
+class TestMaxLayerOutput:
+    def test_matches_direct_forward(self, trained_tiny_network, tiny_dataset):
+        images = tiny_dataset["test_x"][:32]
+        acts = trained_tiny_network.forward_collect(images)
+        assert max_layer_output(
+            trained_tiny_network, images, 0
+        ) == pytest.approx(float(acts[0].max()))
+
+    def test_batched_equals_unbatched(self, trained_tiny_network, tiny_dataset):
+        images = tiny_dataset["test_x"][:50]
+        a = max_layer_output(trained_tiny_network, images, 3, batch_size=7)
+        b = max_layer_output(trained_tiny_network, images, 3, batch_size=50)
+        assert a == pytest.approx(b)
+
+
+class TestRescaleLayer:
+    def test_divides_weights(self, trained_tiny_network):
+        net = trained_tiny_network.copy()
+        before = net.layers[0].params["weight"].copy()
+        rescale_layer(net, 0, 2.0)
+        np.testing.assert_allclose(net.layers[0].params["weight"], before / 2)
+
+    def test_divides_bias_too(self, trained_tiny_network):
+        net = trained_tiny_network.copy()
+        before = net.layers[7].params["bias"].copy()
+        rescale_layer(net, 7, 4.0)
+        np.testing.assert_allclose(net.layers[7].params["bias"], before / 4)
+
+    def test_invalid_divisor(self, trained_tiny_network):
+        net = trained_tiny_network.copy()
+        with pytest.raises(QuantizationError):
+            rescale_layer(net, 0, 0.0)
+        with pytest.raises(QuantizationError):
+            rescale_layer(net, 0, float("nan"))
+
+    def test_unweighted_layer_rejected(self, trained_tiny_network):
+        net = trained_tiny_network.copy()
+        with pytest.raises(QuantizationError):
+            rescale_layer(net, 1, 2.0)  # ReLU
+
+
+class TestRescaleNetwork:
+    def test_outputs_bounded_by_one(self, trained_tiny_network, tiny_dataset):
+        net = trained_tiny_network.copy()
+        images = tiny_dataset["train_x"][:64]
+        divisors = rescale_network(net, images)
+        acts = net.forward_collect(images)
+        for index in divisors:
+            assert float(acts[index].max()) <= 1.0 + 1e-9
+
+    def test_classification_invariant(self, trained_tiny_network, tiny_dataset):
+        """The paper: re-scaling does not change the classification result."""
+        net = trained_tiny_network.copy()
+        images = tiny_dataset["test_x"]
+        before = net.predict(images).argmax(axis=1)
+        rescale_network(net, tiny_dataset["train_x"][:64])
+        after = net.predict(images).argmax(axis=1)
+        np.testing.assert_array_equal(before, after)
+
+    def test_returns_positive_divisors(self, trained_tiny_network, tiny_dataset):
+        net = trained_tiny_network.copy()
+        divisors = rescale_network(net, tiny_dataset["train_x"][:64])
+        assert set(divisors) == {0, 3, 7}
+        assert all(v > 0 for v in divisors.values())

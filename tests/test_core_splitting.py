@@ -1,0 +1,150 @@
+"""Tests for repro.core.splitting (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SplitDecision,
+    SplitMatrix,
+    binarize,
+    natural_partition,
+    required_blocks,
+)
+from repro.errors import ConfigurationError, ShapeError
+
+
+def random_bits(rng, shape, density=0.3):
+    return (rng.random(shape) < density).astype(np.float64)
+
+
+class TestRequiredBlocks:
+    def test_paper_example_conv2(self):
+        """300 logical rows x 4 cells = 1200 -> three blocks at 512."""
+        assert required_blocks(300, 512, 4) == 3
+
+    def test_paper_example_fc(self):
+        assert required_blocks(1024, 512, 4) == 8
+        assert required_blocks(1024, 256, 4) == 16
+
+    def test_fits_in_one(self):
+        assert required_blocks(25, 512, 4) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            required_blocks(0, 512, 4)
+        with pytest.raises(ConfigurationError):
+            required_blocks(10, 0, 4)
+
+
+class TestSplitDecision:
+    def test_static_thresholds(self):
+        d = SplitDecision(block_threshold=0.5)
+        np.testing.assert_allclose(
+            d.thresholds_for(np.array([1.0, 5.0])), [0.5, 0.5]
+        )
+
+    def test_dynamic_thresholds_grow_with_ones(self):
+        d = SplitDecision(block_threshold=0.1, ones_slope=0.02)
+        thresholds = d.thresholds_for(np.array([0.0, 10.0]))
+        np.testing.assert_allclose(thresholds, [0.1, 0.3])
+
+
+class TestSplitMatrix:
+    def test_block_sums_partition_the_matmul(self, rng):
+        weights = rng.normal(size=(12, 5))
+        p = natural_partition(12, 3)
+        sm = SplitMatrix(weights, p, SplitDecision(0.0))
+        bits = random_bits(rng, (7, 12))
+        sums = sm.block_sums(bits)
+        np.testing.assert_allclose(sums.sum(axis=1), bits @ weights, atol=1e-12)
+
+    def test_block_sums_respect_partition(self, rng):
+        weights = rng.normal(size=(6, 2))
+        p = natural_partition(6, 2)
+        sm = SplitMatrix(weights, p, SplitDecision(0.0))
+        bits = np.zeros((1, 6))
+        bits[0, :3] = 1.0  # only block 0 rows active
+        sums = sm.block_sums(bits)
+        np.testing.assert_allclose(sums[0, 1], np.zeros(2), atol=1e-12)
+
+    def test_ones_per_block(self, rng):
+        weights = rng.normal(size=(6, 2))
+        sm = SplitMatrix(weights, natural_partition(6, 2), SplitDecision(0.0))
+        bits = np.array([[1, 1, 0, 0, 0, 1]], dtype=float)
+        np.testing.assert_allclose(sm.ones_per_block(bits), [[2, 1]])
+
+    def test_vote_fire(self, rng):
+        weights = np.ones((4, 1))
+        p = natural_partition(4, 2)
+        bits = np.array([[1, 1, 0, 0]], dtype=float)  # block sums: 2, 0
+        only_one = SplitMatrix(
+            weights, p, SplitDecision(block_threshold=0.5, vote_threshold=1)
+        )
+        both = SplitMatrix(
+            weights, p, SplitDecision(block_threshold=0.5, vote_threshold=2)
+        )
+        assert only_one.fire(bits)[0, 0] == 1.0
+        assert both.fire(bits)[0, 0] == 0.0
+
+    def test_fired_counts(self, rng):
+        weights = np.ones((4, 1))
+        p = natural_partition(4, 2)
+        sm = SplitMatrix(weights, p, SplitDecision(block_threshold=0.5))
+        bits = np.array([[1, 1, 1, 1]], dtype=float)
+        assert sm.fired_counts(bits)[0, 0] == 2.0
+
+    def test_sum_vs_unsplit_decision_when_homogeneous(self, rng):
+        """For near-uniform rows, T/K splitting with majority vote mostly
+        agrees with the unsplit threshold decision."""
+        weights = np.abs(rng.normal(1.0, 0.05, size=(30, 4)))
+        threshold = 10.0
+        sm = SplitMatrix(
+            weights,
+            natural_partition(30, 3),
+            SplitDecision(block_threshold=threshold / 3, vote_threshold=2),
+        )
+        bits = random_bits(rng, (300, 30), density=0.35)
+        split = sm.fire(bits)
+        unsplit = binarize(bits @ weights, threshold)
+        # The threshold sits right at the mean total sum — the hardest
+        # regime — yet the vote still agrees on the large majority of
+        # decisions; homogenization/dynamic thresholds close the rest.
+        assert (split == unsplit).mean() > 0.8
+
+    def test_dynamic_thresholds_applied_per_sample(self, rng):
+        weights = np.ones((6, 1))
+        p = natural_partition(6, 2)
+        sm = SplitMatrix(
+            weights,
+            p,
+            SplitDecision(block_threshold=0.0, ones_slope=0.9, vote_threshold=1),
+        )
+        # Block 0: 2 ones -> threshold 1.8 < sum 2 -> fires.
+        # Block 1: 3 ones -> threshold 2.7 < sum 3 -> fires.
+        bits = np.array([[1, 1, 0, 1, 1, 1]], dtype=float)
+        assert sm.fire(bits)[0, 0] == 1.0
+
+    def test_bias_divided_over_blocks(self, rng):
+        weights = np.zeros((4, 2))
+        bias = np.array([4.0, -4.0])
+        sm = SplitMatrix(
+            weights, natural_partition(4, 2), SplitDecision(0.0), bias=bias
+        )
+        sums = sm.block_sums(np.ones((1, 4)))
+        np.testing.assert_allclose(sums[0, 0], [2.0, -2.0])
+        np.testing.assert_allclose(sums.sum(axis=1)[0], bias)
+
+    def test_validation(self, rng):
+        weights = rng.normal(size=(6, 2))
+        p = natural_partition(6, 2)
+        with pytest.raises(ShapeError):
+            SplitMatrix(rng.normal(size=6), p, SplitDecision(0.0))
+        with pytest.raises(ShapeError):
+            SplitMatrix(rng.normal(size=(8, 2)), p, SplitDecision(0.0))
+        with pytest.raises(ConfigurationError):
+            SplitMatrix(weights, p, SplitDecision(0.0, vote_threshold=3))
+        with pytest.raises(ShapeError):
+            SplitMatrix(weights, p, SplitDecision(0.0), bias=np.zeros(5))
+        sm = SplitMatrix(weights, p, SplitDecision(0.0))
+        with pytest.raises(ShapeError):
+            sm.block_sums(np.ones((1, 7)))

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    MappingError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    TrainingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            ShapeError,
+            MappingError,
+            QuantizationError,
+            TrainingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catching_base_does_not_swallow_builtin(self):
+        with pytest.raises(TypeError):
+            try:
+                raise TypeError("programming error")
+            except ReproError:  # pragma: no cover - must not trigger
+                pytest.fail("ReproError must not catch TypeError")

@@ -1,0 +1,132 @@
+"""Unit and property tests for repro.hw.device."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.hw import RRAMDevice
+
+
+class TestConstruction:
+    def test_defaults_are_paper_values(self):
+        device = RRAMDevice()
+        assert device.bits == 4
+        assert device.num_levels == 16
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            RRAMDevice(bits=0)
+
+    def test_invalid_conductance_range(self):
+        with pytest.raises(ConfigurationError):
+            RRAMDevice(g_min=1e-4, g_max=1e-6)
+        with pytest.raises(ConfigurationError):
+            RRAMDevice(g_min=-1.0)
+
+    def test_invalid_sigmas(self):
+        with pytest.raises(ConfigurationError):
+            RRAMDevice(program_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            RRAMDevice(read_sigma=-0.1)
+
+
+class TestLevels:
+    def test_level_step(self):
+        device = RRAMDevice(bits=2, g_min=0.0, g_max=3.0)
+        assert device.level_step == pytest.approx(1.0)
+
+    def test_level_conductance(self):
+        device = RRAMDevice(bits=2, g_min=0.0, g_max=3.0)
+        np.testing.assert_allclose(
+            device.level_conductance(np.array([0, 1, 2, 3])), [0, 1, 2, 3]
+        )
+
+    def test_level_out_of_range(self):
+        device = RRAMDevice(bits=2)
+        with pytest.raises(ShapeError):
+            device.level_conductance(np.array([4]))
+
+    def test_quantize_levels_endpoints(self):
+        device = RRAMDevice(bits=4)
+        levels = device.quantize_levels(np.array([0.0, 1.0]))
+        np.testing.assert_array_equal(levels, [0, 15])
+
+    def test_quantize_levels_rounding(self):
+        device = RRAMDevice(bits=4)
+        assert device.quantize_levels(np.array([0.5]))[0] in (7, 8)
+
+    def test_quantize_rejects_out_of_range(self):
+        device = RRAMDevice()
+        with pytest.raises(ShapeError):
+            device.quantize_levels(np.array([1.5]))
+        with pytest.raises(ShapeError):
+            device.quantize_levels(np.array([-0.2]))
+
+    def test_quantize_normalized_idempotent(self, rng):
+        device = RRAMDevice(bits=4)
+        values = rng.random(100)
+        once = device.quantize_normalized(values)
+        twice = device.quantize_normalized(once)
+        np.testing.assert_allclose(once, twice)
+
+    def test_quantization_error_bounded(self, rng):
+        device = RRAMDevice(bits=4)
+        values = rng.random(200)
+        err = np.abs(device.quantize_normalized(values) - values)
+        assert err.max() <= 0.5 / (device.num_levels - 1) + 1e-12
+
+
+class TestProgramRead:
+    def test_noiseless_program_is_exact_levels(self, rng):
+        device = RRAMDevice(bits=4)
+        values = rng.random(50)
+        conductance = device.program(values)
+        recovered = device.conductance_to_normalized(conductance)
+        np.testing.assert_allclose(
+            recovered, device.quantize_normalized(values), atol=1e-12
+        )
+
+    def test_program_noise_statistics(self):
+        device = RRAMDevice(bits=4, program_sigma=0.2)
+        rng = np.random.default_rng(0)
+        target = np.full(20000, 0.5)
+        conductance = device.program(target, rng)
+        ideal = device.level_conductance(device.quantize_levels(target))
+        errors = conductance - ideal
+        assert abs(errors.mean()) < 0.05 * device.level_step
+        assert errors.std() == pytest.approx(0.2 * device.level_step, rel=0.1)
+
+    def test_program_clips_to_range(self):
+        device = RRAMDevice(bits=2, program_sigma=5.0)
+        rng = np.random.default_rng(0)
+        conductance = device.program(np.full(1000, 1.0), rng)
+        assert conductance.max() <= device.g_max + 1e-15
+        assert conductance.min() >= device.g_min - 1e-15
+
+    def test_read_noiseless_identity(self, rng):
+        device = RRAMDevice(read_sigma=0.0)
+        conductance = device.program(rng.random(10))
+        np.testing.assert_array_equal(device.read(conductance), conductance)
+
+    def test_read_noise_perturbs(self):
+        device = RRAMDevice(read_sigma=0.05)
+        rng = np.random.default_rng(1)
+        conductance = device.program(np.full(100, 0.7), rng)
+        noisy = device.read(conductance, rng)
+        assert not np.allclose(noisy, conductance)
+        assert noisy.min() >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bits=st.integers(1, 6),
+    value=st.floats(0.0, 1.0),
+)
+def test_quantize_round_trip_property(bits, value):
+    """Property: quantization maps into the representable grid exactly."""
+    device = RRAMDevice(bits=bits)
+    q = device.quantize_normalized(np.array([value]))[0]
+    grid = np.arange(device.num_levels) / (device.num_levels - 1)
+    assert np.any(np.isclose(q, grid, atol=1e-12))

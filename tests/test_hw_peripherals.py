@@ -1,0 +1,146 @@
+"""Unit tests for repro.hw.peripherals and repro.hw.tech."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.hw import (
+    ADC,
+    DAC,
+    SEIDecoder,
+    SenseAmp,
+    TechnologyModel,
+    TraditionalDecoder,
+)
+
+
+class TestADC:
+    def test_convert_endpoints(self):
+        adc = ADC(bits=8)
+        codes = adc.convert(np.array([0.0, 1.0]), full_scale=1.0)
+        np.testing.assert_array_equal(codes, [0, 255])
+
+    def test_round_trip_error_bounded(self, rng):
+        adc = ADC(bits=8)
+        values = rng.random(100)
+        recon = adc.quantize(values, full_scale=1.0)
+        assert np.abs(recon - values).max() <= 0.5 / 255 + 1e-12
+
+    def test_clipping(self):
+        adc = ADC(bits=4)
+        assert adc.convert(np.array([2.0]), 1.0)[0] == 15
+        assert adc.convert(np.array([-1.0]), 1.0)[0] == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ADC(bits=0)
+        with pytest.raises(ConfigurationError):
+            ADC().convert(np.zeros(3), full_scale=0.0)
+
+
+class TestDAC:
+    def test_quantize_levels(self):
+        dac = DAC(bits=1)
+        out = dac.quantize(np.array([0.0, 0.4, 0.6, 1.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 1.0, 1.0])
+
+    def test_8bit_resolution(self, rng):
+        dac = DAC(bits=8)
+        values = rng.random(50)
+        out = dac.quantize(values)
+        assert np.abs(out - values).max() <= 0.5 / 255 + 1e-12
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            DAC(bits=0)
+        with pytest.raises(ConfigurationError):
+            DAC().quantize(np.zeros(2), full_scale=-1.0)
+
+
+class TestSenseAmp:
+    def test_fires_above_reference(self):
+        sa = SenseAmp()
+        out = sa.fire(np.array([0.1, 0.5, 0.9]), reference=0.5)
+        np.testing.assert_array_equal(out, [0, 0, 1])
+
+    def test_per_column_references(self):
+        sa = SenseAmp()
+        out = sa.fire(np.array([0.3, 0.3]), reference=np.array([0.2, 0.4]))
+        np.testing.assert_array_equal(out, [1, 0])
+
+    def test_noise_flips_marginal_decisions(self):
+        sa = SenseAmp(noise_sigma=0.5)
+        rng = np.random.default_rng(0)
+        values = np.full(2000, 1.001)
+        fired = sa.fire(values, reference=1.0, rng=rng)
+        assert 0 < fired.mean() < 1
+
+    def test_invalid_noise(self):
+        with pytest.raises(ConfigurationError):
+            SenseAmp(noise_sigma=-0.1)
+
+
+class TestDecoders:
+    def test_traditional_write_one_hot(self):
+        dec = TraditionalDecoder(8)
+        gates = dec.select_for_write(3)
+        assert gates.sum() == 1 and gates[3] == 1
+
+    def test_traditional_compute_all_on(self):
+        dec = TraditionalDecoder(8)
+        np.testing.assert_array_equal(dec.select_for_compute(), np.ones(8))
+
+    def test_traditional_bad_row(self):
+        with pytest.raises(ConfigurationError):
+            TraditionalDecoder(4).select_for_write(4)
+        with pytest.raises(ConfigurationError):
+            TraditionalDecoder(0)
+
+    def test_sei_compute_follows_input(self):
+        dec = SEIDecoder(4)
+        bits = np.array([1, 0, 1, 0])
+        np.testing.assert_array_equal(dec.select_for_compute(bits), bits)
+
+    def test_sei_rejects_non_binary(self):
+        dec = SEIDecoder(4)
+        with pytest.raises(ShapeError):
+            dec.select_for_compute(np.array([0.5, 0, 1, 0]))
+
+    def test_sei_rejects_wrong_length(self):
+        dec = SEIDecoder(4)
+        with pytest.raises(ShapeError):
+            dec.select_for_compute(np.array([1, 0]))
+
+    def test_sei_write_path_unchanged(self):
+        gates = SEIDecoder(6).select_for_write(2)
+        np.testing.assert_array_equal(
+            gates, TraditionalDecoder(6).select_for_write(2)
+        )
+
+
+class TestTechnologyModel:
+    def test_defaults_valid(self):
+        tech = TechnologyModel()
+        assert tech.bit_slices == 2
+        assert tech.max_crossbar_size == 512
+
+    def test_weight_bits_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyModel(weight_bits=10, cell_bits=4)
+
+    def test_with_crossbar_size(self):
+        tech = TechnologyModel().with_crossbar_size(256)
+        assert tech.max_crossbar_size == 256
+        assert tech.adc_energy_pj == TechnologyModel().adc_energy_pj
+
+    def test_scaled_adc_linear(self):
+        tech = TechnologyModel()
+        assert tech.scaled_adc(4) == pytest.approx(tech.adc_energy_pj / 2)
+        with pytest.raises(ConfigurationError):
+            tech.scaled_adc(0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyModel(max_crossbar_size=0)
+        with pytest.raises(ConfigurationError):
+            TechnologyModel(cell_bits=0)

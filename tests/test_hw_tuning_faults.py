@@ -1,0 +1,107 @@
+"""Tests for the tuning loop (ref [13]) and stuck-at fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import SEIMatrix
+from repro.errors import ConfigurationError
+from repro.hw import RRAMDevice, tune_cells
+
+
+class TestStuckAtFaults:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RRAMDevice(stuck_low_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            RRAMDevice(stuck_high_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            RRAMDevice(stuck_low_rate=0.6, stuck_high_rate=0.6)
+
+    def test_stuck_low_cells_at_gmin(self):
+        device = RRAMDevice(stuck_low_rate=1.0)
+        rng = np.random.default_rng(0)
+        conductance = device.program(np.full(100, 1.0), rng)
+        np.testing.assert_allclose(conductance, device.g_min)
+
+    def test_stuck_high_cells_at_gmax(self):
+        device = RRAMDevice(stuck_high_rate=1.0)
+        rng = np.random.default_rng(0)
+        conductance = device.program(np.zeros(100), rng)
+        np.testing.assert_allclose(conductance, device.g_max)
+
+    def test_fault_rate_statistics(self):
+        device = RRAMDevice(stuck_low_rate=0.1)
+        rng = np.random.default_rng(1)
+        conductance = device.program(np.full(20000, 1.0), rng)
+        stuck_fraction = (conductance == device.g_min).mean()
+        assert stuck_fraction == pytest.approx(0.1, abs=0.01)
+
+    def test_faults_degrade_sei_but_gracefully(self, rng):
+        weights = rng.normal(size=(60, 8)) * 0.05
+        bits = (rng.random((200, 60)) < 0.3).astype(float)
+        clean = SEIMatrix(weights, max_crossbar_size=4096)
+        faulty = SEIMatrix(
+            weights,
+            device=RRAMDevice(bits=4, stuck_low_rate=0.02),
+            max_crossbar_size=4096,
+            rng=np.random.default_rng(5),
+        )
+        clean_out = clean.compute(bits)
+        faulty_out = faulty.compute(bits)
+        assert not np.allclose(clean_out, faulty_out)
+        # 2% dead cells: outputs stay within the weight scale.
+        assert np.abs(faulty_out - clean_out).max() < np.abs(weights).max() * 30
+
+
+class TestTuneCells:
+    def test_tuning_places_within_tolerance(self):
+        device = RRAMDevice(bits=4, program_sigma=1.0)
+        rng = np.random.default_rng(0)
+        targets = rng.random(5000)
+        result = tune_cells(device, targets, tolerance=0.5, rng=rng)
+        assert result.yield_fraction == 1.0
+        ideal = device.level_conductance(device.quantize_levels(targets))
+        assert (
+            np.abs(result.conductance - ideal).max()
+            <= 0.5 * device.level_step + 1e-18
+        )
+
+    def test_lower_sigma_needs_fewer_iterations(self):
+        rng = np.random.default_rng(0)
+        targets = rng.random(5000)
+        sloppy = tune_cells(
+            RRAMDevice(bits=4, program_sigma=1.0), targets, rng=np.random.default_rng(1)
+        )
+        precise = tune_cells(
+            RRAMDevice(bits=4, program_sigma=0.2), targets, rng=np.random.default_rng(1)
+        )
+        assert precise.mean_iterations < sloppy.mean_iterations
+
+    def test_noiseless_device_single_iteration(self):
+        device = RRAMDevice(bits=4, program_sigma=0.0)
+        result = tune_cells(device, np.linspace(0, 1, 16))
+        assert result.mean_iterations == 1.0
+        assert result.yield_fraction == 1.0
+
+    def test_stuck_cells_never_converge(self):
+        device = RRAMDevice(bits=4, program_sigma=0.1, stuck_low_rate=0.2)
+        rng = np.random.default_rng(2)
+        result = tune_cells(device, np.full(5000, 1.0), rng=rng)
+        assert result.yield_fraction == pytest.approx(0.8, abs=0.02)
+        unconverged = ~result.converged
+        assert np.all(result.iterations[unconverged] == 20)
+
+    def test_tight_tolerance_may_fail_within_budget(self):
+        device = RRAMDevice(bits=4, program_sigma=3.0)
+        rng = np.random.default_rng(3)
+        result = tune_cells(
+            device, np.full(2000, 0.5), tolerance=0.1, max_iterations=3, rng=rng
+        )
+        assert result.yield_fraction < 1.0
+
+    def test_validation(self):
+        device = RRAMDevice()
+        with pytest.raises(ConfigurationError):
+            tune_cells(device, np.zeros(3), tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            tune_cells(device, np.zeros(3), max_iterations=0)

@@ -1,0 +1,261 @@
+"""Unit and property tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+
+
+def naive_conv2d(images, weights, bias=None, stride=1, padding=0):
+    """Reference convolution with explicit loops."""
+    n, c, h, w = images.shape
+    c_out, c_in, kh, kw = weights.shape
+    if padding:
+        images = np.pad(
+            images, ((0, 0), (0, 0), (padding,) * 2, (padding,) * 2)
+        )
+        h += 2 * padding
+        w += 2 * padding
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    out = np.zeros((n, c_out, oh, ow))
+    for b in range(n):
+        for o in range(c_out):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = images[
+                        b, :, i * stride : i * stride + kh, j * stride : j * stride + kw
+                    ]
+                    out[b, o, i, j] = (patch * weights[o]).sum()
+            if bias is not None:
+                out[b, o] += bias[o]
+    return out
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(28, 5, 1, 0) == 24
+
+    def test_with_padding(self):
+        assert F.conv_output_size(28, 3, 1, 1) == 28
+
+    def test_with_stride(self):
+        assert F.conv_output_size(28, 4, 2, 0) == 13
+
+    def test_partial_window_raises(self):
+        with pytest.raises(ShapeError):
+            F.conv_output_size(11, 2, 2, 0)
+
+    def test_partial_window_allowed_floors(self):
+        assert F.conv_output_size(11, 2, 2, 0, allow_partial=True) == 5
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            F.conv_output_size(3, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        cols = F.im2col(images, 3, 3)
+        assert cols.shape == (2 * 6 * 6, 3 * 9)
+
+    def test_values_single_window(self, rng):
+        images = rng.normal(size=(1, 2, 3, 3))
+        cols = F.im2col(images, 3, 3)
+        assert cols.shape == (1, 18)
+        np.testing.assert_allclose(cols[0], images[0].ravel())
+
+    def test_channel_major_ordering(self):
+        images = np.zeros((1, 2, 2, 2))
+        images[0, 0] = [[1, 2], [3, 4]]
+        images[0, 1] = [[5, 6], [7, 8]]
+        cols = F.im2col(images, 2, 2)
+        np.testing.assert_allclose(cols[0], [1, 2, 3, 4, 5, 6, 7, 8])
+
+    def test_rejects_3d(self, rng):
+        with pytest.raises(ShapeError):
+            F.im2col(rng.normal(size=(3, 8, 8)), 3, 3)
+
+    def test_stride(self, rng):
+        images = rng.normal(size=(1, 1, 6, 6))
+        cols = F.im2col(images, 2, 2, stride=2)
+        assert cols.shape == (9, 4)
+        np.testing.assert_allclose(cols[0], images[0, 0, :2, :2].ravel())
+
+    def test_padding_zeros_border(self, rng):
+        images = rng.normal(size=(1, 1, 4, 4))
+        cols = F.im2col(images, 3, 3, padding=1)
+        # First window is the top-left corner: 5 zeros from padding.
+        first = cols[0].reshape(3, 3)
+        assert first[0, 0] == 0.0 and first[0, 2] == 0.0
+
+
+class TestCol2im:
+    def test_adjoint_property(self, rng):
+        """<W, im2col(x)> == <col2im(W), x> — col2im is the exact adjoint."""
+        x = rng.normal(size=(2, 3, 7, 7))
+        cols = F.im2col(x, 3, 3, stride=2)
+        w = rng.normal(size=cols.shape)
+        lhs = float((w * cols).sum())
+        back = F.col2im(w, x.shape, 3, 3, stride=2)
+        rhs = float((back * x).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_adjoint_with_padding(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        cols = F.im2col(x, 3, 3, padding=1)
+        w = rng.normal(size=cols.shape)
+        lhs = float((w * cols).sum())
+        back = F.col2im(w, x.shape, 3, 3, padding=1)
+        assert lhs == pytest.approx(float((back * x).sum()), rel=1e-10)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            F.col2im(rng.normal(size=(5, 9)), (1, 1, 6, 6), 3, 3)
+
+    def test_accumulates_overlaps(self):
+        cols = np.ones((4, 4))  # 2x2 windows over a 3x3 image
+        image = F.col2im(cols, (1, 1, 3, 3), 2, 2)
+        # The centre pixel is covered by all four windows.
+        assert image[0, 0, 1, 1] == 4.0
+        assert image[0, 0, 0, 0] == 1.0
+
+
+class TestConv2d:
+    def test_matches_naive(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        weights = rng.normal(size=(4, 3, 3, 3))
+        bias = rng.normal(size=4)
+        out, _ = F.conv2d(images, weights, bias)
+        np.testing.assert_allclose(out, naive_conv2d(images, weights, bias), atol=1e-10)
+
+    def test_matches_naive_strided_padded(self, rng):
+        images = rng.normal(size=(2, 2, 9, 9))
+        weights = rng.normal(size=(3, 2, 3, 3))
+        out, _ = F.conv2d(images, weights, stride=2, padding=1)
+        np.testing.assert_allclose(
+            out, naive_conv2d(images, weights, stride=2, padding=1), atol=1e-10
+        )
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(rng.normal(size=(1, 2, 8, 8)), rng.normal(size=(4, 3, 3, 3)))
+
+    def test_weights_must_be_4d(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(rng.normal(size=(1, 2, 8, 8)), rng.normal(size=(4, 18)))
+
+    def test_gradients_numerically(self, rng):
+        images = rng.normal(size=(1, 2, 5, 5))
+        weights = rng.normal(size=(2, 2, 3, 3))
+        out, cols = F.conv2d(images, weights)
+        grad_out = rng.normal(size=out.shape)
+        grad_images, grad_weights, grad_bias = F.conv2d_backward(
+            grad_out, cols, weights, images.shape
+        )
+
+        def loss(imgs, wts):
+            o, _ = F.conv2d(imgs, wts)
+            return float((o * grad_out).sum())
+
+        eps = 1e-6
+        for index in [(0, 0, 2, 2), (0, 1, 4, 0)]:
+            bumped = images.copy()
+            bumped[index] += eps
+            numeric = (loss(bumped, weights) - loss(images, weights)) / eps
+            assert grad_images[index] == pytest.approx(numeric, rel=1e-4)
+        for index in [(0, 0, 0, 0), (1, 1, 2, 1)]:
+            bumped = weights.copy()
+            bumped[index] += eps
+            numeric = (loss(images, bumped) - loss(images, weights)) / eps
+            assert grad_weights[index] == pytest.approx(numeric, rel=1e-4)
+        np.testing.assert_allclose(
+            grad_bias, grad_out.sum(axis=(0, 2, 3)), atol=1e-10
+        )
+
+
+class TestMaxPool:
+    def test_basic(self):
+        image = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out, argmax = F.maxpool2d(image, 2)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_partial_window_dropped(self, rng):
+        images = rng.normal(size=(1, 2, 5, 5))
+        out, _ = F.maxpool2d(images, 2)
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_backward_routes_to_argmax(self):
+        image = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out, argmax = F.maxpool2d(image, 2)
+        grad = np.ones_like(out)
+        back = F.maxpool2d_backward(grad, argmax, image.shape, 2)
+        expected = np.zeros((4, 4))
+        for i, j in [(1, 1), (1, 3), (3, 1), (3, 3)]:
+            expected[i, j] = 1.0
+        np.testing.assert_allclose(back[0, 0], expected)
+
+    def test_backward_numerically(self, rng):
+        images = rng.normal(size=(1, 1, 6, 6))
+        out, argmax = F.maxpool2d(images, 2)
+        grad_out = rng.normal(size=out.shape)
+        back = F.maxpool2d_backward(grad_out, argmax, images.shape, 2)
+
+        def loss(x):
+            o, _ = F.maxpool2d(x, 2)
+            return float((o * grad_out).sum())
+
+        eps = 1e-7
+        for index in [(0, 0, 0, 0), (0, 0, 3, 3), (0, 0, 5, 5)]:
+            bumped = images.copy()
+            bumped[index] += eps
+            numeric = (loss(bumped) - loss(images)) / eps
+            assert back[index] == pytest.approx(numeric, abs=1e-4)
+
+
+class TestReLU:
+    def test_forward(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(F.relu(x), [0.0, 0.0, 3.0])
+
+    def test_backward_masks_negatives(self):
+        x = np.array([-1.0, 2.0])
+        grad = np.array([5.0, 7.0])
+        np.testing.assert_allclose(F.relu_backward(grad, x), [0.0, 7.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    c=st.integers(1, 3),
+    size=st.integers(4, 9),
+    kernel=st.integers(1, 3),
+)
+def test_im2col_col2im_adjoint_property(n, c, size, kernel):
+    """Property: col2im is the adjoint of im2col for any geometry."""
+    gen = np.random.default_rng(n * 100 + c * 10 + size + kernel)
+    x = gen.normal(size=(n, c, size, size))
+    cols = F.im2col(x, kernel, kernel)
+    w = gen.normal(size=cols.shape)
+    lhs = float((w * cols).sum())
+    rhs = float((F.col2im(w, x.shape, kernel, kernel) * x).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(2, 10),
+    pool=st.integers(1, 3),
+)
+def test_maxpool_output_bounded_by_input(size, pool):
+    """Property: pooled maxima are elements of the input."""
+    if size < pool:
+        return
+    gen = np.random.default_rng(size * 13 + pool)
+    x = gen.normal(size=(1, 1, size, size))
+    out, _ = F.maxpool2d(x, pool)
+    assert np.all(np.isin(out.ravel(), x.ravel()))

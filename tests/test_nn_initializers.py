@@ -1,0 +1,66 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_uniform,
+    he_normal,
+    zeros,
+)
+
+
+class TestHeNormal:
+    def test_std_matches_fan_in(self):
+        rng = np.random.default_rng(0)
+        weights = he_normal((64, 100), rng)
+        expected_std = np.sqrt(2.0 / 100)
+        assert weights.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_conv_shape_fan_in(self):
+        rng = np.random.default_rng(1)
+        weights = he_normal((8, 4, 3, 3), rng)
+        expected_std = np.sqrt(2.0 / (4 * 9))
+        assert weights.std() == pytest.approx(expected_std, rel=0.15)
+
+    def test_1d_shape(self):
+        rng = np.random.default_rng(2)
+        weights = he_normal((50,), rng)
+        assert weights.shape == (50,)
+
+
+class TestGlorotUniform:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        weights = glorot_uniform((30, 20), rng)
+        limit = np.sqrt(6.0 / 50)
+        assert np.abs(weights).max() <= limit
+
+    def test_mean_near_zero(self):
+        rng = np.random.default_rng(1)
+        weights = glorot_uniform((100, 100), rng)
+        assert abs(weights.mean()) < 0.01
+
+
+class TestZeros:
+    def test_all_zero(self):
+        weights = zeros((5, 5), np.random.default_rng(0))
+        assert np.all(weights == 0.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_initializer("he_normal") is he_normal
+        assert get_initializer("glorot_uniform") is glorot_uniform
+        assert get_initializer("zeros") is zeros
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_initializer("kaiming")
+
+    def test_deterministic_given_generator(self):
+        a = he_normal((4, 4), np.random.default_rng(7))
+        b = he_normal((4, 4), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

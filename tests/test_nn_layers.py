@@ -1,0 +1,196 @@
+"""Unit tests for repro.nn.layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+
+
+class TestConv2D:
+    def test_forward_shape(self, rng):
+        layer = Conv2D(3, 8, 3, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 10, 10)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_output_shape_matches_forward(self, rng):
+        layer = Conv2D(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(1, 3, 9, 9)))
+        assert out.shape[1:] == layer.output_shape((3, 9, 9))
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ConfigurationError):
+            Conv2D(0, 4, 3)
+        with pytest.raises(ConfigurationError):
+            Conv2D(1, -1, 3)
+
+    def test_channel_mismatch_in_output_shape(self, rng):
+        layer = Conv2D(3, 4, 3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.output_shape((2, 8, 8))
+
+    def test_weight_matrix_round_trip(self, rng):
+        layer = Conv2D(3, 5, 3, rng=rng)
+        matrix = layer.weight_matrix
+        assert matrix.shape == (27, 5)
+        layer.set_weight_matrix(matrix * 2.0)
+        np.testing.assert_allclose(layer.weight_matrix, matrix * 2.0)
+
+    def test_weight_matrix_equivalence(self, rng):
+        """Conv forward equals im2col @ weight_matrix, the crossbar view."""
+        from repro.nn.functional import im2col
+
+        layer = Conv2D(2, 3, 3, use_bias=False, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = layer.forward(x)
+        cols = im2col(x, 3, 3)
+        manual = cols @ layer.weight_matrix
+        np.testing.assert_allclose(out.transpose(0, 2, 3, 1).reshape(-1, 3), manual)
+
+    def test_set_weight_matrix_bad_shape(self, rng):
+        layer = Conv2D(3, 5, 3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.set_weight_matrix(np.zeros((5, 27)))
+
+    def test_backward_requires_forward_train(self, rng):
+        layer = Conv2D(1, 2, 3, rng=rng)
+        layer.forward(rng.normal(size=(1, 1, 5, 5)))  # train=False
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((1, 2, 3, 3)))
+
+    def test_backward_accumulates_grads(self, rng):
+        layer = Conv2D(1, 2, 3, rng=rng)
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = layer.forward(x, train=True)
+        layer.backward(np.ones_like(out))
+        first = layer.grads["weight"].copy()
+        layer.forward(x, train=True)
+        layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(layer.grads["weight"], 2 * first)
+
+    def test_zero_grad(self, rng):
+        layer = Conv2D(1, 2, 3, rng=rng)
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = layer.forward(x, train=True)
+        layer.backward(np.ones_like(out))
+        layer.zero_grad()
+        assert np.all(layer.grads["weight"] == 0.0)
+
+    def test_num_params(self, rng):
+        layer = Conv2D(3, 4, 5, use_bias=True, rng=rng)
+        assert layer.num_params == 4 * 3 * 25 + 4
+
+    def test_no_bias(self, rng):
+        layer = Conv2D(1, 2, 3, use_bias=False, rng=rng)
+        assert "bias" not in layer.params
+
+
+class TestDense:
+    def test_forward(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer.forward(x)
+        np.testing.assert_allclose(
+            out, x @ layer.params["weight"] + layer.params["bias"]
+        )
+
+    def test_weight_matrix_is_crossbar_image(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        assert layer.weight_matrix.shape == (4, 3)
+
+    def test_bad_input_shape(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(5, 7)))
+
+    def test_backward_numeric(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        out = layer.forward(x, train=True)
+        grad_out = rng.normal(size=out.shape)
+        grad_x = layer.backward(grad_out)
+
+        def loss(inputs):
+            return float((layer.forward(inputs) * grad_out).sum())
+
+        eps = 1e-6
+        bumped = x.copy()
+        bumped[0, 1] += eps
+        numeric = (loss(bumped) - loss(x)) / eps
+        assert grad_x[0, 1] == pytest.approx(numeric, rel=1e-5)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            Dense(0, 3)
+
+    def test_output_shape_validation(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.output_shape((5,))
+        assert layer.output_shape((4,)) == (3,)
+
+    def test_set_weight_matrix(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        new = np.ones((4, 3))
+        layer.set_weight_matrix(new)
+        np.testing.assert_allclose(layer.weight_matrix, new)
+        with pytest.raises(ShapeError):
+            layer.set_weight_matrix(np.ones((3, 4)))
+
+
+class TestReLULayer:
+    def test_forward_backward(self, rng):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        out = layer.forward(x, train=True)
+        np.testing.assert_allclose(out, [[0.0, 2.0]])
+        grad = layer.backward(np.array([[3.0, 4.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 4.0]])
+
+    def test_backward_without_train_raises(self):
+        layer = ReLU()
+        layer.forward(np.zeros((1, 2)))
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_quantizable_flag(self):
+        assert not ReLU.quantizable
+        assert Conv2D.quantizable
+        assert Dense.quantizable
+
+
+class TestMaxPoolLayer:
+    def test_forward(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_invalid_pool(self):
+        with pytest.raises(ConfigurationError):
+            MaxPool2D(0)
+
+    def test_output_shape_partial(self):
+        layer = MaxPool2D(2)
+        assert layer.output_shape((8, 11, 11)) == (8, 5, 5)
+
+    def test_backward(self, rng):
+        layer = MaxPool2D(2)
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = layer.forward(x, train=True)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert grad.sum() == out.size
+
+
+class TestFlatten:
+    def test_round_trip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x, train=True)
+        assert out.shape == (2, 48)
+        back = layer.backward(out)
+        np.testing.assert_allclose(back, x)
+
+    def test_output_shape(self):
+        assert Flatten().output_shape((3, 4, 4)) == (48,)

@@ -1,0 +1,145 @@
+"""Unit tests for repro.nn.losses and repro.nn.optim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import SGD, Adam
+from repro.nn.losses import accuracy, error_rate, softmax, softmax_cross_entropy
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 7)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_large_values_stable(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        logits = np.zeros((4, 10))
+        loss, _ = softmax_cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10), rel=1e-6)
+
+    def test_gradient_numeric(self, rng):
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+        _, grad = softmax_cross_entropy(logits.copy(), labels)
+        eps = 1e-6
+        for index in [(0, 0), (1, 2), (2, 3)]:
+            bumped = logits.copy()
+            bumped[index] += eps
+            loss_plus, _ = softmax_cross_entropy(bumped, labels)
+            loss_base, _ = softmax_cross_entropy(logits.copy(), labels)
+            numeric = (loss_plus - loss_base) / eps
+            assert grad[index] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+    def test_logits_must_be_2d(self):
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros(3), np.array([0]))
+
+
+class TestAccuracy:
+    def test_basic(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+        assert error_rate(logits, labels) == pytest.approx(1 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+def _quadratic_descent(optimizer, steps=200):
+    """Minimise ||x - 3||^2 with the given optimiser; returns final x."""
+    params = {"weight": np.array([0.0])}
+    grads = {"weight": np.array([0.0])}
+    for _ in range(steps):
+        grads["weight"][:] = 2 * (params["weight"] - 3.0)
+        optimizer.step([(params, grads)])
+    return params["weight"][0]
+
+
+class TestSGD:
+    def test_converges(self):
+        assert _quadratic_descent(SGD(lr=0.1)) == pytest.approx(3.0, abs=1e-4)
+
+    def test_momentum_converges(self):
+        assert _quadratic_descent(SGD(lr=0.05, momentum=0.9)) == pytest.approx(
+            3.0, abs=1e-3
+        )
+
+    def test_weight_decay_shrinks(self):
+        opt = SGD(lr=0.1, weight_decay=0.5)
+        params = {"weight": np.array([1.0])}
+        grads = {"weight": np.array([0.0])}
+        opt.step([(params, grads)])
+        assert params["weight"][0] < 1.0
+
+    def test_weight_decay_skips_bias(self):
+        opt = SGD(lr=0.1, weight_decay=0.5)
+        params = {"bias": np.array([1.0])}
+        grads = {"bias": np.array([0.0])}
+        opt.step([(params, grads)])
+        assert params["bias"][0] == 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.0)
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.1, weight_decay=-1.0)
+
+
+class TestAdam:
+    def test_converges(self):
+        assert _quadratic_descent(Adam(lr=0.2), steps=300) == pytest.approx(
+            3.0, abs=1e-2
+        )
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam(beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(beta2=-0.1)
+
+    def test_first_step_magnitude_is_lr(self):
+        """Adam's bias correction makes the first step ~lr."""
+        opt = Adam(lr=0.1)
+        params = {"weight": np.array([0.0])}
+        grads = {"weight": np.array([5.0])}
+        opt.step([(params, grads)])
+        assert params["weight"][0] == pytest.approx(-0.1, rel=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-50, 50), min_size=2, max_size=8))
+def test_softmax_probabilities_property(values):
+    probs = softmax(np.array([values]))
+    assert probs.min() >= 0.0
+    assert probs.sum() == pytest.approx(1.0, abs=1e-9)

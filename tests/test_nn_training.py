@@ -1,0 +1,115 @@
+"""Unit tests for repro.nn.training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import Adam, TrainConfig, Trainer, evaluate_accuracy
+
+from tests.conftest import build_tiny_network
+
+
+class TestTrainer:
+    def test_training_improves_accuracy(self, tiny_dataset):
+        net = build_tiny_network(seed=9)
+        before = evaluate_accuracy(
+            net, tiny_dataset["test_x"], tiny_dataset["test_y"]
+        )
+        trainer = Trainer(
+            net, Adam(2e-3), TrainConfig(epochs=3, batch_size=32, seed=0)
+        )
+        history = trainer.fit(
+            tiny_dataset["train_x"],
+            tiny_dataset["train_y"],
+            tiny_dataset["test_x"],
+            tiny_dataset["test_y"],
+        )
+        assert history.epochs_run == 3
+        assert history.val_accuracy[-1] > before
+        assert history.val_accuracy[-1] > 0.7
+
+    def test_loss_decreases(self, tiny_dataset):
+        net = build_tiny_network(seed=4)
+        trainer = Trainer(net, Adam(2e-3), TrainConfig(epochs=3, seed=0))
+        history = trainer.fit(tiny_dataset["train_x"], tiny_dataset["train_y"])
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_empty_dataset_raises(self):
+        net = build_tiny_network()
+        trainer = Trainer(net)
+        with pytest.raises(TrainingError):
+            trainer.fit(np.zeros((0, 1, 28, 28)), np.zeros(0, dtype=int))
+
+    def test_length_mismatch_raises(self, tiny_dataset):
+        net = build_tiny_network()
+        trainer = Trainer(net)
+        with pytest.raises(TrainingError):
+            trainer.fit(tiny_dataset["train_x"], tiny_dataset["train_y"][:-5])
+
+    def test_target_accuracy_early_stop(self, tiny_dataset):
+        net = build_tiny_network(seed=5)
+        trainer = Trainer(
+            net,
+            Adam(2e-3),
+            TrainConfig(epochs=50, seed=0, target_accuracy=0.5),
+        )
+        history = trainer.fit(
+            tiny_dataset["train_x"],
+            tiny_dataset["train_y"],
+            tiny_dataset["test_x"],
+            tiny_dataset["test_y"],
+        )
+        assert history.epochs_run < 50
+
+    def test_on_epoch_end_callback(self, tiny_dataset):
+        net = build_tiny_network(seed=6)
+        seen = []
+        trainer = Trainer(net, Adam(2e-3), TrainConfig(epochs=2, seed=0))
+        trainer.fit(
+            tiny_dataset["train_x"][:64],
+            tiny_dataset["train_y"][:64],
+            on_epoch_end=lambda epoch, hist: seen.append(epoch),
+        )
+        assert seen == [0, 1]
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        results = []
+        for _ in range(2):
+            net = build_tiny_network(seed=7)
+            trainer = Trainer(net, Adam(2e-3), TrainConfig(epochs=1, seed=3))
+            trainer.fit(tiny_dataset["train_x"][:96], tiny_dataset["train_y"][:96])
+            results.append(net.forward(tiny_dataset["test_x"][:4]))
+        np.testing.assert_allclose(results[0], results[1])
+
+
+class TestActivationL1:
+    def test_penalty_increases_sparsity(self, tiny_dataset):
+        """The activation-L1 option reproduces the Table 1 long tail."""
+
+        def sparsity(lam):
+            net = build_tiny_network(seed=8)
+            trainer = Trainer(
+                net,
+                Adam(2e-3),
+                TrainConfig(epochs=3, seed=0, activation_l1=lam),
+            )
+            trainer.fit(tiny_dataset["train_x"], tiny_dataset["train_y"])
+            acts = net.forward_collect(tiny_dataset["test_x"][:64])
+            conv_out = np.maximum(acts[0], 0.0)
+            peak = conv_out.max()
+            return float((conv_out < peak / 16).mean())
+
+        assert sparsity(0.05) > sparsity(0.0)
+
+    def test_penalty_keeps_training_functional(self, tiny_dataset):
+        net = build_tiny_network(seed=2)
+        trainer = Trainer(
+            net, Adam(2e-3), TrainConfig(epochs=6, seed=0, activation_l1=0.005)
+        )
+        trainer.fit(tiny_dataset["train_x"], tiny_dataset["train_y"])
+        acc = evaluate_accuracy(
+            net, tiny_dataset["test_x"], tiny_dataset["test_y"]
+        )
+        # The tiny fixture net on 400 samples will not reach zoo-level
+        # accuracy; the point is that the penalty does not break training.
+        assert acc > 0.6

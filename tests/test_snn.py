@@ -1,0 +1,256 @@
+"""Tests for the SNN extension (repro.snn)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.snn import (
+    IntegrateFireState,
+    SpikingNetwork,
+    bernoulli_spikes,
+    deterministic_spikes,
+    estimate_sei_spike_energy,
+    spike_rate,
+)
+
+
+class TestEncodings:
+    def test_bernoulli_shape_and_binary(self, rng):
+        images = rng.random((3, 1, 4, 4))
+        spikes = bernoulli_spikes(images, 10, rng)
+        assert spikes.shape == (10, 3, 1, 4, 4)
+        assert np.all(np.isin(spikes, (0.0, 1.0)))
+
+    def test_bernoulli_rate_converges(self):
+        rng = np.random.default_rng(0)
+        images = np.full((1, 1, 2, 2), 0.3)
+        spikes = bernoulli_spikes(images, 4000, rng)
+        assert spike_rate(spikes).mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_deterministic_exact_counts(self):
+        images = np.array([[[[0.0, 0.25], [0.5, 1.0]]]])
+        spikes = deterministic_spikes(images, 8)
+        counts = spikes.sum(axis=0)[0, 0]
+        np.testing.assert_allclose(counts, [[0, 2], [4, 8]])
+
+    def test_deterministic_is_deterministic(self, rng):
+        images = rng.random((2, 1, 3, 3))
+        a = deterministic_spikes(images, 7)
+        b = deterministic_spikes(images, 7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_deterministic_spreads_spikes(self):
+        """Half-rate pixels alternate rather than burst."""
+        images = np.full((1, 1, 1, 1), 0.5)
+        spikes = deterministic_spikes(images, 8)[:, 0, 0, 0, 0]
+        assert spikes.sum() == 4
+        # No two consecutive spikes needed: max gap small.
+        positions = np.flatnonzero(spikes)
+        assert np.all(np.diff(positions) == 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            bernoulli_spikes(np.array([[[[1.5]]]]), 4)
+        with pytest.raises(ConfigurationError):
+            deterministic_spikes(np.zeros((1, 1, 2, 2)), 0)
+
+    def test_spike_rate_requires_time_axis(self):
+        with pytest.raises(ShapeError):
+            spike_rate(np.zeros(5))
+
+
+class TestIntegrateFire:
+    def test_fires_at_threshold(self):
+        state = IntegrateFireState((1, 2), threshold=1.0)
+        spikes = state.step(np.array([[0.6, 1.2]]))
+        np.testing.assert_array_equal(spikes, [[0, 1]])
+        spikes = state.step(np.array([[0.6, 0.0]]))
+        np.testing.assert_array_equal(spikes, [[1, 0]])
+
+    def test_subtract_reset_keeps_residual(self):
+        state = IntegrateFireState((1, 1), threshold=1.0, reset="subtract")
+        state.step(np.array([[1.7]]))
+        assert state.membrane[0, 0] == pytest.approx(0.7)
+
+    def test_zero_reset_clears(self):
+        state = IntegrateFireState((1, 1), threshold=1.0, reset="zero")
+        state.step(np.array([[1.7]]))
+        assert state.membrane[0, 0] == 0.0
+
+    def test_leak_decays_membrane(self):
+        state = IntegrateFireState((1, 1), threshold=10.0, leak=0.5)
+        state.step(np.array([[1.0]]))
+        state.step(np.array([[0.0]]))
+        assert state.membrane[0, 0] == pytest.approx(0.5)
+
+    def test_rate_coding_fidelity(self):
+        """Soft reset: firing rate ~ input / threshold for sub-threshold
+        constant drive."""
+        state = IntegrateFireState((1, 1), threshold=1.0, reset="subtract")
+        for _ in range(1000):
+            state.step(np.array([[0.3]]))
+        assert state.firing_rate[0, 0] == pytest.approx(0.3, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IntegrateFireState((1,), threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            IntegrateFireState((1,), threshold=1.0, leak=1.0)
+        with pytest.raises(ConfigurationError):
+            IntegrateFireState((1,), threshold=1.0, reset="decay")
+        state = IntegrateFireState((1, 2), threshold=1.0)
+        with pytest.raises(ShapeError):
+            state.step(np.zeros((1, 3)))
+        with pytest.raises(ConfigurationError):
+            IntegrateFireState((1, 2), threshold=1.0).firing_rate
+
+    def test_reset_state(self):
+        state = IntegrateFireState((1, 1), threshold=1.0)
+        state.step(np.array([[2.0]]))
+        state.reset_state()
+        assert state.steps == 0
+        assert state.membrane[0, 0] == 0.0
+
+
+class TestSpikingNetwork:
+    def test_requires_thresholds(self, tiny_quantized):
+        with pytest.raises(ConfigurationError):
+            SpikingNetwork(tiny_quantized.network, {0: 0.1})
+
+    def test_invalid_scale(self, tiny_quantized):
+        with pytest.raises(ConfigurationError):
+            SpikingNetwork(
+                tiny_quantized.network,
+                tiny_quantized.thresholds,
+                threshold_scale=0.0,
+            )
+
+    def test_simulation_shapes(self, tiny_quantized, tiny_dataset):
+        snn = SpikingNetwork(tiny_quantized.network, tiny_quantized.thresholds)
+        result = snn.simulate(
+            tiny_dataset["test_x"][:6], 4, rng=np.random.default_rng(0)
+        )
+        assert result.logits.shape == (6, 10)
+        assert result.timesteps == 4
+        assert set(result.firing_rates) == {0, 3}
+
+    def test_unknown_encoder(self, tiny_quantized, tiny_dataset):
+        snn = SpikingNetwork(tiny_quantized.network, tiny_quantized.thresholds)
+        with pytest.raises(ConfigurationError):
+            snn.simulate(tiny_dataset["test_x"][:2], 4, encoder="temporal")
+
+    def test_more_timesteps_do_not_hurt_much(self, tiny_quantized, tiny_dataset):
+        """Accuracy improves (or stays) as the rate code gets more
+        resolution."""
+        snn = SpikingNetwork(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            threshold_scale=1.5,
+        )
+        short = snn.error_rate(
+            tiny_dataset["test_x"], tiny_dataset["test_y"], 2,
+            encoder="deterministic",
+        )
+        long = snn.error_rate(
+            tiny_dataset["test_x"], tiny_dataset["test_y"], 16,
+            encoder="deterministic",
+        )
+        assert long <= short + 0.05
+
+    def test_deterministic_encoder_reproducible(
+        self, tiny_quantized, tiny_dataset
+    ):
+        snn = SpikingNetwork(tiny_quantized.network, tiny_quantized.thresholds)
+        a = snn.simulate(tiny_dataset["test_x"][:4], 6, encoder="deterministic")
+        b = snn.simulate(tiny_dataset["test_x"][:4], 6, encoder="deterministic")
+        np.testing.assert_allclose(a.logits, b.logits)
+
+    def test_energy_estimate_positive_and_itemised(
+        self, tiny_quantized, tiny_dataset
+    ):
+        snn = SpikingNetwork(tiny_quantized.network, tiny_quantized.thresholds)
+        result = snn.simulate(
+            tiny_dataset["test_x"][:4], 8, encoder="deterministic"
+        )
+        energy = estimate_sei_spike_energy(tiny_quantized.network, result)
+        assert set(energy) == {"driver", "rram", "sa", "total"}
+        assert energy["total"] > 0
+        assert energy["total"] == pytest.approx(
+            energy["driver"] + energy["rram"] + energy["sa"]
+        )
+
+    def test_energy_scales_with_activity(self, tiny_quantized, tiny_dataset):
+        snn = SpikingNetwork(tiny_quantized.network, tiny_quantized.thresholds)
+        dim = snn.simulate(
+            tiny_dataset["test_x"][:4] * 0.2, 8, encoder="deterministic"
+        )
+        bright = snn.simulate(
+            np.clip(tiny_dataset["test_x"][:4] * 2.0, 0, 1),
+            8,
+            encoder="deterministic",
+        )
+        net = tiny_quantized.network
+        assert (
+            estimate_sei_spike_energy(net, bright)["driver"]
+            > estimate_sei_spike_energy(net, dim)["driver"]
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=st.floats(0.0, 1.0), timesteps=st.integers(1, 32))
+def test_deterministic_spike_count_property(p, timesteps):
+    """Property: deterministic coding emits floor/round(p*T) spikes."""
+    images = np.full((1, 1, 1, 1), p)
+    spikes = deterministic_spikes(images, timesteps)
+    count = int(spikes.sum())
+    assert abs(count - p * timesteps) <= 1.0
+
+
+class TestSpikingOnHardware:
+    def test_sei_crossbar_hooks_accepted(self, tiny_quantized, tiny_dataset):
+        """Spikes drive SEI crossbars directly — including the input
+        layer, since the rate code turns even the picture into 1-bit
+        selection signals (no DACs anywhere)."""
+        from repro.core import sei_layer_compute
+
+        net = tiny_quantized.network
+        hooks = {
+            i: sei_layer_compute(net.layers[i], max_crossbar_size=8192)
+            for i in (0, 3, 7)
+        }
+        snn = SpikingNetwork(
+            net,
+            tiny_quantized.thresholds,
+            threshold_scale=1.5,
+            layer_computes=hooks,
+        )
+        result = snn.simulate(
+            tiny_dataset["test_x"][:8], 6, encoder="deterministic"
+        )
+        assert result.logits.shape == (8, 10)
+
+    def test_hardware_close_to_software_snn(
+        self, tiny_quantized, tiny_dataset
+    ):
+        from repro.core import sei_layer_compute
+
+        net = tiny_quantized.network
+        hooks = {
+            i: sei_layer_compute(net.layers[i], max_crossbar_size=8192)
+            for i in (0, 3, 7)
+        }
+        hw = SpikingNetwork(
+            net,
+            tiny_quantized.thresholds,
+            threshold_scale=1.5,
+            layer_computes=hooks,
+        )
+        sw = SpikingNetwork(
+            net, tiny_quantized.thresholds, threshold_scale=1.5
+        )
+        x, y = tiny_dataset["test_x"], tiny_dataset["test_y"]
+        err_hw = hw.error_rate(x, y, 8, encoder="deterministic")
+        err_sw = sw.error_rate(x, y, 8, encoder="deterministic")
+        assert err_hw <= err_sw + 0.1

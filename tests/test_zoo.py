@@ -1,0 +1,97 @@
+"""Tests for repro.zoo using a small dataset and temp cache."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset, MnistLike
+from repro.data.synthetic_mnist import generate_images
+from repro.zoo import ZOO_RECIPES, get_quantized, get_trained_network
+
+
+@pytest.fixture(scope="module")
+def small_bundle():
+    train_x, train_y = generate_images(300, seed=21)
+    test_x, test_y = generate_images(80, seed=2021)
+    return MnistLike(
+        train=Dataset(train_x, train_y), test=Dataset(test_x, test_y)
+    )
+
+
+class TestRecipes:
+    def test_all_networks_have_recipes(self):
+        assert set(ZOO_RECIPES) == {"network1", "network2", "network3"}
+
+    def test_recipe_fields_sane(self):
+        for recipe in ZOO_RECIPES.values():
+            assert recipe.epochs > 0
+            assert recipe.learning_rate > 0
+            assert recipe.activation_l1 >= 0
+
+
+class TestTrainedNetwork:
+    def test_trains_and_caches(self, small_bundle, tmp_path):
+        net = get_trained_network(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        assert (tmp_path / "models" / "network2_trained.npz").exists()
+        # Second call loads from cache and matches exactly.
+        again = get_trained_network(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        x = small_bundle.test.images[:4]
+        np.testing.assert_allclose(net.forward(x), again.forward(x))
+
+    def test_force_retrain_overwrites(self, small_bundle, tmp_path):
+        get_trained_network("network2", dataset=small_bundle, cache_dir=tmp_path)
+        net = get_trained_network(
+            "network2",
+            dataset=small_bundle,
+            cache_dir=tmp_path,
+            force_retrain=True,
+        )
+        assert net is not None
+
+
+class TestQuantized:
+    def test_quantize_and_cache_round_trip(self, small_bundle, tmp_path):
+        qm = get_quantized("network2", dataset=small_bundle, cache_dir=tmp_path)
+        assert set(qm.search.thresholds) == {0, 3}
+        assert 0.0 <= qm.quantized_test_error <= 1.0
+        assert (tmp_path / "models" / "network2_quantized.json").exists()
+
+        cached = get_quantized(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        assert cached.search.thresholds == qm.search.thresholds
+        x = small_bundle.test.images[:4]
+        np.testing.assert_allclose(
+            qm.search.network.forward(x), cached.search.network.forward(x)
+        )
+
+    def test_binarized_network_usable_from_cache(self, small_bundle, tmp_path):
+        get_quantized("network2", dataset=small_bundle, cache_dir=tmp_path)
+        cached = get_quantized(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        bn = cached.search.binarized()
+        err = bn.error_rate(small_bundle.test.images, small_bundle.test.labels)
+        assert err == pytest.approx(cached.quantized_test_error, abs=1e-9)
+
+
+class TestDeepNetwork:
+    def test_build_structure(self):
+        from repro.zoo import build_deep_network
+
+        net = build_deep_network()
+        weighted = [l for l in net.layers if hasattr(l, "weight_matrix")]
+        assert len(weighted) == 5
+        assert net.forward(np.zeros((1, 1, 28, 28))).shape == (1, 10)
+
+    def test_trains_and_caches(self, small_bundle, tmp_path):
+        from repro.zoo import get_deep_network
+
+        net = get_deep_network(dataset=small_bundle, cache_dir=tmp_path)
+        assert (tmp_path / "models" / "deep_demo.npz").exists()
+        again = get_deep_network(dataset=small_bundle, cache_dir=tmp_path)
+        x = small_bundle.test.images[:2]
+        np.testing.assert_allclose(net.forward(x), again.forward(x))

@@ -6,6 +6,7 @@ from repro.analysis.distribution import (
     conv_output_distribution,
 )
 from repro.analysis.metrics import error_rate_pct, relative_change_pct, summarize_range
+from repro.analysis.perf import Timing, speedup, time_call, time_interleaved
 from repro.analysis.sweeps import design_space_sweep, pareto_front
 from repro.analysis.stats import (
     McNemarResult,
@@ -35,4 +36,8 @@ __all__ = [
     "paired_disagreement",
     "design_space_sweep",
     "pareto_front",
+    "Timing",
+    "time_call",
+    "time_interleaved",
+    "speedup",
 ]

@@ -1,0 +1,108 @@
+"""Wall-clock measurement helpers for the performance-engine benchmarks.
+
+Thin, dependency-free timing utilities used by
+``benchmarks/bench_perf_engine.py`` (and usable interactively) to compare
+the fused compute engines against their retained reference
+implementations.  Measurements take the *best* of ``repeats`` runs — the
+standard way to suppress scheduler noise on a shared machine when the
+quantity of interest is the code's intrinsic cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["Timing", "time_call", "time_interleaved", "speedup"]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Best-of-N wall-clock measurement of one callable."""
+
+    label: str
+    #: Best single-run wall-clock time, in seconds.
+    seconds: float
+    repeats: int
+    #: Work items processed per run (samples, candidates, ...), if any.
+    items: Optional[int] = None
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Items per second, when ``items`` is known."""
+        if self.items is None or self.seconds <= 0:
+            return None
+        return self.items / self.seconds
+
+    def as_dict(self) -> dict:
+        out = {
+            "label": self.label,
+            "seconds": self.seconds,
+            "repeats": self.repeats,
+        }
+        if self.items is not None:
+            out["items"] = self.items
+            out["items_per_second"] = self.throughput
+        return out
+
+
+def time_call(
+    fn: Callable[[], object],
+    label: str = "",
+    repeats: int = 3,
+    warmup: int = 1,
+    items: Optional[int] = None,
+) -> Timing:
+    """Best-of-``repeats`` wall-clock time of ``fn()``.
+
+    ``warmup`` untimed calls run first so one-time costs (lazy imports,
+    allocator growth, BLAS thread spin-up) don't pollute the measurement.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return Timing(label=label, seconds=best, repeats=repeats, items=items)
+
+
+def time_interleaved(
+    calls: Dict[str, Callable[[], object]],
+    repeats: int = 3,
+    warmup: int = 1,
+    items: Optional[int] = None,
+) -> Dict[str, Timing]:
+    """Best-of-``repeats`` times of several callables, round-robin.
+
+    Comparing two implementations by timing one after the other lets
+    slow drift (thermal throttling, background load) land entirely on
+    one side; interleaving the runs spreads it evenly, so the *ratio* of
+    the best times is stable even when the absolute times are not.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for fn in calls.values():
+        for _ in range(warmup):
+            fn()
+    best = {label: float("inf") for label in calls}
+    for _ in range(repeats):
+        for label, fn in calls.items():
+            start = time.perf_counter()
+            fn()
+            best[label] = min(best[label], time.perf_counter() - start)
+    return {
+        label: Timing(label=label, seconds=best[label], repeats=repeats, items=items)
+        for label in calls
+    }
+
+
+def speedup(reference: Timing, optimized: Timing) -> float:
+    """How many times faster ``optimized`` is than ``reference``."""
+    if optimized.seconds <= 0:
+        return float("inf")
+    return reference.seconds / optimized.seconds

@@ -64,19 +64,24 @@ def intermediate_quantizable_indices(network: Sequential) -> List[int]:
 
 
 def binarize(values: np.ndarray, threshold: float) -> np.ndarray:
-    """Threshold processing: 1 where value > threshold, else 0 (Equ. 4)."""
-    return (values > threshold).astype(np.float64)
+    """Threshold processing: 1 where value > threshold, else 0 (Equ. 4).
+
+    The comparison writes its 0/1 floats directly into the output buffer
+    — one pass instead of a bool temporary plus an ``astype`` copy.
+    """
+    values = np.asarray(values)
+    out = np.empty(values.shape, dtype=np.float64)
+    np.greater(values, threshold, out=out, casting="unsafe")
+    return out
 
 
 def or_pool(bits: np.ndarray, pool: int, stride: Optional[int] = None) -> np.ndarray:
     """Max pooling of 1-bit data == logical OR over the window (§3.1)."""
-    unique = np.unique(bits)
-    if unique.size and not np.all(np.isin(unique, (0.0, 1.0))):
-        raise ShapeError("or_pool expects 0/1 data")
-    from repro.nn.functional import maxpool2d
+    from repro.core.matrix_compute import ensure_binary
+    from repro.nn.functional import maxpool2d_forward
 
-    pooled, _ = maxpool2d(bits, pool, stride)
-    return pooled
+    ensure_binary(bits, "or_pool inputs")
+    return maxpool2d_forward(bits, pool, stride)
 
 
 @dataclass
@@ -170,8 +175,8 @@ class BinarizedNetwork:
         return np.rint(np.clip(x, 0.0, 1.0) * steps) / steps
 
     def _run_layer(self, index: int, layer: Layer, x: np.ndarray) -> np.ndarray:
+        compute = self.layer_computes.get(index)
         if isinstance(layer, (Conv2D, Dense)):
-            compute = self.layer_computes.get(index)
             x = compute(layer, x) if compute is not None else layer.forward(x)
             if index in self.thresholds:
                 # ReLU is merged into this comparison: relu is monotonic
@@ -180,4 +185,8 @@ class BinarizedNetwork:
             return x
         # ReLU on 0/1 data is an identity and max pooling on 0/1 data *is*
         # the logical OR of §3.1, so the remaining layers run unchanged.
+        # Computes may still be installed on them (e.g. the reference
+        # engine pins the pre-fusion pooling implementation).
+        if compute is not None:
+            return compute(layer, x)
         return layer.forward(x)

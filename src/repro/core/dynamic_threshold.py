@@ -36,7 +36,12 @@ from repro.errors import ConfigurationError, MappingError, ShapeError
 from repro.hw.device import RRAMDevice
 from repro.nn.layers import Layer
 
-from repro.core.matrix_compute import apply_matrix_fn, layer_bias, layer_weight_matrix
+from repro.core.matrix_compute import (
+    apply_matrix_fn,
+    ensure_binary,
+    layer_bias,
+    layer_weight_matrix,
+)
 from repro.core.sei import decompose_weights
 
 __all__ = ["LinearTransform", "DynamicThresholdMatrix", "dynamic_threshold_layer_compute"]
@@ -150,6 +155,16 @@ class DynamicThresholdMatrix:
             w0_value += coeff * float(programmed[0, 0]) * cell_max
         self._w0_cell = w0_value * w0_scale
 
+        # Fused kernel: the slice rows of a column share one analog
+        # current sum, so the crossbar equals a single stored matrix;
+        # collapsing it once makes stored_sum() a single BLAS matmul.
+        self._fused_stored = (
+            np.tensordot(self._coefficients, self._cells, axes=1)
+            * cell_max
+            * self._scale
+            * self.ir_drop_attenuation
+        )
+
     # -- geometry ----------------------------------------------------------
     @property
     def logical_rows(self) -> int:
@@ -189,7 +204,16 @@ class DynamicThresholdMatrix:
 
     # -- behaviour ----------------------------------------------------------------
     def stored_sum(self, bits: np.ndarray) -> np.ndarray:
-        """Per-column sum of *stored* values over active inputs."""
+        """Per-column sum of *stored* values over active inputs.
+
+        Fused: one matmul against the pre-collapsed stored matrix (the
+        slice merge *is* the analog current sum of Equ. 6).
+        """
+        bits = self._check_bits(bits)
+        return bits @ self._fused_stored
+
+    def stored_sum_reference(self, bits: np.ndarray) -> np.ndarray:
+        """Pre-fusion per-slice loop, retained as the equivalence oracle."""
         bits = self._check_bits(bits)
         result = np.zeros(bits.shape[:-1] + (self.cols,))
         cell_max = 2**self.device.bits - 1
@@ -252,9 +276,7 @@ class DynamicThresholdMatrix:
                 f"input has {bits.shape[-1]} bits, matrix has "
                 f"{self.logical_rows} logical rows"
             )
-        unique = np.unique(bits)
-        if unique.size and not np.all(np.isin(unique, (0.0, 1.0))):
-            raise ShapeError("inputs must be 0/1 selection signals")
+        ensure_binary(bits, "inputs")
         return bits
 
 

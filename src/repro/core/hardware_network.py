@@ -30,12 +30,18 @@ from repro.errors import ConfigurationError
 from repro.hw.device import RRAMDevice
 from repro.hw.peripherals import ADC, DAC
 from repro.hw.tech import TechnologyModel
-from repro.nn.layers import Conv2D, Dense, Layer
+from repro.nn import functional as F
+from repro.nn.layers import Conv2D, Dense, Layer, MaxPool2D, ReLU
 from repro.nn.network import Sequential
 
 from repro.core.binarized import BinarizedNetwork
 from repro.core.homogenize import Partition, homogenize, natural_partition
-from repro.core.matrix_compute import apply_matrix_fn, layer_bias, layer_weight_matrix
+from repro.core.matrix_compute import (
+    apply_matrix_fn,
+    ensure_binary,
+    layer_bias,
+    layer_weight_matrix,
+)
 from repro.core.sei import SEIMatrix
 from repro.core.splitting import SplitDecision, SplitMatrix, required_blocks
 
@@ -86,9 +92,11 @@ class HardwareSplitMatrix(SplitMatrix):
         config: HardwareConfig,
         bias: Optional[np.ndarray] = None,
         rng: Optional[np.random.Generator] = None,
+        engine: str = "fused",
     ) -> None:
         super().__init__(weights, partition, decision, bias=bias)
         rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self._engine = engine
         self._block_crossbars = [
             SEIMatrix(
                 self.weights[block],
@@ -100,8 +108,63 @@ class HardwareSplitMatrix(SplitMatrix):
             )
             for block in self.blocks
         ]
+        # Noiseless blocks collapse to static signed matrices, so the K
+        # block crossbars fuse into one batched matmul over the padded
+        # block layout (see SplitMatrix).  Noisy reads stay per-crossbar:
+        # each SEIMatrix already reads all its slices in one vectorized
+        # draw.
+        if config.device.read_sigma <= 0:
+            height = self._padded_weights.shape[1]
+            self._padded_cells = np.zeros_like(self._padded_weights)
+            for k, (block, crossbar) in enumerate(
+                zip(self.blocks, self._block_crossbars)
+            ):
+                self._padded_cells[k, : len(block)] = crossbar.fused_matrix
+        else:
+            self._padded_cells = None
 
-    def block_sums(self, bits: np.ndarray) -> np.ndarray:
+    def _block_matrices(self) -> np.ndarray:
+        """Per-block signed matrices in the padded ``(K, H, cols)`` layout.
+
+        Noiseless reads return the precomputed static cells; noisy reads
+        rebuild the layout each call from one vectorized read per block
+        (every read covers all of that block's slices in a single RNG
+        draw — stream-identical to the per-slice reference loop).
+        """
+        if self._padded_cells is not None:
+            return self._padded_cells
+        cells = np.zeros_like(self._padded_weights)
+        for k, (block, crossbar) in enumerate(
+            zip(self.blocks, self._block_crossbars)
+        ):
+            cells[k, : len(block)] = (
+                crossbar.read_effective_weights(crossbar.rng)
+                * crossbar.ir_drop_attenuation
+            )
+        return cells
+
+    def block_sums(self, bits: np.ndarray, validate: bool = True) -> np.ndarray:
+        if self._engine == "reference":
+            return self.block_sums_reference(bits)
+        if validate:
+            ensure_binary(np.asarray(bits), "split-matrix inputs")
+        return super().block_sums(bits)
+
+    def block_bits(self, bits: np.ndarray, validate: bool = True) -> np.ndarray:
+        if self._engine == "reference":
+            bits = self._as_rows(bits)
+            sums = self.block_sums_reference(bits)
+            ones = np.stack(
+                [bits[:, block].sum(axis=1) for block in self.blocks], axis=1
+            )
+            thresholds = self.decision.thresholds_for(ones)
+            return (sums > thresholds[:, :, None]).astype(np.float64)
+        if validate:
+            ensure_binary(np.asarray(bits), "split-matrix inputs")
+        return super().block_bits(bits)
+
+    def block_sums_reference(self, bits: np.ndarray) -> np.ndarray:
+        """Pre-fusion per-block crossbar loop (equivalence oracle)."""
         bits = np.asarray(bits, dtype=np.float64)
         if bits.ndim == 1:
             bits = bits[None, :]
@@ -109,7 +172,9 @@ class HardwareSplitMatrix(SplitMatrix):
         for k, (block, crossbar) in enumerate(
             zip(self.blocks, self._block_crossbars)
         ):
-            sums[:, k, :] = crossbar.compute(bits[:, block]) + self.block_bias
+            sums[:, k, :] = (
+                crossbar.compute_reference(bits[:, block]) + self.block_bias
+            )
         return sums
 
 
@@ -120,6 +185,7 @@ def assemble_sei_network(
     decisions: Optional[Dict[int, SplitDecision]] = None,
     partitions: Optional[Dict[int, Partition]] = None,
     rng: Optional[np.random.Generator] = None,
+    engine: str = "fused",
 ) -> BinarizedNetwork:
     """Build a BinarizedNetwork whose every layer runs on SEI hardware.
 
@@ -130,11 +196,22 @@ def assemble_sei_network(
     partition method.  The final classifier merges its blocks in analog
     (current summing into the WTA readout), matching the pipeline
     default.
+
+    ``engine`` selects the crossbar arithmetic: ``'fused'`` (default)
+    collapses the bit-sliced crossbars of each layer into stacked
+    matmuls; ``'reference'`` keeps the pre-fusion per-slice / per-block
+    loops — numerically equivalent (identical noise streams, partial
+    sums re-associated), retained as the equivalence oracle and
+    perf-benchmark baseline.
     """
     config = config if config is not None else HardwareConfig()
     decisions = decisions if decisions is not None else {}
     partitions = partitions if partitions is not None else {}
     rng = rng if rng is not None else np.random.default_rng(config.seed)
+    if engine not in ("fused", "reference"):
+        raise ConfigurationError(
+            f"engine must be 'fused' or 'reference', got {engine!r}"
+        )
 
     binarized = BinarizedNetwork(network, dict(thresholds))
     weighted = [
@@ -143,6 +220,20 @@ def assemble_sei_network(
         if isinstance(layer, (Conv2D, Dense))
     ]
     final_index = weighted[-1]
+
+    if engine == "reference":
+        # The pre-fusion forward pass always ran the window-materialising
+        # argmax pooling; pin it so the reference engine measures the true
+        # pre-fusion inference cost (values are identical).
+        for index, layer in enumerate(network.layers):
+            if isinstance(layer, MaxPool2D):
+                binarized.layer_computes[index] = _reference_pool_compute()
+    else:
+        # A ReLU fed by a 1-bit thresholded layer only ever sees 0/1 data,
+        # on which max(x, 0) is an exact identity — skip the pass.
+        for index, layer in enumerate(network.layers):
+            if isinstance(layer, ReLU) and index - 1 in thresholds:
+                binarized.layer_computes[index] = _identity_compute()
 
     for index in weighted:
         layer = network.layers[index]
@@ -161,6 +252,7 @@ def assemble_sei_network(
                 device=config.device,
                 weight_bits=config.weight_bits,
                 rng=rng,
+                engine=engine,
             )
             continue
 
@@ -173,7 +265,9 @@ def assemble_sei_network(
                 ir_drop_lambda=config.ir_drop_lambda,
                 rng=rng,
             )
-            binarized.layer_computes[index] = _unsplit_compute(crossbar)
+            binarized.layer_computes[index] = _unsplit_compute(
+                crossbar, engine
+            )
             continue
 
         partition = partitions.get(index)
@@ -203,7 +297,7 @@ def assemble_sei_network(
                 for block in partition.blocks()
             ]
             binarized.layer_computes[index] = _analog_merge_compute(
-                partition, crossbars
+                partition, crossbars, engine
             )
             continue
 
@@ -221,35 +315,110 @@ def assemble_sei_network(
             config,
             bias=layer_bias(layer),
             rng=rng,
+            engine=engine,
         )
         binarized.layer_computes[index] = _split_compute(split)
 
     return binarized
 
 
-def _unsplit_compute(crossbar: SEIMatrix):
+def _reference_pool_compute():
     def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
-        return apply_matrix_fn(layer, x, crossbar.compute)
+        out, _ = F.maxpool2d(x, layer.pool, layer.stride)
+        return out
+
+    return compute
+
+
+def _identity_compute():
+    def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
+        return x
+
+    return compute
+
+
+def _unsplit_compute(crossbar: SEIMatrix, engine: str = "fused"):
+    if engine == "reference":
+
+        def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
+            return apply_matrix_fn(layer, x, crossbar.compute_reference)
+
+        return compute
+
+    def matrix_fn(bits: np.ndarray) -> np.ndarray:
+        return crossbar.compute(bits, validate=False)
+
+    def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
+        # Validate the selection signals before im2col duplicates them
+        # kernel^2-fold; the crossbar then skips its own re-check.  The
+        # output feeds straight into binarization, which writes a fresh
+        # buffer, so the folded view is never materialised.
+        ensure_binary(x, "SEI inputs")
+        return apply_matrix_fn(layer, x, matrix_fn, contiguous=False)
 
     return compute
 
 
 def _split_compute(split: HardwareSplitMatrix):
+    if split._engine == "reference":
+
+        def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
+            return apply_matrix_fn(layer, x, split.fire, add_bias=False)
+
+        return compute
+
+    def matrix_fn(bits: np.ndarray) -> np.ndarray:
+        counts = split.block_bits(bits, validate=False).sum(axis=1)
+        return (counts >= split.decision.vote_threshold).astype(np.float64)
+
     def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
-        return apply_matrix_fn(layer, x, split.fire, add_bias=False)
+        # As above: one validation pass on the compact input beats
+        # re-checking the unfolded receptive fields.
+        ensure_binary(x, "split-matrix inputs")
+        return apply_matrix_fn(
+            layer, x, matrix_fn, add_bias=False, contiguous=False
+        )
 
     return compute
 
 
-def _analog_merge_compute(partition: Partition, crossbars):
+def _analog_merge_compute(partition: Partition, crossbars, engine: str = "fused"):
     blocks = partition.blocks()
 
+    # The merge is a straight current sum over blocks, so the K crossbars
+    # concatenate into ONE matrix indexed by the permuted input order: a
+    # single matmul replaces the per-block loop.  Noiseless reads
+    # concatenate once up front; noisy reads rebuild the stack each call
+    # from one vectorized read per crossbar (stream-identical to the
+    # per-slice reference loop).
+    perm = np.concatenate([np.asarray(b, dtype=np.intp) for b in blocks])
+    static = None
+    if engine != "reference" and all(
+        xbar.fused_matrix is not None for xbar in crossbars
+    ):
+        static = np.concatenate(
+            [xbar.fused_matrix for xbar in crossbars], axis=0
+        )
+
     def matrix_fn(bits: np.ndarray) -> np.ndarray:
-        total = None
-        for block, crossbar in zip(blocks, crossbars):
-            part = crossbar.compute(bits[:, block])
-            total = part if total is None else total + part
-        return total
+        if engine == "reference":
+            total = None
+            for block, crossbar in zip(blocks, crossbars):
+                part = crossbar.compute_reference(bits[:, block])
+                total = part if total is None else total + part
+            return total
+        ensure_binary(bits, "analog-merge inputs")
+        if static is not None:
+            return bits[..., perm] @ static
+        stacked = np.concatenate(
+            [
+                xbar.read_effective_weights(xbar.rng)
+                * xbar.ir_drop_attenuation
+                for xbar in crossbars
+            ],
+            axis=0,
+        )
+        return bits[..., perm] @ stacked
 
     def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
         return apply_matrix_fn(layer, x, matrix_fn)
@@ -263,6 +432,7 @@ def dac_analog_layer_compute(
     weight_bits: int = 8,
     data_bits: int = 8,
     rng: Optional[np.random.Generator] = None,
+    engine: str = "fused",
 ):
     """The SEI design's input layer: DAC-driven crossbars, analog merge.
 
@@ -270,6 +440,7 @@ def dac_analog_layer_compute(
     positive/negative crossbars are programmed through the device; their
     output currents combine in the analog domain (scaled summing) before
     the sense amplifiers — no ADC anywhere (§3.2 / mapper convention).
+    ``engine='reference'`` keeps the pre-fusion per-slice loop.
     """
     device = device if device is not None else RRAMDevice(bits=4)
     rng = rng if rng is not None else np.random.default_rng()
@@ -286,16 +457,39 @@ def dac_analog_layer_compute(
     ]
     dac = DAC(bits=data_bits)
     cell_max = 2**device.bits - 1
+    # The bit-sliced crossbars merge in the analog domain (scaled current
+    # summing), so the programmed slices collapse once into a single
+    # signed matrix — each call is then one DAC quantization + one matmul.
+    merged = (
+        np.tensordot(coefficients, np.stack(programmed), axes=1)
+        * cell_max
+        * scale
+    )
 
     def matrix_fn(x: np.ndarray) -> np.ndarray:
         driven = dac.quantize(np.clip(x, 0.0, 1.0))
-        out = np.zeros(x.shape[:-1] + (matrix.shape[1],))
-        for coeff, cells in zip(coefficients, programmed):
-            out = out + coeff * (driven @ cells) * cell_max
-        return out * scale
+        if engine == "reference":
+            total = np.zeros(driven.shape[:-1] + (matrix.shape[1],))
+            for coeff, cells in zip(coefficients, programmed):
+                total = total + coeff * (driven @ cells) * cell_max
+            return total * scale
+        return driven @ merged
+
+    def fused_matrix_fn(driven: np.ndarray) -> np.ndarray:
+        return driven @ merged
 
     def compute(inner_layer: Layer, x: np.ndarray) -> np.ndarray:
-        return apply_matrix_fn(inner_layer, x, matrix_fn)
+        if engine == "reference":
+            return apply_matrix_fn(inner_layer, x, matrix_fn)
+        # The DACs sit on the feature-map values; quantizing before the
+        # im2col unfold touches each value once instead of once per
+        # receptive field it lands in.  Bit-identical: quantization is
+        # elementwise, the unfold is a gather, and zero padding maps to
+        # the zero DAC level either way.
+        driven = dac.quantize(np.clip(x, 0.0, 1.0))
+        return apply_matrix_fn(
+            inner_layer, driven, fused_matrix_fn, contiguous=False
+        )
 
     return compute
 

@@ -18,11 +18,28 @@ from repro.errors import ShapeError
 from repro.nn import functional as F
 from repro.nn.layers import Conv2D, Dense, Layer
 
-__all__ = ["MatrixFn", "apply_matrix_fn", "layer_weight_matrix", "layer_bias"]
+__all__ = [
+    "MatrixFn",
+    "apply_matrix_fn",
+    "ensure_binary",
+    "layer_weight_matrix",
+    "layer_bias",
+]
 
 #: A function mapping a batch of input rows ``(N, rows)`` to output values
 #: ``(N, cols)`` — the hardware model of one weight matrix.
 MatrixFn = Callable[[np.ndarray], np.ndarray]
+
+
+def ensure_binary(bits: np.ndarray, what: str = "inputs") -> None:
+    """Reject arrays containing anything but 0/1 selection signals.
+
+    A single vectorized comparison pass — unlike ``np.unique`` this never
+    sorts, so validating a whole inference batch stays O(n) with a tiny
+    constant and does not dominate the fused crossbar matmuls.
+    """
+    if bits.size and bool(((bits != 0.0) & (bits != 1.0)).any()):
+        raise ShapeError(f"{what} must be 0/1 selection signals")
 
 
 def layer_weight_matrix(layer: Layer) -> np.ndarray:
@@ -46,7 +63,11 @@ def layer_bias(layer: Layer) -> np.ndarray:
 
 
 def apply_matrix_fn(
-    layer: Layer, x: np.ndarray, fn: MatrixFn, add_bias: bool = True
+    layer: Layer,
+    x: np.ndarray,
+    fn: MatrixFn,
+    add_bias: bool = True,
+    contiguous: bool = True,
 ) -> np.ndarray:
     """Run a layer's forward pass with ``fn`` replacing the matrix product.
 
@@ -58,6 +79,11 @@ def apply_matrix_fn(
     layers; Equ. 6 folds them into the threshold, which is numerically
     identical) unless the hardware model already accounts for it
     (``add_bias=False``).
+
+    ``contiguous=False`` returns the folded Conv2D output as a
+    transposed view instead of materialising it — callers whose next
+    step writes a fresh buffer anyway (e.g. binarization) skip one full
+    copy of the feature maps.
     """
     if isinstance(layer, Dense):
         if x.ndim != 2 or x.shape[1] != layer.in_features:
@@ -77,11 +103,10 @@ def apply_matrix_fn(
         out = fn(cols)
         if add_bias:
             out = out + layer_bias(layer)
-        return np.ascontiguousarray(
-            out.reshape(n, out_h, out_w, layer.out_channels).transpose(
-                0, 3, 1, 2
-            )
+        folded = out.reshape(n, out_h, out_w, layer.out_channels).transpose(
+            0, 3, 1, 2
         )
+        return np.ascontiguousarray(folded) if contiguous else folded
 
     raise ShapeError(
         f"cannot apply a matrix compute to {type(layer).__name__}"

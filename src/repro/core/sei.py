@@ -33,7 +33,11 @@ from repro.errors import ConfigurationError, MappingError, ShapeError
 from repro.hw.device import RRAMDevice
 from repro.nn.layers import Layer
 
-from repro.core.matrix_compute import apply_matrix_fn, layer_weight_matrix
+from repro.core.matrix_compute import (
+    apply_matrix_fn,
+    ensure_binary,
+    layer_weight_matrix,
+)
 
 __all__ = ["SEIMatrix", "sei_layer_compute", "decompose_weights"]
 
@@ -178,6 +182,21 @@ class SEIMatrix:
         ]
         self._cells = np.stack(programmed)  # (num_slices, rows, cols)
 
+        # Fused-kernel state.  The K slices of a column all feed the same
+        # analog current sum (Equ. 6), so the crossbar is equivalent to ONE
+        # signed matrix; collapsing it here turns compute() into a single
+        # BLAS matmul.  With read noise the collapse must happen per read
+        # (the noise is per-cell per-read), so we keep the stacked
+        # conductances ready for one vectorized multi-slice read.
+        span = self.device.g_max - self.device.g_min
+        self._conductances = self.device.g_min + self._cells * span
+        if self.device.read_sigma <= 0:
+            self._fused_matrix = (
+                self.effective_weights * self.ir_drop_attenuation
+            )
+        else:
+            self._fused_matrix = None
+
     # -- geometry ------------------------------------------------------------
     @property
     def logical_rows(self) -> int:
@@ -220,11 +239,70 @@ class SEIMatrix:
             recon = recon + coeff * cells * cell_max
         return recon * self._scale
 
-    def compute(self, bits: np.ndarray) -> np.ndarray:
+    @property
+    def fused_matrix(self) -> Optional[np.ndarray]:
+        """Pre-collapsed signed matrix (incl. IR drop), or None with read noise.
+
+        When reads are noiseless the crossbar is a static linear map, and
+        ``compute(bits) == bits @ fused_matrix`` exactly; composite
+        structures (splitting, analog merge) stack these to fuse across
+        crossbars.
+        """
+        return self._fused_matrix
+
+    def read_effective_weights(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """One noisy read of the whole crossbar, collapsed to a signed matrix.
+
+        All ``K x rows x cols`` cells are read in a single vectorized call
+        (one RNG draw covering every slice — the same stream a per-slice
+        read loop would consume) and the slice currents are merged by the
+        extra-port coefficients, exactly the analog sum of Equ. 6.
+        """
+        if self.device.read_sigma <= 0:
+            return self.effective_weights
+        rng = rng if rng is not None else np.random.default_rng()
+        noisy = self.device.conductance_to_normalized(
+            self.device.read(self._conductances, rng)
+        )
+        cell_max = 2**self.device.bits - 1
+        return (
+            np.tensordot(self._coefficients, noisy, axes=1)
+            * cell_max
+            * self._scale
+        )
+
+    def compute(self, bits: np.ndarray, validate: bool = True) -> np.ndarray:
         """Analog column outputs for 1-bit inputs (the SA's input).
 
         ``bits`` is ``(n, logical_rows)`` (or 1D) with 0/1 entries; the
         read includes the device's read noise if configured.
+        ``validate=False`` skips the 0/1 check for callers that already
+        validated the bits in a more compact layout (pre-im2col).
+
+        Fused kernel: the K weight slices collapse into one signed matrix
+        (at ``__post_init__`` time when reads are noiseless, per read
+        otherwise), so the whole crossbar pass is a single BLAS matmul
+        instead of a Python loop over slices.  Seeded noise draws are
+        bit-identical to the retained per-slice reference
+        (:meth:`compute_reference`).
+        """
+        bits = self._check_bits(bits, validate)
+        if self._fused_matrix is not None:
+            return bits @ self._fused_matrix
+        rng = self.rng if self.rng is not None else np.random.default_rng()
+        matrix = self.read_effective_weights(rng)
+        return (bits @ matrix) * self.ir_drop_attenuation
+
+    def compute_reference(self, bits: np.ndarray) -> np.ndarray:
+        """The pre-fusion slice-loop implementation, kept verbatim.
+
+        Serves as the equivalence oracle for :meth:`compute` and as the
+        baseline side of ``benchmarks/bench_perf_engine.py``.  Given the
+        same RNG state it draws exactly the same read noise as the fused
+        kernel (slice-sequential draws and one stacked draw consume the
+        PCG64 stream identically).
         """
         bits = np.asarray(bits, dtype=np.float64)
         if bits.shape[-1] != self.logical_rows:
@@ -248,6 +326,19 @@ class SEIMatrix:
                 cells = self.device.conductance_to_normalized(conductance)
             result = result + coeff * (bits @ cells) * cell_max
         return result * self._scale * self.ir_drop_attenuation
+
+    def _check_bits(
+        self, bits: np.ndarray, validate: bool = True
+    ) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.float64)
+        if bits.shape[-1] != self.logical_rows:
+            raise ShapeError(
+                f"input has {bits.shape[-1]} bits, matrix has "
+                f"{self.logical_rows} logical rows"
+            )
+        if validate:
+            ensure_binary(bits, "SEI inputs")
+        return bits
 
 
 def sei_layer_compute(

@@ -42,7 +42,12 @@ from repro.errors import ConfigurationError, MappingError, ShapeError
 from repro.nn.layers import Layer
 
 from repro.core.homogenize import Partition, natural_partition
-from repro.core.matrix_compute import apply_matrix_fn, layer_bias, layer_weight_matrix
+from repro.core.matrix_compute import (
+    apply_matrix_fn,
+    ensure_binary,
+    layer_bias,
+    layer_weight_matrix,
+)
 
 __all__ = [
     "required_blocks",
@@ -109,6 +114,24 @@ class SplitMatrix:
         self.partition = partition
         self.decision = decision
         self.blocks = partition.blocks()
+        # Fused layout: all K block MVMs run as ONE batched matmul.  Blocks
+        # are (nearly) equal-sized row subsets, so they pad to a common
+        # height; padded positions gather from a zero sentinel column
+        # appended to the input bits and multiply zero weight rows, leaving
+        # the partial sums untouched.
+        sizes = [len(block) for block in self.blocks]
+        height = max(sizes)
+        rows = weights.shape[0]
+        self._gather = np.full((len(self.blocks), height), rows, dtype=np.intp)
+        self._padded_weights = np.zeros((len(self.blocks), height, self.cols))
+        for k, block in enumerate(self.blocks):
+            idx = np.asarray(block, dtype=np.intp)
+            self._gather[k, : len(idx)] = idx
+            self._padded_weights[k, : len(idx)] = weights[idx]
+        # Equal-sized blocks (the common case) gather straight from the
+        # input bits; only ragged partitions need the zero sentinel
+        # column appended.
+        self._needs_sentinel = min(sizes) < height
         if not 1 <= decision.vote_threshold <= len(self.blocks):
             raise ConfigurationError(
                 f"vote threshold {decision.vote_threshold} outside "
@@ -136,8 +159,56 @@ class SplitMatrix:
         return self.weights.shape[1]
 
     # -- analog stage ---------------------------------------------------------
+    def _as_rows(self, bits: np.ndarray) -> np.ndarray:
+        """Validated 2D float view of the input bits."""
+        bits = np.asarray(bits, dtype=np.float64)
+        if bits.ndim == 1:
+            bits = bits[None, :]
+        if bits.shape[1] != self.weights.shape[0]:
+            raise ShapeError(
+                f"input has {bits.shape[1]} bits, matrix has "
+                f"{self.weights.shape[0]} rows"
+            )
+        return bits
+
+    def _gathered(self, bits: np.ndarray) -> np.ndarray:
+        """Input bits rearranged to the padded block layout ``(n, K, H)``."""
+        bits = self._as_rows(bits)
+        if self._needs_sentinel:
+            bits = np.concatenate(
+                [bits, np.zeros((bits.shape[0], 1))], axis=1
+            )
+        num_blocks, height = self._gather.shape
+        # One flat gather; the block view is then a free reshape and the
+        # per-block slices below are BLAS-strided views (no copies).
+        flat = bits[:, self._gather.reshape(-1)]
+        return flat.reshape(bits.shape[0], num_blocks, height)
+
+    def _block_matrices(self) -> np.ndarray:
+        """The ``(K, H, cols)`` padded matrices the batched MVM multiplies."""
+        return self._padded_weights
+
+    def _sums_from_gathered(self, gathered: np.ndarray) -> np.ndarray:
+        matrices = self._block_matrices()
+        sums = np.empty(
+            (gathered.shape[0], gathered.shape[1], matrices.shape[2])
+        )
+        # K is small; each term is a single dgemm on a strided view of
+        # the gathered layout, which BLAS consumes without copying.
+        for k in range(gathered.shape[1]):
+            np.matmul(gathered[:, k, :], matrices[k], out=sums[:, k, :])
+        return sums + self.block_bias
+
     def block_sums(self, bits: np.ndarray) -> np.ndarray:
-        """Per-block partial MVMs: shape ``(n, K, cols)``."""
+        """Per-block partial MVMs: shape ``(n, K, cols)``.
+
+        Fused: one batched matmul over the padded block layout instead of
+        a Python loop over blocks.
+        """
+        return self._sums_from_gathered(self._gathered(bits))
+
+    def block_sums_reference(self, bits: np.ndarray) -> np.ndarray:
+        """Pre-fusion per-block loop, retained as the equivalence oracle."""
         bits = np.asarray(bits, dtype=np.float64)
         if bits.ndim == 1:
             bits = bits[None, :]
@@ -153,19 +224,22 @@ class SplitMatrix:
 
     def ones_per_block(self, bits: np.ndarray) -> np.ndarray:
         """Active-input counts per block: shape ``(n, K)``."""
-        bits = np.asarray(bits, dtype=np.float64)
-        if bits.ndim == 1:
-            bits = bits[None, :]
-        return np.stack(
-            [bits[:, block].sum(axis=1) for block in self.blocks], axis=1
-        )
+        return self._gathered(bits).sum(axis=2)
 
     # -- digital stage ----------------------------------------------------------
     def block_bits(self, bits: np.ndarray) -> np.ndarray:
-        """1-bit outputs of each block's sense amplifiers: ``(n, K, cols)``."""
-        sums = self.block_sums(bits)
-        thresholds = self.decision.thresholds_for(self.ones_per_block(bits))
-        return (sums > thresholds[:, :, None]).astype(np.float64)
+        """1-bit outputs of each block's sense amplifiers: ``(n, K, cols)``.
+
+        The block layout is gathered once and feeds both the partial sums
+        and the active-input counts; the threshold comparison writes the
+        0/1 floats in a single ufunc pass.
+        """
+        gathered = self._gathered(bits)
+        sums = self._sums_from_gathered(gathered)
+        thresholds = self.decision.thresholds_for(gathered.sum(axis=2))
+        out = np.empty_like(sums)
+        np.greater(sums, thresholds[:, :, None], out=out, casting="unsafe")
+        return out
 
     def fired_counts(self, bits: np.ndarray) -> np.ndarray:
         """Per column, how many blocks fired: ``(n, cols)`` integers."""

@@ -20,8 +20,21 @@ Implementation notes
   *last* candidate rather than the best.
 * The expensive part is re-running the tail of the network for every
   candidate.  We cache the pre-binarization activations of layer L once,
-  so each candidate costs only ``tail_forward`` — for the paper's 4-layer
-  CNNs this makes the search tractable on a laptop.
+  so each candidate costs only ``tail_forward``.
+* ``SearchConfig.engine`` selects the scoring implementation.  The
+  default ``'fused'`` engine exploits that binarization commutes with
+  every layer between the searched layer and the next weighted one
+  (ReLU acts on 0/1 data, max pooling is an OR, im2col is a gather):
+  those layers run *once* on the analog activations, and all ~41
+  candidates are then scored with batched threshold-compare + matmul
+  passes.  A prefix-activation cache stores the binary boundary
+  activations seen during collection, so deeper layers and refinement
+  passes resume mid-network instead of re-running the whole prefix, and
+  refinement passes whose inputs are unchanged return memoized curves.
+  ``'reference'`` is the pre-fusion per-candidate loop, retained verbatim
+  (including the window-materialising argmax pooling the forward pass
+  used) as the equivalence oracle and the perf-benchmark baseline.  Both
+  engines produce identical thresholds, scores and search curves.
 * Besides the paper's accuracy criterion we provide the cheaper
   "quantization error" criterion the related-work section alludes to
   (direct robust searching minimising the reconstruction error); the
@@ -31,7 +44,7 @@ Implementation notes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,10 +55,16 @@ from repro.core.binarized import (
     intermediate_quantizable_indices,
 )
 from repro.core.rescale import rescale_layer
+from repro.nn import functional as F
+from repro.nn.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, ReLU
 from repro.nn.losses import accuracy
 from repro.nn.network import Sequential
 
 __all__ = ["SearchConfig", "SearchResult", "search_thresholds"]
+
+#: Upper bound on ``candidates_in_chunk * samples * features`` elements a
+#: fused scan materialises at once (~64 MB of float64 selection signals).
+_MAX_SCAN_ELEMENTS = 1 << 23
 
 
 @dataclass(frozen=True)
@@ -69,6 +88,10 @@ class SearchConfig:
     #: greedy error compounds (see the deep-network example/ablation).
     refine_passes: int = 0
     batch_size: int = 256
+    #: 'fused' scores all candidates in batched vectorized passes and
+    #: caches prefix activations across layers/passes; 'reference' is the
+    #: retained pre-fusion per-candidate loop.  Results are identical.
+    engine: str = "fused"
 
     def candidates(self) -> np.ndarray:
         """The threshold grid, inclusive of both ends."""
@@ -92,6 +115,10 @@ class SearchConfig:
         if self.refine_passes < 0:
             raise QuantizationError(
                 f"refine_passes must be >= 0, got {self.refine_passes}"
+            )
+        if self.engine not in ("fused", "reference"):
+            raise QuantizationError(
+                f"engine must be 'fused' or 'reference', got {self.engine!r}"
             )
 
 
@@ -137,6 +164,9 @@ def search_thresholds(
     candidates = config.candidates()
     net = network.copy()
     targets = intermediate_quantizable_indices(net)
+    fused = config.engine == "fused"
+    prefix_cache = _PrefixCache() if fused else None
+    refine_memo: Dict[tuple, Tuple[float, float, Dict[float, float]]] = {}
 
     thresholds: Dict[int, float] = {}
     divisors: Dict[int, float] = {}
@@ -146,7 +176,8 @@ def search_thresholds(
     for layer_index in targets:
         # Step 1: outputs of layer L with earlier layers quantized.
         pre_acts = _collect_pre_activations(
-            net, images, thresholds, layer_index, config.batch_size
+            net, images, thresholds, layer_index, config.batch_size,
+            cache=prefix_cache, engine=config.engine,
         )
         # Step 2: weight re-scaling so outputs lie in [0, 1].
         peak = float(pre_acts.max(initial=0.0))
@@ -165,6 +196,7 @@ def search_thresholds(
                 candidates,
                 config.batch_size,
                 thresholds,
+                engine=config.engine,
             )
         else:
             best_t, best_score, curve = _search_by_qerror(pre_acts, candidates)
@@ -174,23 +206,35 @@ def search_thresholds(
 
     # Optional coordinate-descent refinement: re-search each threshold
     # with every other one held fixed (now including the deeper ones).
+    # The weights are static from here on (re-scaling happened during the
+    # greedy sweep), so a layer whose surrounding thresholds did not
+    # change since its last refinement sees byte-identical inputs — the
+    # fused engine memoizes those evaluations instead of recomputing.
     for _ in range(config.refine_passes):
         for layer_index in targets:
-            # The weights are already re-scaled in place, so the
-            # collected activations are on the [0, 1] search scale.
-            pre_acts = _collect_pre_activations(
-                net, images, thresholds, layer_index, config.batch_size
-            )
             others = {k: v for k, v in thresholds.items() if k != layer_index}
-            best_t, best_score, curve = _search_by_accuracy(
-                net,
-                pre_acts,
-                labels,
-                layer_index,
-                candidates,
-                config.batch_size,
-                others,
-            )
+            memo_key = (layer_index, tuple(sorted(others.items())))
+            if fused and memo_key in refine_memo:
+                best_t, best_score, curve = refine_memo[memo_key]
+            else:
+                # The weights are already re-scaled in place, so the
+                # collected activations are on the [0, 1] search scale.
+                pre_acts = _collect_pre_activations(
+                    net, images, thresholds, layer_index, config.batch_size,
+                    cache=prefix_cache, engine=config.engine,
+                )
+                best_t, best_score, curve = _search_by_accuracy(
+                    net,
+                    pre_acts,
+                    labels,
+                    layer_index,
+                    candidates,
+                    config.batch_size,
+                    others,
+                    engine=config.engine,
+                )
+                if fused:
+                    refine_memo[memo_key] = (best_t, best_score, curve)
             thresholds[layer_index] = best_t
             layer_accuracy[layer_index] = best_score
             curves[layer_index] = curve
@@ -204,6 +248,50 @@ def search_thresholds(
     )
 
 
+# -- prefix-activation cache ---------------------------------------------------
+
+
+class _PrefixCache:
+    """Binary boundary activations reused across collection passes.
+
+    Collection runs the network prefix and binarizes every already-chosen
+    layer on the way; those 0/1 boundary activations are exact (stored as
+    uint8) and depend only on the thresholds applied up to the boundary.
+    Later collections whose applied-threshold signature matches resume
+    from the deepest stored boundary instead of re-running the prefix —
+    deeper layers of the greedy sweep skip the shallow convolutions, and
+    refinement passes skip everything that did not change.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[tuple, np.ndarray]] = {}
+
+    @staticmethod
+    def _signature(applied: Dict[int, float], boundary: int) -> tuple:
+        return tuple(
+            sorted((i, t) for i, t in applied.items() if i <= boundary)
+        )
+
+    def lookup(
+        self, layer_index: int, applied: Dict[int, float]
+    ) -> Optional[Tuple[int, np.ndarray]]:
+        """Deepest stored boundary strictly before ``layer_index``."""
+        best: Optional[Tuple[int, np.ndarray]] = None
+        for boundary, (sig, bits) in self._entries.items():
+            if boundary >= layer_index:
+                continue
+            if sig != self._signature(applied, boundary):
+                continue
+            if best is None or boundary > best[0]:
+                best = (boundary, bits)
+        return best
+
+    def store(
+        self, boundary: int, applied: Dict[int, float], bits: np.ndarray
+    ) -> None:
+        self._entries[boundary] = (self._signature(applied, boundary), bits)
+
+
 # -- helpers ------------------------------------------------------------------
 
 
@@ -213,21 +301,49 @@ def _collect_pre_activations(
     thresholds: Dict[int, float],
     layer_index: int,
     batch_size: int,
+    cache: Optional[_PrefixCache] = None,
+    engine: str = "fused",
 ) -> np.ndarray:
     """Outputs of layer ``layer_index`` with earlier quantization applied.
 
     The target layer's own threshold (present during refinement passes)
     is deliberately *not* applied — the caller needs the raw
-    pre-threshold activations to search over.
+    pre-threshold activations to search over.  With a cache, the run
+    resumes from the deepest stored binary boundary whose thresholds
+    match (bit-exact: the boundary data is 0/1) and newly-seen
+    boundaries are stored for the next collection.  The reference engine
+    steps layers through :func:`_reference_layer_forward` so the
+    collection pays the pre-fusion forward costs it always paid.
     """
+    reference = engine == "reference"
+    applied = {i: t for i, t in thresholds.items() if i != layer_index}
+    start_index = 0
+    source = images
+    if cache is not None:
+        hit = cache.lookup(layer_index, applied)
+        if hit is not None:
+            boundary, bits = hit
+            start_index = boundary + 1
+            source = bits
     chunks = []
-    for start in range(0, len(images), batch_size):
-        x = images[start : start + batch_size]
-        for index, layer in enumerate(net.layers[: layer_index + 1]):
-            x = layer.forward(x)
-            if index in thresholds and index != layer_index:
-                x = binarize(x, thresholds[index])
+    boundary_chunks: Dict[int, List[np.ndarray]] = {}
+    for start in range(0, len(source), batch_size):
+        x = np.asarray(source[start : start + batch_size], dtype=np.float64)
+        for index in range(start_index, layer_index + 1):
+            if reference:
+                x = _reference_layer_forward(net.layers[index], x)
+            else:
+                x = net.layers[index].forward(x)
+            if index in applied:
+                x = binarize(x, applied[index])
+                if cache is not None and index < layer_index:
+                    boundary_chunks.setdefault(index, []).append(
+                        x.astype(np.uint8)
+                    )
         chunks.append(x)
+    if cache is not None:
+        for index, parts in boundary_chunks.items():
+            cache.store(index, applied, np.concatenate(parts, axis=0))
     return np.concatenate(chunks, axis=0)
 
 
@@ -255,6 +371,20 @@ def _tail_forward(
     return np.concatenate(outputs, axis=0)
 
 
+def _reference_layer_forward(layer: Layer, x: np.ndarray) -> np.ndarray:
+    """One layer exactly as the pre-fusion engine executed it.
+
+    Identical values to ``layer.forward``; max pooling goes through the
+    window-materialising argmax variant the forward pass used before the
+    inference fast path existed, so benchmark comparisons against the
+    reference engine measure the true pre-fusion cost.
+    """
+    if isinstance(layer, MaxPool2D):
+        out, _ = F.maxpool2d(x, layer.pool, layer.stride)
+        return out
+    return layer.forward(x)
+
+
 def _search_by_accuracy(
     net: Sequential,
     pre_acts: np.ndarray,
@@ -263,24 +393,241 @@ def _search_by_accuracy(
     candidates: np.ndarray,
     batch_size: int,
     other_thresholds: Dict[int, float],
+    engine: str = "reference",
 ):
     tail_thresholds = {
         k: v for k, v in other_thresholds.items() if k > layer_index
     }
+    if engine == "fused":
+        plan = _plan_fused_scan(net, pre_acts, layer_index)
+        if plan is not None:
+            return _fused_accuracy_scan(
+                net, plan, labels, candidates, tail_thresholds
+            )
+
+    # Retained pre-fusion loop: one full tail pass per candidate.
     best_t = float(candidates[0])
     best_score = -1.0
     curve: Dict[float, float] = {}
     for t in candidates:
         bits = binarize(pre_acts, float(t))
-        logits = _tail_forward(
-            net, bits, layer_index, batch_size, tail_thresholds
-        )
+        outputs = []
+        for start in range(0, len(bits), batch_size):
+            x = bits[start : start + batch_size]
+            for index in range(layer_index + 1, len(net.layers)):
+                x = _reference_layer_forward(net.layers[index], x)
+                if index in tail_thresholds:
+                    x = binarize(x, tail_thresholds[index])
+            outputs.append(x)
+        logits = np.concatenate(outputs, axis=0)
         score = accuracy(logits, labels)
         curve[float(t)] = score
         if score > best_score:
             best_score = score
             best_t = float(t)
     return best_t, best_score, curve
+
+
+# -- fused candidate scan ------------------------------------------------------
+
+
+@dataclass
+class _FusedScanPlan:
+    """Precomputed state for scoring every candidate of one layer.
+
+    ``space`` holds the analog activations already pushed through the
+    monotone head (ReLU dropped — it acts on 0/1 data in the reference
+    order; max pooling applied to the analog values — ``max > t`` equals
+    ``OR(bits)``; Flatten/im2col applied — pure gathers commute with the
+    comparison).  Binarizing ``space`` against a candidate therefore
+    yields exactly the input the next weighted layer would have seen.
+    """
+
+    space: np.ndarray          # (rows, features) comparison space
+    entry: Layer               # the weighted layer consuming the bits
+    entry_index: int
+    samples: int
+    conv_shape: Optional[Tuple[int, int]]  # (out_h, out_w) for Conv2D entry
+
+
+def _plan_fused_scan(
+    net: Sequential, pre_acts: np.ndarray, layer_index: int
+) -> Optional[_FusedScanPlan]:
+    """Reduce the tail head to a flat comparison space, or None to fall back."""
+    reduced = pre_acts
+    index = layer_index + 1
+    while index < len(net.layers):
+        layer = net.layers[index]
+        if isinstance(layer, ReLU):
+            index += 1
+        elif isinstance(layer, MaxPool2D):
+            if reduced.ndim != 4:
+                return None
+            reduced = F.maxpool2d_forward(reduced, layer.pool, layer.stride)
+            index += 1
+        elif isinstance(layer, Flatten):
+            reduced = reduced.reshape(reduced.shape[0], -1)
+            index += 1
+        else:
+            break
+    if index >= len(net.layers):
+        return None
+    entry = net.layers[index]
+    samples = reduced.shape[0]
+    if isinstance(entry, Dense):
+        if reduced.ndim != 2 or reduced.shape[1] != entry.in_features:
+            return None
+        return _FusedScanPlan(reduced, entry, index, samples, None)
+    if isinstance(entry, Conv2D):
+        if reduced.ndim != 4:
+            return None
+        _, _, h, w = reduced.shape
+        out_h = F.conv_output_size(h, entry.kernel_size, entry.stride,
+                                   entry.padding)
+        out_w = F.conv_output_size(w, entry.kernel_size, entry.stride,
+                                   entry.padding)
+        cols = F.im2col(reduced, entry.kernel_size, entry.kernel_size,
+                        entry.stride, entry.padding)
+        return _FusedScanPlan(cols, entry, index, samples, (out_h, out_w))
+    return None
+
+
+def _fused_accuracy_scan(
+    net: Sequential,
+    plan: _FusedScanPlan,
+    labels: np.ndarray,
+    candidates: np.ndarray,
+    tail_thresholds: Dict[int, float],
+):
+    """Score all candidates from chunked threshold-compare + matmul passes."""
+    rows, features = plan.space.shape
+    chunk = max(1, int(_MAX_SCAN_ELEMENTS // max(1, rows * features)))
+    bits = np.empty((chunk, rows, features))
+    scores = np.empty(len(candidates))
+
+    for start in range(0, len(candidates), chunk):
+        ts = candidates[start : start + chunk]
+        c = len(ts)
+        np.greater(
+            plan.space[None, :, :],
+            ts[:, None, None],
+            out=bits[:c],
+            casting="unsafe",
+        )
+        stacked = bits[:c].reshape(c * rows, features)
+        logits = _fused_tail(net, plan, stacked, c, tail_thresholds)
+        preds = logits.reshape(c, plan.samples, -1).argmax(axis=-1)
+        scores[start : start + c] = (preds == labels[None, :]).mean(axis=1)
+
+    best_idx = int(np.argmax(scores))
+    curve = {
+        float(t): float(s) for t, s in zip(candidates, scores)
+    }
+    return float(candidates[best_idx]), float(scores[best_idx]), curve
+
+
+def _pool_nhwc(x: np.ndarray, pool: int, stride: int) -> np.ndarray:
+    """Max pooling on channels-last ``(batch, h, w, c)`` data.
+
+    Computed as an elementwise maximum over the ``pool * pool`` window
+    offsets — no window materialisation, no layout change.  Values are
+    exactly those of the channels-first pooling layers (the same floats
+    win the same windows; trailing partial windows are dropped).
+    """
+    _, h, w, _ = x.shape
+    out_h = F.conv_output_size(h, pool, stride, 0, allow_partial=True)
+    out_w = F.conv_output_size(w, pool, stride, 0, allow_partial=True)
+    span_h = (out_h - 1) * stride + 1
+    span_w = (out_w - 1) * stride + 1
+    out: Optional[np.ndarray] = None
+    for di in range(pool):
+        for dj in range(pool):
+            window = x[:, di : di + span_h : stride, dj : dj + span_w : stride]
+            if out is None:
+                out = np.array(window)
+            else:
+                np.maximum(out, window, out=out)
+    return out
+
+
+def _fused_tail(
+    net: Sequential,
+    plan: _FusedScanPlan,
+    stacked: np.ndarray,
+    num_candidates: int,
+    tail_thresholds: Dict[int, float],
+) -> np.ndarray:
+    """Entry matmul + remaining tail on candidate-stacked selection bits.
+
+    The entry layer's arithmetic replicates ``conv2d``/``Dense.forward``
+    operation-for-operation (same matmul, same bias broadcast, same
+    reshape), so fused logits are bit-identical to the reference loop's.
+
+    When a ``[ReLU] -> MaxPool2D`` pattern follows a Conv2D entry, the
+    pool runs *first*, directly on the channels-last matmul output, and
+    everything downstream touches a ``pool^2``-times smaller array.  All
+    the reorderings are bitwise exact:
+
+    * ``pool(Y + b) == pool(Y) + b`` for a per-channel constant ``b``
+      (the same element wins the window, shifted by the same float);
+    * ``relu(pool(z)) == pool(relu(z))`` (both monotone);
+    * ``binarize(pool(z), t) == pool(binarize(z, t))`` — a window's max
+      exceeds ``t`` iff any element does (the OR-pooling identity), and
+      ReLU on the resulting 0/1 bits is the identity.
+    """
+    entry = plan.entry
+    if plan.conv_shape is not None:
+        out_h, out_w = plan.conv_shape
+        out = stacked @ entry.weight_matrix
+        bias = entry.params.get("bias")
+        batch = num_candidates * plan.samples
+        nhwc = out.reshape(batch, out_h, out_w, entry.out_channels)
+
+        # Detect the post-entry [ReLU] -> MaxPool2D pattern.
+        index = plan.entry_index + 1
+        has_relu = index < len(net.layers) and isinstance(
+            net.layers[index], ReLU
+        )
+        if has_relu:
+            index += 1
+        pool_layer = (
+            net.layers[index]
+            if index < len(net.layers)
+            and isinstance(net.layers[index], MaxPool2D)
+            else None
+        )
+
+        if pool_layer is not None:
+            x = _pool_nhwc(nhwc, pool_layer.pool, pool_layer.stride)
+            if bias is not None:
+                x = x + bias
+            if plan.entry_index in tail_thresholds:
+                # Reference order: conv -> binarize -> ReLU (identity on
+                # bits) -> OR-pool; all commute with the pooled compare.
+                x = binarize(x, tail_thresholds[plan.entry_index])
+            elif has_relu:
+                x = F.relu(x)
+            x = np.ascontiguousarray(x.transpose(0, 3, 1, 2))
+            resume = index + 1
+        else:
+            if bias is not None:
+                nhwc = nhwc + bias
+            x = np.ascontiguousarray(nhwc.transpose(0, 3, 1, 2))
+            if plan.entry_index in tail_thresholds:
+                x = binarize(x, tail_thresholds[plan.entry_index])
+            resume = plan.entry_index + 1
+    else:
+        x = stacked @ entry.params["weight"]
+        if entry.use_bias:
+            x = x + entry.params["bias"]
+        if plan.entry_index in tail_thresholds:
+            x = binarize(x, tail_thresholds[plan.entry_index])
+        resume = plan.entry_index + 1
+    for index in range(resume, len(net.layers)):
+        x = net.layers[index].forward(x)
+        if index in tail_thresholds:
+            x = binarize(x, tail_thresholds[index])
+    return x
 
 
 def _search_by_qerror(pre_acts: np.ndarray, candidates: np.ndarray):

@@ -26,6 +26,7 @@ __all__ = [
     "conv2d",
     "conv2d_backward",
     "maxpool2d",
+    "maxpool2d_forward",
     "maxpool2d_backward",
     "relu",
     "relu_backward",
@@ -246,6 +247,37 @@ def maxpool2d(
     argmax = flat.argmax(axis=-1)
     output = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
     return np.ascontiguousarray(output), argmax
+
+
+def maxpool2d_forward(
+    images: np.ndarray, pool: int, stride: int | None = None
+) -> np.ndarray:
+    """Inference-only max pooling: values of :func:`maxpool2d`, no argmax.
+
+    The full :func:`maxpool2d` materialises every window to track winner
+    indices for the backward pass — an allocation and an argmax scan that
+    inference never consumes.  Here the window maximum accumulates over
+    the ``pool * pool`` strided offset views with :func:`np.maximum`, so
+    no window copy is made; this is the hot pooling path of the fused
+    inference/search engine.
+    """
+    stride = pool if stride is None else stride
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, pool, stride, 0, allow_partial=True)
+    out_w = conv_output_size(w, pool, stride, 0, allow_partial=True)
+
+    output: np.ndarray | None = None
+    h_stop = (out_h - 1) * stride + 1
+    w_stop = (out_w - 1) * stride + 1
+    for i in range(pool):
+        for j in range(pool):
+            window = images[:, :, i : i + h_stop : stride, j : j + w_stop : stride]
+            if output is None:
+                output = np.ascontiguousarray(window)
+            else:
+                np.maximum(output, window, out=output)
+    assert output is not None
+    return output
 
 
 def maxpool2d_backward(

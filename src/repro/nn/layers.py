@@ -205,9 +205,12 @@ class MaxPool2D(Layer):
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
 
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if not train:
+            # Inference never uses the winner indices; skip the window
+            # materialisation + argmax bookkeeping entirely.
+            return F.maxpool2d_forward(x, self.pool, self.stride)
         out, argmax = F.maxpool2d(x, self.pool, self.stride)
-        if train:
-            self._cache = (argmax, x.shape)
+        self._cache = (argmax, x.shape)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

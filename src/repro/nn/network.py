@@ -15,6 +15,7 @@ paper's quantization pipeline needs:
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Dict, Iterator, List, Sequence, Tuple
 
@@ -141,10 +142,22 @@ class Sequential:
                 layer.params[name] = np.array(state[key], dtype=np.float64)
 
     def save(self, path: str | Path) -> None:
-        """Save all parameters to an ``.npz`` file."""
+        """Save all parameters to an ``.npz`` file (atomically).
+
+        The archive is written to a sibling temp file and moved into
+        place, so an interrupted save never leaves a truncated (corrupt)
+        artifact behind for later loads to trip over.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez(path, **self.state_dict())
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **self.state_dict())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
 
     def load(self, path: str | Path) -> None:
         """Load parameters saved by :meth:`save`."""

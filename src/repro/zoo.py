@@ -14,6 +14,8 @@ Hyper-parameters per network live in :data:`ZOO_RECIPES`.  The
 from __future__ import annotations
 
 import json
+import warnings
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
@@ -21,6 +23,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.configs import build_network, get_network_spec
+from repro.errors import ReproError
 from repro.core.threshold_search import SearchConfig, SearchResult, search_thresholds
 from repro.data import MnistLike, default_cache_dir, load_mnist_like
 from repro.nn import Adam, TrainConfig, Trainer, evaluate_accuracy
@@ -85,6 +88,48 @@ def _models_dir(cache_dir: Optional[Path]) -> Path:
     return base / "models"
 
 
+def _load_cached_network(network: Sequential, path: Path) -> bool:
+    """Load cached weights into ``network``; False on any corrupt artifact.
+
+    A truncated download, an interrupted save (pre-atomic-write caches)
+    or a stale architecture must behave exactly like a cache miss — the
+    caller retrains and overwrites — rather than crash the pipeline with
+    a :class:`zipfile.BadZipFile`.
+    """
+    if not path.exists():
+        return False
+    try:
+        network.load(path)
+        return True
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError,
+            ReproError) as exc:
+        warnings.warn(
+            f"discarding corrupt model cache {path.name}: {exc}",
+            stacklevel=3,
+        )
+        return False
+
+
+def _load_cached_meta(meta_path: Path) -> Optional[dict]:
+    """Parse the quantization sidecar JSON; None if missing or corrupt."""
+    if not meta_path.exists():
+        return None
+    try:
+        meta = json.loads(meta_path.read_text())
+        required = (
+            "thresholds", "divisors", "layer_accuracy", "quantized_test_error",
+        )
+        if not all(key in meta for key in required):
+            raise KeyError(f"missing one of {required}")
+        return meta
+    except (OSError, ValueError, KeyError) as exc:
+        warnings.warn(
+            f"discarding corrupt model cache {meta_path.name}: {exc}",
+            stacklevel=3,
+        )
+        return None
+
+
 def get_dataset(
     num_train: int = DEFAULT_TRAIN,
     num_test: int = DEFAULT_TEST,
@@ -108,8 +153,7 @@ def get_trained_network(
     path = _models_dir(cache_dir) / f"{name}_trained.npz"
 
     network = build_network(spec, seed=recipe.seed)
-    if path.exists() and not force_retrain:
-        network.load(path)
+    if not force_retrain and _load_cached_network(network, path):
         return network
 
     dataset = dataset if dataset is not None else get_dataset(cache_dir=cache_dir)
@@ -146,20 +190,20 @@ def get_quantized(
         network, dataset.test.images, dataset.test.labels
     )
 
-    if path.exists() and meta_path.exists() and not force:
+    if not force:
         rescaled = build_network(spec, seed=ZOO_RECIPES[name].seed)
-        rescaled.load(path)
-        meta = json.loads(meta_path.read_text())
-        search = SearchResult(
-            network=rescaled,
-            thresholds={int(k): v for k, v in meta["thresholds"].items()},
-            divisors={int(k): v for k, v in meta["divisors"].items()},
-            layer_accuracy={
-                int(k): v for k, v in meta["layer_accuracy"].items()
-            },
-        )
-        quant_error = meta["quantized_test_error"]
-        return QuantizedModel(name, search, float_error, quant_error)
+        meta = _load_cached_meta(meta_path)
+        if meta is not None and _load_cached_network(rescaled, path):
+            search = SearchResult(
+                network=rescaled,
+                thresholds={int(k): v for k, v in meta["thresholds"].items()},
+                divisors={int(k): v for k, v in meta["divisors"].items()},
+                layer_accuracy={
+                    int(k): v for k, v in meta["layer_accuracy"].items()
+                },
+            )
+            quant_error = meta["quantized_test_error"]
+            return QuantizedModel(name, search, float_error, quant_error)
 
     config = search_config if search_config is not None else SearchConfig()
     subset = min(SEARCH_SUBSET, len(dataset.train))
@@ -174,7 +218,8 @@ def get_quantized(
     )
 
     search.network.save(path)
-    meta_path.write_text(
+    tmp_meta = meta_path.with_name(meta_path.name + ".tmp")
+    tmp_meta.write_text(
         json.dumps(
             {
                 "thresholds": search.thresholds,
@@ -185,6 +230,7 @@ def get_quantized(
             }
         )
     )
+    tmp_meta.replace(meta_path)
     return QuantizedModel(name, search, float_error, quant_error)
 
 
@@ -223,8 +269,7 @@ def get_deep_network(
     """Trained deep demo network (cached like the Table 2 networks)."""
     path = _models_dir(cache_dir) / "deep_demo.npz"
     network = build_deep_network()
-    if path.exists() and not force_retrain:
-        network.load(path)
+    if not force_retrain and _load_cached_network(network, path):
         return network
 
     dataset = dataset if dataset is not None else get_dataset(cache_dir=cache_dir)

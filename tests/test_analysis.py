@@ -98,3 +98,38 @@ def test_bin_fractions_property(values):
     fractions = bin_fractions(np.array(values))
     assert all(0.0 <= f <= 1.0 for f in fractions)
     assert sum(fractions) == pytest.approx(1.0)
+
+
+class TestPerfHelpers:
+    def test_time_call_best_of_and_throughput(self):
+        from repro.analysis import Timing, speedup, time_call
+
+        calls = []
+        timing = time_call(
+            lambda: calls.append(1), label="t", repeats=3, warmup=2, items=10
+        )
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert timing.seconds >= 0
+        assert timing.throughput == pytest.approx(10 / timing.seconds)
+        fast = Timing(label="f", seconds=1.0, repeats=1)
+        slow = Timing(label="s", seconds=4.0, repeats=1)
+        assert speedup(slow, fast) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+    def test_time_interleaved_runs_round_robin(self):
+        from repro.analysis import time_interleaved
+
+        order = []
+        timings = time_interleaved(
+            {"a": lambda: order.append("a"), "b": lambda: order.append("b")},
+            repeats=2,
+            warmup=1,
+            items=4,
+        )
+        # warmup a, warmup b, then two a/b rounds
+        assert order == ["a", "b", "a", "b", "a", "b"]
+        assert set(timings) == {"a", "b"}
+        assert all(t.items == 4 for t in timings.values())
+        with pytest.raises(ValueError):
+            time_interleaved({"a": lambda: None}, repeats=0)

@@ -63,7 +63,13 @@ class TestAssembleSEI:
             tiny_quantized.thresholds,
             HardwareConfig(max_crossbar_size=4096),
         )
-        assert set(hw.layer_computes) == {0, 3, 7}
+        assert {0, 3, 7} <= set(hw.layer_computes)
+        # The only non-weighted computes are the fused engine's
+        # identity skips for ReLUs running on already-binarized data.
+        from repro.nn.layers import ReLU
+
+        for index in set(hw.layer_computes) - {0, 3, 7}:
+            assert isinstance(tiny_quantized.network.layers[index], ReLU)
 
     def test_accuracy_close_to_software(self, tiny_quantized, tiny_dataset):
         hw = assemble_sei_network(

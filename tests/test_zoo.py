@@ -95,3 +95,53 @@ class TestDeepNetwork:
         again = get_deep_network(dataset=small_bundle, cache_dir=tmp_path)
         x = small_bundle.test.images[:2]
         np.testing.assert_allclose(net.forward(x), again.forward(x))
+
+
+class TestCorruptCache:
+    """Corrupt cache artifacts must behave like cache misses (regression:
+    a mangled ``.npz`` used to crash ``get_trained_network`` with
+    ``zipfile.BadZipFile``)."""
+
+    def test_corrupt_trained_npz_retrains(self, small_bundle, tmp_path):
+        good = get_trained_network(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        npz = tmp_path / "models" / "network2_trained.npz"
+        npz.write_bytes(b"this is not a zip archive")
+        with pytest.warns(UserWarning, match="corrupt model cache"):
+            net = get_trained_network(
+                "network2", dataset=small_bundle, cache_dir=tmp_path
+            )
+        # Retrained from scratch with the same recipe -> same weights.
+        x = small_bundle.test.images[:4]
+        np.testing.assert_allclose(net.forward(x), good.forward(x))
+        # And the corrupt artifact was replaced by a loadable one.
+        again = get_trained_network(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        np.testing.assert_allclose(again.forward(x), good.forward(x))
+
+    def test_corrupt_quantized_meta_requantizes(self, small_bundle, tmp_path):
+        qm = get_quantized("network2", dataset=small_bundle, cache_dir=tmp_path)
+        meta = tmp_path / "models" / "network2_quantized.json"
+        meta.write_text("{ truncated")
+        with pytest.warns(UserWarning, match="corrupt model cache"):
+            redo = get_quantized(
+                "network2", dataset=small_bundle, cache_dir=tmp_path
+            )
+        assert redo.search.thresholds == qm.search.thresholds
+
+    def test_truncated_quantized_npz_requantizes(self, small_bundle, tmp_path):
+        qm = get_quantized("network2", dataset=small_bundle, cache_dir=tmp_path)
+        npz = tmp_path / "models" / "network2_quantized.npz"
+        npz.write_bytes(npz.read_bytes()[:100])
+        with pytest.warns(UserWarning, match="corrupt model cache"):
+            redo = get_quantized(
+                "network2", dataset=small_bundle, cache_dir=tmp_path
+            )
+        assert redo.search.thresholds == qm.search.thresholds
+
+    def test_save_is_atomic_no_tmp_left_behind(self, small_bundle, tmp_path):
+        get_trained_network("network2", dataset=small_bundle, cache_dir=tmp_path)
+        leftovers = list((tmp_path / "models").glob("*.tmp"))
+        assert leftovers == []

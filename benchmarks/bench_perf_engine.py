@@ -19,6 +19,11 @@ in ``BENCH_perf_engine.json`` at the repo root:
   per-slice loops.  The two engines are timed interleaved so slow
   machine drift cannot land on one side of the ratio.  Target: >= 3x.
 
+The report also embeds the :mod:`repro.obs` run manifest and, from one
+traced inference pass executed *after* the timings, the hardware
+activity counters and SEI dynamic-power estimate for the benchmark
+workload.
+
 Run as a script (the CI smoke check uses ``--quick``)::
 
     PYTHONPATH=src python benchmarks/bench_perf_engine.py [--quick]
@@ -34,6 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.perf import speedup, time_call, time_interleaved
 from repro.core.hardware_network import HardwareConfig, assemble_sei_network
 from repro.core.threshold_search import SearchConfig, search_thresholds
@@ -138,6 +144,21 @@ def bench_sei_inference(dataset, quick: bool) -> dict:
     fused = timings["sei-fused"]
     reference = timings["sei-reference"]
     ratio = speedup(reference, fused)
+
+    # One traced pass *after* the timings (so the timed runs stay
+    # uninstrumented): hardware activity counters + the SEI dynamic-power
+    # estimate for the benchmark workload.
+    trace_batch = images[: min(32, samples)]
+    with obs.recording() as rec:
+        fused_net.predict(trace_batch)
+    activity = {
+        "samples": int(len(trace_batch)),
+        "metrics": rec.metrics.as_dict(),
+    }
+    power = obs.power.estimate_from_metrics(rec.metrics)
+    if power is not None:
+        activity["power"] = power
+
     return {
         "network": BENCH_NETWORK,
         "samples": samples,
@@ -150,6 +171,7 @@ def bench_sei_inference(dataset, quick: bool) -> dict:
         "speedup": ratio,
         "target": SEI_INFERENCE_TARGET,
         "target_met": ratio >= SEI_INFERENCE_TARGET,
+        "traced_activity": activity,
     }
 
 
@@ -186,6 +208,7 @@ def main(argv=None) -> int:
     report = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": args.quick,
+        "manifest": obs.run_manifest(bench="perf_engine"),
         "algorithm1_search": algorithm1,
         "noisy_sei_inference": sei,
     }

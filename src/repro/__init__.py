@@ -30,6 +30,7 @@ Quickstart::
     print(designs["sei"].cost.energy_saving_vs(designs["dac_adc"].cost))
 """
 
+from repro import obs  # first: the rest of the package may instrument itself
 from repro import analysis, arch, configs, core, data, hw, nn
 from repro.errors import (
     ConfigurationError,
@@ -50,6 +51,7 @@ __all__ = [
     "arch",
     "analysis",
     "configs",
+    "obs",
     "ReproError",
     "ConfigurationError",
     "ShapeError",

@@ -30,8 +30,14 @@ class Timing:
 
     @property
     def throughput(self) -> Optional[float]:
-        """Items per second, when ``items`` is known."""
-        if self.items is None or self.seconds <= 0:
+        """Throughput in items per second, when ``items`` is known.
+
+        ``seconds`` is the best single-run wall-clock time, so this is
+        the *peak* observed rate.  Returns ``None`` when ``items`` is
+        unset or the measurement is degenerate (non-positive ``seconds``
+        or ``repeats`` — e.g. a zero-filled placeholder Timing).
+        """
+        if self.items is None or self.seconds <= 0 or self.repeats <= 0:
             return None
         return self.items / self.seconds
 
@@ -47,17 +53,33 @@ class Timing:
         return out
 
 
+def _record_timing(metrics, timing: Timing) -> None:
+    """Publish a timing as gauges on a metrics registry (duck-typed).
+
+    ``metrics`` only needs a ``set_gauge(name, value)`` method (e.g.
+    :class:`repro.obs.MetricsRegistry` or a scope of one); this module
+    stays import-free of ``repro.obs``.
+    """
+    prefix = f"perf/{timing.label or 'call'}"
+    metrics.set_gauge(f"{prefix}/seconds", timing.seconds)
+    if timing.throughput is not None:
+        metrics.set_gauge(f"{prefix}/items_per_second", timing.throughput)
+
+
 def time_call(
     fn: Callable[[], object],
     label: str = "",
     repeats: int = 3,
     warmup: int = 1,
     items: Optional[int] = None,
+    metrics=None,
 ) -> Timing:
     """Best-of-``repeats`` wall-clock time of ``fn()``.
 
     ``warmup`` untimed calls run first so one-time costs (lazy imports,
     allocator growth, BLAS thread spin-up) don't pollute the measurement.
+    When ``metrics`` is given (anything with ``set_gauge``), the result
+    is also published as ``perf/<label>/seconds`` gauges.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -68,7 +90,10 @@ def time_call(
         start = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - start)
-    return Timing(label=label, seconds=best, repeats=repeats, items=items)
+    timing = Timing(label=label, seconds=best, repeats=repeats, items=items)
+    if metrics is not None:
+        _record_timing(metrics, timing)
+    return timing
 
 
 def time_interleaved(
@@ -76,6 +101,7 @@ def time_interleaved(
     repeats: int = 3,
     warmup: int = 1,
     items: Optional[int] = None,
+    metrics=None,
 ) -> Dict[str, Timing]:
     """Best-of-``repeats`` times of several callables, round-robin.
 
@@ -95,10 +121,14 @@ def time_interleaved(
             start = time.perf_counter()
             fn()
             best[label] = min(best[label], time.perf_counter() - start)
-    return {
+    timings = {
         label: Timing(label=label, seconds=best[label], repeats=repeats, items=items)
         for label in calls
     }
+    if metrics is not None:
+        for timing in timings.values():
+            _record_timing(metrics, timing)
+    return timings
 
 
 def speedup(reference: Timing, optimized: Timing) -> float:

@@ -11,14 +11,22 @@ Usage::
 
 Accuracy commands train models on first use and cache them under
 ``.cache/`` (a few minutes); cost-model commands are instant.
+
+Every command accepts ``-v``/``-q`` (verbosity), ``--trace PATH``
+(record spans + hardware activity counters + run manifest to a JSON
+file) and ``--metrics-out PATH`` (the same export without the span
+tree).  See docs/observability.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.arch import (
     breakdown_rows,
     buffer_plan,
@@ -32,6 +40,8 @@ from repro.configs import NETWORK_SPECS, get_network_spec
 
 __all__ = ["main", "build_parser"]
 
+logger = obs.get_logger("cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -41,19 +51,65 @@ def build_parser() -> argparse.ArgumentParser:
             "for RRAM-based CNN' (DAC 2016)"
         ),
     )
+    # Shared flags live on a parent parser attached to every subcommand
+    # (not on ``parser`` itself: a subparser would re-apply its defaults
+    # and silently clobber values parsed before the command name).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more log output (repeat for debug)",
+    )
+    common.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="less log output (repeat to silence almost everything)",
+    )
+    common.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write span trace + metrics + run manifest JSON to PATH",
+    )
+    common.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write metrics + run manifest JSON (no span tree) to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="package and paper summary")
-    sub.add_parser("fig1", help="Fig. 1: baseline power/area breakdown")
-    sub.add_parser("table1", help="Table 1: activation distribution")
-    sub.add_parser("table2", help="Table 2: network configurations")
-    sub.add_parser("table3", help="Table 3: quantization error rates")
-    sub.add_parser("table5", help="Table 5: energy/area of the structures")
+    sub.add_parser("info", parents=[common], help="package and paper summary")
+    sub.add_parser(
+        "fig1", parents=[common], help="Fig. 1: baseline power/area breakdown"
+    )
+    sub.add_parser(
+        "table1", parents=[common], help="Table 1: activation distribution"
+    )
+    sub.add_parser(
+        "table2", parents=[common], help="Table 2: network configurations"
+    )
+    sub.add_parser(
+        "table3", parents=[common], help="Table 3: quantization error rates"
+    )
+    sub.add_parser(
+        "table5",
+        parents=[common],
+        help="Table 5: energy/area of the structures",
+    )
 
-    quantize = sub.add_parser("quantize", help="run Algorithm 1 on a network")
+    quantize = sub.add_parser(
+        "quantize", parents=[common], help="run Algorithm 1 on a network"
+    )
     quantize.add_argument("network", choices=sorted(NETWORK_SPECS))
 
-    split = sub.add_parser("split", help="split a network across crossbars")
+    split = sub.add_parser(
+        "split", parents=[common], help="split a network across crossbars"
+    )
     split.add_argument("network", choices=sorted(NETWORK_SPECS))
     split.add_argument("--crossbar", type=int, default=512)
     split.add_argument(
@@ -64,7 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     split.add_argument("--dynamic", action="store_true")
 
     tradeoff = sub.add_parser(
-        "tradeoff", help="power-time tradeoff and buffer plan"
+        "tradeoff",
+        parents=[common],
+        help="power-time tradeoff and buffer plan",
     )
     tradeoff.add_argument("network", choices=sorted(NETWORK_SPECS))
     tradeoff.add_argument(
@@ -72,7 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     datasheet = sub.add_parser(
-        "datasheet", help="full chip datasheet for one design point"
+        "datasheet",
+        parents=[common],
+        help="full chip datasheet for one design point",
     )
     datasheet.add_argument("network", choices=sorted(NETWORK_SPECS))
     datasheet.add_argument(
@@ -83,10 +143,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_export(payload: dict, path: str) -> None:
+    target = Path(path)
+    if str(target.parent) not in ("", "."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.configure(args.verbose - args.quiet)
     handler = _HANDLERS[args.command]
-    handler(args)
+
+    if args.trace is None and args.metrics_out is None:
+        handler(args)
+        return 0
+
+    with obs.recording() as rec:
+        handler(args)
+    export = rec.export(command=args.command, argv=list(argv or sys.argv[1:]))
+    if args.trace is not None:
+        _write_export(export, args.trace)
+        logger.info("trace written to %s", args.trace)
+    if args.metrics_out is not None:
+        metrics_only = {k: v for k, v in export.items() if k != "trace"}
+        _write_export(metrics_only, args.metrics_out)
+        logger.info("metrics written to %s", args.metrics_out)
     return 0
 
 
@@ -96,20 +178,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _cmd_info(args) -> None:
     import repro
 
-    print(f"repro {repro.__version__}")
-    print(__doc__)
-    print("networks:")
+    logger.info("repro %s", repro.__version__)
+    logger.info("%s", __doc__)
+    logger.info("networks:")
     for name in sorted(NETWORK_SPECS):
         spec = get_network_spec(name)
-        print(f"  {name}: {spec.describe()['Conv Layer 1']}, ...")
+        logger.info("  %s: %s, ...", name, spec.describe()["Conv Layer 1"])
 
 
 def _cmd_fig1(args) -> None:
     evaluation = evaluate_design("network1", "dac_adc")
-    print(format_table(breakdown_rows(evaluation.cost), floatfmt="{:.3f}"))
-    print(
-        f"\nADC+DAC: {evaluation.cost.energy_share('adc', 'dac'):.1%} power, "
-        f"{evaluation.cost.area_share('adc', 'dac'):.1%} area"
+    logger.info(
+        "%s", format_table(breakdown_rows(evaluation.cost), floatfmt="{:.3f}")
+    )
+    logger.info(
+        "\nADC+DAC: %.1f%% power, %.1f%% area",
+        100 * evaluation.cost.energy_share("adc", "dac"),
+        100 * evaluation.cost.area_share("adc", "dac"),
     )
 
 
@@ -135,7 +220,7 @@ def _cmd_table1(args) -> None:
                     "1/4~1": fractions[3],
                 }
             )
-    print(format_table(rows, floatfmt="{:.4f}"))
+    logger.info("%s", format_table(rows, floatfmt="{:.4f}"))
 
 
 def _cmd_table2(args) -> None:
@@ -143,7 +228,7 @@ def _cmd_table2(args) -> None:
         {"network": name, **get_network_spec(name).describe()}
         for name in sorted(NETWORK_SPECS)
     ]
-    print(format_table(rows))
+    logger.info("%s", format_table(rows))
 
 
 def _cmd_table3(args) -> None:
@@ -160,13 +245,13 @@ def _cmd_table3(args) -> None:
                 "after quant (%)": 100 * model.quantized_test_error,
             }
         )
-    print(format_table(rows))
+    logger.info("%s", format_table(rows))
 
 
 def _cmd_table5(args) -> None:
-    print(format_table(table5_rows()))
-    print()
-    print(format_table(reference_efficiency_rows()))
+    logger.info("%s", format_table(table5_rows()))
+    logger.info("")
+    logger.info("%s", format_table(reference_efficiency_rows()))
 
 
 def _cmd_quantize(args) -> None:
@@ -174,13 +259,24 @@ def _cmd_quantize(args) -> None:
 
     dataset = get_dataset()
     model = get_quantized(args.network, dataset=dataset)
-    print(f"float test error:     {model.float_test_error:.2%}")
-    print(f"quantized test error: {model.quantized_test_error:.2%}")
-    print("thresholds:")
+    # Re-measure through the binarized network rather than echoing the
+    # cached number: the command reports what the artifact does *now*,
+    # and a traced run records the layer activity even on a cache hit.
+    with obs.span(
+        "quantize.evaluate", network=args.network, samples=len(dataset.test)
+    ):
+        quantized_error = model.search.binarized().error_rate(
+            dataset.test.images, dataset.test.labels
+        )
+    logger.info("float test error:     %.2f%%", 100 * model.float_test_error)
+    logger.info("quantized test error: %.2f%%", 100 * quantized_error)
+    logger.info("thresholds:")
     for layer, threshold in model.search.thresholds.items():
-        print(
-            f"  layer {layer}: {threshold:.4f} "
-            f"(rescaled by {model.search.divisors[layer]:.3f})"
+        logger.info(
+            "  layer %d: %.4f (rescaled by %.3f)",
+            layer,
+            threshold,
+            model.search.divisors[layer],
         )
 
 
@@ -204,20 +300,33 @@ def _cmd_split(args) -> None:
     error = result.binarized.error_rate(
         dataset.test.images, dataset.test.labels
     )
-    print(f"unsplit quantized error: {model.quantized_test_error:.2%}")
-    print(f"split error ({args.method}, crossbar {args.crossbar}): {error:.2%}")
+    logger.info(
+        "unsplit quantized error: %.2f%%", 100 * model.quantized_test_error
+    )
+    logger.info(
+        "split error (%s, crossbar %d): %.2f%%",
+        args.method,
+        args.crossbar,
+        100 * error,
+    )
     for index, report in result.reports.items():
-        print(
-            f"  layer {index}: {report.num_blocks} blocks, vote "
-            f"{report.decision.vote_threshold}, Equ.10 distance "
-            f"{report.distance:.4f} (natural {report.natural_distance:.4f})"
+        logger.info(
+            "  layer %d: %d blocks, vote %s, Equ.10 distance %.4f "
+            "(natural %.4f)",
+            index,
+            report.num_blocks,
+            report.decision.vote_threshold,
+            report.distance,
+            report.natural_distance,
         )
 
 
 def _cmd_tradeoff(args) -> None:
-    print(format_table(power_time_tradeoff(args.network, args.structure)))
-    print()
-    print(format_table(buffer_plan(args.network, args.structure)))
+    logger.info(
+        "%s", format_table(power_time_tradeoff(args.network, args.structure))
+    )
+    logger.info("")
+    logger.info("%s", format_table(buffer_plan(args.network, args.structure)))
 
 
 def _cmd_datasheet(args) -> None:
@@ -230,7 +339,7 @@ def _cmd_datasheet(args) -> None:
         tech=TechnologyModel().with_crossbar_size(args.crossbar),
         replication=args.replication,
     )
-    print(sheet.render())
+    logger.info("%s", sheet.render())
 
 
 _HANDLERS = {

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import QuantizationError, ShapeError
 from repro.nn.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, ReLU
 from repro.nn.losses import error_rate
@@ -114,6 +115,20 @@ class BinarizedNetwork:
                 f"missing thresholds for layer indices {missing}; run the "
                 "threshold search first"
             )
+        # Weighted layers whose inputs are 1-bit selection signals (some
+        # earlier weighted layer is thresholded): these are the layers the
+        # SEI structure input-switches, so software-only inference can
+        # still report row-activity statistics for them.
+        weighted = [
+            i
+            for i, layer in enumerate(self.network.layers)
+            if isinstance(layer, (Conv2D, Dense))
+        ]
+        self._obs_sei_layers = frozenset(
+            i
+            for i in weighted
+            if any(j < i and j in self.thresholds for j in weighted)
+        )
 
     # -- execution -------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -174,10 +189,41 @@ class BinarizedNetwork:
         steps = 2**self.input_bits - 1
         return np.rint(np.clip(x, 0.0, 1.0) * steps) / steps
 
+    def _record_sei_layer(self, rec, index: int, layer: Layer,
+                          x: np.ndarray) -> None:
+        """Row-activity counters for a software-simulated SEI layer.
+
+        Only called while a recorder is active; uses the canonical
+        8-bit-weight / 4-bit-cell signed layout (4 cells per weight, the
+        Table 5 configuration) since the software path carries no device
+        model.
+        """
+        from repro.nn.functional import im2col
+        from repro.obs.power import record_mvm_batch
+
+        if isinstance(layer, Conv2D):
+            bits = im2col(
+                x, layer.kernel_size, layer.kernel_size,
+                layer.stride, layer.padding,
+            )
+            cols = layer.out_channels
+        else:
+            bits = x
+            cols = layer.out_features
+        record_mvm_batch(rec.metrics, index, bits, cols, cells_per_weight=4)
+
     def _run_layer(self, index: int, layer: Layer, x: np.ndarray) -> np.ndarray:
         compute = self.layer_computes.get(index)
         if isinstance(layer, (Conv2D, Dense)):
-            x = compute(layer, x) if compute is not None else layer.forward(x)
+            if compute is not None:
+                x = compute(layer, x)
+            else:
+                rec = obs.active()
+                if rec is not None and index in getattr(
+                    self, "_obs_sei_layers", ()
+                ):
+                    self._record_sei_layer(rec, index, layer, x)
+                x = layer.forward(x)
             if index in self.thresholds:
                 # ReLU is merged into this comparison: relu is monotonic
                 # and the threshold is non-negative, so relu(g) > t == g > t.

@@ -26,6 +26,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.hw.device import RRAMDevice
 from repro.hw.peripherals import ADC, DAC
@@ -253,6 +254,7 @@ def assemble_sei_network(
                 weight_bits=config.weight_bits,
                 rng=rng,
                 engine=engine,
+                obs_index=index,
             )
             continue
 
@@ -266,7 +268,7 @@ def assemble_sei_network(
                 rng=rng,
             )
             binarized.layer_computes[index] = _unsplit_compute(
-                crossbar, engine
+                crossbar, engine, obs_index=index
             )
             continue
 
@@ -297,7 +299,7 @@ def assemble_sei_network(
                 for block in partition.blocks()
             ]
             binarized.layer_computes[index] = _analog_merge_compute(
-                partition, crossbars, engine
+                partition, crossbars, engine, obs_index=index
             )
             continue
 
@@ -317,9 +319,44 @@ def assemble_sei_network(
             rng=rng,
             engine=engine,
         )
-        binarized.layer_computes[index] = _split_compute(split)
+        binarized.layer_computes[index] = _split_compute(split, obs_index=index)
 
     return binarized
+
+
+def _record_mvms(
+    obs_index: Optional[int],
+    bits: np.ndarray,
+    cols: int,
+    *,
+    blocks: int = 1,
+    cells_per_weight: int,
+    sa_events: Optional[int] = None,
+    noise_draws: int = 0,
+    digital_merge: Optional[bool] = None,
+) -> None:
+    """Count one crossbar invocation when a recorder is active.
+
+    One ``None`` check when instrumentation is off; the activity
+    statistics never touch the RNG, so traced runs consume the exact
+    same noise stream as untraced ones.
+    """
+    rec = obs.active()
+    if rec is None or obs_index is None:
+        return
+    from repro.obs.power import record_mvm_batch
+
+    record_mvm_batch(
+        rec.metrics,
+        obs_index,
+        bits,
+        cols,
+        blocks=blocks,
+        cells_per_weight=cells_per_weight,
+        sa_events=sa_events,
+        noise_draws=noise_draws,
+        digital_merge=digital_merge,
+    )
 
 
 def _reference_pool_compute():
@@ -337,15 +374,33 @@ def _identity_compute():
     return compute
 
 
-def _unsplit_compute(crossbar: SEIMatrix, engine: str = "fused"):
+def _unsplit_compute(
+    crossbar: SEIMatrix, engine: str = "fused",
+    obs_index: Optional[int] = None,
+):
+    noise_draws = crossbar.num_cells if crossbar.fused_matrix is None else 0
+
     if engine == "reference":
 
+        def reference_fn(bits: np.ndarray) -> np.ndarray:
+            _record_mvms(
+                obs_index, bits, crossbar.cols,
+                cells_per_weight=crossbar.cells_per_weight,
+                noise_draws=noise_draws,
+            )
+            return crossbar.compute_reference(bits)
+
         def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
-            return apply_matrix_fn(layer, x, crossbar.compute_reference)
+            return apply_matrix_fn(layer, x, reference_fn)
 
         return compute
 
     def matrix_fn(bits: np.ndarray) -> np.ndarray:
+        _record_mvms(
+            obs_index, bits, crossbar.cols,
+            cells_per_weight=crossbar.cells_per_weight,
+            noise_draws=noise_draws,
+        )
         return crossbar.compute(bits, validate=False)
 
     def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
@@ -359,15 +414,34 @@ def _unsplit_compute(crossbar: SEIMatrix, engine: str = "fused"):
     return compute
 
 
-def _split_compute(split: HardwareSplitMatrix):
+def _split_compute(split: HardwareSplitMatrix, obs_index: Optional[int] = None):
+    noise_draws = sum(
+        xbar.num_cells
+        for xbar in split._block_crossbars
+        if xbar.fused_matrix is None
+    )
+
+    def record(bits: np.ndarray) -> None:
+        _record_mvms(
+            obs_index, bits, split.cols,
+            blocks=split.num_blocks,
+            cells_per_weight=split._block_crossbars[0].cells_per_weight,
+            noise_draws=noise_draws,
+        )
+
     if split._engine == "reference":
 
+        def reference_fn(bits: np.ndarray) -> np.ndarray:
+            record(bits)
+            return split.fire(bits)
+
         def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
-            return apply_matrix_fn(layer, x, split.fire, add_bias=False)
+            return apply_matrix_fn(layer, x, reference_fn, add_bias=False)
 
         return compute
 
     def matrix_fn(bits: np.ndarray) -> np.ndarray:
+        record(bits)
         counts = split.block_bits(bits, validate=False).sum(axis=1)
         return (counts >= split.decision.vote_threshold).astype(np.float64)
 
@@ -382,8 +456,28 @@ def _split_compute(split: HardwareSplitMatrix):
     return compute
 
 
-def _analog_merge_compute(partition: Partition, crossbars, engine: str = "fused"):
+def _analog_merge_compute(
+    partition: Partition, crossbars, engine: str = "fused",
+    obs_index: Optional[int] = None,
+):
     blocks = partition.blocks()
+    noise_draws = sum(
+        xbar.num_cells for xbar in crossbars if xbar.fused_matrix is None
+    )
+
+    def record(bits: np.ndarray) -> None:
+        # The block currents merge in analog before one shared SA bank,
+        # so SA comparisons do not scale with the block count and no
+        # digital vote runs.
+        n = bits.shape[0] if bits.ndim > 1 else 1
+        _record_mvms(
+            obs_index, bits, crossbars[0].cols,
+            blocks=len(crossbars),
+            cells_per_weight=crossbars[0].cells_per_weight,
+            sa_events=n * crossbars[0].cols,
+            noise_draws=noise_draws,
+            digital_merge=False,
+        )
 
     # The merge is a straight current sum over blocks, so the K crossbars
     # concatenate into ONE matrix indexed by the permuted input order: a
@@ -401,6 +495,7 @@ def _analog_merge_compute(partition: Partition, crossbars, engine: str = "fused"
         )
 
     def matrix_fn(bits: np.ndarray) -> np.ndarray:
+        record(bits)
         if engine == "reference":
             total = None
             for block, crossbar in zip(blocks, crossbars):
@@ -426,6 +521,38 @@ def _analog_merge_compute(partition: Partition, crossbars, engine: str = "fused"
     return compute
 
 
+def _record_dac(
+    obs_index: Optional[int],
+    driven_rows: np.ndarray,
+    cols: int,
+    cells_per_weight: int,
+) -> None:
+    """Activity counters for the DAC-driven input layer (§3.2).
+
+    DACs convert every row each cycle regardless of value, so every row
+    counts as active — the power estimator then correctly shows no
+    input-switched saving on this layer.
+    """
+    rec = obs.active()
+    if rec is None or obs_index is None:
+        return
+    if driven_rows.ndim == 1:
+        n, rows = 1, driven_rows.shape[0]
+    else:
+        n, rows = driven_rows.shape
+    scope = rec.metrics.scope(f"hw/layer{obs_index}")
+    scope.inc("mvms", n)
+    scope.inc("positions", n)
+    scope.inc("active_rows", n * rows)
+    scope.inc("sa_events", n * cols)
+    scope.set_gauge("rows", rows)
+    scope.set_gauge("cols", cols)
+    scope.set_gauge("blocks", 1)
+    scope.set_gauge("digital_merge", 0)
+    scope.set_gauge("cells_per_weight", cells_per_weight)
+    scope.observe("row_activity", np.full(n, 1.0))
+
+
 def dac_analog_layer_compute(
     layer: Layer,
     device: Optional[RRAMDevice] = None,
@@ -433,6 +560,7 @@ def dac_analog_layer_compute(
     data_bits: int = 8,
     rng: Optional[np.random.Generator] = None,
     engine: str = "fused",
+    obs_index: Optional[int] = None,
 ):
     """The SEI design's input layer: DAC-driven crossbars, analog merge.
 
@@ -468,6 +596,7 @@ def dac_analog_layer_compute(
 
     def matrix_fn(x: np.ndarray) -> np.ndarray:
         driven = dac.quantize(np.clip(x, 0.0, 1.0))
+        _record_dac(obs_index, driven, matrix.shape[1], len(programmed))
         if engine == "reference":
             total = np.zeros(driven.shape[:-1] + (matrix.shape[1],))
             for coeff, cells in zip(coefficients, programmed):
@@ -476,6 +605,7 @@ def dac_analog_layer_compute(
         return driven @ merged
 
     def fused_matrix_fn(driven: np.ndarray) -> np.ndarray:
+        _record_dac(obs_index, driven, matrix.shape[1], len(programmed))
         return driven @ merged
 
     def compute(inner_layer: Layer, x: np.ndarray) -> np.ndarray:

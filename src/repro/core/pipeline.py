@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.nn import functional as F
 from repro.nn.layers import Conv2D, Dense, Layer
@@ -154,88 +155,121 @@ def build_split_network(
     ]
     final_index = weighted[-1]
 
-    for layer_index in weighted:
-        layer = network.layers[layer_index]
-        matrix = layer_weight_matrix(layer)
-        blocks = required_blocks(
-            matrix.shape[0], config.max_crossbar_size, config.cells_per_weight
-        )
-        if blocks <= 1:
-            continue
+    with obs.span(
+        "split.build",
+        layers=len(weighted),
+        method=config.partition_method,
+        samples=subset,
+    ) as build_sp:
+        for layer_index in weighted:
+            layer = network.layers[layer_index]
+            matrix = layer_weight_matrix(layer)
+            blocks = required_blocks(
+                matrix.shape[0], config.max_crossbar_size,
+                config.cells_per_weight,
+            )
+            if blocks <= 1:
+                obs.count("split/layers_unsplit")
+                continue
+            obs.count("split/layers_split")
 
-        partition = _choose_partition(matrix, blocks, config, rng)
-        is_final = layer_index == final_index
+            with obs.span(
+                "split.layer", index=layer_index, blocks=blocks
+            ) as layer_sp:
+                partition = _choose_partition(matrix, blocks, config, rng)
+                is_final = layer_index == final_index
+                layer_sp.set("is_final", is_final)
 
-        if is_final and config.final_layer_mode == "analog":
-            # Blocks merge by analog current summing into the WTA readout:
-            # functionally exact, so no compute hook is installed; the
-            # report still records the physical split.
-            result.reports[layer_index] = SplitLayerReport(
-                layer_index=layer_index,
-                num_blocks=blocks,
-                partition=partition,
-                decision=SplitDecision(block_threshold=0.0, vote_threshold=1),
-                distance=block_mean_distance(matrix, partition),
-                natural_distance=block_mean_distance(
-                    matrix, natural_partition(matrix.shape[0], blocks)
-                ),
-                calibration_accuracy=float("nan"),
-                is_final=True,
-            )
-            continue
+                if is_final and config.final_layer_mode == "analog":
+                    # Blocks merge by analog current summing into the WTA
+                    # readout: functionally exact, so no compute hook is
+                    # installed; the report still records the physical
+                    # split.
+                    result.reports[layer_index] = SplitLayerReport(
+                        layer_index=layer_index,
+                        num_blocks=blocks,
+                        partition=partition,
+                        decision=SplitDecision(
+                            block_threshold=0.0, vote_threshold=1
+                        ),
+                        distance=block_mean_distance(matrix, partition),
+                        natural_distance=block_mean_distance(
+                            matrix,
+                            natural_partition(matrix.shape[0], blocks),
+                        ),
+                        calibration_accuracy=float("nan"),
+                        is_final=True,
+                    )
+                    layer_sp.set("merge", "analog")
+                    continue
 
-        input_bits, fold = _layer_input_bits(binarized, layer_index, cal_images)
+                input_bits, fold = _layer_input_bits(
+                    binarized, layer_index, cal_images
+                )
 
-        if is_final:
-            decision, cal_acc = _calibrate_final_layer(
-                binarized,
-                layer_index,
-                matrix,
-                partition,
-                input_bits,
-                fold,
-                cal_images,
-                cal_labels,
-                config,
-            )
-            split = SplitMatrix(
-                matrix, partition, decision, bias=layer_bias(layer)
-            )
-            binarized.layer_computes[layer_index] = final_layer_vote_compute(
-                layer, split
-            )
-        else:
-            decision, cal_acc = _calibrate_hidden_layer(
-                binarized,
-                layer_index,
-                matrix,
-                partition,
-                thresholds[layer_index],
-                input_bits,
-                fold,
-                cal_images,
-                cal_labels,
-                config,
-            )
-            split = SplitMatrix(
-                matrix, partition, decision, bias=layer_bias(layer)
-            )
-            binarized.layer_computes[layer_index] = split_layer_compute(
-                layer, split
-            )
+                if is_final:
+                    decision, cal_acc = _calibrate_final_layer(
+                        binarized,
+                        layer_index,
+                        matrix,
+                        partition,
+                        input_bits,
+                        fold,
+                        cal_images,
+                        cal_labels,
+                        config,
+                    )
+                    split = SplitMatrix(
+                        matrix, partition, decision, bias=layer_bias(layer)
+                    )
+                    binarized.layer_computes[layer_index] = (
+                        final_layer_vote_compute(
+                            layer,
+                            split,
+                            obs_index=layer_index,
+                            cells_per_weight=config.cells_per_weight,
+                        )
+                    )
+                else:
+                    decision, cal_acc = _calibrate_hidden_layer(
+                        binarized,
+                        layer_index,
+                        matrix,
+                        partition,
+                        thresholds[layer_index],
+                        input_bits,
+                        fold,
+                        cal_images,
+                        cal_labels,
+                        config,
+                    )
+                    split = SplitMatrix(
+                        matrix, partition, decision, bias=layer_bias(layer)
+                    )
+                    binarized.layer_computes[layer_index] = (
+                        split_layer_compute(
+                            layer,
+                            split,
+                            obs_index=layer_index,
+                            cells_per_weight=config.cells_per_weight,
+                        )
+                    )
+                layer_sp.set("calibration_accuracy", cal_acc)
+                layer_sp.set("vote_threshold", decision.vote_threshold)
 
-        result.reports[layer_index] = SplitLayerReport(
-            layer_index=layer_index,
-            num_blocks=blocks,
-            partition=partition,
-            decision=decision,
-            distance=block_mean_distance(matrix, partition),
-            natural_distance=block_mean_distance(
-                matrix, natural_partition(matrix.shape[0], blocks)
-            ),
-            calibration_accuracy=cal_acc,
-            is_final=is_final,
-        )
+                result.reports[layer_index] = SplitLayerReport(
+                    layer_index=layer_index,
+                    num_blocks=blocks,
+                    partition=partition,
+                    decision=decision,
+                    distance=block_mean_distance(matrix, partition),
+                    natural_distance=block_mean_distance(
+                        matrix, natural_partition(matrix.shape[0], blocks)
+                    ),
+                    calibration_accuracy=cal_acc,
+                    is_final=is_final,
+                )
+        build_sp.set("layers_split", len(result.reports))
 
     return result
 
@@ -364,6 +398,7 @@ def _calibrate_hidden_layer(
         block_bits = (sums > thresholds[:, :, None]).astype(np.float64)
         counts = block_bits.sum(axis=1)
         for vote in votes:
+            obs.count("split/candidates_evaluated")
             out_bits = (counts >= vote).astype(np.float64)
             acc = _tail_accuracy(
                 binarized, layer_index, fold(out_bits), cal_labels
@@ -413,6 +448,7 @@ def _calibrate_final_layer(
     best: Tuple[float, SplitDecision] = (-1.0, SplitDecision(0.0))
     for gamma in gammas:
         for c0_total in grid:
+            obs.count("split/candidates_evaluated")
             slope = (
                 gamma * c0_total / mean_total_ones
                 if mean_total_ones > 0

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, MappingError, ShapeError
 from repro.nn.layers import Layer
 
@@ -252,11 +253,39 @@ class SplitMatrix:
         ).astype(np.float64)
 
 
-def split_layer_compute(layer: Layer, matrix: SplitMatrix):
+def _record_split(
+    matrix: SplitMatrix,
+    obs_index: Optional[int],
+    cells_per_weight: int,
+    bits: np.ndarray,
+) -> None:
+    rec = obs.active()
+    if rec is None or obs_index is None:
+        return
+    from repro.obs.power import record_mvm_batch
+
+    record_mvm_batch(
+        rec.metrics,
+        obs_index,
+        bits,
+        matrix.cols,
+        blocks=matrix.num_blocks,
+        cells_per_weight=cells_per_weight,
+    )
+
+
+def split_layer_compute(
+    layer: Layer,
+    matrix: SplitMatrix,
+    obs_index: Optional[int] = None,
+    cells_per_weight: int = 4,
+):
     """Layer-compute hook for a *hidden* split layer.
 
     Returns the 0/1 outputs directly; the enclosing BinarizedNetwork's
     re-thresholding (any threshold in [0, 1)) leaves them unchanged.
+    ``obs_index`` enables per-layer activity counters (MVMs, SA events,
+    row activity) under ``hw/layer{obs_index}`` while a recorder is on.
     """
     weight_matrix = layer_weight_matrix(layer)
     if weight_matrix.shape != matrix.weights.shape:
@@ -264,20 +293,31 @@ def split_layer_compute(layer: Layer, matrix: SplitMatrix):
             f"split matrix shape {matrix.weights.shape} does not match "
             f"layer weight matrix {weight_matrix.shape}"
         )
+
+    def matrix_fn(bits: np.ndarray) -> np.ndarray:
+        _record_split(matrix, obs_index, cells_per_weight, bits)
+        return matrix.fire(bits)
 
     def compute(inner_layer: Layer, x: np.ndarray) -> np.ndarray:
         # The SplitMatrix folds the layer bias into its block sums, so the
         # generic bias addition is disabled.
-        return apply_matrix_fn(inner_layer, x, matrix.fire, add_bias=False)
+        return apply_matrix_fn(inner_layer, x, matrix_fn, add_bias=False)
 
     return compute
 
 
-def final_layer_vote_compute(layer: Layer, matrix: SplitMatrix):
+def final_layer_vote_compute(
+    layer: Layer,
+    matrix: SplitMatrix,
+    obs_index: Optional[int] = None,
+    cells_per_weight: int = 4,
+):
     """Layer-compute hook for the *final classifier* split layer.
 
     Produces per-class fired-block counts; argmax over them is the
-    classification (digital comparator tree, no ADC).
+    classification (digital comparator tree, no ADC).  ``obs_index``
+    enables the same per-layer activity counters as
+    :func:`split_layer_compute`.
     """
     weight_matrix = layer_weight_matrix(layer)
     if weight_matrix.shape != matrix.weights.shape:
@@ -286,9 +326,13 @@ def final_layer_vote_compute(layer: Layer, matrix: SplitMatrix):
             f"layer weight matrix {weight_matrix.shape}"
         )
 
+    def matrix_fn(bits: np.ndarray) -> np.ndarray:
+        _record_split(matrix, obs_index, cells_per_weight, bits)
+        return matrix.fired_counts(bits)
+
     def compute(inner_layer: Layer, x: np.ndarray) -> np.ndarray:
         return apply_matrix_fn(
-            inner_layer, x, matrix.fired_counts, add_bias=False
+            inner_layer, x, matrix_fn, add_bias=False
         )
 
     return compute

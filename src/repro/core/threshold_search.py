@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import QuantizationError
 from repro.core.binarized import (
     BinarizedNetwork,
@@ -173,71 +174,108 @@ def search_thresholds(
     layer_accuracy: Dict[int, float] = {}
     curves: Dict[int, Dict[float, float]] = {}
 
-    for layer_index in targets:
-        # Step 1: outputs of layer L with earlier layers quantized.
-        pre_acts = _collect_pre_activations(
-            net, images, thresholds, layer_index, config.batch_size,
-            cache=prefix_cache, engine=config.engine,
-        )
-        # Step 2: weight re-scaling so outputs lie in [0, 1].
-        peak = float(pre_acts.max(initial=0.0))
-        rescale_layer(net, layer_index, peak)
-        divisors[layer_index] = peak
-        pre_acts = pre_acts / peak
-
-        # Step 3: brute-force threshold search (deeper layers still float
-        # in the greedy phase: they carry no thresholds yet).
-        if config.criterion == "accuracy":
-            best_t, best_score, curve = _search_by_accuracy(
-                net,
-                pre_acts,
-                labels,
-                layer_index,
-                candidates,
-                config.batch_size,
-                thresholds,
-                engine=config.engine,
-            )
-        else:
-            best_t, best_score, curve = _search_by_qerror(pre_acts, candidates)
-        thresholds[layer_index] = best_t
-        layer_accuracy[layer_index] = best_score
-        curves[layer_index] = curve
-
-    # Optional coordinate-descent refinement: re-search each threshold
-    # with every other one held fixed (now including the deeper ones).
-    # The weights are static from here on (re-scaling happened during the
-    # greedy sweep), so a layer whose surrounding thresholds did not
-    # change since its last refinement sees byte-identical inputs — the
-    # fused engine memoizes those evaluations instead of recomputing.
-    for _ in range(config.refine_passes):
+    with obs.span(
+        "algorithm1.search",
+        engine=config.engine,
+        criterion=config.criterion,
+        layers=len(targets),
+        candidates=len(candidates),
+        refine_passes=config.refine_passes,
+        samples=len(images),
+    ):
         for layer_index in targets:
-            others = {k: v for k, v in thresholds.items() if k != layer_index}
-            memo_key = (layer_index, tuple(sorted(others.items())))
-            if fused and memo_key in refine_memo:
-                best_t, best_score, curve = refine_memo[memo_key]
-            else:
-                # The weights are already re-scaled in place, so the
-                # collected activations are on the [0, 1] search scale.
+            with obs.span("algorithm1.layer", index=layer_index) as layer_sp:
+                # Step 1: outputs of layer L with earlier layers quantized.
                 pre_acts = _collect_pre_activations(
                     net, images, thresholds, layer_index, config.batch_size,
                     cache=prefix_cache, engine=config.engine,
                 )
-                best_t, best_score, curve = _search_by_accuracy(
-                    net,
-                    pre_acts,
-                    labels,
-                    layer_index,
-                    candidates,
-                    config.batch_size,
-                    others,
-                    engine=config.engine,
-                )
-                if fused:
-                    refine_memo[memo_key] = (best_t, best_score, curve)
-            thresholds[layer_index] = best_t
-            layer_accuracy[layer_index] = best_score
-            curves[layer_index] = curve
+                # Step 2: weight re-scaling so outputs lie in [0, 1].
+                peak = float(pre_acts.max(initial=0.0))
+                rescale_layer(net, layer_index, peak)
+                divisors[layer_index] = peak
+                pre_acts = pre_acts / peak
+
+                # Step 3: brute-force threshold search (deeper layers
+                # still float in the greedy phase: no thresholds yet).
+                if config.criterion == "accuracy":
+                    best_t, best_score, curve = _search_by_accuracy(
+                        net,
+                        pre_acts,
+                        labels,
+                        layer_index,
+                        candidates,
+                        config.batch_size,
+                        thresholds,
+                        engine=config.engine,
+                    )
+                else:
+                    best_t, best_score, curve = _search_by_qerror(
+                        pre_acts, candidates
+                    )
+                thresholds[layer_index] = best_t
+                layer_accuracy[layer_index] = best_score
+                curves[layer_index] = curve
+                layer_sp.set("threshold", best_t)
+                layer_sp.set("score", best_score)
+
+        # Optional coordinate-descent refinement: re-search each threshold
+        # with every other one held fixed (now including the deeper ones).
+        # The weights are static from here on (re-scaling happened during
+        # the greedy sweep), so a layer whose surrounding thresholds did
+        # not change since its last refinement sees byte-identical inputs
+        # — the fused engine memoizes those evaluations instead of
+        # recomputing.
+        for pass_index in range(config.refine_passes):
+            with obs.span("algorithm1.refine", pass_index=pass_index):
+                for layer_index in targets:
+                    with obs.span(
+                        "algorithm1.refine_layer", index=layer_index
+                    ) as refine_sp:
+                        others = {
+                            k: v
+                            for k, v in thresholds.items()
+                            if k != layer_index
+                        }
+                        memo_key = (
+                            layer_index, tuple(sorted(others.items()))
+                        )
+                        memo_hit = fused and memo_key in refine_memo
+                        obs.count(
+                            "search/refine_memo/hits"
+                            if memo_hit
+                            else "search/refine_memo/misses"
+                        )
+                        refine_sp.set("memo_hit", memo_hit)
+                        if memo_hit:
+                            best_t, best_score, curve = refine_memo[memo_key]
+                        else:
+                            # The weights are already re-scaled in place, so
+                            # the collected activations are on the [0, 1]
+                            # search scale.
+                            pre_acts = _collect_pre_activations(
+                                net, images, thresholds, layer_index,
+                                config.batch_size,
+                                cache=prefix_cache, engine=config.engine,
+                            )
+                            best_t, best_score, curve = _search_by_accuracy(
+                                net,
+                                pre_acts,
+                                labels,
+                                layer_index,
+                                candidates,
+                                config.batch_size,
+                                others,
+                                engine=config.engine,
+                            )
+                            if fused:
+                                refine_memo[memo_key] = (
+                                    best_t, best_score, curve
+                                )
+                        thresholds[layer_index] = best_t
+                        layer_accuracy[layer_index] = best_score
+                        curves[layer_index] = curve
+                        refine_sp.set("threshold", best_t)
 
     return SearchResult(
         network=net,
@@ -321,6 +359,11 @@ def _collect_pre_activations(
     source = images
     if cache is not None:
         hit = cache.lookup(layer_index, applied)
+        obs.count(
+            "search/prefix_cache/hits"
+            if hit is not None
+            else "search/prefix_cache/misses"
+        )
         if hit is not None:
             boundary, bits = hit
             start_index = boundary + 1
@@ -398,6 +441,7 @@ def _search_by_accuracy(
     tail_thresholds = {
         k: v for k, v in other_thresholds.items() if k > layer_index
     }
+    obs.count("search/candidates_scored", len(candidates))
     if engine == "fused":
         plan = _plan_fused_scan(net, pre_acts, layer_index)
         if plan is not None:
@@ -638,6 +682,7 @@ def _search_by_qerror(pre_acts: np.ndarray, candidates: np.ndarray):
     in the curve is the negative MSE so that "higher is better" matches
     the accuracy criterion.
     """
+    obs.count("search/candidates_scored", len(candidates))
     flat = pre_acts.ravel()
     best_t = float(candidates[0])
     best_mse = np.inf

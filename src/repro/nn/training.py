@@ -7,12 +7,15 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import TrainingError
 from repro.nn.losses import accuracy, softmax_cross_entropy
 from repro.nn.network import Sequential
 from repro.nn.optim import Adam, Optimizer
 
 __all__ = ["TrainConfig", "TrainHistory", "Trainer", "evaluate_accuracy"]
+
+logger = obs.get_logger("nn.training")
 
 
 @dataclass
@@ -85,46 +88,69 @@ class Trainer:
         history = TrainHistory()
         n = len(images)
 
-        for epoch in range(cfg.epochs):
-            order = rng.permutation(n) if cfg.shuffle else np.arange(n)
-            epoch_loss = 0.0
-            epoch_correct = 0
-
-            for start in range(0, n, cfg.batch_size):
-                idx = order[start : start + cfg.batch_size]
-                batch_x, batch_y = images[idx], labels[idx]
-
-                self.network.zero_grad()
-                logits, loss = self._train_step(batch_x, batch_y)
-                if not np.isfinite(loss):
-                    raise TrainingError(
-                        f"loss became non-finite ({loss}) at epoch {epoch}"
+        with obs.span(
+            "train.fit", epochs=cfg.epochs, samples=n,
+            batch_size=cfg.batch_size,
+        ) as fit_sp:
+            for epoch in range(cfg.epochs):
+                with obs.span("train.epoch", index=epoch) as epoch_sp:
+                    order = (
+                        rng.permutation(n) if cfg.shuffle else np.arange(n)
                     )
-                self.optimizer.step(self.network.parameter_groups())
+                    epoch_loss = 0.0
+                    epoch_correct = 0
 
-                epoch_loss += loss * len(idx)
-                epoch_correct += int((logits.argmax(axis=-1) == batch_y).sum())
+                    for start in range(0, n, cfg.batch_size):
+                        idx = order[start : start + cfg.batch_size]
+                        batch_x, batch_y = images[idx], labels[idx]
 
-            history.train_loss.append(epoch_loss / n)
-            history.train_accuracy.append(epoch_correct / n)
+                        self.network.zero_grad()
+                        logits, loss = self._train_step(batch_x, batch_y)
+                        if not np.isfinite(loss):
+                            raise TrainingError(
+                                f"loss became non-finite ({loss}) at "
+                                f"epoch {epoch}"
+                            )
+                        self.optimizer.step(self.network.parameter_groups())
+                        obs.count("train/steps")
+                        obs.count("train/samples", len(idx))
 
-            if val_images is not None and val_labels is not None:
-                val_acc = evaluate_accuracy(self.network, val_images, val_labels)
-                history.val_accuracy.append(val_acc)
-            else:
-                val_acc = history.train_accuracy[-1]
+                        epoch_loss += loss * len(idx)
+                        epoch_correct += int(
+                            (logits.argmax(axis=-1) == batch_y).sum()
+                        )
 
-            if cfg.verbose:  # pragma: no cover - console output
-                print(
-                    f"epoch {epoch + 1}/{cfg.epochs}: "
-                    f"loss={history.train_loss[-1]:.4f} "
-                    f"train_acc={history.train_accuracy[-1]:.4f} "
-                    f"val_acc={val_acc:.4f}"
-                )
-            if on_epoch_end is not None:
-                on_epoch_end(epoch, history)
-            if cfg.target_accuracy is not None and val_acc >= cfg.target_accuracy:
-                break
+                    history.train_loss.append(epoch_loss / n)
+                    history.train_accuracy.append(epoch_correct / n)
+
+                    if val_images is not None and val_labels is not None:
+                        val_acc = evaluate_accuracy(
+                            self.network, val_images, val_labels
+                        )
+                        history.val_accuracy.append(val_acc)
+                    else:
+                        val_acc = history.train_accuracy[-1]
+                    epoch_sp.set("loss", history.train_loss[-1])
+                    epoch_sp.set("val_accuracy", val_acc)
+
+                if cfg.verbose:
+                    logger.info(
+                        "epoch %d/%d: loss=%.4f train_acc=%.4f val_acc=%.4f",
+                        epoch + 1,
+                        cfg.epochs,
+                        history.train_loss[-1],
+                        history.train_accuracy[-1],
+                        val_acc,
+                    )
+                if on_epoch_end is not None:
+                    on_epoch_end(epoch, history)
+                if (
+                    cfg.target_accuracy is not None
+                    and val_acc >= cfg.target_accuracy
+                ):
+                    obs.count("train/early_stops")
+                    break
+            fit_sp.set("epochs_run", history.epochs_run)
 
         return history
 

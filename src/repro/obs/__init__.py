@@ -1,0 +1,70 @@
+"""Observability: span tracing, metrics, run manifests, power estimates.
+
+Dependency-free (stdlib + numpy) instrumentation for the reproduction:
+
+* :mod:`repro.obs.tracing` — hierarchical wall-clock spans with JSON and
+  pretty-tree export;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with named
+  scopes;
+* :mod:`repro.obs.manifest` — run provenance (versions, git sha, seed,
+  config digest) attached to every export;
+* :mod:`repro.obs.power` — converts observed active-row fractions into
+  the paper's Table 5 dynamic-power model (Equ. 6 row switching);
+* :mod:`repro.obs.recorder` — the process-global on/off switch; all
+  instrumented code goes through :func:`span` / :func:`count` /
+  :func:`set_gauge` / :func:`observe`, which cost one ``None`` check
+  when recording is disabled;
+* :mod:`repro.obs.log` — the ``repro.*`` logger tree and CLI verbosity
+  mapping.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.recording() as rec:
+        model = zoo.get_quantized("network1")
+    print(rec.pretty())
+    json.dump(rec.export(seed=0), open("trace.json", "w"))
+"""
+
+from repro.obs import log, manifest, metrics, power, tracing
+from repro.obs.log import configure, get_logger
+from repro.obs.manifest import config_digest, run_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import (
+    Recorder,
+    active,
+    count,
+    disable,
+    enable,
+    observe,
+    recording,
+    set_gauge,
+    span,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "tracing",
+    "metrics",
+    "manifest",
+    "power",
+    "log",
+    "Recorder",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "active",
+    "enable",
+    "disable",
+    "recording",
+    "span",
+    "count",
+    "set_gauge",
+    "observe",
+    "run_manifest",
+    "config_digest",
+    "get_logger",
+    "configure",
+]

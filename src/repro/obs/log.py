@@ -1,0 +1,91 @@
+"""Logging helpers: one named logger tree, verbosity mapping, stdout.
+
+All of ``repro`` logs under the ``repro`` logger namespace
+(``repro.cli``, ``repro.zoo``, ...).  :func:`get_logger` is the single
+entry point modules use; :func:`configure` is called once by the CLI (or
+a test) to attach a handler and map a ``-v``/``-q`` count to a level.
+
+The handler resolves ``sys.stdout`` at emit time rather than capturing
+the stream object at configure time, so output lands wherever stdout
+currently points (pytest's ``capsys``, a shell redirect started later).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure", "verbosity_level", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+
+class _StdoutHandler(logging.StreamHandler):
+    """StreamHandler bound to *current* ``sys.stdout`` at emit time."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stdout)
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value) -> None:
+        # StreamHandler.__init__ assigns self.stream; ignore — we always
+        # resolve sys.stdout dynamically.
+        pass
+
+    def handleError(self, record) -> None:
+        # A downstream pipe closing early (``repro-cli table5 | head``)
+        # is normal CLI life, not an error worth a traceback on stderr.
+        if isinstance(sys.exc_info()[1], BrokenPipeError):
+            return
+        super().handleError(record)
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-v`` minus ``-q`` count to a logging level.
+
+    0 → INFO (default CLI chatter), 1+ → DEBUG, -1 → WARNING,
+    -2 and below → ERROR.
+    """
+    if verbosity >= 1:
+        return logging.DEBUG
+    if verbosity == 0:
+        return logging.INFO
+    if verbosity == -1:
+        return logging.WARNING
+    return logging.ERROR
+
+
+def configure(verbosity: int = 0, fmt: Optional[str] = None) -> logging.Logger:
+    """Attach (or retune) the stdout handler on the ``repro`` logger.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers, so tests and nested CLI invocations stay clean.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(verbosity_level(verbosity))
+    # Propagation stays on: the root logger normally has no handlers (so
+    # nothing duplicates), and pytest's caplog relies on it.
+    handler = next(
+        (h for h in logger.handlers if isinstance(h, _StdoutHandler)), None
+    )
+    if handler is None:
+        handler = _StdoutHandler()
+        logger.addHandler(handler)
+    handler.setFormatter(
+        logging.Formatter(fmt if fmt is not None else "%(message)s")
+    )
+    return logger

@@ -1,0 +1,97 @@
+"""Run manifest: provenance attached to every trace/metrics export.
+
+A manifest answers "what produced this file?": package and numpy
+versions, python/platform, git revision (when the source tree is a
+checkout), an ISO-8601 UTC timestamp, plus caller-supplied fields such
+as the RNG seed and a digest of the active configuration.
+
+:func:`config_digest` hashes any JSON-ish mapping (dataclasses and numpy
+scalars included) so two runs can be compared for configuration equality
+without storing the whole config.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+__all__ = ["run_manifest", "config_digest", "git_revision"]
+
+
+def _digestable(value: Any) -> Any:
+    """Reduce ``value`` to deterministic JSON-encodable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _digestable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _digestable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_digestable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()  # numpy scalar
+        except (ValueError, TypeError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()  # numpy array
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_digest(config: Any) -> str:
+    """Short deterministic sha256 digest of a configuration object."""
+    encoded = json.dumps(_digestable(config), sort_keys=True).encode()
+    return hashlib.sha256(encoded).hexdigest()[:16]
+
+
+def git_revision() -> Optional[str]:
+    """Current git commit sha, or ``None`` outside a checkout."""
+    root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_manifest(
+    seed: Optional[int] = None,
+    config: Any = None,
+    **extra: Any,
+) -> dict:
+    """Provenance record for one run; all values JSON-serialisable."""
+    import numpy
+
+    import repro
+
+    manifest = {
+        "package": "repro",
+        "package_version": repro.__version__,
+        "numpy_version": numpy.__version__,
+        "python_version": sys.version.split()[0],
+        "platform": platform.platform(),
+        "git_sha": git_revision(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(),
+        "seed": seed,
+        "config_digest": config_digest(config) if config is not None else None,
+    }
+    for key, value in extra.items():
+        manifest[key] = _digestable(value)
+    return manifest

@@ -1,0 +1,225 @@
+"""Metrics registry: counters, gauges and histograms with named scopes.
+
+Names are free-form strings; the repo's convention is ``/``-separated
+scopes (``hw/layer3/mvms``, ``zoo/cache/hits``), and
+:meth:`MetricsRegistry.scope` returns a view that prefixes every name so
+subsystems can hand out namespaced handles.
+
+All instruments are get-or-create: ``registry.counter("x")`` returns the
+existing counter or makes one, so instrumented code never needs a
+registration phase.  :meth:`MetricsRegistry.as_dict` exports plain
+Python types only, so the result round-trips through JSON unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "DEFAULT_FRACTION_EDGES",
+]
+
+#: Default histogram edges for fraction-valued observations (activity
+#: ratios, hit rates): 20 equal bins over [0, 1].
+DEFAULT_FRACTION_EDGES = np.linspace(0.0, 1.0, 21)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bin histogram with running count/sum/min/max.
+
+    Values outside the bin range still update the scalar statistics but
+    fall into no bin (``numpy.histogram`` semantics; the right-most edge
+    is inclusive).
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "min", "max")
+
+    def __init__(self, edges: Optional[Sequence[float]] = None) -> None:
+        self.edges = np.asarray(
+            DEFAULT_FRACTION_EDGES if edges is None else edges,
+            dtype=np.float64,
+        )
+        if self.edges.ndim != 1 or self.edges.size < 2:
+            raise ValueError("histogram needs at least two bin edges")
+        if not np.all(np.diff(self.edges) > 0):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.counts = np.zeros(self.edges.size - 1, dtype=np.int64)
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    def observe(self, values: Union[float, np.ndarray]) -> None:
+        arr = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if arr.size == 0:
+            return
+        binned, _ = np.histogram(arr, self.edges)
+        self.counts += binned
+        self.count += arr.size
+        self.total += float(arr.sum())
+        self.min = min(self.min, float(arr.min()))
+        self.max = max(self.max, float(arr.max()))
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> dict:
+        return {
+            "edges": [float(e) for e in self.edges],
+            "counts": [int(c) for c in self.counts],
+            "count": int(self.count),
+            "sum": float(self.total),
+            "min": float(self.min) if self.count else None,
+            "max": float(self.max) if self.count else None,
+            "mean": self.mean,
+        }
+
+
+def _plain_number(value: Union[int, float, None]):
+    """Export values as native ints where exact, floats otherwise."""
+    if value is None:
+        return None
+    value = float(value)
+    if value.is_integer():
+        return int(value)
+    return value
+
+
+class MetricsRegistry:
+    """Process-local store of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments -------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(edges)
+        return instrument
+
+    # -- shorthands ---------------------------------------------------------
+    def inc(self, name: str, n: Union[int, float] = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: Union[int, float]) -> None:
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        values: Union[float, np.ndarray],
+        edges: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.histogram(name, edges).observe(values)
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        """A view that prefixes every metric name with ``prefix/``."""
+        return MetricsScope(self, prefix)
+
+    # -- export -------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-serialisable snapshot of every instrument."""
+        return {
+            "counters": {
+                name: _plain_number(c.value)
+                for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: _plain_number(g.value)
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class MetricsScope:
+    """A prefixing view over a :class:`MetricsRegistry`."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix.rstrip("/")
+
+    def _name(self, name: str) -> str:
+        return f"{self._prefix}/{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._name(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(self._name(name))
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._registry.histogram(self._name(name), edges)
+
+    def inc(self, name: str, n: Union[int, float] = 1) -> None:
+        self._registry.inc(self._name(name), n)
+
+    def set_gauge(self, name: str, value: Union[int, float]) -> None:
+        self._registry.set_gauge(self._name(name), value)
+
+    def observe(
+        self,
+        name: str,
+        values: Union[float, np.ndarray],
+        edges: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._registry.observe(self._name(name), values, edges)
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self._registry, self._name(prefix))

@@ -1,0 +1,149 @@
+"""Process-global recorder: the single switch for all instrumentation.
+
+Instrumented code never imports the tracer or registry directly — it
+calls the module-level helpers here::
+
+    from repro import obs
+
+    with obs.span("algorithm1.layer", index=i) as sp:
+        ...
+        sp.set("candidates", n)
+    obs.count("search/candidates_scored", n)
+
+When recording is disabled (the default) every helper is a single
+module-global ``None`` check: ``span`` returns the shared
+:data:`~repro.obs.tracing.NULL_SPAN`, the metric helpers return
+immediately — no allocation, no clock read, no dictionary lookup.
+
+Enable with :func:`enable`/:func:`disable` or, preferably, the
+:func:`recording` context manager, which restores the previous recorder
+on exit (safe to nest, safe in tests)::
+
+    with obs.recording() as rec:
+        run_workload()
+    payload = rec.export(seed=0, config=cfg)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.obs.manifest import run_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+__all__ = [
+    "Recorder",
+    "active",
+    "enable",
+    "disable",
+    "recording",
+    "span",
+    "count",
+    "set_gauge",
+    "observe",
+]
+
+
+class Recorder:
+    """One tracing + metrics session."""
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    def export(
+        self,
+        seed: Optional[int] = None,
+        config: Any = None,
+        **extra: Any,
+    ) -> dict:
+        """Manifest + trace + metrics (+ power estimate when available).
+
+        The power section appears whenever the workload recorded any
+        ``hw/layer*`` activity counters.
+        """
+        from repro.obs.power import estimate_from_metrics
+
+        payload = {
+            "manifest": run_manifest(seed=seed, config=config, **extra),
+            "trace": self.tracer.to_dict(),
+            "metrics": self.metrics.as_dict(),
+        }
+        power = estimate_from_metrics(self.metrics)
+        if power is not None:
+            payload["power"] = power
+        return payload
+
+    def pretty(self) -> str:
+        return self.tracer.pretty()
+
+
+_RECORDER: Optional[Recorder] = None
+
+
+def active() -> Optional[Recorder]:
+    """The enabled recorder, or ``None`` when instrumentation is off."""
+    return _RECORDER
+
+
+def enable(recorder: Optional[Recorder] = None) -> Recorder:
+    """Install ``recorder`` (or a fresh one) as the process recorder."""
+    global _RECORDER
+    _RECORDER = recorder if recorder is not None else Recorder()
+    return _RECORDER
+
+
+def disable() -> None:
+    """Turn instrumentation off (helpers become no-ops again)."""
+    global _RECORDER
+    _RECORDER = None
+
+
+@contextlib.contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Enable recording for a block, restoring the previous state after."""
+    global _RECORDER
+    previous = _RECORDER
+    current = recorder if recorder is not None else Recorder()
+    _RECORDER = current
+    try:
+        yield current
+    finally:
+        _RECORDER = previous
+
+
+def span(name: str, **attrs: Any):
+    """A traced span when recording, the shared null span otherwise."""
+    rec = _RECORDER
+    if rec is None:
+        return NULL_SPAN
+    return rec.tracer.span(name, **attrs)
+
+
+def count(name: str, n: Union[int, float] = 1) -> None:
+    rec = _RECORDER
+    if rec is not None:
+        rec.metrics.inc(name, n)
+
+
+def set_gauge(name: str, value: Union[int, float]) -> None:
+    rec = _RECORDER
+    if rec is not None:
+        rec.metrics.set_gauge(name, value)
+
+
+def observe(
+    name: str,
+    values: Union[float, np.ndarray],
+    edges: Optional[Sequence[float]] = None,
+) -> None:
+    rec = _RECORDER
+    if rec is not None:
+        rec.metrics.observe(name, values, edges)

@@ -1,0 +1,170 @@
+"""Hierarchical span tracing: wall-clock timed, nested, exportable.
+
+A :class:`Tracer` records a tree of :class:`Span` objects through a
+context-manager API::
+
+    tracer = Tracer()
+    with tracer.span("algorithm1.search", engine="fused") as sp:
+        with tracer.span("algorithm1.layer0"):
+            ...
+        sp.set("layers", 2)
+
+Spans carry a name, free-form attributes, a start offset (relative to
+the tracer's creation, so exported traces are machine-independent) and a
+duration.  Export formats:
+
+* :meth:`Tracer.to_dict` — a JSON-serialisable tree (round-trips through
+  ``json.dumps``/``loads`` unchanged);
+* :meth:`Tracer.pretty` — an indented text tree with millisecond
+  durations for terminal inspection.
+
+The module also provides :data:`NULL_SPAN`, a shared no-op span used by
+the process-global recorder (:mod:`repro.obs.recorder`) so that
+instrumented code pays only a ``None`` check when tracing is disabled —
+no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars (and other oddballs) to plain JSON types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+class Span:
+    """One timed region of the trace tree."""
+
+    __slots__ = ("name", "attrs", "start_s", "duration_s", "children")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        #: Start offset in seconds relative to the tracer's epoch.
+        self.start_s: float = 0.0
+        self.duration_s: float = 0.0
+        self.children: List["Span"] = []
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on the span."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": float(self.start_s),
+            "duration_s": float(self.duration_s),
+            "attrs": {k: _json_safe(v) for k, v in self.attrs.items()},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.2f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: context manager + ``set`` that do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+#: The single process-wide null span (identity-comparable, never grows).
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that times one span and maintains the stack."""
+
+    __slots__ = ("_tracer", "_span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        stack = tracer._stack
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            tracer.roots.append(span)
+        stack.append(span)
+        self._t0 = time.perf_counter()
+        span.start_s = self._t0 - tracer._epoch
+        return span
+
+    def __exit__(self, *exc) -> bool:
+        self._span.duration_s = time.perf_counter() - self._t0
+        # Pop back to this span even if a nested span leaked (an exception
+        # inside instrumented code unwinds through every __exit__, so in
+        # practice the top of the stack is always this span).
+        stack = self._tracer._stack
+        while stack and stack[-1] is not self._span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects a forest of spans with wall-clock timing."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a child span of the currently active span (or a new root)."""
+        return _SpanContext(self, Span(name, attrs))
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of the currently open span (0 = none open)."""
+        return len(self._stack)
+
+    def to_dict(self) -> dict:
+        """The whole trace as a JSON-serialisable tree."""
+        return {"spans": [span.to_dict() for span in self.roots]}
+
+    def pretty(self) -> str:
+        """Indented text rendering of the span tree with durations."""
+        lines: List[str] = []
+
+        def render(span: Span, indent: int) -> None:
+            attrs = ", ".join(
+                f"{k}={_json_safe(v)}" for k, v in span.attrs.items()
+            )
+            suffix = f"  ({attrs})" if attrs else ""
+            lines.append(
+                f"{'  ' * indent}{span.name}  "
+                f"{span.duration_s * 1e3:.2f} ms{suffix}"
+            )
+            for child in span.children:
+                render(child, indent + 1)
+
+        for root in self.roots:
+            render(root, 0)
+        return "\n".join(lines)

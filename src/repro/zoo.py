@@ -14,7 +14,6 @@ Hyper-parameters per network live in :data:`ZOO_RECIPES`.  The
 from __future__ import annotations
 
 import json
-import warnings
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -22,12 +21,15 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.configs import build_network, get_network_spec
 from repro.errors import ReproError
 from repro.core.threshold_search import SearchConfig, SearchResult, search_thresholds
 from repro.data import MnistLike, default_cache_dir, load_mnist_like
 from repro.nn import Adam, TrainConfig, Trainer, evaluate_accuracy
 from repro.nn.network import Sequential
+
+logger = obs.get_logger("zoo")
 
 __all__ = [
     "ZooRecipe",
@@ -103,9 +105,9 @@ def _load_cached_network(network: Sequential, path: Path) -> bool:
         return True
     except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError,
             ReproError) as exc:
-        warnings.warn(
-            f"discarding corrupt model cache {path.name}: {exc}",
-            stacklevel=3,
+        obs.count("zoo/cache/corrupt")
+        logger.warning(
+            "discarding corrupt model cache %s: %s", path.name, exc
         )
         return False
 
@@ -123,9 +125,9 @@ def _load_cached_meta(meta_path: Path) -> Optional[dict]:
             raise KeyError(f"missing one of {required}")
         return meta
     except (OSError, ValueError, KeyError) as exc:
-        warnings.warn(
-            f"discarding corrupt model cache {meta_path.name}: {exc}",
-            stacklevel=3,
+        obs.count("zoo/cache/corrupt")
+        logger.warning(
+            "discarding corrupt model cache %s: %s", meta_path.name, exc
         )
         return None
 
@@ -154,21 +156,27 @@ def get_trained_network(
 
     network = build_network(spec, seed=recipe.seed)
     if not force_retrain and _load_cached_network(network, path):
+        obs.count("zoo/cache/hits")
         return network
+    obs.count("zoo/cache/misses")
+    logger.info("training %s (%d epochs)", name, recipe.epochs)
 
-    dataset = dataset if dataset is not None else get_dataset(cache_dir=cache_dir)
-    trainer = Trainer(
-        network,
-        Adam(recipe.learning_rate),
-        TrainConfig(
-            epochs=recipe.epochs,
-            batch_size=recipe.batch_size,
-            seed=recipe.seed,
-            activation_l1=recipe.activation_l1,
-        ),
-    )
-    trainer.fit(dataset.train.images, dataset.train.labels)
-    network.save(path)
+    with obs.span("zoo.train", network=name):
+        dataset = (
+            dataset if dataset is not None else get_dataset(cache_dir=cache_dir)
+        )
+        trainer = Trainer(
+            network,
+            Adam(recipe.learning_rate),
+            TrainConfig(
+                epochs=recipe.epochs,
+                batch_size=recipe.batch_size,
+                seed=recipe.seed,
+                activation_l1=recipe.activation_l1,
+            ),
+        )
+        trainer.fit(dataset.train.images, dataset.train.labels)
+        network.save(path)
     return network
 
 
@@ -194,6 +202,7 @@ def get_quantized(
         rescaled = build_network(spec, seed=ZOO_RECIPES[name].seed)
         meta = _load_cached_meta(meta_path)
         if meta is not None and _load_cached_network(rescaled, path):
+            obs.count("zoo/cache/hits")
             search = SearchResult(
                 network=rescaled,
                 thresholds={int(k): v for k, v in meta["thresholds"].items()},
@@ -205,17 +214,20 @@ def get_quantized(
             quant_error = meta["quantized_test_error"]
             return QuantizedModel(name, search, float_error, quant_error)
 
+    obs.count("zoo/cache/misses")
+    logger.info("running Algorithm 1 threshold search for %s", name)
     config = search_config if search_config is not None else SearchConfig()
     subset = min(SEARCH_SUBSET, len(dataset.train))
-    search = search_thresholds(
-        network,
-        dataset.train.images[:subset],
-        dataset.train.labels[:subset],
-        config,
-    )
-    quant_error = search.binarized().error_rate(
-        dataset.test.images, dataset.test.labels
-    )
+    with obs.span("zoo.quantize", network=name, samples=subset):
+        search = search_thresholds(
+            network,
+            dataset.train.images[:subset],
+            dataset.train.labels[:subset],
+            config,
+        )
+        quant_error = search.binarized().error_rate(
+            dataset.test.images, dataset.test.labels
+        )
 
     search.network.save(path)
     tmp_meta = meta_path.with_name(meta_path.name + ".tmp")
@@ -270,14 +282,20 @@ def get_deep_network(
     path = _models_dir(cache_dir) / "deep_demo.npz"
     network = build_deep_network()
     if not force_retrain and _load_cached_network(network, path):
+        obs.count("zoo/cache/hits")
         return network
+    obs.count("zoo/cache/misses")
+    logger.info("training deep demo network")
 
-    dataset = dataset if dataset is not None else get_dataset(cache_dir=cache_dir)
-    trainer = Trainer(
-        network,
-        Adam(2e-3),
-        TrainConfig(epochs=5, batch_size=64, seed=0, activation_l1=0.01),
-    )
-    trainer.fit(dataset.train.images, dataset.train.labels)
-    network.save(path)
+    with obs.span("zoo.train", network="deep_demo"):
+        dataset = (
+            dataset if dataset is not None else get_dataset(cache_dir=cache_dir)
+        )
+        trainer = Trainer(
+            network,
+            Adam(2e-3),
+            TrainConfig(epochs=5, batch_size=64, seed=0, activation_l1=0.01),
+        )
+        trainer.fit(dataset.train.images, dataset.train.labels)
+        network.save(path)
     return network

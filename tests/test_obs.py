@@ -1,0 +1,442 @@
+"""Tests for repro.obs: tracing, metrics, manifest, recorder, power.
+
+The two load-bearing guarantees are (a) instrumentation never perturbs
+results — traced noisy inference is bit-identical to untraced, because
+the hooks never touch the RNG stream — and (b) everything exported
+round-trips through JSON unchanged.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import HardwareConfig, SearchConfig, assemble_sei_network
+from repro.core import search_thresholds
+from repro.hw import RRAMDevice, TechnologyModel
+from repro.obs import MetricsRegistry, NULL_SPAN, Recorder, Tracer
+from repro.obs.power import estimate_from_metrics, record_mvm_batch
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_recorder():
+    """Every test starts and ends with instrumentation off."""
+    assert obs.active() is None
+    yield
+    obs.disable()
+
+
+class TestTracing:
+    def test_nesting_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("outer", engine="fused") as outer:
+            with tracer.span("inner", index=0) as inner:
+                inner.set("score", 0.5)
+            outer.set("layers", 1)
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert root.attrs == {"engine": "fused", "layers": 1}
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.children[0].attrs == {"index": 0, "score": 0.5}
+        assert root.duration_s >= root.children[0].duration_s >= 0.0
+        assert tracer.depth == 0
+
+    def test_to_dict_json_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("a", x=np.int64(3), y=np.float64(0.25)):
+            with tracer.span("b"):
+                pass
+        exported = tracer.to_dict()
+        assert json.loads(json.dumps(exported)) == exported
+        # Numpy scalars were coerced to plain types.
+        assert exported["spans"][0]["attrs"] == {"x": 3, "y": 0.25}
+
+    def test_pretty_renders_tree(self):
+        tracer = Tracer()
+        with tracer.span("root", k="v"):
+            with tracer.span("child"):
+                pass
+        text = tracer.pretty()
+        assert "root" in text and "child" in text
+        assert "k=v" in text
+        assert text.index("root") < text.index("child")
+
+    def test_stack_recovers_from_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.depth == 0
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots] == ["outer", "after"]
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 4)
+        reg.set_gauge("rows", 128)
+        reg.observe("activity", np.array([0.1, 0.1, 0.9]))
+        exported = reg.as_dict()
+        assert exported["counters"]["hits"] == 5
+        assert exported["gauges"]["rows"] == 128
+        hist = exported["histograms"]["activity"]
+        assert hist["count"] == 3
+        assert hist["mean"] == pytest.approx(1.1 / 3)
+        assert hist["min"] == pytest.approx(0.1)
+        assert hist["max"] == pytest.approx(0.9)
+        assert sum(hist["counts"]) == 3
+
+    def test_scope_prefixes_and_nests(self):
+        reg = MetricsRegistry()
+        scope = reg.scope("hw/layer3")
+        scope.inc("mvms", 7)
+        scope.scope("sub").set_gauge("x", 1)
+        exported = reg.as_dict()
+        assert exported["counters"]["hw/layer3/mvms"] == 7
+        assert exported["gauges"]["hw/layer3/sub/x"] == 1
+
+    def test_export_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 2.5)
+        reg.observe("h", 0.3)
+        exported = reg.as_dict()
+        assert json.loads(json.dumps(exported)) == exported
+
+
+class TestManifest:
+    def test_run_manifest_keys(self):
+        manifest = obs.run_manifest(seed=7, config={"a": 1}, extra_field="x")
+        for key in (
+            "package",
+            "package_version",
+            "numpy_version",
+            "python_version",
+            "platform",
+            "git_sha",
+            "timestamp_utc",
+            "seed",
+            "config_digest",
+        ):
+            assert key in manifest
+        assert manifest["seed"] == 7
+        assert manifest["extra_field"] == "x"
+
+    def test_config_digest_deterministic(self):
+        cfg_a = SearchConfig(thres_max=0.3)
+        cfg_b = SearchConfig(thres_max=0.3)
+        cfg_c = SearchConfig(thres_max=0.4)
+        assert obs.config_digest(cfg_a) == obs.config_digest(cfg_b)
+        assert obs.config_digest(cfg_a) != obs.config_digest(cfg_c)
+
+
+class TestRecorder:
+    def test_disabled_helpers_are_noops(self):
+        assert obs.span("anything", x=1) is NULL_SPAN
+        obs.count("nothing")
+        obs.set_gauge("nothing", 1)
+        obs.observe("nothing", 0.5)
+        with obs.span("still-null") as sp:
+            sp.set("k", "v")
+        assert sp is NULL_SPAN
+
+    def test_recording_restores_previous_state(self):
+        with obs.recording() as outer:
+            assert obs.active() is outer
+            with obs.recording() as inner:
+                assert obs.active() is inner
+            assert obs.active() is outer
+        assert obs.active() is None
+
+    def test_export_structure(self):
+        with obs.recording() as rec:
+            with obs.span("work", n=3):
+                obs.count("items", 3)
+        export = rec.export(seed=1)
+        assert set(export) == {"manifest", "trace", "metrics"}
+        assert export["trace"]["spans"][0]["name"] == "work"
+        assert export["metrics"]["counters"]["items"] == 3
+        assert json.loads(json.dumps(export)) == export
+
+    def test_export_includes_power_when_hw_counters_present(self):
+        with obs.recording() as rec:
+            record_mvm_batch(
+                rec.metrics, 0, np.ones((4, 8)), cols=2, cells_per_weight=4
+            )
+        export = rec.export()
+        assert "power" in export
+
+    def test_null_overhead_negligible(self):
+        # 100k disabled helper calls must be far under a second: each is
+        # one module-global None check (the bound is deliberately loose
+        # to stay robust on slow CI machines).
+        start = time.perf_counter()
+        for _ in range(100_000):
+            obs.count("x")
+            obs.span("y")
+        assert time.perf_counter() - start < 1.0
+
+
+class TestPowerEstimator:
+    def test_known_workload_exact_energies(self):
+        tech = TechnologyModel()
+        reg = MetricsRegistry()
+        bits = np.zeros((10, 100))
+        bits[:, :25] = 1.0  # 25% row activity
+        record_mvm_batch(reg, 2, bits, cols=16, cells_per_weight=4)
+        est = estimate_from_metrics(reg, tech=tech)
+        layer = est["layers"]["2"]
+        active = 10 * 25
+        assert layer["positions"] == 10
+        assert layer["mean_row_activity"] == pytest.approx(0.25)
+        assert layer["rram_read_pj"] == pytest.approx(
+            active * 4 * 16 * tech.cell_read_energy_pj
+        )
+        assert layer["row_drive_pj"] == pytest.approx(
+            active * 4 * tech.row_drive_energy_pj
+        )
+        assert layer["sense_amp_pj"] == pytest.approx(
+            10 * 16 * tech.sense_amp_energy_pj
+        )
+        assert layer["digital_pj"] == 0.0  # unsplit layer: no vote logic
+        assert layer["dynamic_pj"] < layer["static_pj"]
+        assert 0.0 < layer["saving_vs_static"] < 1.0
+
+    def test_all_rows_active_saves_nothing(self):
+        reg = MetricsRegistry()
+        record_mvm_batch(reg, 0, np.ones((5, 40)), cols=8, cells_per_weight=4)
+        est = estimate_from_metrics(reg)
+        assert est["layers"]["0"]["saving_vs_static"] == pytest.approx(0.0)
+
+    def test_digital_merge_gauge_controls_vote_energy(self):
+        split = MetricsRegistry()
+        record_mvm_batch(
+            split, 0, np.ones((3, 20)), cols=4, blocks=2, cells_per_weight=4
+        )
+        analog = MetricsRegistry()
+        record_mvm_batch(
+            analog,
+            0,
+            np.ones((3, 20)),
+            cols=4,
+            blocks=2,
+            cells_per_weight=4,
+            sa_events=3 * 4,
+            digital_merge=False,
+        )
+        assert estimate_from_metrics(split)["layers"]["0"]["digital_pj"] > 0
+        assert estimate_from_metrics(analog)["layers"]["0"]["digital_pj"] == 0
+
+    def test_no_hw_counters_returns_none(self):
+        reg = MetricsRegistry()
+        reg.inc("train/steps", 10)
+        assert estimate_from_metrics(reg) is None
+
+    def test_accepts_exported_dict(self):
+        reg = MetricsRegistry()
+        record_mvm_batch(reg, 1, np.ones((2, 6)), cols=3, cells_per_weight=4)
+        from_registry = estimate_from_metrics(reg)
+        from_dict = estimate_from_metrics(
+            json.loads(json.dumps(reg.as_dict()))
+        )
+        assert from_registry == from_dict
+
+
+class TestBitIdentical:
+    """Tracing must not consume RNG draws or alter any arithmetic."""
+
+    NOISY = HardwareConfig(
+        max_crossbar_size=256,
+        device=RRAMDevice(bits=4, read_sigma=0.02, program_sigma=0.05),
+    )
+
+    def _build(self, tiny_quantized):
+        return assemble_sei_network(
+            tiny_quantized.network, tiny_quantized.thresholds, self.NOISY
+        )
+
+    def test_traced_noisy_inference_bit_identical(
+        self, tiny_quantized, tiny_dataset
+    ):
+        x = tiny_dataset["test_x"][:40]
+        plain = self._build(tiny_quantized).predict(x)
+        with obs.recording() as rec:
+            traced = self._build(tiny_quantized).predict(x)
+        np.testing.assert_array_equal(plain, traced)
+        counters = rec.metrics.as_dict()["counters"]
+        assert any(name.endswith("/mvms") for name in counters)
+        assert any(name.endswith("/noise_draws") for name in counters)
+        power = estimate_from_metrics(rec.metrics)
+        assert 0.0 <= power["total"]["saving_vs_static"] < 1.0
+
+    def test_traced_search_identical_thresholds(
+        self, tiny_quantized, trained_tiny_network, tiny_dataset
+    ):
+        with obs.recording() as rec:
+            traced = search_thresholds(
+                trained_tiny_network,
+                tiny_dataset["train_x"],
+                tiny_dataset["train_y"],
+                SearchConfig(thres_max=0.3, search_step=0.02),
+            )
+        assert traced.thresholds == tiny_quantized.thresholds
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["search/candidates_scored"] > 0
+        assert counters["search/prefix_cache/misses"] > 0
+        span_names = {
+            s["name"] for s in _walk(rec.tracer.to_dict()["spans"])
+        }
+        assert {"algorithm1.search", "algorithm1.layer"} <= span_names
+
+    def test_refinement_cache_and_memo_counters(self, tiny_dataset):
+        # Prefix-cache hits need >= 3 intermediate layers (with two, the
+        # refine memo — checked first — always short-circuits the only
+        # reusable collection), so search the 5-weighted-layer deep demo
+        # network; untrained weights are fine for exercising the caches.
+        from repro.zoo import build_deep_network
+
+        with obs.recording() as rec:
+            search_thresholds(
+                build_deep_network(),
+                tiny_dataset["train_x"][:60],
+                tiny_dataset["train_y"][:60],
+                SearchConfig(
+                    thres_max=0.1, search_step=0.05, refine_passes=2
+                ),
+            )
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["search/prefix_cache/hits"] > 0
+        assert counters["search/prefix_cache/misses"] > 0
+        assert counters["search/refine_memo/hits"] > 0
+        assert counters["search/refine_memo/misses"] > 0
+
+    def test_traced_software_binarized_identical(
+        self, tiny_quantized, tiny_dataset
+    ):
+        x, y = tiny_dataset["test_x"], tiny_dataset["test_y"]
+        plain_err = tiny_quantized.binarized().error_rate(x, y)
+        with obs.recording() as rec:
+            traced_err = tiny_quantized.binarized().error_rate(x, y)
+        assert traced_err == plain_err
+        # The software path records the SEI (binary-input) layers only.
+        counters = rec.metrics.as_dict()["counters"]
+        assert any(name.endswith("/active_rows") for name in counters)
+
+
+def _walk(spans):
+    for span in spans:
+        yield span
+        yield from _walk(span["children"])
+
+
+class TestCLIIntegration:
+    def test_trace_flag_writes_export(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        assert main(["fig1", "--trace", str(out), "-q"]) == 0
+        payload = json.loads(out.read_text())
+        assert {"manifest", "trace", "metrics"} <= set(payload)
+        assert payload["manifest"]["command"] == "fig1"
+
+    def test_metrics_out_flag_omits_spans(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "metrics.json"
+        assert main(["table5", "--metrics-out", str(out), "-q"]) == 0
+        payload = json.loads(out.read_text())
+        assert "trace" not in payload
+        assert "metrics" in payload
+
+    def test_flags_parse_after_subcommand(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["table3", "--trace", "t.json", "-vv"]
+        )
+        assert args.trace == "t.json"
+        assert args.verbose == 2
+        args = build_parser().parse_args(["split", "network1", "-q"])
+        assert args.quiet == 1 and args.trace is None
+
+    def test_recording_disabled_after_main(self, tmp_path):
+        from repro.cli import main
+
+        main(["fig1", "--trace", str(tmp_path / "t.json"), "-q"])
+        assert obs.active() is None
+
+
+class TestZooCacheCounters:
+    def test_corrupt_cache_counted(self, tmp_path, caplog):
+        from repro.zoo import _load_cached_meta
+
+        bad = tmp_path / "meta.json"
+        bad.write_text("{ nope")
+        with obs.recording() as rec:
+            with caplog.at_level("WARNING", logger="repro.zoo"):
+                assert _load_cached_meta(bad) is None
+        assert rec.metrics.as_dict()["counters"]["zoo/cache/corrupt"] == 1
+
+
+class TestPerfHelpers:
+    def test_throughput_guards_degenerate_measurements(self):
+        from repro.analysis.perf import Timing
+
+        assert Timing("x", seconds=0.0, repeats=3, items=10).throughput is None
+        assert Timing("x", seconds=1.0, repeats=0, items=10).throughput is None
+        assert Timing("x", seconds=2.0, repeats=3, items=10).throughput == 5.0
+
+    def test_time_call_records_into_metrics(self):
+        from repro.analysis.perf import time_call
+
+        reg = MetricsRegistry()
+        timing = time_call(
+            lambda: None, label="noop", repeats=1, warmup=0, items=5,
+            metrics=reg,
+        )
+        gauges = reg.as_dict()["gauges"]
+        assert gauges["perf/noop/seconds"] == pytest.approx(timing.seconds)
+        assert "perf/noop/items_per_second" in gauges
+
+    def test_time_interleaved_records_into_metrics(self):
+        from repro.analysis.perf import time_interleaved
+
+        reg = MetricsRegistry()
+        time_interleaved(
+            {"a": lambda: None, "b": lambda: None},
+            repeats=1,
+            warmup=0,
+            metrics=reg,
+        )
+        gauges = reg.as_dict()["gauges"]
+        assert "perf/a/seconds" in gauges and "perf/b/seconds" in gauges
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert obs.get_logger("zoo").name == "repro.zoo"
+        assert obs.get_logger("repro.cli").name == "repro.cli"
+        assert obs.get_logger().name == "repro"
+
+    def test_configure_idempotent(self):
+        first = obs.configure(0)
+        handlers_after_first = list(first.handlers)
+        second = obs.configure(1)
+        assert second is first
+        assert list(second.handlers) == handlers_after_first
+
+    def test_verbosity_mapping(self):
+        import logging
+
+        from repro.obs.log import verbosity_level
+
+        assert verbosity_level(2) == logging.DEBUG
+        assert verbosity_level(0) == logging.INFO
+        assert verbosity_level(-1) == logging.WARNING
+        assert verbosity_level(-5) == logging.ERROR

@@ -102,16 +102,19 @@ class TestCorruptCache:
     a mangled ``.npz`` used to crash ``get_trained_network`` with
     ``zipfile.BadZipFile``)."""
 
-    def test_corrupt_trained_npz_retrains(self, small_bundle, tmp_path):
+    def test_corrupt_trained_npz_retrains(
+        self, small_bundle, tmp_path, caplog
+    ):
         good = get_trained_network(
             "network2", dataset=small_bundle, cache_dir=tmp_path
         )
         npz = tmp_path / "models" / "network2_trained.npz"
         npz.write_bytes(b"this is not a zip archive")
-        with pytest.warns(UserWarning, match="corrupt model cache"):
+        with caplog.at_level("WARNING", logger="repro.zoo"):
             net = get_trained_network(
                 "network2", dataset=small_bundle, cache_dir=tmp_path
             )
+        assert any("corrupt model cache" in r.message for r in caplog.records)
         # Retrained from scratch with the same recipe -> same weights.
         x = small_bundle.test.images[:4]
         np.testing.assert_allclose(net.forward(x), good.forward(x))
@@ -121,24 +124,30 @@ class TestCorruptCache:
         )
         np.testing.assert_allclose(again.forward(x), good.forward(x))
 
-    def test_corrupt_quantized_meta_requantizes(self, small_bundle, tmp_path):
+    def test_corrupt_quantized_meta_requantizes(
+        self, small_bundle, tmp_path, caplog
+    ):
         qm = get_quantized("network2", dataset=small_bundle, cache_dir=tmp_path)
         meta = tmp_path / "models" / "network2_quantized.json"
         meta.write_text("{ truncated")
-        with pytest.warns(UserWarning, match="corrupt model cache"):
+        with caplog.at_level("WARNING", logger="repro.zoo"):
             redo = get_quantized(
                 "network2", dataset=small_bundle, cache_dir=tmp_path
             )
+        assert any("corrupt model cache" in r.message for r in caplog.records)
         assert redo.search.thresholds == qm.search.thresholds
 
-    def test_truncated_quantized_npz_requantizes(self, small_bundle, tmp_path):
+    def test_truncated_quantized_npz_requantizes(
+        self, small_bundle, tmp_path, caplog
+    ):
         qm = get_quantized("network2", dataset=small_bundle, cache_dir=tmp_path)
         npz = tmp_path / "models" / "network2_quantized.npz"
         npz.write_bytes(npz.read_bytes()[:100])
-        with pytest.warns(UserWarning, match="corrupt model cache"):
+        with caplog.at_level("WARNING", logger="repro.zoo"):
             redo = get_quantized(
                 "network2", dataset=small_bundle, cache_dir=tmp_path
             )
+        assert any("corrupt model cache" in r.message for r in caplog.records)
         assert redo.search.thresholds == qm.search.thresholds
 
     def test_save_is_atomic_no_tmp_left_behind(self, small_bundle, tmp_path):

@@ -41,7 +41,8 @@ import numpy as np
 
 from repro import obs
 from repro.analysis.perf import speedup, time_call, time_interleaved
-from repro.core.hardware_network import HardwareConfig, assemble_sei_network
+from repro.core.engines import EngineSpec, compile_network
+from repro.core.hardware_network import HardwareConfig
 from repro.core.threshold_search import SearchConfig, search_thresholds
 from repro.hw.device import RRAMDevice
 from repro.zoo import get_dataset, get_quantized, get_trained_network
@@ -119,12 +120,10 @@ def bench_sei_inference(dataset, quick: bool) -> dict:
     )
 
     def build(engine: str):
-        return assemble_sei_network(
+        return compile_network(
             qm.search.network,
             qm.search.thresholds,
-            config,
-            rng=np.random.default_rng(config.seed),
-            engine=engine,
+            EngineSpec(name=engine, hardware=config),
         )
 
     fused_net = build("fused")

@@ -1,0 +1,195 @@
+"""Serving benchmark: micro-batched concurrent requests vs one-at-a-time.
+
+Drives the ``repro.serve`` stack end to end on a warm network2 session
+(fused SEI engine, noiseless) and records the results in
+``BENCH_serve.json`` at the repo root:
+
+* **one-at-a-time** — each request runs its own ``session.infer`` call,
+  the way a naive request loop would use the pipeline;
+* **micro-batched** — the same requests submitted concurrently from
+  several client threads through a :class:`repro.serve.MicroBatcher`,
+  which coalesces them into size/deadline-bounded batches.
+
+Both paths execute in the session's fixed hardware tiles, so the logits
+are **bit-identical** request for request (asserted here); the speedup
+is pure request-coalescing: one tile-sized forward pass amortises the
+whole per-call layer overhead across ``tile`` requests.  Target: >= 3x.
+
+For transparency the report also records the *untiled* single-sample
+rate (``tile=1``) — the absolute baseline a session pays when batching
+is disabled entirely.
+
+Run as a script (the CI smoke check uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.serve import BatcherConfig, SessionConfig, compile_session
+
+#: Speedup the micro-batched path must clear over one-at-a-time (full mode).
+SERVE_TARGET = 3.0
+
+BENCH_NETWORK = "network2"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _drive_concurrent(batcher, requests, clients: int):
+    """Submit ``requests`` from ``clients`` threads; ordered results."""
+    futures = [None] * len(requests)
+
+    def client(offset: int) -> None:
+        for i in range(offset, len(requests), clients):
+            futures[i] = batcher.submit(requests[i])
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(clients)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    outputs = np.stack([f.result(timeout=120) for f in futures])
+    elapsed = time.perf_counter() - start
+    return outputs, elapsed
+
+
+def bench_serve(quick: bool) -> dict:
+    requests_count = 32 if quick else 512
+    clients = 2 if quick else 4
+    workers = 2
+    tile = 16
+    repeats = 1 if quick else 3
+
+    session = compile_session(SessionConfig(network=BENCH_NETWORK, tile=tile))
+    from repro.zoo import get_dataset
+
+    images = get_dataset().test.images
+    requests = [images[i % len(images)] for i in range(requests_count)]
+
+    # Warm both paths (first forward pass pays one-off layer setup).
+    session.infer(requests[0])
+
+    # -- one-at-a-time: a naive serial request loop ---------------------
+    best_sequential = float("inf")
+    sequential_outputs = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outputs = np.stack([session.infer(x) for x in requests])
+        best_sequential = min(best_sequential, time.perf_counter() - start)
+        sequential_outputs = outputs
+
+    # -- micro-batched: concurrent clients through the batcher ----------
+    config = BatcherConfig(
+        max_batch_size=64,
+        max_delay_ms=2.0,
+        max_queue_depth=max(64, requests_count),
+        workers=workers,
+    )
+    best_batched = float("inf")
+    batched_outputs = None
+    stats = None
+    for _ in range(repeats):
+        with session.batcher(config) as batcher:
+            outputs, elapsed = _drive_concurrent(batcher, requests, clients)
+        best_batched = min(best_batched, elapsed)
+        batched_outputs = outputs
+        stats = batcher.stats.as_dict()
+
+    identical = bool(np.array_equal(sequential_outputs, batched_outputs))
+    if not identical:
+        raise AssertionError(
+            "micro-batched outputs are not bit-identical to one-at-a-time "
+            "inference — fixed-tile execution is broken"
+        )
+
+    # -- transparency: the untiled (tile=1) single-sample floor ---------
+    untiled = compile_session(
+        SessionConfig(network=BENCH_NETWORK, tile=1)
+    )
+    untiled.infer(requests[0])
+    probe = requests[: min(64, requests_count)]
+    start = time.perf_counter()
+    for x in probe:
+        untiled.infer(x)
+    untiled_rate = len(probe) / (time.perf_counter() - start)
+
+    ratio = best_sequential / best_batched
+    return {
+        "network": BENCH_NETWORK,
+        "requests": requests_count,
+        "clients": clients,
+        "workers": workers,
+        "tile": tile,
+        "max_batch_size": config.max_batch_size,
+        "max_delay_ms": config.max_delay_ms,
+        "sequential_seconds": best_sequential,
+        "batched_seconds": best_batched,
+        "sequential_requests_per_second": requests_count / best_sequential,
+        "batched_requests_per_second": requests_count / best_batched,
+        "untiled_single_sample_rate": untiled_rate,
+        "speedup": ratio,
+        "target": SERVE_TARGET,
+        "target_met": ratio >= SERVE_TARGET,
+        "bit_identical": identical,
+        "batcher_stats": stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="32 requests, 2 clients, single timing run (CI smoke check)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"== Micro-batched serving ({BENCH_NETWORK}) ==")
+    result = bench_serve(args.quick)
+    print(
+        f"  one-at-a-time {result['sequential_requests_per_second']:.0f} "
+        f"req/s  micro-batched {result['batched_requests_per_second']:.0f} "
+        f"req/s  speedup {result['speedup']:.1f}x "
+        f"(target >={result['target']:.0f}x)"
+    )
+    print(
+        f"  bit-identical: {result['bit_identical']}  "
+        f"mean batch {result['batcher_stats']['mean_batch_size']:.1f}  "
+        f"untiled serial rate {result['untiled_single_sample_rate']:.0f} req/s"
+    )
+
+    report = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": args.quick,
+        "manifest": obs.run_manifest(bench="serve"),
+        "serving": result,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    # Quick mode is a smoke check (tiny workloads distort ratios); the
+    # full run enforces the target.
+    if not args.quick and not result["target_met"]:
+        print("serving speedup target NOT met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

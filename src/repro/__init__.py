@@ -18,25 +18,36 @@ The package is organised as:
 * :mod:`repro.configs` — the Table 2 network definitions;
 * :mod:`repro.zoo` — cached trained/quantized models for experiments.
 
-Quickstart::
+* :mod:`repro.serve` — warm inference sessions + micro-batched serving;
+* :mod:`repro.api` — the stable five-verb facade over all of the above.
 
-    from repro.zoo import get_dataset, get_quantized
-    from repro.arch import evaluate_all_designs
+Quickstart (the stable surface)::
 
-    dataset = get_dataset()
-    model = get_quantized("network1")       # trains + runs Algorithm 1
+    from repro import api
+
+    model = api.load("network1")            # trains + runs Algorithm 1
     print(model.float_test_error, model.quantized_test_error)
-    designs = evaluate_all_designs("network1")
-    print(designs["sei"].cost.energy_saving_vs(designs["dac_adc"].cost))
+    session = api.compile("network1")       # warm SEI inference session
+    logits = session.infer(image)
+    with api.serve("network1") as batcher:  # micro-batched serving
+        future = batcher.submit(image)
+
+``load``/``quantize``/``compile``/``infer`` are re-exported here;
+serving lives at :func:`repro.api.serve` (the name ``repro.serve`` is
+the subpackage).
 """
 
 from repro import obs  # first: the rest of the package may instrument itself
-from repro import analysis, arch, configs, core, data, hw, nn
+from repro import analysis, arch, configs, core, data, hw, nn, serve, zoo
+from repro import api
+from repro.api import compile, infer, load, quantize
 from repro.errors import (
+    BackpressureError,
     ConfigurationError,
     MappingError,
     QuantizationError,
     ReproError,
+    ServeError,
     ShapeError,
     TrainingError,
 )
@@ -52,11 +63,20 @@ __all__ = [
     "analysis",
     "configs",
     "obs",
+    "zoo",
+    "serve",
+    "api",
+    "load",
+    "quantize",
+    "compile",
+    "infer",
     "ReproError",
     "ConfigurationError",
     "ShapeError",
     "MappingError",
     "QuantizationError",
     "TrainingError",
+    "ServeError",
+    "BackpressureError",
     "__version__",
 ]

@@ -1,0 +1,215 @@
+"""Stable top-level API: the five verbs of the SEI pipeline.
+
+Everything the paper's reproduction does reduces to this sequence::
+
+    model   = api.load("network2")            # train/load + Algorithm 1
+    session = api.compile("network2")         # assemble on an engine
+    logits  = api.infer(image)                # one-shot classification
+    with api.serve("network2") as batcher:    # micro-batched serving
+        future = batcher.submit(image)
+
+plus :func:`quantize` for running Algorithm 1 on a user-supplied
+network.  These five verbs are the supported surface: internals
+(``repro.core``, ``repro.zoo``, ...) stay importable but may reshuffle
+between releases; this module will not.
+
+All verbs accept an :class:`~repro.core.engines.EngineSpec` for the
+backend selection; plain engine-name strings still work but emit a
+:class:`DeprecationWarning` (see :func:`repro.core.engines.resolve_engine`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro import zoo
+from repro.core.engines import EngineSpec, resolve_engine
+from repro.core.threshold_search import (
+    SearchConfig,
+    SearchResult,
+    search_thresholds,
+)
+from repro.errors import ConfigurationError
+from repro.nn.network import Sequential
+from repro.serve.batcher import BatcherConfig, MicroBatcher
+from repro.serve.session import InferenceSession, SessionConfig, compile_session
+
+__all__ = [
+    "load",
+    "quantize",
+    "compile",
+    "infer",
+    "serve",
+    "EngineSpec",
+    "SessionConfig",
+    "BatcherConfig",
+    "InferenceSession",
+    "MicroBatcher",
+]
+
+
+def load(
+    network: str = "network2",
+    *,
+    dataset=None,
+    search: Optional[SearchConfig] = None,
+    cache_dir: Optional[Path] = None,
+) -> zoo.QuantizedModel:
+    """Load (training + quantizing on first use) a zoo model bundle.
+
+    Artefacts are cached on disk keyed by the full recipe digest and in
+    process by the zoo's warm registry, so repeated loads are free.
+    """
+    return zoo.warm_model(
+        network, dataset=dataset, search_config=search, cache_dir=cache_dir
+    )
+
+
+def quantize(
+    network: Sequential,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: Optional[SearchConfig] = None,
+) -> SearchResult:
+    """Run Algorithm 1 (greedy threshold search) on a trained network.
+
+    A thin alias of
+    :func:`repro.core.threshold_search.search_thresholds` — the facade
+    name for the quantization verb.
+    """
+    return search_thresholds(network, images, labels, config)
+
+
+def _session_config(
+    network: str,
+    engine: Union[EngineSpec, str, None],
+    tile: int,
+    calibrate_splits: bool,
+    search: Optional[SearchConfig],
+    cache_dir: Optional[Path],
+) -> SessionConfig:
+    spec = resolve_engine(engine, caller="repro.api")
+    return SessionConfig(
+        network=network,
+        engine=spec,
+        tile=tile,
+        calibrate_splits=calibrate_splits,
+        search=search,
+        cache_dir=cache_dir,
+    )
+
+
+def compile(  # noqa: A001 - deliberate verb name on the facade
+    network: Union[str, Sequential] = "network2",
+    thresholds: Optional[Dict[int, float]] = None,
+    *,
+    engine: Union[EngineSpec, str, None] = None,
+    tile: int = 16,
+    calibrate_splits: bool = False,
+    search: Optional[SearchConfig] = None,
+    cache_dir: Optional[Path] = None,
+    dataset=None,
+    reuse: bool = True,
+) -> InferenceSession:
+    """Compile a warm :class:`InferenceSession`.
+
+    Two forms:
+
+    * ``compile("network2")`` — zoo-backed: loads (or trains) the named
+      model and compiles it; equal configurations return the same warm
+      session.
+    * ``compile(my_network, my_thresholds)`` — explicit artefacts,
+      bypassing the zoo (``calibrate_splits``/``dataset``/``reuse`` do
+      not apply).
+    """
+    if isinstance(network, str):
+        if thresholds is not None:
+            raise ConfigurationError(
+                "thresholds are only accepted with an explicit network "
+                "object; zoo models carry their own"
+            )
+        config = _session_config(
+            network, engine, tile, calibrate_splits, search, cache_dir
+        )
+        return compile_session(config, dataset=dataset, reuse=reuse)
+    if thresholds is None:
+        raise ConfigurationError(
+            "compiling an explicit network requires its thresholds "
+            "(run api.quantize first)"
+        )
+    if calibrate_splits:
+        raise ConfigurationError(
+            "calibrate_splits requires a zoo-backed session (pass the "
+            "network name) — explicit-artifact sessions take "
+            "decisions/partitions via InferenceSession.from_artifacts"
+        )
+    spec = resolve_engine(engine, caller="repro.api")
+    return InferenceSession.from_artifacts(
+        network,
+        thresholds,
+        SessionConfig(network="<custom>", engine=spec, tile=tile),
+    )
+
+
+def infer(
+    x: np.ndarray,
+    network: str = "network2",
+    *,
+    engine: Union[EngineSpec, str, None] = None,
+    tile: int = 16,
+    cache_dir: Optional[Path] = None,
+) -> np.ndarray:
+    """Logits for one sample or a batch on a named zoo model.
+
+    Compiles (or reuses) the matching warm session under the hood;
+    repeated calls with the same configuration pay no setup cost.
+    """
+    session = compile(
+        network, engine=engine, tile=tile, cache_dir=cache_dir
+    )
+    return session.infer(x)
+
+
+def serve(
+    network: str = "network2",
+    *,
+    engine: Union[EngineSpec, str, None] = None,
+    tile: int = 16,
+    cache_dir: Optional[Path] = None,
+    batcher: Optional[BatcherConfig] = None,
+    max_batch_size: Optional[int] = None,
+    max_delay_ms: Optional[float] = None,
+    max_queue_depth: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> MicroBatcher:
+    """A *running* micro-batcher over a warm session.
+
+    Either pass a full :class:`BatcherConfig` via ``batcher`` or set the
+    individual knobs.  Use as a context manager, or call
+    ``.stop()`` when done::
+
+        with api.serve("network2", workers=2) as mb:
+            futures = [mb.submit(x) for x in images]
+            logits = [f.result() for f in futures]
+    """
+    overrides = {
+        "max_batch_size": max_batch_size,
+        "max_delay_ms": max_delay_ms,
+        "max_queue_depth": max_queue_depth,
+        "workers": workers,
+    }
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if batcher is not None and overrides:
+        raise ConfigurationError(
+            "pass either a BatcherConfig or individual batcher knobs, "
+            f"not both (got batcher= and {sorted(overrides)})"
+        )
+    if batcher is None:
+        batcher = BatcherConfig(**overrides)
+    session = compile(
+        network, engine=engine, tile=tile, cache_dir=cache_dir
+    )
+    return session.serve(batcher)

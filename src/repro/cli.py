@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli quantize network2
     python -m repro.cli split network1 --crossbar 256 --method homogenize
     python -m repro.cli tradeoff network1 --structure sei
+    python -m repro.cli infer network2 --count 16
+    python -m repro.cli serve network2 --requests 64 --workers 2
 
 Accuracy commands train models on first use and cache them under
 ``.cache/`` (a few minutes); cost-model commands are instant.
@@ -140,6 +142,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     datasheet.add_argument("--crossbar", type=int, default=512)
     datasheet.add_argument("--replication", type=int, default=1)
+
+    def _add_session_args(p) -> None:
+        from repro.core.engines import available_engines
+
+        p.add_argument("network", choices=sorted(NETWORK_SPECS))
+        p.add_argument(
+            "--engine", choices=available_engines(), default="fused"
+        )
+        p.add_argument(
+            "--tile",
+            type=int,
+            default=16,
+            help="fixed execution tile of the session (samples per wave)",
+        )
+
+    infer = sub.add_parser(
+        "infer",
+        parents=[common],
+        help="classify test samples through a warm inference session",
+    )
+    _add_session_args(infer)
+    infer.add_argument(
+        "--count", type=int, default=16, help="how many test samples to run"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="drive micro-batched serving over a warm session",
+    )
+    _add_session_args(serve)
+    serve.add_argument("--requests", type=int, default=64)
+    serve.add_argument("--clients", type=int, default=4)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--batch-size", type=int, default=64)
+    serve.add_argument("--delay-ms", type=float, default=2.0)
+    serve.add_argument("--queue", type=int, default=256)
     return parser
 
 
@@ -342,6 +381,86 @@ def _cmd_datasheet(args) -> None:
     logger.info("%s", sheet.render())
 
 
+def _cmd_infer(args) -> None:
+    from repro import api
+    from repro.core.engines import EngineSpec
+    from repro.zoo import get_dataset
+
+    dataset = get_dataset()
+    session = api.compile(
+        args.network, engine=EngineSpec(args.engine), tile=args.tile
+    )
+    images = dataset.test.images[: args.count]
+    labels = dataset.test.labels[: args.count]
+    predictions = session.classify(images)
+    correct = int((predictions == labels).sum())
+    logger.info("session: %r", session)
+    logger.info("predictions: %s", predictions.tolist())
+    logger.info("labels:      %s", labels.tolist())
+    logger.info(
+        "correct: %d/%d (%.1f%%)",
+        correct,
+        len(images),
+        100 * correct / len(images),
+    )
+
+
+def _cmd_serve(args) -> None:
+    import time
+
+    import numpy as np
+
+    from repro import api
+    from repro.core.engines import EngineSpec
+    from repro.serve import BatcherConfig
+    from repro.zoo import get_dataset
+
+    dataset = get_dataset()
+    images = dataset.test.images
+    requests = [images[i % len(images)] for i in range(args.requests)]
+    batcher = api.serve(
+        args.network,
+        engine=EngineSpec(args.engine),
+        tile=args.tile,
+        batcher=BatcherConfig(
+            max_batch_size=args.batch_size,
+            max_delay_ms=args.delay_ms,
+            max_queue_depth=args.queue,
+            workers=args.workers,
+        ),
+    )
+    # Split the requests across concurrent client threads, the traffic
+    # pattern the micro-batcher exists for.
+    import threading
+
+    futures = [None] * len(requests)
+
+    def client(offset: int) -> None:
+        for i in range(offset, len(requests), args.clients):
+            futures[i] = batcher.submit(requests[i])
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(c,))
+        for c in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    outputs = np.stack([f.result() for f in futures])
+    elapsed = time.perf_counter() - start
+    batcher.stop()
+    logger.info("served %d requests in %.3fs (%.0f req/s)",
+                len(requests), elapsed, len(requests) / elapsed)
+    for key, value in batcher.stats.as_dict().items():
+        logger.info("  %s: %s", key, value)
+    logger.info(
+        "prediction histogram: %s",
+        np.bincount(np.argmax(outputs, axis=1), minlength=10).tolist(),
+    )
+
+
 _HANDLERS = {
     "info": _cmd_info,
     "fig1": _cmd_fig1,
@@ -353,6 +472,8 @@ _HANDLERS = {
     "split": _cmd_split,
     "tradeoff": _cmd_tradeoff,
     "datasheet": _cmd_datasheet,
+    "infer": _cmd_infer,
+    "serve": _cmd_serve,
 }
 
 

@@ -24,6 +24,14 @@ from repro.core.hardware_network import (
     assemble_sei_network,
     dac_analog_layer_compute,
 )
+from repro.core.engines import (
+    EngineSpec,
+    available_engines,
+    compile_network,
+    engine_builder,
+    register_engine,
+    resolve_engine,
+)
 from repro.core.homogenize import (
     Partition,
     block_mean_distance,
@@ -96,6 +104,12 @@ __all__ = [
     "RobustSearchConfig",
     "estimate_sei_output_noise_std",
     "robustify_thresholds",
+    "EngineSpec",
+    "available_engines",
+    "compile_network",
+    "engine_builder",
+    "register_engine",
+    "resolve_engine",
     "HardwareConfig",
     "HardwareSplitMatrix",
     "assemble_sei_network",

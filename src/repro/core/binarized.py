@@ -132,11 +132,22 @@ class BinarizedNetwork:
 
     # -- execution -------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Binarized forward pass; returns analog logits."""
+        """Binarized forward pass; returns analog logits.
+
+        Batch-transparent: a single sample shaped like the network's
+        input (e.g. ``(1, 28, 28)``) is accepted alongside the usual
+        batched ``(n, 1, 28, 28)`` form and returns an unbatched logits
+        vector — serving code can hand over requests as-is.
+        """
+        x = np.asarray(x)
+        input_shape = getattr(self.network, "input_shape", None)
+        single = input_shape is not None and x.ndim == len(input_shape)
+        if single:
+            x = x[None]
         x = self._quantize_input(x)
         for index, layer in enumerate(self.network.layers):
             x = self._run_layer(index, layer, x)
-        return x
+        return x[0] if single else x
 
     def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
         outputs = [

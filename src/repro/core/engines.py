@@ -1,0 +1,289 @@
+"""Engine registry: one typed spec for every inference backend.
+
+Historically the inference backends were selected by stringly-typed
+keyword arguments scattered across the package: ``engine='fused'`` /
+``engine='reference'`` on :func:`repro.core.hardware_network.assemble_sei_network`
+(and friends), with the noise / device / fabric options riding along as
+separate ``config=HardwareConfig(...)`` or ``device=RRAMDevice(...)``
+kwargs, and the ADC baseline living behind a different function
+altogether.  This module consolidates all of that into one value:
+
+* :class:`EngineSpec` — *which* backend (``fused`` | ``reference`` |
+  ``adc``) plus *all* hardware/noise options it needs, as a single
+  frozen dataclass that digests cleanly into cache keys and run
+  manifests;
+* a **registry** mapping engine names to builder functions, so new
+  backends (sharded, multi-device, ...) plug in without touching call
+  sites;
+* :func:`compile_network` — the single compile entry point: quantized
+  artefacts in, ready-to-run :class:`~repro.core.binarized.BinarizedNetwork`
+  out.  ``repro.serve`` sessions, the CLI and the benchmarks all go
+  through here.
+
+The old keyword forms still work but are deprecated:
+``assemble_sei_network(..., engine='reference')`` (a bare string) emits
+a :class:`DeprecationWarning` pointing at :class:`EngineSpec`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.binarized import BinarizedNetwork
+from repro.core.hardware_network import (
+    HardwareConfig,
+    assemble_adc_network,
+    assemble_sei_network,
+)
+from repro.core.homogenize import Partition
+from repro.core.splitting import SplitDecision
+from repro.nn.network import Sequential
+
+__all__ = [
+    "EngineSpec",
+    "EngineBuilder",
+    "available_engines",
+    "register_engine",
+    "engine_builder",
+    "resolve_engine",
+    "compile_network",
+]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything that selects and parameterises an inference backend.
+
+    Parameters
+    ----------
+    name:
+        Registry name of the backend: ``'fused'`` (default; collapsed
+        stacked-matmul SEI arithmetic), ``'reference'`` (the retained
+        pre-fusion per-slice loops, the equivalence oracle) or ``'adc'``
+        (the traditional DAC+crossbar+ADC functional model, the Table 5
+        baseline).
+    hardware:
+        Device / fabric parameters (cell precision, noise sigmas, IR
+        drop, crossbar size, partitioning).  The noise options that used
+        to travel as loose kwargs live in ``hardware.device``.
+    data_bits:
+        Intermediate-data DAC precision for the ``'adc'`` engine (the
+        input layer always runs 8-bit DACs, §3.2).  Ignored by the SEI
+        engines, whose intermediate data is 1-bit by construction.
+    """
+
+    name: str = "fused"
+    hardware: HardwareConfig = field(default_factory=HardwareConfig)
+    data_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(
+                f"engine name must be a non-empty string, got {self.name!r}"
+            )
+        if self.data_bits < 1:
+            raise ConfigurationError(
+                f"data_bits must be >= 1, got {self.data_bits}"
+            )
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether repeated inference draws no per-call randomness.
+
+        Programming variation is applied once at compile time (seeded),
+        so only per-read noise makes repeated calls diverge.  The ADC
+        engine models no read noise.
+        """
+        return self.name == "adc" or self.hardware.device.read_sigma <= 0
+
+
+#: A builder turns quantized artefacts into a runnable network.
+EngineBuilder = Callable[..., BinarizedNetwork]
+
+_ENGINES: Dict[str, EngineBuilder] = {}
+
+
+def register_engine(
+    name: str, builder: EngineBuilder, replace: bool = False
+) -> None:
+    """Register an inference backend under ``name``.
+
+    Third-party backends (sharded fabrics, alternative devices) register
+    here and immediately become valid :class:`EngineSpec` names for
+    :func:`compile_network`, ``repro.serve`` sessions and the CLI.
+    """
+    if not replace and name in _ENGINES:
+        raise ConfigurationError(f"engine {name!r} is already registered")
+    _ENGINES[name] = builder
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Registered engine names, sorted."""
+    return tuple(sorted(_ENGINES))
+
+
+def engine_builder(name: str) -> EngineBuilder:
+    """The builder registered under ``name``."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(available_engines())}"
+        ) from None
+
+
+def resolve_engine(
+    engine: Union[EngineSpec, str, None],
+    hardware: Optional[HardwareConfig] = None,
+    allowed: Optional[Sequence[str]] = None,
+    caller: str = "this function",
+    stacklevel: int = 3,
+) -> EngineSpec:
+    """Normalise the deprecated string/kwarg engine forms to an EngineSpec.
+
+    ``engine=None`` (the modern default) resolves to the default fused
+    spec with ``hardware`` folded in.  A bare string is the legacy form:
+    it still works, but emits a :class:`DeprecationWarning`.  Passing an
+    :class:`EngineSpec` alongside a separate ``hardware`` config is
+    ambiguous and rejected.
+    """
+    if isinstance(engine, EngineSpec):
+        if hardware is not None:
+            raise ConfigurationError(
+                f"pass hardware options inside the EngineSpec, not as a "
+                f"separate config argument to {caller}"
+            )
+        spec = engine
+    elif engine is None:
+        spec = EngineSpec(
+            hardware=hardware if hardware is not None else HardwareConfig()
+        )
+    elif isinstance(engine, str):
+        warnings.warn(
+            f"passing engine={engine!r} as a string to {caller} is "
+            "deprecated; pass repro.core.EngineSpec(name="
+            f"{engine!r}, hardware=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        spec = EngineSpec(
+            name=engine,
+            hardware=hardware if hardware is not None else HardwareConfig(),
+        )
+    else:
+        raise ConfigurationError(
+            f"engine must be an EngineSpec, a registered engine name or "
+            f"None, got {type(engine).__name__}"
+        )
+    if allowed is not None and spec.name not in allowed:
+        raise ConfigurationError(
+            f"{caller} supports engines {', '.join(sorted(allowed))}; "
+            f"got {spec.name!r}"
+        )
+    return spec
+
+
+def compile_network(
+    network: Sequential,
+    thresholds: Dict[int, float],
+    spec: Union[EngineSpec, str, None] = None,
+    *,
+    decisions: Optional[Dict[int, SplitDecision]] = None,
+    partitions: Optional[Dict[int, Partition]] = None,
+    calibration_images: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BinarizedNetwork:
+    """The single compile entry point: quantized artefacts -> runnable net.
+
+    Parameters
+    ----------
+    network, thresholds:
+        The re-scaled network and per-layer thresholds from Algorithm 1
+        (e.g. ``model.search.network`` / ``model.search.thresholds``).
+    spec:
+        Engine selection; ``None`` means the default fused SEI engine.
+        A bare string is accepted for backward compatibility (with a
+        :class:`DeprecationWarning`).
+    decisions, partitions:
+        Optional calibrated §4.3 split decisions / row partitions per
+        layer index (from :func:`repro.core.pipeline.build_split_network`).
+    calibration_images:
+        Example inputs used by engines that calibrate converter ranges
+        (the ``'adc'`` engine); ignored by the SEI engines.
+    rng:
+        Programming-noise stream; defaults to a generator seeded by the
+        spec's hardware seed, so identical specs compile to identical
+        hardware.
+    """
+    spec = resolve_engine(spec, caller="compile_network")
+    builder = engine_builder(spec.name)
+    if rng is None:
+        rng = np.random.default_rng(spec.hardware.seed)
+    return builder(
+        network,
+        thresholds,
+        spec,
+        decisions=decisions,
+        partitions=partitions,
+        calibration_images=calibration_images,
+        rng=rng,
+    )
+
+
+# -- built-in engines ------------------------------------------------------------
+
+
+def _build_sei(
+    network: Sequential,
+    thresholds: Dict[int, float],
+    spec: EngineSpec,
+    *,
+    decisions=None,
+    partitions=None,
+    calibration_images=None,
+    rng=None,
+) -> BinarizedNetwork:
+    return assemble_sei_network(
+        network,
+        thresholds,
+        decisions=decisions,
+        partitions=partitions,
+        rng=rng,
+        engine=spec,
+    )
+
+
+def _build_adc(
+    network: Sequential,
+    thresholds: Dict[int, float],
+    spec: EngineSpec,
+    *,
+    decisions=None,
+    partitions=None,
+    calibration_images=None,
+    rng=None,
+) -> BinarizedNetwork:
+    if decisions or partitions:
+        raise ConfigurationError(
+            "the 'adc' engine merges digitised partial sums exactly and "
+            "takes no split decisions/partitions"
+        )
+    return assemble_adc_network(
+        network,
+        thresholds=thresholds,
+        device=spec.hardware.device,
+        data_bits=spec.data_bits,
+        calibration_images=calibration_images,
+        rng=rng,
+    )
+
+
+register_engine("fused", _build_sei)
+register_engine("reference", _build_sei)
+register_engine("adc", _build_adc)

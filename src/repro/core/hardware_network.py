@@ -186,7 +186,7 @@ def assemble_sei_network(
     decisions: Optional[Dict[int, SplitDecision]] = None,
     partitions: Optional[Dict[int, Partition]] = None,
     rng: Optional[np.random.Generator] = None,
-    engine: str = "fused",
+    engine=None,
 ) -> BinarizedNetwork:
     """Build a BinarizedNetwork whose every layer runs on SEI hardware.
 
@@ -198,21 +198,32 @@ def assemble_sei_network(
     (current summing into the WTA readout), matching the pipeline
     default.
 
-    ``engine`` selects the crossbar arithmetic: ``'fused'`` (default)
-    collapses the bit-sliced crossbars of each layer into stacked
-    matmuls; ``'reference'`` keeps the pre-fusion per-slice / per-block
-    loops — numerically equivalent (identical noise streams, partial
-    sums re-associated), retained as the equivalence oracle and
-    perf-benchmark baseline.
+    ``engine`` selects the crossbar arithmetic, preferably as a
+    :class:`repro.core.engines.EngineSpec` (in which case ``config``
+    must be left unset — the hardware options live on the spec):
+    ``'fused'`` (default) collapses the bit-sliced crossbars of each
+    layer into stacked matmuls; ``'reference'`` keeps the pre-fusion
+    per-slice / per-block loops — numerically equivalent (identical
+    noise streams, partial sums re-associated), retained as the
+    equivalence oracle and perf-benchmark baseline.  Bare engine
+    strings are deprecated.
     """
-    config = config if config is not None else HardwareConfig()
+    # Local import: repro.core.engines registers its builders on top of
+    # this module, so the dependency cannot also point the other way at
+    # import time.
+    from repro.core.engines import resolve_engine
+
+    spec = resolve_engine(
+        engine,
+        hardware=config,
+        allowed=("fused", "reference"),
+        caller="assemble_sei_network",
+    )
+    config = spec.hardware
+    engine = spec.name
     decisions = decisions if decisions is not None else {}
     partitions = partitions if partitions is not None else {}
     rng = rng if rng is not None else np.random.default_rng(config.seed)
-    if engine not in ("fused", "reference"):
-        raise ConfigurationError(
-            f"engine must be 'fused' or 'reference', got {engine!r}"
-        )
 
     binarized = BinarizedNetwork(network, dict(thresholds))
     weighted = [

@@ -30,3 +30,11 @@ class QuantizationError(ReproError):
 
 class TrainingError(ReproError):
     """Model training could not proceed (bad loss, empty dataset, ...)."""
+
+
+class ServeError(ReproError):
+    """An inference-serving operation failed (closed batcher, bad state)."""
+
+
+class BackpressureError(ServeError):
+    """The serving queue is full and the submit timeout elapsed."""

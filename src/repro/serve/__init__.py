@@ -1,0 +1,44 @@
+"""Micro-batched inference serving over compiled SEI pipelines.
+
+``repro.serve`` turns the one-shot experiment pipeline into a warm,
+reusable service:
+
+* :func:`compile_session` compiles the full ``zoo -> quantize -> split ->
+  assemble`` chain once into an :class:`InferenceSession` and caches the
+  result by configuration digest;
+* :class:`MicroBatcher` coalesces concurrent ``submit`` calls into
+  size/deadline-bounded batches over a bounded (backpressured) queue and
+  fans the per-request results back out as futures;
+* fixed-tile execution keeps outputs bit-identical no matter how
+  requests were coalesced (see :mod:`repro.serve.session`).
+
+Most callers want the facade instead::
+
+    from repro import api
+    with api.serve("network2") as batcher:
+        future = batcher.submit(image)
+"""
+
+from repro.serve.batcher import (
+    LATENCY_EDGES_MS,
+    BatcherConfig,
+    BatcherStats,
+    MicroBatcher,
+)
+from repro.serve.session import (
+    InferenceSession,
+    SessionConfig,
+    clear_sessions,
+    compile_session,
+)
+
+__all__ = [
+    "LATENCY_EDGES_MS",
+    "BatcherConfig",
+    "BatcherStats",
+    "MicroBatcher",
+    "InferenceSession",
+    "SessionConfig",
+    "clear_sessions",
+    "compile_session",
+]

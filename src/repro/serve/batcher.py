@@ -1,0 +1,348 @@
+"""Micro-batching request coalescer with bounded-queue backpressure.
+
+The SEI pipeline is an embarrassingly batchable MVM chain: running 64
+requests through one forward pass costs far less than 64 single-sample
+passes (the per-call Python/layer overhead amortises and the matmuls
+vectorise).  :class:`MicroBatcher` exploits that for concurrent traffic:
+
+* clients call :meth:`MicroBatcher.submit` and get a
+  :class:`concurrent.futures.Future` back immediately;
+* a collector thread coalesces pending requests into batches bounded by
+  ``max_batch_size`` *and* a coalescing deadline (``max_delay_ms``
+  measured from the first request of the batch), so a lone request is
+  never stalled longer than the deadline waiting for company;
+* batches run on a worker pool (numpy releases the GIL inside the
+  matmuls, so on multi-core hosts workers add real parallelism);
+* the admission queue is bounded: when ``max_queue_depth`` requests are
+  pending, :meth:`submit` blocks (backpressure) or — with a timeout —
+  raises :class:`repro.errors.BackpressureError` so callers can shed
+  load instead of queueing unboundedly.
+
+Because :class:`repro.serve.session.InferenceSession` executes in fixed
+hardware tiles, the results a request receives are bit-identical no
+matter how the batcher happened to coalesce it (asserted in
+``tests/test_serve.py`` and ``benchmarks/bench_serve.py``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import obs
+from repro.errors import BackpressureError, ConfigurationError, ServeError
+
+__all__ = ["BatcherConfig", "BatcherStats", "MicroBatcher"]
+
+logger = obs.get_logger("serve")
+
+#: Log-spaced edges for the request-latency histogram, in milliseconds.
+LATENCY_EDGES_MS = (
+    0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+)
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Coalescing and capacity parameters of one micro-batcher."""
+
+    #: Largest batch one forward pass receives.
+    max_batch_size: int = 64
+    #: Coalescing deadline from the first request of a batch; a batch is
+    #: dispatched as soon as it is full *or* this delay elapses.
+    max_delay_ms: float = 2.0
+    #: Bounded admission queue: submits beyond this many pending
+    #: requests block (or raise, with a timeout) — backpressure.
+    max_queue_depth: int = 256
+    #: Worker threads executing batches.
+    workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_delay_ms < 0:
+            raise ConfigurationError(
+                f"max_delay_ms must be >= 0, got {self.max_delay_ms}"
+            )
+        if self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+
+
+@dataclass
+class BatcherStats:
+    """Always-on lifetime statistics (obs-independent, used by benches)."""
+
+    requests: int = 0
+    batches: int = 0
+    rejected: int = 0
+    failed_batches: int = 0
+    max_observed_queue_depth: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> Optional[float]:
+        return self.requests / self.batches if self.batches else None
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "rejected": self.rejected,
+            "failed_batches": self.failed_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size_seen": max(self.batch_sizes, default=0),
+            "max_observed_queue_depth": self.max_observed_queue_depth,
+        }
+
+
+class _Request:
+    __slots__ = ("x", "future", "enqueued_at")
+
+    def __init__(self, x: np.ndarray, future: Future, enqueued_at: float):
+        self.x = x
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``submit`` calls into bounded micro-batches.
+
+    Parameters
+    ----------
+    target:
+        Either an object with an ``infer_batch(images) -> outputs``
+        method (an :class:`~repro.serve.session.InferenceSession`) or a
+        bare callable with that signature.  Outputs must be indexable
+        along axis 0 in request order.
+    config:
+        Coalescing/capacity parameters; defaults to
+        :class:`BatcherConfig`.
+
+    Use as a context manager (``with session.batcher() as mb: ...``) or
+    call :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        target: Union[Callable[[np.ndarray], np.ndarray], object],
+        config: Optional[BatcherConfig] = None,
+    ) -> None:
+        infer = getattr(target, "infer_batch", None)
+        if infer is None:
+            if not callable(target):
+                raise ConfigurationError(
+                    "MicroBatcher target must be an InferenceSession or a "
+                    f"callable, got {type(target).__name__}"
+                )
+            infer = target
+        self._infer = infer
+        self.config = config if config is not None else BatcherConfig()
+        self.stats = BatcherStats()
+        self._queue: "queue.Queue" = queue.Queue(
+            maxsize=self.config.max_queue_depth
+        )
+        self._stats_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._collector: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        self._abort = False
+        # In-flight batch limiter.  Without it the collector would drain
+        # the bounded admission queue straight into the executor's
+        # *unbounded* internal queue and backpressure would never engage;
+        # with it, the collector only pulls work while a worker is free,
+        # so pending requests accumulate in the admission queue and
+        # ``submit`` genuinely blocks at ``max_queue_depth``.
+        self._inflight = threading.Semaphore(self.config.workers)
+        #: Edges for the batch-size histogram (one bin per size).
+        self._size_edges = np.arange(self.config.max_batch_size + 1) + 0.5
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._collector is not None and self._collector.is_alive()
+
+    def start(self) -> "MicroBatcher":
+        with self._state_lock:
+            if self._collector is not None:
+                raise ServeError("MicroBatcher is already started")
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="serve-worker",
+            )
+            self._collector = threading.Thread(
+                target=self._collect_loop, name="serve-collector", daemon=True
+            )
+            self._collector.start()
+        logger.debug(
+            "batcher started: %d workers, batch<=%d, delay<=%.1fms, "
+            "queue<=%d",
+            self.config.workers,
+            self.config.max_batch_size,
+            self.config.max_delay_ms,
+            self.config.max_queue_depth,
+        )
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down; ``drain=True`` finishes pending requests first.
+
+        With ``drain=False`` pending (not yet dispatched) requests are
+        cancelled.  Idempotent.
+        """
+        with self._state_lock:
+            if self._collector is None or self._closed:
+                return
+            self._closed = True
+            self._abort = not drain
+        self._queue.put(_STOP)
+        self._collector.join()
+        assert self._executor is not None
+        self._executor.shutdown(wait=True)
+        # Anything still queued was behind the sentinel of an aborted
+        # shutdown: cancel it so waiters do not hang.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                item.future.cancel()
+
+    def __enter__(self) -> "MicroBatcher":
+        if not self.running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # -- submission ------------------------------------------------------
+    def submit(self, x: np.ndarray, timeout: Optional[float] = None) -> Future:
+        """Enqueue one sample; resolves to that sample's output row.
+
+        Blocks while the admission queue is full (backpressure).  With a
+        ``timeout`` (seconds), raises
+        :class:`~repro.errors.BackpressureError` instead of waiting
+        longer.
+        """
+        if self._closed or self._collector is None:
+            raise ServeError(
+                "MicroBatcher is not running (call start() or use it as a "
+                "context manager)"
+            )
+        request = _Request(np.asarray(x), Future(), time.monotonic())
+        try:
+            self._queue.put(request, block=True, timeout=timeout)
+        except queue.Full:
+            with self._stats_lock:
+                self.stats.rejected += 1
+            obs.count("serve/rejected")
+            raise BackpressureError(
+                f"serving queue full ({self.config.max_queue_depth} pending "
+                f"requests) and no slot freed within {timeout}s"
+            ) from None
+        depth = self._queue.qsize()
+        with self._stats_lock:
+            if depth > self.stats.max_observed_queue_depth:
+                self.stats.max_observed_queue_depth = depth
+        obs.set_gauge("serve/queue_depth", depth)
+        return request.future
+
+    def submit_many(
+        self, xs: Sequence[np.ndarray], timeout: Optional[float] = None
+    ) -> List[Future]:
+        """Submit several samples; one future per sample, in order."""
+        return [self.submit(x, timeout=timeout) for x in xs]
+
+    # -- internals -------------------------------------------------------
+    def _collect_loop(self) -> None:
+        cfg = self.config
+        delay = cfg.max_delay_ms / 1e3
+        while True:
+            self._inflight.acquire()
+            first = self._queue.get()
+            if first is _STOP:
+                return
+            if self._abort:
+                first.future.cancel()
+                self._inflight.release()
+                continue
+            batch = [first]
+            deadline = time.monotonic() + delay
+            stop_after = False
+            while len(batch) < cfg.max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stop_after = True
+                    break
+                batch.append(item)
+            assert self._executor is not None
+            self._executor.submit(self._run_batch, batch)
+            if stop_after:
+                return
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        try:
+            self._run_batch_inner(batch)
+        finally:
+            self._inflight.release()
+
+    def _run_batch_inner(self, batch: List[_Request]) -> None:
+        images = np.stack([request.x for request in batch])
+        with obs.span("serve.batch", size=len(batch)):
+            try:
+                outputs = self._infer(images)
+            except Exception as exc:  # fan the failure out to every waiter
+                with self._stats_lock:
+                    self.stats.failed_batches += 1
+                obs.count("serve/failed_batches")
+                logger.warning("batch of %d failed: %s", len(batch), exc)
+                for request in batch:
+                    request.future.set_exception(exc)
+                return
+        done = time.monotonic()
+        for i, request in enumerate(batch):
+            request.future.set_result(outputs[i])
+        with self._stats_lock:
+            self.stats.requests += len(batch)
+            self.stats.batches += 1
+            self.stats.batch_sizes.append(len(batch))
+        rec = obs.active()
+        if rec is not None:
+            rec.metrics.inc("serve/requests", len(batch))
+            rec.metrics.inc("serve/batches")
+            rec.metrics.observe(
+                "serve/batch_size", len(batch), edges=self._size_edges
+            )
+            latencies_ms = np.array(
+                [(done - request.enqueued_at) * 1e3 for request in batch]
+            )
+            rec.metrics.observe(
+                "serve/latency_ms", latencies_ms, edges=LATENCY_EDGES_MS
+            )
+            rec.metrics.set_gauge("serve/queue_depth", self._queue.qsize())

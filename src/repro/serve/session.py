@@ -1,0 +1,330 @@
+"""Warm, reusable inference sessions: compile the pipeline once, run forever.
+
+Before this module, every inference experiment re-ran the whole
+``zoo -> quantize -> split -> assemble`` chain by hand with kwargs
+scattered across three modules.  :func:`compile_session` folds that
+chain into one call that returns a warm :class:`InferenceSession`:
+
+* the quantized artefacts come from the zoo's warm in-process registry
+  (:func:`repro.zoo.warm_model`), keyed by the recipe digest, so two
+  sessions over the same recipe share one model load;
+* the hardware network is built through the engine registry
+  (:func:`repro.core.engines.compile_network`) — ``fused``,
+  ``reference`` or ``adc`` — optionally with calibrated §4.3 split
+  decisions;
+* compiled sessions are themselves registered by their config digest,
+  so repeated ``compile_session`` calls return the *same* warm handle
+  and skip recompilation entirely.
+
+Deterministic tiled execution
+-----------------------------
+Serving must give every request the same answer regardless of how the
+:class:`~repro.serve.batcher.MicroBatcher` happened to coalesce it with
+its neighbours.  Plain numpy is *not* batch-invariant: BLAS picks
+different kernels for different GEMM shapes, so ``forward(x[None])``
+and ``forward(batch)[i]`` can differ in the last ulp.  Sessions
+therefore execute in **fixed hardware tiles**: every forward pass runs
+exactly ``tile`` samples (zero-padded), mirroring the constant wave of
+samples a pipelined crossbar accelerator processes per step.  Same-shape
+GEMMs are row-position independent, so outputs are bit-identical for
+every batch composition — asserted in ``tests/test_serve.py``.
+
+Tiling is only *bit*-load-bearing for deterministic engines (no per-read
+noise); sessions over noisy engines still work, but their outputs are
+stochastic by design and the session logs that serving reproducibility
+is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import obs, zoo
+from repro.core.engines import EngineSpec, compile_network
+from repro.core.binarized import BinarizedNetwork
+from repro.core.pipeline import SplitConfig, build_split_network
+from repro.core.threshold_search import SearchConfig
+from repro.errors import ConfigurationError
+from repro.nn.network import Sequential
+
+from repro.serve.batcher import BatcherConfig, MicroBatcher
+
+__all__ = [
+    "SessionConfig",
+    "InferenceSession",
+    "compile_session",
+    "clear_sessions",
+]
+
+logger = obs.get_logger("serve")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything that defines one compiled inference session."""
+
+    #: Zoo network name (``network1`` | ``network2`` | ``network3``).
+    network: str = "network2"
+    #: Backend + hardware/noise options.
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    #: Fixed hardware wave: every forward pass executes exactly this
+    #: many samples (zero-padded), making outputs independent of request
+    #: coalescing.  1 disables batching benefits; 16 is a good default
+    #: for the Table 2 networks.
+    tile: int = 16
+    #: Run the §4.3 split calibration (:func:`build_split_network`) on
+    #: training data and compile with the calibrated block decisions.
+    calibrate_splits: bool = False
+    #: Split-calibration parameters (only read when ``calibrate_splits``).
+    split: Optional[SplitConfig] = None
+    #: Algorithm 1 configuration for the quantized artefacts.
+    search: Optional[SearchConfig] = None
+    #: Model cache location override.
+    cache_dir: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if self.tile < 1:
+            raise ConfigurationError(f"tile must be >= 1, got {self.tile}")
+
+    def digest(self) -> str:
+        """Deterministic digest of the full session configuration."""
+        return obs.config_digest(self)
+
+
+class InferenceSession:
+    """A compiled, warm, reusable inference handle.
+
+    Not constructed directly — use :func:`compile_session` (zoo-backed)
+    or :meth:`InferenceSession.from_artifacts` (explicit network +
+    thresholds, e.g. in tests).
+    """
+
+    def __init__(
+        self,
+        hardware: BinarizedNetwork,
+        config: SessionConfig,
+        digest: str,
+        model: Optional[zoo.QuantizedModel] = None,
+    ) -> None:
+        self.hardware = hardware
+        self.config = config
+        self.digest = digest
+        #: The zoo bundle the session was compiled from (None when the
+        #: session was built from explicit artefacts).
+        self.model = model
+        self._infer_lock = None  # reserved; numpy forward is thread-safe
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_artifacts(
+        cls,
+        network: Sequential,
+        thresholds: Dict[int, float],
+        config: Optional[SessionConfig] = None,
+        *,
+        decisions=None,
+        partitions=None,
+        calibration_images: Optional[np.ndarray] = None,
+    ) -> "InferenceSession":
+        """Compile a session from explicit artefacts (bypasses the zoo)."""
+        config = config if config is not None else SessionConfig()
+        with obs.span(
+            "serve.compile", source="artifacts", engine=config.engine.name
+        ):
+            hardware = compile_network(
+                network,
+                thresholds,
+                config.engine,
+                decisions=decisions,
+                partitions=partitions,
+                calibration_images=calibration_images,
+            )
+        session = cls(hardware, config, digest=config.digest())
+        session._log_determinism()
+        return session
+
+    def _log_determinism(self) -> None:
+        if not self.deterministic:
+            logger.info(
+                "engine %r draws per-read noise: serving outputs are "
+                "stochastic, not bit-reproducible",
+                self.config.engine.name,
+            )
+
+    # -- properties ------------------------------------------------------
+    @property
+    def deterministic(self) -> bool:
+        """True when identical requests always get identical answers."""
+        return self.config.engine.deterministic
+
+    @property
+    def num_classes(self) -> int:
+        """Output width: the final weighted layer's column count."""
+        from repro.core.matrix_compute import layer_weight_matrix
+        from repro.nn.layers import Conv2D, Dense
+
+        for layer in reversed(self.hardware.network.layers):
+            if isinstance(layer, (Conv2D, Dense)):
+                return layer_weight_matrix(layer).shape[1]
+        raise ConfigurationError("network has no weighted layers")
+
+    # -- inference -------------------------------------------------------
+    def infer_batch(self, images: np.ndarray) -> np.ndarray:
+        """Logits for a batch ``(n, *input_shape)``, tile-executed.
+
+        This is the path the :class:`MicroBatcher` drives; it is also
+        what :meth:`infer` uses, so one-at-a-time and coalesced requests
+        run byte-for-byte the same compute.
+        """
+        images = np.asarray(images)
+        tile = self.config.tile
+        n = len(images)
+        outputs = []
+        for start in range(0, n, tile):
+            chunk = images[start : start + tile]
+            pad = tile - len(chunk)
+            if pad:
+                chunk = np.concatenate(
+                    [chunk, np.zeros((pad,) + chunk.shape[1:])]
+                )
+            logits = self.hardware.forward(chunk)
+            outputs.append(logits[: tile - pad] if pad else logits)
+        obs.count("serve/samples", n)
+        return (
+            np.concatenate(outputs)
+            if len(outputs) != 1
+            else outputs[0]
+        )
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Logits for one sample ``(*input_shape)`` or a batch.
+
+        Batch-transparent like
+        :meth:`repro.core.binarized.BinarizedNetwork.forward`: a single
+        sample returns an unbatched logits vector.
+        """
+        x = np.asarray(x)
+        single = x.ndim == len(self.hardware.network.input_shape)
+        logits = self.infer_batch(x[None] if single else x)
+        return logits[0] if single else logits
+
+    def classify(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class label(s) for one sample or a batch."""
+        logits = self.infer(x)
+        return np.argmax(logits, axis=-1)
+
+    def error_rate(
+        self, images: np.ndarray, labels: np.ndarray
+    ) -> float:
+        """Classification error over ``images`` (tile-executed)."""
+        predictions = self.classify(images)
+        return float(np.mean(predictions != np.asarray(labels)))
+
+    # -- serving ---------------------------------------------------------
+    def batcher(
+        self, config: Optional[BatcherConfig] = None
+    ) -> MicroBatcher:
+        """A (not yet started) micro-batcher over this session."""
+        return MicroBatcher(self, config)
+
+    def serve(self, config: Optional[BatcherConfig] = None) -> MicroBatcher:
+        """A *running* micro-batcher over this session."""
+        return self.batcher(config).start()
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceSession(network={self.config.network!r}, "
+            f"engine={self.config.engine.name!r}, tile={self.config.tile}, "
+            f"digest={self.digest!r})"
+        )
+
+
+#: Compiled-session registry: config digest -> warm session.
+_SESSIONS: Dict[str, InferenceSession] = {}
+_SESSIONS_LOCK = threading.Lock()
+
+
+def compile_session(
+    config: Optional[SessionConfig] = None,
+    *,
+    dataset=None,
+    reuse: bool = True,
+) -> InferenceSession:
+    """Compile (or fetch the warm copy of) a zoo-backed session.
+
+    The full pipeline — train/load -> quantize (Algorithm 1) ->
+    optionally calibrate §4.3 splits -> assemble on the selected engine
+    — runs **once** per configuration digest; subsequent calls with an
+    equal config return the same warm :class:`InferenceSession`.
+
+    ``dataset`` overrides the zoo's default dataset (artefact training /
+    split calibration); ``reuse=False`` forces a fresh compile and does
+    not register the result.
+
+    The registry lock is held across compilation, so concurrent callers
+    of the same config wait for one compile instead of racing.
+    """
+    config = config if config is not None else SessionConfig()
+    key = config.digest()
+    with _SESSIONS_LOCK:
+        if reuse:
+            session = _SESSIONS.get(key)
+            if session is not None:
+                obs.count("serve/session/reused")
+                return session
+        obs.count("serve/session/compiled")
+        with obs.span(
+            "serve.compile",
+            network=config.network,
+            engine=config.engine.name,
+            tile=config.tile,
+        ):
+            model = zoo.warm_model(
+                config.network,
+                dataset=dataset,
+                search_config=config.search,
+                cache_dir=config.cache_dir,
+            )
+            decisions = partitions = None
+            if config.calibrate_splits:
+                data = (
+                    dataset
+                    if dataset is not None
+                    else zoo.get_dataset(cache_dir=config.cache_dir)
+                )
+                split = build_split_network(
+                    model.search.network,
+                    model.search.thresholds,
+                    data.train.images,
+                    data.train.labels,
+                    config.split,
+                )
+                decisions = {
+                    i: r.decision for i, r in split.reports.items()
+                }
+                partitions = {
+                    i: r.partition for i, r in split.reports.items()
+                }
+            hardware = compile_network(
+                model.search.network,
+                model.search.thresholds,
+                config.engine,
+                decisions=decisions,
+                partitions=partitions,
+            )
+        session = InferenceSession(hardware, config, digest=key, model=model)
+        session._log_determinism()
+        if reuse:
+            _SESSIONS[key] = session
+    return session
+
+
+def clear_sessions() -> None:
+    """Drop every compiled-session registry entry (tests)."""
+    with _SESSIONS_LOCK:
+        _SESSIONS.clear()

@@ -40,6 +40,10 @@ __all__ = [
     "get_deep_network",
     "build_deep_network",
     "QuantizedModel",
+    "recipe_digest",
+    "quantized_cache_paths",
+    "warm_model",
+    "clear_warm_models",
 ]
 
 #: Default dataset sizes.  The paper uses MNIST's 60k/10k; we default to
@@ -83,11 +87,46 @@ class QuantizedModel:
     search: SearchResult
     float_test_error: float
     quantized_test_error: float
+    #: Recipe digest the artefact was cached under (see :func:`recipe_digest`).
+    digest: str = ""
 
 
 def _models_dir(cache_dir: Optional[Path]) -> Path:
     base = cache_dir if cache_dir is not None else default_cache_dir()
     return base / "models"
+
+
+def recipe_digest(
+    name: str, search_config: Optional[SearchConfig] = None
+) -> str:
+    """Digest of everything that shapes a quantized artefact.
+
+    Covers the architecture spec, the training recipe and the full
+    Algorithm 1 configuration (threshold grid, criterion, refinement,
+    engine) — the same :func:`repro.obs.config_digest` the run manifest
+    uses.  Two differently-configured quantizations therefore never
+    share a cache path or a warm-registry slot.
+    """
+    config = search_config if search_config is not None else SearchConfig()
+    return obs.config_digest(
+        {
+            "network": name,
+            "spec": get_network_spec(name),
+            "recipe": ZOO_RECIPES[name],
+            "search": config,
+        }
+    )
+
+
+def quantized_cache_paths(
+    name: str,
+    search_config: Optional[SearchConfig] = None,
+    cache_dir: Optional[Path] = None,
+) -> tuple:
+    """(weights ``.npz``, sidecar ``.json``) cache paths for one recipe."""
+    digest = recipe_digest(name, search_config)
+    base = _models_dir(cache_dir) / f"{name}_quantized_{digest}"
+    return base.with_suffix(".npz"), base.with_suffix(".json")
 
 
 def _load_cached_network(network: Sequential, path: Path) -> bool:
@@ -187,10 +226,15 @@ def get_quantized(
     cache_dir: Optional[Path] = None,
     force: bool = False,
 ) -> QuantizedModel:
-    """Trained + Algorithm-1-quantized bundle for one network (cached)."""
+    """Trained + Algorithm-1-quantized bundle for one network (cached).
+
+    The cache path carries the full recipe digest (architecture,
+    training recipe, search configuration), so differently-configured
+    quantizations of the same network never collide on disk.
+    """
     spec = get_network_spec(name)
-    path = _models_dir(cache_dir) / f"{name}_quantized.npz"
-    meta_path = _models_dir(cache_dir) / f"{name}_quantized.json"
+    digest = recipe_digest(name, search_config)
+    path, meta_path = quantized_cache_paths(name, search_config, cache_dir)
 
     dataset = dataset if dataset is not None else get_dataset(cache_dir=cache_dir)
     network = get_trained_network(name, dataset, cache_dir=cache_dir)
@@ -212,7 +256,9 @@ def get_quantized(
                 },
             )
             quant_error = meta["quantized_test_error"]
-            return QuantizedModel(name, search, float_error, quant_error)
+            return QuantizedModel(
+                name, search, float_error, quant_error, digest=digest
+            )
 
     obs.count("zoo/cache/misses")
     logger.info("running Algorithm 1 threshold search for %s", name)
@@ -243,7 +289,54 @@ def get_quantized(
         )
     )
     tmp_meta.replace(meta_path)
-    return QuantizedModel(name, search, float_error, quant_error)
+    return QuantizedModel(name, search, float_error, quant_error, digest=digest)
+
+
+#: In-process warm model registry: recipe digest -> quantized bundle.
+#: Serving sessions consult this before touching the on-disk cache, so a
+#: process that compiles the same recipe twice pays zero load cost the
+#: second time.
+_WARM_MODELS: Dict[tuple, QuantizedModel] = {}
+
+
+def warm_model(
+    name: str,
+    dataset: Optional[MnistLike] = None,
+    search_config: Optional[SearchConfig] = None,
+    cache_dir: Optional[Path] = None,
+    force: bool = False,
+) -> QuantizedModel:
+    """Quantized bundle from the warm in-process registry (fall back to disk).
+
+    Keyed by the recipe digest (plus the cache location and, for custom
+    datasets, the dataset sizes), so differently-configured models never
+    alias.  ``force=True`` bypasses and refreshes the warm entry.
+    """
+    key = (
+        recipe_digest(name, search_config),
+        None if cache_dir is None else str(cache_dir),
+        None if dataset is None else (len(dataset.train), len(dataset.test)),
+    )
+    if not force:
+        model = _WARM_MODELS.get(key)
+        if model is not None:
+            obs.count("zoo/warm/hits")
+            return model
+    obs.count("zoo/warm/misses")
+    model = get_quantized(
+        name,
+        dataset=dataset,
+        search_config=search_config,
+        cache_dir=cache_dir,
+        force=force,
+    )
+    _WARM_MODELS[key] = model
+    return model
+
+
+def clear_warm_models() -> None:
+    """Drop every warm-registry entry (tests, memory pressure)."""
+    _WARM_MODELS.clear()
 
 
 def build_deep_network(seed: int = 5) -> Sequential:

@@ -161,6 +161,8 @@ class TestHardwareNetworkEngines:
     def test_full_network_engines_agree(
         self, device, tiny_quantized, tiny_dataset
     ):
+        from repro.core.engines import EngineSpec
+
         config = HardwareConfig(device=device, max_crossbar_size=128)
         images = tiny_dataset["test_x"][:24]
 
@@ -168,9 +170,8 @@ class TestHardwareNetworkEngines:
             return assemble_sei_network(
                 tiny_quantized.network,
                 tiny_quantized.thresholds,
-                config,
                 rng=np.random.default_rng(config.seed),
-                engine=engine,
+                engine=EngineSpec(name=engine, hardware=config),
             )
 
         fused_logits = build("fused").predict(images)
@@ -178,13 +179,14 @@ class TestHardwareNetworkEngines:
         np.testing.assert_allclose(fused_logits, reference_logits, **TIGHT)
 
     def test_engine_validated(self, tiny_quantized):
+        from repro.core.engines import EngineSpec
         from repro.errors import ConfigurationError
 
         with pytest.raises(ConfigurationError, match="engine"):
             assemble_sei_network(
                 tiny_quantized.network,
                 tiny_quantized.thresholds,
-                engine="typo",
+                engine=EngineSpec(name="typo"),
             )
 
 

@@ -5,7 +5,15 @@ import pytest
 
 from repro.data.datasets import Dataset, MnistLike
 from repro.data.synthetic_mnist import generate_images
-from repro.zoo import ZOO_RECIPES, get_quantized, get_trained_network
+from repro.zoo import (
+    ZOO_RECIPES,
+    clear_warm_models,
+    get_quantized,
+    get_trained_network,
+    quantized_cache_paths,
+    recipe_digest,
+    warm_model,
+)
 
 
 @pytest.fixture(scope="module")
@@ -57,7 +65,10 @@ class TestQuantized:
         qm = get_quantized("network2", dataset=small_bundle, cache_dir=tmp_path)
         assert set(qm.search.thresholds) == {0, 3}
         assert 0.0 <= qm.quantized_test_error <= 1.0
-        assert (tmp_path / "models" / "network2_quantized.json").exists()
+        _, meta_path = quantized_cache_paths("network2", cache_dir=tmp_path)
+        assert meta_path.exists()
+        assert qm.digest == recipe_digest("network2")
+        assert qm.digest in meta_path.name
 
         cached = get_quantized(
             "network2", dataset=small_bundle, cache_dir=tmp_path
@@ -76,6 +87,70 @@ class TestQuantized:
         bn = cached.search.binarized()
         err = bn.error_rate(small_bundle.test.images, small_bundle.test.labels)
         assert err == pytest.approx(cached.quantized_test_error, abs=1e-9)
+
+
+class TestDigestCache:
+    def test_different_search_configs_do_not_collide(
+        self, small_bundle, tmp_path
+    ):
+        from repro.core.threshold_search import SearchConfig
+
+        coarse = SearchConfig(thres_max=0.1, search_step=0.02)
+        default_npz, _ = quantized_cache_paths("network2", cache_dir=tmp_path)
+        coarse_npz, _ = quantized_cache_paths(
+            "network2", search_config=coarse, cache_dir=tmp_path
+        )
+        assert default_npz != coarse_npz
+
+        qm_default = get_quantized(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        qm_coarse = get_quantized(
+            "network2",
+            dataset=small_bundle,
+            search_config=coarse,
+            cache_dir=tmp_path,
+        )
+        assert qm_default.digest != qm_coarse.digest
+        # Both artefacts coexist on disk: reloading the default config
+        # must NOT hand back the coarse model (the pre-digest cache
+        # keyed on the network name alone did exactly that).
+        reloaded = get_quantized(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        assert reloaded.search.thresholds == qm_default.search.thresholds
+
+    def test_digest_stable_and_network_specific(self):
+        assert recipe_digest("network2") == recipe_digest("network2")
+        assert recipe_digest("network1") != recipe_digest("network2")
+
+
+class TestWarmRegistry:
+    def test_warm_model_returns_same_object(self, small_bundle, tmp_path):
+        clear_warm_models()
+        first = warm_model(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        second = warm_model(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        assert first is second
+        clear_warm_models()
+        third = warm_model(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        assert third is not first
+        assert third.search.thresholds == first.search.thresholds
+
+    def test_force_bypasses_registry(self, small_bundle, tmp_path):
+        clear_warm_models()
+        first = warm_model(
+            "network2", dataset=small_bundle, cache_dir=tmp_path
+        )
+        fresh = warm_model(
+            "network2", dataset=small_bundle, cache_dir=tmp_path, force=True
+        )
+        assert fresh is not first
 
 
 class TestDeepNetwork:
@@ -128,7 +203,7 @@ class TestCorruptCache:
         self, small_bundle, tmp_path, caplog
     ):
         qm = get_quantized("network2", dataset=small_bundle, cache_dir=tmp_path)
-        meta = tmp_path / "models" / "network2_quantized.json"
+        _, meta = quantized_cache_paths("network2", cache_dir=tmp_path)
         meta.write_text("{ truncated")
         with caplog.at_level("WARNING", logger="repro.zoo"):
             redo = get_quantized(
@@ -141,7 +216,7 @@ class TestCorruptCache:
         self, small_bundle, tmp_path, caplog
     ):
         qm = get_quantized("network2", dataset=small_bundle, cache_dir=tmp_path)
-        npz = tmp_path / "models" / "network2_quantized.npz"
+        npz, _ = quantized_cache_paths("network2", cache_dir=tmp_path)
         npz.write_bytes(npz.read_bytes()[:100])
         with caplog.at_level("WARNING", logger="repro.zoo"):
             redo = get_quantized(

@@ -32,7 +32,12 @@ from repro.nn.network import Sequential
 from repro.core.binarized import BinarizedNetwork
 from repro.core.sei import sei_layer_compute
 
-__all__ = ["NoiseSweepResult", "sei_variation_sweep", "sense_amp_noise_sweep"]
+__all__ = [
+    "NoiseSweepResult",
+    "sei_variation_sweep",
+    "sense_amp_noise_sweep",
+    "sense_amp_offset_sweep",
+]
 
 
 @dataclass
@@ -165,6 +170,69 @@ def sense_amp_noise_sweep(
             level_errors.append(binarized.error_rate(images, labels))
         errors.append(level_errors)
     return _aggregate("sa_sigma", sigmas, errors, trials)
+
+
+def sense_amp_offset_sweep(
+    network: Sequential,
+    thresholds: Dict[int, float],
+    images: np.ndarray,
+    labels: np.ndarray,
+    offsets: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    trials: int = 5,
+    seed: int = 0,
+) -> NoiseSweepResult:
+    """Error vs *systematic* per-column sense-amp offset.
+
+    Unlike :func:`sense_amp_noise_sweep`'s per-decision jitter, each
+    comparator here carries a fixed input-referred offset drawn once per
+    trial (mismatch from fabrication, stable over the chip's lifetime):
+    column ``j`` always compares against ``threshold * (1 + o_j)`` with
+    ``o_j ~ N(0, offset)``.  Systematic offsets bias every image the
+    same way, so they degrade differently from white jitter — campaigns
+    sweep both.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    indices = _weighted_indices(network)
+
+    errors: List[List[float]] = []
+    for offset in offsets:
+        level_errors = []
+        for trial in range(trials):
+            rng = np.random.default_rng(seed * 1000 + trial + 29)
+            binarized = BinarizedNetwork(network, dict(thresholds))
+            for index in indices:
+                threshold = thresholds.get(index)
+                if threshold is None:
+                    continue  # analog classifier readout
+                binarized.layer_computes[index] = _offset_compute(
+                    offset, threshold, rng
+                )
+            level_errors.append(binarized.error_rate(images, labels))
+        errors.append(level_errors)
+    return _aggregate("sa_offset", offsets, errors, trials)
+
+
+def _offset_compute(offset: float, threshold: float, rng: np.random.Generator):
+    """Layer compute with a fixed per-column comparator offset.
+
+    The offsets are drawn lazily on the first forward (when the column
+    count is known) and then reused for every subsequent batch, matching
+    hardware where mismatch is frozen at fabrication.
+    """
+    state: Dict[str, np.ndarray] = {}
+
+    def compute(layer, x):
+        out = layer.forward(x)
+        if offset > 0:
+            cached = state.get("offsets")
+            if cached is None or cached.shape != out.shape[1:]:
+                cached = rng.normal(0.0, offset * threshold, out.shape[1:])
+                state["offsets"] = cached
+            out = out - cached
+        return out
+
+    return compute
 
 
 def _noisy_compute(sigma: float, threshold: float, rng: np.random.Generator):

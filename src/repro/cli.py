@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli tradeoff network1 --structure sei
     python -m repro.cli infer network2 --count 16
     python -m repro.cli serve network2 --requests 64 --workers 2
+    python -m repro.cli conformance --quick
+    python -m repro.cli conformance --update-golden
 
 Accuracy commands train models on first use and cache them under
 ``.cache/`` (a few minutes); cost-model commands are instant.
@@ -179,6 +181,68 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=64)
     serve.add_argument("--delay-ms", type=float, default=2.0)
     serve.add_argument("--queue", type=int, default=256)
+
+    conformance = sub.add_parser(
+        "conformance",
+        parents=[common],
+        help=(
+            "cross-engine conformance: differential cases, golden corpus, "
+            "fault injection (exit 1 on any mismatch)"
+        ),
+    )
+    conformance.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 20 generated cases + golden corpus + fault "
+        "self-check, no degradation campaign",
+    )
+    conformance.add_argument(
+        "--cases",
+        type=int,
+        default=40,
+        help="generated differential cases to sweep (ignored with --quick)",
+    )
+    conformance.add_argument("--seed", type=int, default=0)
+    conformance.add_argument(
+        "--engines",
+        default="fused,reference,adc",
+        help="comma-separated engine names to conform (default: all three)",
+    )
+    conformance.add_argument(
+        "--golden",
+        metavar="DIR",
+        default=None,
+        help="golden corpus directory (default: tests/golden)",
+    )
+    conformance.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="rewrite the golden corpus instead of verifying it "
+        "(refuses while any engine mismatch is live)",
+    )
+    conformance.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write minimized counterexample artifacts here (CI upload)",
+    )
+    conformance.add_argument(
+        "--campaign",
+        action="store_true",
+        help="also sweep the fault-injection degradation campaign (slow; "
+        "the nightly job)",
+    )
+    conformance.add_argument(
+        "--no-self-check",
+        action="store_true",
+        help="skip the deliberate-fault detection self-check",
+    )
+    conformance.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the full conformance report JSON to PATH",
+    )
     return parser
 
 
@@ -195,11 +259,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = _HANDLERS[args.command]
 
     if args.trace is None and args.metrics_out is None:
-        handler(args)
-        return 0
+        return handler(args) or 0
 
     with obs.recording() as rec:
-        handler(args)
+        status = handler(args) or 0
     export = rec.export(command=args.command, argv=list(argv or sys.argv[1:]))
     if args.trace is not None:
         _write_export(export, args.trace)
@@ -208,7 +271,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         metrics_only = {k: v for k, v in export.items() if k != "trace"}
         _write_export(metrics_only, args.metrics_out)
         logger.info("metrics written to %s", args.metrics_out)
-    return 0
+    return status
 
 
 # -- command handlers -----------------------------------------------------------
@@ -461,6 +524,29 @@ def _cmd_serve(args) -> None:
     )
 
 
+def _cmd_conformance(args) -> int:
+    from repro.testing.conformance import ConformanceConfig, run_conformance
+
+    engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
+    config = ConformanceConfig(
+        cases=20 if args.quick else args.cases,
+        seed=args.seed,
+        engines=engines,
+        golden_dir=Path(args.golden) if args.golden else None,
+        update_golden=args.update_golden,
+        self_check=not args.no_self_check,
+        artifacts_dir=Path(args.artifacts) if args.artifacts else None,
+        campaign=args.campaign and not args.quick,
+    )
+    report = run_conformance(config)
+    for line in report.summary_lines():
+        logger.info("%s", line)
+    if args.report:
+        _write_export(report.as_dict(), args.report)
+        logger.info("report written to %s", args.report)
+    return 0 if report.ok else 1
+
+
 _HANDLERS = {
     "info": _cmd_info,
     "fig1": _cmd_fig1,
@@ -474,6 +560,7 @@ _HANDLERS = {
     "datasheet": _cmd_datasheet,
     "infer": _cmd_infer,
     "serve": _cmd_serve,
+    "conformance": _cmd_conformance,
 }
 
 

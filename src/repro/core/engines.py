@@ -50,6 +50,7 @@ __all__ = [
     "available_engines",
     "register_engine",
     "engine_builder",
+    "oracle_engine",
     "resolve_engine",
     "compile_network",
 ]
@@ -106,25 +107,44 @@ class EngineSpec:
 EngineBuilder = Callable[..., BinarizedNetwork]
 
 _ENGINES: Dict[str, EngineBuilder] = {}
+_ORACLE: Dict[str, str] = {}
 
 
 def register_engine(
-    name: str, builder: EngineBuilder, replace: bool = False
+    name: str,
+    builder: EngineBuilder,
+    replace: bool = False,
+    oracle: bool = False,
 ) -> None:
     """Register an inference backend under ``name``.
 
     Third-party backends (sharded fabrics, alternative devices) register
     here and immediately become valid :class:`EngineSpec` names for
-    :func:`compile_network`, ``repro.serve`` sessions and the CLI.
+    :func:`compile_network`, ``repro.serve`` sessions, the conformance
+    harness and the CLI.  Pass ``oracle=True`` to designate the backend
+    as the equivalence oracle every other engine is differentially
+    tested against (``repro.testing`` compares candidates to it).
     """
     if not replace and name in _ENGINES:
         raise ConfigurationError(f"engine {name!r} is already registered")
     _ENGINES[name] = builder
+    if oracle:
+        _ORACLE["name"] = name
 
 
 def available_engines() -> Tuple[str, ...]:
     """Registered engine names, sorted."""
     return tuple(sorted(_ENGINES))
+
+
+def oracle_engine() -> str:
+    """Name of the designated equivalence-oracle engine.
+
+    The oracle is the retained pre-fusion arithmetic every optimised
+    backend must stay bit-identical to; :class:`repro.testing`'s
+    differential runner compares against it by default.
+    """
+    return _ORACLE.get("name", "reference")
 
 
 def engine_builder(name: str) -> EngineBuilder:
@@ -285,5 +305,5 @@ def _build_adc(
 
 
 register_engine("fused", _build_sei)
-register_engine("reference", _build_sei)
+register_engine("reference", _build_sei, oracle=True)
 register_engine("adc", _build_adc)

@@ -38,3 +38,8 @@ class ServeError(ReproError):
 
 class BackpressureError(ServeError):
     """The serving queue is full and the submit timeout elapsed."""
+
+
+class ConformanceError(ReproError):
+    """A cross-engine conformance check failed (engine mismatch, golden
+    drift, unbounded fault degradation)."""

@@ -18,14 +18,37 @@ converge and are reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hw.device import RRAMDevice
 
-__all__ = ["TuningResult", "tune_cells"]
+__all__ = ["TuningResult", "stuck_cell_map", "tune_cells"]
+
+
+def stuck_cell_map(
+    device: RRAMDevice,
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Boolean masks of permanently stuck cells over an array of ``shape``.
+
+    One uniform draw per cell decides its fate — below
+    ``stuck_low_rate`` the cell is forming-failed at ``g_min``, above
+    ``1 - stuck_high_rate`` it is shorted at ``g_max`` — the same
+    convention :meth:`repro.hw.device.RRAMDevice.program` applies, so a
+    fault-injection campaign and the programmed arrays agree on the
+    defect statistics.  Returns a structured view as a boolean array of
+    shape ``(2,) + shape``: ``[0]`` is the stuck-low mask, ``[1]`` the
+    stuck-high mask (disjoint by construction).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    draw = rng.random(shape)
+    stuck_low = draw < device.stuck_low_rate
+    stuck_high = draw > 1.0 - device.stuck_high_rate
+    return np.stack([stuck_low, stuck_high & ~stuck_low])
 
 
 @dataclass
@@ -81,9 +104,7 @@ def tune_cells(
     window = tolerance * device.level_step
 
     # Stuck cells are decided once (they are physical defects).
-    draw = rng.random(targets.shape)
-    stuck_low = draw < device.stuck_low_rate
-    stuck_high = draw > 1.0 - device.stuck_high_rate
+    stuck_low, stuck_high = stuck_cell_map(device, targets.shape, rng)
     stuck = stuck_low | stuck_high
 
     achieved = np.where(stuck_low, device.g_min, np.nan)

@@ -225,6 +225,33 @@ class InferenceSession:
         predictions = self.classify(images)
         return float(np.mean(predictions != np.asarray(labels)))
 
+    def self_check(self, images: np.ndarray) -> None:
+        """Assert this session's outputs are batch-composition invariant.
+
+        Routes the session through the conformance harness's
+        batch-invariance check (:func:`repro.testing.differential.
+        check_batch_invariance`): whole batch vs one-at-a-time vs split
+        compositions, bit-for-bit.  Raises
+        :class:`~repro.errors.ConformanceError` on a violation; a no-op
+        for non-deterministic engines (their outputs are stochastic by
+        design, so composition invariance is not defined).
+        """
+        if not self.deterministic:
+            logger.info(
+                "self_check skipped: engine %r is non-deterministic",
+                self.config.engine.name,
+            )
+            return
+        from repro.errors import ConformanceError
+        from repro.testing.differential import check_batch_invariance
+
+        violation = check_batch_invariance(self, np.asarray(images))
+        if violation is not None:
+            raise ConformanceError(
+                f"session {self.digest!r} is not batch-invariant: "
+                f"{violation}"
+            )
+
     # -- serving ---------------------------------------------------------
     def batcher(
         self, config: Optional[BatcherConfig] = None

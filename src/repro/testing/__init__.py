@@ -1,0 +1,111 @@
+"""Cross-engine conformance harness: correctness as infrastructure.
+
+The paper's central claim (Table 3 / Table 5) is that the SEI structure
+computes the *same function* as the ADC/DAC baseline at a fraction of
+the power — so the reproduction's credibility rests on the ``fused``,
+``reference`` and ``adc`` engines staying equivalent under every
+configuration, split decision and noise model.  This subpackage turns
+that equivalence into executable infrastructure:
+
+* :mod:`repro.testing.generators` — deterministic, seeded case
+  generators that enumerate/sample network shapes, quantization
+  recipes, split decisions and engine configurations (and a
+  hypothesis-composable strategy for property tests);
+* :mod:`repro.testing.differential` — the differential runner: compile
+  each case through every registered engine via
+  :func:`repro.core.engines.compile_network`, execute through
+  fixed-tile :class:`~repro.serve.session.InferenceSession` waves, and
+  assert output equivalence under per-engine tolerance policies,
+  reporting *minimized* counterexamples on failure;
+* :mod:`repro.testing.golden` — a golden regression corpus (serialized
+  inputs + expected outputs, digest-keyed) checked into
+  ``tests/golden/`` with a refresh CLI
+  (``repro-cli conformance --update-golden``);
+* :mod:`repro.testing.faults` — fault-injection campaigns over the
+  :mod:`repro.hw` / :mod:`repro.analysis.robustness` knobs (programming
+  variation, read noise, stuck-at cells, sense-amp offsets), asserting
+  monotone and bounded accuracy degradation, plus a deliberate-fault
+  detection self-check for the differential oracle;
+* :mod:`repro.testing.conformance` — the orchestrator behind
+  ``repro-cli conformance`` and the nightly CI job.
+
+Every future performance PR is provably safe against the reference
+oracle: ``repro-cli conformance --quick`` is the smoke gate, the
+nightly job sweeps the full campaign.  See ``docs/testing.md``.
+"""
+
+from repro.testing.generators import (
+    ConformanceCase,
+    BuiltCase,
+    build_case,
+    case_digest,
+    case_strategy,
+    generate_cases,
+    iter_zoo_shaped_cases,
+)
+from repro.testing.differential import (
+    ADC_MIN_AGREEMENT,
+    ADC_MIN_AGREEMENT_DEEP,
+    SEI_ATOL,
+    SEI_RTOL,
+    CaseResult,
+    Counterexample,
+    DifferentialRunner,
+    TolerancePolicy,
+    check_batch_invariance,
+    default_policy,
+)
+from repro.testing.golden import (
+    GoldenEntry,
+    default_golden_dir,
+    load_corpus,
+    refresh_corpus,
+    verify_corpus,
+    write_entry,
+)
+from repro.testing.faults import (
+    CampaignConfig,
+    CampaignResult,
+    FaultSpec,
+    inject_and_detect,
+    run_campaign,
+)
+from repro.testing.conformance import (
+    ConformanceConfig,
+    ConformanceReport,
+    run_conformance,
+)
+
+__all__ = [
+    "ADC_MIN_AGREEMENT",
+    "ADC_MIN_AGREEMENT_DEEP",
+    "SEI_ATOL",
+    "SEI_RTOL",
+    "ConformanceCase",
+    "BuiltCase",
+    "build_case",
+    "case_digest",
+    "case_strategy",
+    "generate_cases",
+    "iter_zoo_shaped_cases",
+    "CaseResult",
+    "Counterexample",
+    "DifferentialRunner",
+    "TolerancePolicy",
+    "check_batch_invariance",
+    "default_policy",
+    "GoldenEntry",
+    "default_golden_dir",
+    "load_corpus",
+    "refresh_corpus",
+    "verify_corpus",
+    "write_entry",
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultSpec",
+    "inject_and_detect",
+    "run_campaign",
+    "ConformanceConfig",
+    "ConformanceReport",
+    "run_conformance",
+]

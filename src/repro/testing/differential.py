@@ -1,0 +1,666 @@
+"""Differential runner: every engine against the reference oracle.
+
+For each :class:`~repro.testing.generators.ConformanceCase` the runner
+compiles the case's artefacts through every requested engine via
+:func:`repro.core.engines.compile_network`, executes them through
+fixed-tile :class:`~repro.serve.session.InferenceSession` waves (the
+same path serving traffic takes, so batch-composition invariance is
+exercised for free) and compares outputs against the oracle engine
+under a per-engine :class:`TolerancePolicy`:
+
+* ``fused`` vs ``reference`` — tight ``allclose`` at
+  :data:`SEI_RTOL`/:data:`SEI_ATOL` (the repo's equivalence-suite
+  tolerances), including under programming variation and per-read noise
+  (the engines consume identical RNG streams by construction; the only
+  legitimate daylight is last-ulp float reassociation where the fused
+  engine collapses per-slice sums into one GEMM);
+* ``adc`` vs ``reference`` — the Table 3/5 *functional equivalence*
+  claim: the DAC+ADC baseline quantizes converter outputs, so logits
+  differ in the low bits, but classification decisions must agree on
+  at least :data:`ADC_MIN_AGREEMENT` of samples.
+
+On failure the runner *minimizes* the counterexample: it isolates the
+first failing sample, greedily zeroes input regions (a bounded
+ddmin-style pass, re-compiling both engines fresh per probe so noisy
+streams stay aligned) and localises the first diverging layer — the
+:class:`Counterexample` a CI artifact or a human gets is the smallest
+reproduction the budget allows, not a 12-sample batch dump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.binarized import BinarizedNetwork
+from repro.core.engines import EngineSpec, oracle_engine
+from repro.core.hardware_network import HardwareConfig
+from repro.errors import ConfigurationError, ConformanceError
+from repro.hw.device import RRAMDevice
+from repro.serve.session import InferenceSession, SessionConfig
+from repro.testing.generators import BuiltCase, ConformanceCase, build_case
+
+__all__ = [
+    "ADC_MIN_AGREEMENT",
+    "ADC_MIN_AGREEMENT_DEEP",
+    "SEI_ATOL",
+    "SEI_RTOL",
+    "TolerancePolicy",
+    "Comparison",
+    "Counterexample",
+    "CaseResult",
+    "DifferentialRunner",
+    "case_engine_spec",
+    "check_batch_invariance",
+    "default_policy",
+]
+
+logger = obs.get_logger("testing")
+
+#: Minimum classification-decision agreement the ADC baseline must reach
+#: against the reference oracle (its converters re-quantize every column,
+#: so logits legitimately differ in the low bits near thresholds).
+ADC_MIN_AGREEMENT = 0.75
+
+#: The deep-stack floor: case networks are *untrained*, so their
+#: activations sit near the comparator thresholds everywhere, and every
+#: ADC-quantization nudge across an intermediate binarization flips
+#: bits that compound discretely through depth.  Cases with more than
+#: one conv stage therefore get a lower empirical agreement floor
+#: (trained zoo networks, whose margins are real, are held to the full
+#: Table 5 claim in ``tests/test_integration.py``).
+ADC_MIN_AGREEMENT_DEEP = 0.5
+
+#: SEI engine (fused-vs-reference) comparison tolerances — the same
+#: numbers the equivalence suite (``tests/test_perf_engine.py``) holds
+#: the fused compute engines to.  Not 0.0: the fused engine sums slice
+#: contributions in one collapsed GEMM, so split layers reassociate
+#: float additions and the analog logits differ in the last ulp.
+SEI_RTOL = 1e-9
+SEI_ATOL = 1e-12
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """How a candidate engine's outputs are compared with the oracle's.
+
+    ``mode='exact'`` — byte-for-byte equality per sample (the SEI
+    engines); ``mode='allclose'`` — numpy ``isclose`` with
+    ``atol``/``rtol`` (golden-corpus verification across BLAS builds);
+    ``mode='agreement'`` — argmax classification decisions agree on at
+    least ``min_agreement`` of samples (noisy / re-quantizing modes).
+    """
+
+    mode: str = "exact"
+    atol: float = 0.0
+    rtol: float = 0.0
+    min_agreement: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exact", "allclose", "agreement"):
+            raise ConfigurationError(
+                "TolerancePolicy mode must be 'exact', 'allclose' or "
+                f"'agreement', got {self.mode!r}"
+            )
+        if not 0.0 < self.min_agreement <= 1.0:
+            raise ConfigurationError(
+                f"min_agreement must lie in (0, 1], got {self.min_agreement}"
+            )
+
+    def compare(
+        self, candidate: np.ndarray, oracle: np.ndarray
+    ) -> "Comparison":
+        candidate = np.asarray(candidate)
+        oracle = np.asarray(oracle)
+        if candidate.shape != oracle.shape:
+            raise ConformanceError(
+                f"engine output shape {candidate.shape} does not match the "
+                f"oracle's {oracle.shape}"
+            )
+        diff = np.abs(candidate - oracle)
+        max_abs_diff = float(diff.max()) if diff.size else 0.0
+        agree = np.argmax(candidate, axis=-1) == np.argmax(oracle, axis=-1)
+        agreement = float(agree.mean()) if agree.size else 1.0
+        if self.mode == "exact":
+            failing = np.flatnonzero(np.any(candidate != oracle, axis=-1))
+            ok = failing.size == 0
+        elif self.mode == "allclose":
+            close = np.isclose(
+                candidate, oracle, rtol=self.rtol, atol=self.atol
+            )
+            failing = np.flatnonzero(~np.all(close, axis=-1))
+            ok = failing.size == 0
+        else:  # agreement
+            failing = np.flatnonzero(~agree)
+            ok = agreement >= self.min_agreement
+        return Comparison(
+            ok=ok,
+            failing_indices=failing,
+            max_abs_diff=max_abs_diff,
+            agreement=agreement,
+        )
+
+
+@dataclass
+class Comparison:
+    """Outcome of one candidate-vs-oracle output comparison."""
+
+    ok: bool
+    failing_indices: np.ndarray
+    max_abs_diff: float
+    agreement: float
+
+    @property
+    def any_sample_fails(self) -> bool:
+        return self.failing_indices.size > 0
+
+
+def default_policy(
+    engine: str, case: Optional[ConformanceCase] = None
+) -> TolerancePolicy:
+    """The built-in policy for an engine name (optionally case-aware).
+
+    SEI engines (``fused``/``reference`` and third-party registrations)
+    must agree to the equivalence-suite tolerances
+    (:data:`SEI_RTOL`/:data:`SEI_ATOL`); the ``adc`` baseline is held to
+    the paper's functional-equivalence claim instead — with the relaxed
+    :data:`ADC_MIN_AGREEMENT_DEEP` floor on multi-conv case networks
+    (see its docstring for why untrained depth erodes agreement).
+    """
+    if engine == "adc":
+        deep = case is not None and len(case.conv_channels) > 1
+        return TolerancePolicy(
+            mode="agreement",
+            min_agreement=(
+                ADC_MIN_AGREEMENT_DEEP if deep else ADC_MIN_AGREEMENT
+            ),
+        )
+    return TolerancePolicy(mode="allclose", rtol=SEI_RTOL, atol=SEI_ATOL)
+
+
+def case_engine_spec(
+    case: ConformanceCase, engine: str
+) -> EngineSpec:
+    """The :class:`EngineSpec` a case compiles the named engine with.
+
+    All engines share one :class:`HardwareConfig` (same device recipe,
+    same programming seed) so the SEI engines program bit-identical
+    crossbars and the differential isolates *arithmetic* divergence,
+    not configuration skew.
+    """
+    device = RRAMDevice(
+        bits=case.device_bits,
+        program_sigma=case.program_sigma,
+        read_sigma=case.read_sigma,
+        stuck_low_rate=case.stuck_low_rate,
+        stuck_high_rate=case.stuck_high_rate,
+    )
+    hardware = HardwareConfig(
+        device=device,
+        weight_bits=case.weight_bits,
+        max_crossbar_size=case.max_crossbar_size,
+        ir_drop_lambda=case.ir_drop_lambda,
+        partition_method=case.partition_method,
+        seed=case.seed,
+    )
+    return EngineSpec(name=engine, hardware=hardware, data_bits=case.data_bits)
+
+
+@dataclass
+class Counterexample:
+    """A minimized reproduction of one engine-vs-oracle mismatch."""
+
+    case: ConformanceCase
+    engine: str
+    oracle: str
+    policy: TolerancePolicy
+    sample_index: int
+    #: The minimized failing input ``(1, H, W)``.
+    input: np.ndarray
+    candidate_output: np.ndarray
+    oracle_output: np.ndarray
+    max_abs_diff: float
+    agreement: float
+    #: First layer index whose outputs diverge (None when the engines
+    #: are not directly layer-comparable, e.g. adc-vs-sei agreement).
+    divergence_layer: Optional[int] = None
+    #: Fraction of input pixels the minimizer managed to zero out.
+    zeroed_fraction: float = 0.0
+    #: Re-compilation probes the minimizer spent.
+    probes: int = 0
+
+    def describe(self) -> str:
+        where = (
+            f"first diverging layer {self.divergence_layer}"
+            if self.divergence_layer is not None
+            else f"decision agreement {self.agreement:.2f}"
+        )
+        return (
+            f"{self.case.name}: engine {self.engine!r} != oracle "
+            f"{self.oracle!r} (policy {self.policy.mode}) on sample "
+            f"{self.sample_index}; {where}; max |diff| "
+            f"{self.max_abs_diff:.3e}; minimized input zeroes "
+            f"{100 * self.zeroed_fraction:.0f}% of pixels "
+            f"({self.probes} probes); reproduce with seed "
+            f"{self.case.seed}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case.as_dict(),
+            "engine": self.engine,
+            "oracle": self.oracle,
+            "policy": {
+                "mode": self.policy.mode,
+                "atol": self.policy.atol,
+                "rtol": self.policy.rtol,
+                "min_agreement": self.policy.min_agreement,
+            },
+            "sample_index": self.sample_index,
+            "max_abs_diff": self.max_abs_diff,
+            "agreement": self.agreement,
+            "divergence_layer": self.divergence_layer,
+            "zeroed_fraction": self.zeroed_fraction,
+            "probes": self.probes,
+            "candidate_output": self.candidate_output.tolist(),
+            "oracle_output": self.oracle_output.tolist(),
+        }
+
+    def save(self, directory: Path) -> List[Path]:
+        """Write the counterexample as a JSON + npz artifact pair."""
+        import json
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        stem = f"{self.case.name}-{self.engine}"
+        array_path = directory / f"{stem}.npz"
+        np.savez_compressed(
+            array_path,
+            input=self.input,
+            candidate_output=self.candidate_output,
+            oracle_output=self.oracle_output,
+        )
+        meta_path = directory / f"{stem}.json"
+        meta_path.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True)
+        )
+        return [meta_path, array_path]
+
+
+@dataclass
+class CaseResult:
+    """Everything one differential case run produced."""
+
+    case: ConformanceCase
+    oracle: str
+    #: Logits per engine on the case's evaluation batch.
+    outputs: Dict[str, np.ndarray]
+    comparisons: Dict[str, Comparison]
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    #: None when invariant (or not applicable), else a description.
+    batch_invariance_violation: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.counterexamples
+            and self.batch_invariance_violation is None
+        )
+
+
+def check_batch_invariance(
+    session: InferenceSession,
+    images: np.ndarray,
+    splits: Sequence[int] = (1, 3),
+) -> Optional[str]:
+    """Verify outputs do not depend on request coalescing.
+
+    Runs the whole batch, then one-at-a-time, then a couple of uneven
+    split compositions through :meth:`InferenceSession.infer_batch` and
+    compares bit-for-bit.  Returns ``None`` when invariant, else a
+    description of the first violation.  Only meaningful for
+    deterministic engines (noisy sessions are stochastic by design).
+    """
+    images = np.asarray(images)
+    whole = session.infer_batch(images)
+    singles = np.stack([session.infer(x) for x in images])
+    if not np.array_equal(whole, singles):
+        index = int(
+            np.flatnonzero(np.any(whole != singles, axis=-1))[0]
+        )
+        return (
+            f"batch-of-{len(images)} output differs from one-at-a-time "
+            f"at sample {index} (tile={session.config.tile})"
+        )
+    for split in splits:
+        if not 0 < split < len(images):
+            continue
+        parts = np.concatenate(
+            [
+                session.infer_batch(images[:split]),
+                session.infer_batch(images[split:]),
+            ]
+        )
+        if not np.array_equal(whole, parts):
+            index = int(
+                np.flatnonzero(np.any(whole != parts, axis=-1))[0]
+            )
+            return (
+                f"split-at-{split} composition differs from whole batch "
+                f"at sample {index} (tile={session.config.tile})"
+            )
+    return None
+
+
+class DifferentialRunner:
+    """Compile-and-compare engine conformance over generated cases.
+
+    Parameters
+    ----------
+    oracle:
+        Oracle engine name; defaults to the registry's designated
+        oracle (:func:`repro.core.engines.oracle_engine`).
+    policies:
+        Per-engine :class:`TolerancePolicy` overrides (defaults from
+        :func:`default_policy`).
+    minimize:
+        Shrink failing inputs into minimized counterexamples (costs a
+        bounded number of re-compilations per mismatch).
+    max_probes:
+        Re-compilation budget per minimization.
+    check_invariance:
+        Route each deterministic engine through the serving
+        batch-invariance check as part of every case.
+    """
+
+    def __init__(
+        self,
+        oracle: Optional[str] = None,
+        policies: Optional[Mapping[str, TolerancePolicy]] = None,
+        minimize: bool = True,
+        max_probes: int = 40,
+        check_invariance: bool = True,
+    ) -> None:
+        self.oracle = oracle if oracle is not None else oracle_engine()
+        self.policies = dict(policies) if policies else {}
+        self.minimize = minimize
+        self.max_probes = max_probes
+        self.check_invariance = check_invariance
+
+    # -- execution -------------------------------------------------------
+    def policy_for(
+        self, engine: str, case: Optional[ConformanceCase] = None
+    ) -> TolerancePolicy:
+        override = self.policies.get(engine)
+        if override is not None:
+            return override
+        return default_policy(engine, case)
+
+    def _session(
+        self,
+        built: BuiltCase,
+        spec: EngineSpec,
+    ) -> InferenceSession:
+        """A fresh session for the built case on ``spec``.
+
+        Freshly compiled every time so the engine's RNG stream starts
+        from the spec's seed — the property that keeps noisy fused and
+        reference runs aligned draw-for-draw.
+        """
+        return InferenceSession.from_artifacts(
+            built.network,
+            built.thresholds,
+            SessionConfig(
+                network=built.case.name, engine=spec, tile=built.case.tile
+            ),
+            calibration_images=(
+                built.calibration if spec.name == "adc" else None
+            ),
+        )
+
+    def _execute(
+        self, built: BuiltCase, spec: EngineSpec, inputs: np.ndarray
+    ) -> np.ndarray:
+        return self._session(built, spec).infer_batch(inputs)
+
+    def run_case(
+        self,
+        case: ConformanceCase,
+        candidate_specs: Optional[Mapping[str, EngineSpec]] = None,
+    ) -> CaseResult:
+        """Run one case through every engine and compare to the oracle.
+
+        ``candidate_specs`` overrides the spec of individual candidate
+        engines (fault-injection compiles a deliberately faulty
+        candidate against the clean oracle this way).
+        """
+        built = build_case(case)
+        oracle_spec = case_engine_spec(case, self.oracle)
+        engines = [e for e in case.engines if e != self.oracle]
+        with obs.span(
+            "conformance.case", case=case.name, engines=len(engines) + 1
+        ):
+            outputs: Dict[str, np.ndarray] = {
+                self.oracle: self._execute(built, oracle_spec, built.inputs)
+            }
+            comparisons: Dict[str, Comparison] = {}
+            counterexamples: List[Counterexample] = []
+            specs: Dict[str, EngineSpec] = {self.oracle: oracle_spec}
+            for engine in engines:
+                spec = (
+                    candidate_specs[engine]
+                    if candidate_specs and engine in candidate_specs
+                    else case_engine_spec(case, engine)
+                )
+                specs[engine] = spec
+                outputs[engine] = self._execute(built, spec, built.inputs)
+                policy = self.policy_for(engine, case)
+                comparison = policy.compare(
+                    outputs[engine], outputs[self.oracle]
+                )
+                comparisons[engine] = comparison
+                if not comparison.ok:
+                    obs.count("conformance/mismatches")
+                    counterexamples.append(
+                        self._build_counterexample(
+                            built, spec, oracle_spec, policy, comparison,
+                            outputs[engine], outputs[self.oracle],
+                        )
+                    )
+            violation = None
+            if self.check_invariance:
+                violation = self._invariance_violation(
+                    built, specs, candidate_specs is not None
+                )
+            obs.count("conformance/cases")
+        result = CaseResult(
+            case=case,
+            oracle=self.oracle,
+            outputs=outputs,
+            comparisons=comparisons,
+            counterexamples=counterexamples,
+            batch_invariance_violation=violation,
+        )
+        if not result.ok:
+            for counterexample in result.counterexamples:
+                logger.warning("%s", counterexample.describe())
+            if violation:
+                logger.warning("%s: %s", case.name, violation)
+        return result
+
+    def run(self, cases: Sequence[ConformanceCase]) -> List[CaseResult]:
+        with obs.span("conformance.run", cases=len(cases)):
+            return [self.run_case(case) for case in cases]
+
+    # -- invariance ------------------------------------------------------
+    def _invariance_violation(
+        self,
+        built: BuiltCase,
+        specs: Mapping[str, EngineSpec],
+        injected: bool,
+    ) -> Optional[str]:
+        if injected:
+            # Fault-injection runs compare engines, not serving routes.
+            return None
+        for engine, spec in specs.items():
+            if not spec.deterministic:
+                continue
+            session = self._session(built, spec)
+            violation = check_batch_invariance(session, built.inputs)
+            if violation is not None:
+                return f"engine {engine!r}: {violation}"
+        return None
+
+    # -- counterexample minimization -------------------------------------
+    def _pair_fails(
+        self,
+        built: BuiltCase,
+        candidate_spec: EngineSpec,
+        oracle_spec: EngineSpec,
+        policy: TolerancePolicy,
+        inputs: np.ndarray,
+    ) -> Tuple[bool, np.ndarray, np.ndarray]:
+        """Re-run both engines fresh on ``inputs``; does any sample fail?
+
+        Fresh compiles per probe keep noisy RNG streams aligned between
+        the candidate and the oracle regardless of input size.
+        """
+        candidate = self._execute(built, candidate_spec, inputs)
+        oracle = self._execute(built, oracle_spec, inputs)
+        comparison = policy.compare(candidate, oracle)
+        return comparison.any_sample_fails, candidate, oracle
+
+    def _build_counterexample(
+        self,
+        built: BuiltCase,
+        candidate_spec: EngineSpec,
+        oracle_spec: EngineSpec,
+        policy: TolerancePolicy,
+        comparison: Comparison,
+        candidate_outputs: np.ndarray,
+        oracle_outputs: np.ndarray,
+    ) -> Counterexample:
+        index = int(comparison.failing_indices[0])
+        x = built.inputs[index : index + 1].copy()
+        probes = 0
+        zeroed = 0.0
+        if self.minimize:
+            x, probes, zeroed = self._shrink_input(
+                built, candidate_spec, oracle_spec, policy, x
+            )
+            obs.count("conformance/minimize_probes", probes)
+        fails, cand_out, orac_out = self._pair_fails(
+            built, candidate_spec, oracle_spec, policy, x
+        )
+        if not fails:  # pragma: no cover - shrink always re-verifies
+            cand_out = candidate_outputs[index : index + 1]
+            orac_out = oracle_outputs[index : index + 1]
+        divergence = None
+        if policy.mode in ("exact", "allclose"):
+            divergence = self._first_divergence(
+                built, candidate_spec, oracle_spec, policy, x
+            )
+        return Counterexample(
+            case=built.case,
+            engine=candidate_spec.name,
+            oracle=oracle_spec.name,
+            policy=policy,
+            sample_index=index,
+            input=x[0],
+            candidate_output=cand_out[0],
+            oracle_output=orac_out[0],
+            max_abs_diff=float(np.abs(cand_out - orac_out).max()),
+            agreement=comparison.agreement,
+            divergence_layer=divergence,
+            zeroed_fraction=zeroed,
+            probes=probes,
+        )
+
+    def _shrink_input(
+        self,
+        built: BuiltCase,
+        candidate_spec: EngineSpec,
+        oracle_spec: EngineSpec,
+        policy: TolerancePolicy,
+        x: np.ndarray,
+    ) -> Tuple[np.ndarray, int, float]:
+        """Bounded ddmin: zero out input regions while the failure holds.
+
+        Splits the flattened pixel set into progressively finer chunks;
+        a chunk is permanently zeroed whenever the single-sample failure
+        survives without it.  Returns the minimized input, probes spent
+        and the fraction of pixels zeroed.
+        """
+        flat = x.reshape(-1)
+        active = np.flatnonzero(flat != 0.0)
+        probes = 0
+        chunks = 2
+        while probes < self.max_probes and chunks <= max(len(active), 2):
+            pieces = np.array_split(active, chunks)
+            removed_any = False
+            for piece in pieces:
+                if probes >= self.max_probes or piece.size == 0:
+                    break
+                trial = flat.copy()
+                trial[piece] = 0.0
+                probes += 1
+                fails, _, _ = self._pair_fails(
+                    built, candidate_spec, oracle_spec, policy,
+                    trial.reshape(x.shape),
+                )
+                if fails:
+                    flat = trial
+                    active = np.setdiff1d(active, piece, assume_unique=True)
+                    removed_any = True
+            if not removed_any:
+                if chunks >= len(active):
+                    break
+                chunks = min(chunks * 2, max(len(active), 2))
+        zeroed = 1.0 - (len(active) / flat.size)
+        return flat.reshape(x.shape), probes, float(zeroed)
+
+    def _first_divergence(
+        self,
+        built: BuiltCase,
+        candidate_spec: EngineSpec,
+        oracle_spec: EngineSpec,
+        policy: TolerancePolicy,
+        x: np.ndarray,
+    ) -> Optional[int]:
+        """First layer index whose outputs differ on the failing input."""
+        candidate = self._session(built, candidate_spec).hardware
+        oracle = self._session(built, oracle_spec).hardware
+        return first_divergence(
+            candidate, oracle, x, rtol=policy.rtol, atol=policy.atol
+        )
+
+
+def first_divergence(
+    candidate: BinarizedNetwork,
+    oracle: BinarizedNetwork,
+    x: np.ndarray,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+) -> Optional[int]:
+    """Run two binarized networks layer-by-layer; first index differing.
+
+    Mirrors :meth:`BinarizedNetwork.forward` (same input quantization,
+    same per-layer hooks), so the result pinpoints where a hardware
+    substitution first departs from the oracle's arithmetic.  Zero
+    tolerances mean bit-exact comparison; the policy tolerances keep
+    last-ulp reassociation from flagging a spurious layer.
+    """
+    xc = candidate._quantize_input(np.asarray(x))
+    xo = oracle._quantize_input(np.asarray(x))
+    for index in range(len(candidate.network.layers)):
+        xc = candidate.run_layer(index, xc)
+        xo = oracle.run_layer(index, xo)
+        if xc.shape != xo.shape or not np.all(
+            np.isclose(xc, xo, rtol=rtol, atol=atol)
+        ):
+            return index
+    return None

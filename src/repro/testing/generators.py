@@ -1,0 +1,396 @@
+"""Deterministic conformance-case generators.
+
+A :class:`ConformanceCase` is a fully seeded description of one
+differential-testing scenario: the network architecture, the
+quantization recipe (threshold quantile), the hardware/engine
+configuration (cell precision, crossbar size — which decides whether
+the §4.3 splitting path engages — partition method, noise sigmas) and
+the evaluation inputs.  Building a case never trains anything: weights
+come from the seeded initializers and thresholds from a quantile
+calibration over seeded inputs, so two processes that agree on the case
+agree bit-for-bit on the artefacts.
+
+:func:`generate_cases` enumerates a coverage grid (engines × shapes ×
+split/no-split × noise on/off) and fills the remainder by seeded
+sampling; :func:`case_strategy` exposes the same space as a
+``hypothesis`` strategy for property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.binarized import (
+    BinarizedNetwork,
+    binarize,
+    intermediate_quantizable_indices,
+)
+from repro.errors import ConfigurationError
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Sequential
+
+__all__ = [
+    "ConformanceCase",
+    "BuiltCase",
+    "build_case",
+    "case_digest",
+    "case_strategy",
+    "generate_cases",
+]
+
+#: Engines every generated case runs through by default.
+DEFAULT_ENGINES: Tuple[str, ...] = ("fused", "reference", "adc")
+
+#: Calibration sample count for the threshold quantiles.
+CALIBRATION_SAMPLES = 48
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One fully deterministic differential-testing scenario."""
+
+    #: Stable identifier; golden-corpus entries are keyed by it.
+    name: str
+    #: Master seed: weights, thresholds calibration and inputs all derive
+    #: from it, as does the hardware programming stream.
+    seed: int = 0
+    #: Input image is ``(1, input_size, input_size)`` in [0, 1].
+    input_size: int = 8
+    #: Conv stack: one Conv2D(+ReLU) per entry, channels per layer.
+    conv_channels: Tuple[int, ...] = (4,)
+    kernel: int = 3
+    #: Insert a MaxPool2D(2) after the first conv block.
+    pool: bool = False
+    #: Classifier width (the analog WTA readout).
+    classes: int = 10
+    #: Threshold = this quantile of each intermediate layer's calibration
+    #: pre-activations (clamped positive) — the quantization recipe.
+    threshold_quantile: float = 0.65
+    #: Hardware recipe.
+    weight_bits: int = 8
+    device_bits: int = 4
+    #: Small values force the §4.3 splitting path on hidden layers.
+    max_crossbar_size: int = 512
+    partition_method: str = "homogenize"
+    ir_drop_lambda: float = 0.0
+    #: Noise knobs (per-compile / per-read).
+    program_sigma: float = 0.0
+    read_sigma: float = 0.0
+    #: Deliberate stuck-at fault rates (fault-injection campaigns).
+    stuck_low_rate: float = 0.0
+    stuck_high_rate: float = 0.0
+    #: ADC-engine intermediate data precision.
+    data_bits: int = 8
+    #: Session execution tile (serving wave size).
+    tile: int = 4
+    #: Evaluation batch size.
+    batch: int = 12
+    #: Engines to run (first-listed non-oracle ones are candidates).
+    engines: Tuple[str, ...] = DEFAULT_ENGINES
+
+    def __post_init__(self) -> None:
+        if self.input_size < self.kernel:
+            raise ConfigurationError(
+                f"input_size {self.input_size} smaller than kernel "
+                f"{self.kernel}"
+            )
+        if not self.conv_channels:
+            raise ConfigurationError("need at least one conv layer")
+        if not 0.0 < self.threshold_quantile < 1.0:
+            raise ConfigurationError(
+                "threshold_quantile must lie strictly inside (0, 1), got "
+                f"{self.threshold_quantile}"
+            )
+        if self.batch < 1 or self.tile < 1:
+            raise ConfigurationError("batch and tile must be >= 1")
+
+    @property
+    def deterministic(self) -> bool:
+        """No per-read randomness: repeated inference is reproducible."""
+        return self.read_sigma <= 0
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["conv_channels"] = list(self.conv_channels)
+        payload["engines"] = list(self.engines)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ConformanceCase":
+        data = dict(payload)
+        data["conv_channels"] = tuple(data["conv_channels"])
+        data["engines"] = tuple(data["engines"])
+        return cls(**data)
+
+
+def case_digest(case: ConformanceCase) -> str:
+    """Deterministic digest of the full case configuration."""
+    return obs.config_digest(case)
+
+
+@dataclass
+class BuiltCase:
+    """The deterministic artefacts a case compiles and runs on."""
+
+    case: ConformanceCase
+    network: Sequential
+    thresholds: Dict[int, float]
+    #: Evaluation inputs ``(batch, 1, H, W)`` in [0, 1].
+    inputs: np.ndarray
+    #: Calibration inputs the thresholds were fit on.
+    calibration: np.ndarray
+    #: Per intermediate layer: fraction of calibration bits that fire.
+    activity: Dict[int, float] = field(default_factory=dict)
+
+
+def _build_network(case: ConformanceCase) -> Sequential:
+    rng = np.random.default_rng(case.seed)
+    layers: List[object] = []
+    in_channels = 1
+    size = case.input_size
+    for i, out_channels in enumerate(case.conv_channels):
+        if size < case.kernel:
+            raise ConfigurationError(
+                f"case {case.name!r}: feature map shrank below the kernel "
+                f"({size} < {case.kernel}) at conv {i}"
+            )
+        layers.append(
+            Conv2D(in_channels, out_channels, case.kernel,
+                   use_bias=False, rng=rng)
+        )
+        layers.append(ReLU())
+        size = size - case.kernel + 1
+        if case.pool and i == 0 and size >= 2:
+            layers.append(MaxPool2D(2))
+            size //= 2
+        in_channels = out_channels
+    layers.append(Flatten())
+    layers.append(Dense(in_channels * size * size, case.classes, rng=rng))
+    return Sequential(layers, (1, case.input_size, case.input_size))
+
+
+def _calibrate_thresholds(
+    case: ConformanceCase, network: Sequential, calibration: np.ndarray
+) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """Quantile thresholds fit layer-by-layer on binarized flow.
+
+    Mirrors :class:`BinarizedNetwork` semantics: each intermediate
+    weighted layer's output is thresholded before feeding downstream, so
+    deeper quantiles are measured on the bits the hardware will actually
+    see.  Thresholds are clamped positive (the SEI sense-amp reference
+    absorbs ReLU, which requires ``t >= 0``).
+    """
+    intermediate = set(intermediate_quantizable_indices(network))
+    thresholds: Dict[int, float] = {}
+    activity: Dict[int, float] = {}
+    x = calibration
+    for index, layer in enumerate(network.layers):
+        x = layer.forward(x)
+        if index in intermediate:
+            threshold = max(
+                float(np.quantile(x, case.threshold_quantile)), 1e-3
+            )
+            thresholds[index] = threshold
+            x = binarize(x, threshold)
+            activity[index] = float(x.mean())
+    return thresholds, activity
+
+
+def build_case(case: ConformanceCase) -> BuiltCase:
+    """Materialise a case: seeded network, thresholds and inputs."""
+    network = _build_network(case)
+    data_rng = np.random.default_rng(case.seed + 0x5EED)
+    calibration = data_rng.random(
+        (CALIBRATION_SAMPLES, 1, case.input_size, case.input_size)
+    )
+    inputs = data_rng.random(
+        (case.batch, 1, case.input_size, case.input_size)
+    )
+    thresholds, activity = _calibrate_thresholds(case, network, calibration)
+    return BuiltCase(
+        case=case,
+        network=network,
+        thresholds=thresholds,
+        inputs=inputs,
+        calibration=calibration,
+        activity=activity,
+    )
+
+
+def binarized_oracle(built: BuiltCase) -> BinarizedNetwork:
+    """The exact-software binarized network for a built case."""
+    return BinarizedNetwork(built.network, dict(built.thresholds))
+
+
+# -- case enumeration ------------------------------------------------------------
+
+#: The coverage grid: every generated batch starts with these axes
+#: (split path on/off, both partition methods, pooling, deeper stacks,
+#: 2-bit cells, IR drop, programming variation, read noise).
+_GRID: Tuple[Dict[str, object], ...] = (
+    {},
+    {"max_crossbar_size": 24},
+    {"max_crossbar_size": 24, "partition_method": "natural"},
+    {"pool": True, "input_size": 10},
+    {"conv_channels": (4, 6), "input_size": 10},
+    {"conv_channels": (3, 5), "input_size": 10, "max_crossbar_size": 32},
+    {"device_bits": 2},
+    {"ir_drop_lambda": 0.02},
+    {"program_sigma": 0.2},
+    {"read_sigma": 0.05, "tile": 2},
+    {"pool": True, "input_size": 12, "conv_channels": (5,), "classes": 6},
+    {"threshold_quantile": 0.55},
+    {"threshold_quantile": 0.75, "max_crossbar_size": 24},
+    {"tile": 1, "batch": 6},
+    {"weight_bits": 4},
+)
+
+
+def generate_cases(
+    count: int = 20,
+    seed: int = 0,
+    engines: Tuple[str, ...] = DEFAULT_ENGINES,
+    prefix: str = "case",
+) -> List[ConformanceCase]:
+    """``count`` deterministic cases: coverage grid first, sampled rest.
+
+    The same ``(count, seed, engines)`` always yields the same list —
+    the property that makes counterexample seeds reproducible across
+    machines and CI runs.
+    """
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    cases: List[ConformanceCase] = []
+    for i in range(count):
+        overrides = dict(_GRID[i % len(_GRID)])
+        if i >= len(_GRID):
+            # Sampled tail: jitter the structural axes.
+            overrides["input_size"] = int(rng.integers(8, 13))
+            if rng.random() < 0.35:
+                overrides["conv_channels"] = (
+                    int(rng.integers(3, 6)),
+                    int(rng.integers(4, 7)),
+                )
+            overrides["threshold_quantile"] = float(
+                rng.uniform(0.55, 0.8)
+            )
+            if rng.random() < 0.4:
+                overrides["max_crossbar_size"] = int(
+                    rng.choice([24, 32, 48])
+                )
+            if rng.random() < 0.3:
+                overrides["pool"] = True
+            if rng.random() < 0.25:
+                overrides["program_sigma"] = float(rng.uniform(0.05, 0.3))
+        case_seed = seed * 1_000_003 + i * 7919
+        cases.append(
+            ConformanceCase(
+                name=f"{prefix}-{i:03d}",
+                seed=case_seed,
+                engines=engines,
+                **overrides,
+            )
+        )
+    return cases
+
+
+def iter_zoo_shaped_cases(
+    engines: Tuple[str, ...] = DEFAULT_ENGINES, seed: int = 101
+) -> Iterator[ConformanceCase]:
+    """Golden-corpus cases shaped after the Table 2 zoo networks.
+
+    Miniaturised (no training, seconds not minutes) but structurally
+    faithful: conv→pool→conv→fc depth, split-forcing crossbar limits,
+    and one no-pool variant per zoo entry.
+    """
+    yield ConformanceCase(
+        name="golden-network1-mini",
+        seed=seed,
+        input_size=12,
+        conv_channels=(5,),
+        pool=True,
+        max_crossbar_size=512,
+        engines=engines,
+    )
+    yield ConformanceCase(
+        name="golden-network2-mini",
+        seed=seed + 1,
+        input_size=12,
+        conv_channels=(4, 6),
+        pool=True,
+        max_crossbar_size=48,
+        engines=engines,
+    )
+    # network3-mini pins the SEI engines only: no pooling means its two
+    # conv stages feed each other at full resolution, and on untrained
+    # weights every ADC re-quantization nudge flips near-threshold bits
+    # whose effect compounds to chance-level decision agreement — no
+    # informative bar exists for the adc engine on this shape (trained
+    # network3 adc equivalence is covered by tests/test_integration.py).
+    yield ConformanceCase(
+        name="golden-network3-mini",
+        seed=seed + 2,
+        input_size=10,
+        conv_channels=(4, 6),
+        max_crossbar_size=32,
+        partition_method="natural",
+        engines=tuple(e for e in engines if e != "adc"),
+    )
+    yield ConformanceCase(
+        name="golden-programmed-variation",
+        seed=seed + 3,
+        input_size=10,
+        conv_channels=(4,),
+        program_sigma=0.2,
+        engines=engines,
+    )
+
+
+def case_strategy(**overrides):
+    """A ``hypothesis`` strategy over the conformance-case space.
+
+    Requires the optional ``hypothesis`` dependency (the ``conformance``
+    extra); composable with ``@given`` for property tests::
+
+        @given(case=case_strategy(read_sigma=st.just(0.0)))
+        def test_something(case): ...
+    """
+    try:
+        from hypothesis import strategies as st
+    except ImportError as exc:  # pragma: no cover - exercised without extra
+        raise ConfigurationError(
+            "case_strategy requires the 'hypothesis' package (install the "
+            "conformance extra: pip install repro[conformance])"
+        ) from exc
+
+    def _build(seed, input_size, channels, pool, quantile, crossbar,
+               method, tile) -> ConformanceCase:
+        return ConformanceCase(
+            name=f"prop-{seed}",
+            seed=seed,
+            input_size=input_size,
+            conv_channels=channels,
+            pool=pool,
+            threshold_quantile=quantile,
+            max_crossbar_size=crossbar,
+            partition_method=method,
+            tile=tile,
+        )
+
+    params = dict(
+        seed=st.integers(0, 10_000),
+        input_size=st.integers(8, 12),
+        channels=st.sampled_from([(3,), (4,), (4, 6)]),
+        pool=st.booleans(),
+        quantile=st.floats(0.55, 0.8),
+        crossbar=st.sampled_from([24, 48, 512]),
+        method=st.sampled_from(["natural", "homogenize"]),
+        tile=st.sampled_from([1, 4]),
+    )
+    params.update(overrides)
+    return st.builds(_build, **params)

@@ -1,0 +1,258 @@
+"""Golden regression corpus: serialized inputs + expected outputs.
+
+Each corpus entry pins one conformance case's evaluation inputs and the
+logits every engine produced for them, keyed by the digest of the full
+case configuration.  The corpus lives in ``tests/golden/`` (one
+``<name>.json`` metadata sidecar + one ``<name>.npz`` array bundle per
+entry) and is verified by the tier-1 suite and ``repro-cli
+conformance``; ``repro-cli conformance --update-golden`` refreshes it
+after an *intentional* numerical change.
+
+Verification recomputes every engine fresh from the stored case
+description and compares with an ``allclose`` policy at
+:data:`GOLDEN_ATOL` — tight enough that any semantic regression trips
+it, loose enough to survive BLAS kernel differences across machines.
+A digest mismatch (the case description changed without a refresh) is
+reported separately from an output mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+import repro
+from repro import obs
+from repro.errors import ConformanceError
+from repro.testing.differential import (
+    DifferentialRunner,
+    TolerancePolicy,
+    case_engine_spec,
+)
+from repro.testing.generators import (
+    ConformanceCase,
+    build_case,
+    case_digest,
+    iter_zoo_shaped_cases,
+)
+
+__all__ = [
+    "GOLDEN_ATOL",
+    "GoldenEntry",
+    "GoldenReport",
+    "default_golden_dir",
+    "load_corpus",
+    "refresh_corpus",
+    "verify_corpus",
+    "write_entry",
+]
+
+logger = obs.get_logger("testing")
+
+#: Absolute tolerance for golden verification (see module docstring).
+GOLDEN_ATOL = 1e-8
+GOLDEN_RTOL = 1e-7
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden`` next to the repository's test suite.
+
+    Resolved relative to the package source checkout; falls back to the
+    working directory for installed copies (the CLI accepts ``--golden``
+    for anything unusual).
+    """
+    checkout = Path(__file__).resolve().parents[3] / "tests" / "golden"
+    if checkout.is_dir():
+        return checkout
+    return Path("tests") / "golden"
+
+
+@dataclass
+class GoldenEntry:
+    """One pinned case: configuration digest + inputs + expected logits."""
+
+    case: ConformanceCase
+    digest: str
+    inputs: np.ndarray
+    #: Expected logits per engine name.
+    outputs: Dict[str, np.ndarray]
+    #: Package version that wrote the entry (provenance only).
+    version: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.case.name
+
+
+def _paths(directory: Path, name: str):
+    return directory / f"{name}.json", directory / f"{name}.npz"
+
+
+def write_entry(
+    directory: Path,
+    case: ConformanceCase,
+    inputs: np.ndarray,
+    outputs: Dict[str, np.ndarray],
+) -> GoldenEntry:
+    """Serialize one corpus entry (metadata sidecar + array bundle)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta_path, array_path = _paths(directory, case.name)
+    digest = case_digest(case)
+    meta = {
+        "case": case.as_dict(),
+        "digest": digest,
+        "engines": sorted(outputs),
+        "version": repro.__version__,
+    }
+    meta_path.write_text(json.dumps(meta, indent=2, sort_keys=True))
+    arrays = {"inputs": inputs}
+    for engine, logits in outputs.items():
+        arrays[f"logits_{engine}"] = logits
+    np.savez_compressed(array_path, **arrays)
+    return GoldenEntry(
+        case=case,
+        digest=digest,
+        inputs=inputs,
+        outputs=dict(outputs),
+        version=repro.__version__,
+    )
+
+
+def load_entry(directory: Path, name: str) -> GoldenEntry:
+    meta_path, array_path = _paths(Path(directory), name)
+    if not meta_path.exists() or not array_path.exists():
+        raise ConformanceError(
+            f"golden entry {name!r} is incomplete under {directory} "
+            f"(need both {meta_path.name} and {array_path.name})"
+        )
+    meta = json.loads(meta_path.read_text())
+    case = ConformanceCase.from_dict(meta["case"])
+    with np.load(array_path) as bundle:
+        inputs = bundle["inputs"]
+        outputs = {
+            engine: bundle[f"logits_{engine}"]
+            for engine in meta["engines"]
+        }
+    return GoldenEntry(
+        case=case,
+        digest=meta["digest"],
+        inputs=inputs,
+        outputs=outputs,
+        version=meta.get("version", ""),
+    )
+
+
+def load_corpus(directory: Path) -> List[GoldenEntry]:
+    """Every entry in the corpus directory, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    names = sorted(p.stem for p in directory.glob("*.json"))
+    return [load_entry(directory, name) for name in names]
+
+
+@dataclass
+class GoldenReport:
+    """Outcome of one corpus verification pass."""
+
+    checked: int = 0
+    #: Entries whose stored case digest no longer matches the case
+    #: description (someone edited the case without refreshing).
+    stale_digests: List[str] = field(default_factory=list)
+    #: ``"entry/engine: detail"`` strings for output mismatches.
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.stale_digests and not self.mismatches
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checked": self.checked,
+            "stale_digests": list(self.stale_digests),
+            "mismatches": list(self.mismatches),
+            "ok": self.ok,
+        }
+
+
+def verify_corpus(
+    directory: Path,
+    runner: Optional[DifferentialRunner] = None,
+) -> GoldenReport:
+    """Recompute every corpus entry and compare against the pinned logits."""
+    runner = runner if runner is not None else DifferentialRunner(
+        minimize=False, check_invariance=False
+    )
+    policy = TolerancePolicy(
+        mode="allclose", atol=GOLDEN_ATOL, rtol=GOLDEN_RTOL
+    )
+    report = GoldenReport()
+    for entry in load_corpus(directory):
+        report.checked += 1
+        obs.count("conformance/golden_checked")
+        if case_digest(entry.case) != entry.digest:
+            report.stale_digests.append(entry.name)
+            continue
+        built = build_case(entry.case)
+        if not np.array_equal(built.inputs, entry.inputs):
+            report.mismatches.append(
+                f"{entry.name}: regenerated inputs differ from the pinned "
+                "ones (generator drift — refresh the corpus deliberately)"
+            )
+            continue
+        for engine, expected in sorted(entry.outputs.items()):
+            actual = runner._execute(
+                built, case_engine_spec(entry.case, engine), built.inputs
+            )
+            comparison = policy.compare(actual, expected)
+            if not comparison.ok:
+                obs.count("conformance/golden_mismatches")
+                index = int(comparison.failing_indices[0])
+                report.mismatches.append(
+                    f"{entry.name}/{engine}: logits drifted from golden "
+                    f"(first at sample {index}, max |diff| "
+                    f"{comparison.max_abs_diff:.3e})"
+                )
+    if not report.ok:
+        for line in report.stale_digests:
+            logger.warning("golden digest stale: %s", line)
+        for line in report.mismatches:
+            logger.warning("golden mismatch: %s", line)
+    return report
+
+
+def refresh_corpus(
+    directory: Path,
+    cases: Optional[Sequence[ConformanceCase]] = None,
+    runner: Optional[DifferentialRunner] = None,
+) -> List[GoldenEntry]:
+    """(Re)write the corpus from its canonical case list.
+
+    Refuses to proceed if any case's engines currently *disagree* —
+    golden entries must never pin a mismatch as expected behaviour.
+    """
+    runner = runner if runner is not None else DifferentialRunner(
+        minimize=False, check_invariance=False
+    )
+    cases = (
+        list(cases) if cases is not None else list(iter_zoo_shaped_cases())
+    )
+    entries: List[GoldenEntry] = []
+    for case in cases:
+        result = runner.run_case(case)
+        if not result.ok:
+            raise ConformanceError(
+                f"refusing to refresh golden corpus: case {case.name!r} "
+                "has live engine mismatches; fix those first"
+            )
+        built = build_case(case)
+        entries.append(
+            write_entry(directory, case, built.inputs, result.outputs)
+        )
+        logger.info("golden entry refreshed: %s", case.name)
+    return entries

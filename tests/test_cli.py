@@ -1,6 +1,16 @@
-"""Tests for the command-line interface (cost-model commands only; the
-accuracy commands train models and are exercised by benchmarks)."""
+"""Tests for the command-line interface.
 
+Cost-model commands run as-is (instant).  The ``infer``/``serve``/
+``conformance`` commands are exercised end-to-end against the tiny
+session-scoped fixtures by monkeypatching the zoo loaders — the full
+CLI path runs (parser -> handler -> session -> engines -> output)
+without minutes of training.
+"""
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -35,6 +45,36 @@ class TestParser:
         assert args.method == "homogenize"
         assert not args.dynamic
 
+    def test_session_commands_parse(self):
+        parser = build_parser()
+        infer = parser.parse_args(
+            ["infer", "network2", "--engine", "reference", "--count", "4"]
+        )
+        assert infer.engine == "reference"
+        assert infer.count == 4
+        serve = parser.parse_args(
+            ["serve", "network1", "--requests", "8", "--workers", "1"]
+        )
+        assert serve.requests == 8
+        assert serve.workers == 1
+
+    def test_conformance_parses(self):
+        args = build_parser().parse_args(
+            ["conformance", "--quick", "--artifacts", "out", "--seed", "7"]
+        )
+        assert args.quick
+        assert args.artifacts == "out"
+        assert args.seed == 7
+        assert not args.update_golden
+        full = build_parser().parse_args(
+            ["conformance", "--cases", "5", "--engines", "fused,reference",
+             "--campaign", "--update-golden"]
+        )
+        assert full.cases == 5
+        assert full.engines == "fused,reference"
+        assert full.campaign
+        assert full.update_golden
+
 
 class TestCostCommands:
     def test_info(self, capsys):
@@ -64,6 +104,95 @@ class TestCostCommands:
         out = capsys.readouterr().out
         assert "replication" in out
         assert "line buffer" in out
+
+
+@pytest.fixture
+def tiny_zoo(monkeypatch, tiny_dataset, tiny_quantized):
+    """Point the zoo at the session-scoped tiny artefacts.
+
+    ``warm_model``/``get_dataset`` are resolved through the module at
+    call time everywhere (CLI handlers, ``compile_session``), so
+    patching the attributes reroutes the whole stack without touching
+    the model cache.  The warm-session registry is cleared around each
+    test so a cached real session can never shadow the stub.
+    """
+    from repro import zoo
+    from repro.serve.session import clear_sessions
+
+    model = zoo.QuantizedModel(
+        name="network2",
+        search=tiny_quantized,
+        float_test_error=0.0,
+        quantized_test_error=0.0,
+        digest="tiny-cli-fixture",
+    )
+    dataset = SimpleNamespace(
+        train=SimpleNamespace(
+            images=tiny_dataset["train_x"], labels=tiny_dataset["train_y"]
+        ),
+        test=SimpleNamespace(
+            images=tiny_dataset["test_x"], labels=tiny_dataset["test_y"]
+        ),
+    )
+    monkeypatch.setattr(zoo, "warm_model", lambda name, **kw: model)
+    monkeypatch.setattr(zoo, "get_dataset", lambda **kw: dataset)
+    clear_sessions()
+    yield dataset
+    clear_sessions()
+
+
+class TestSessionCommands:
+    """infer/serve/conformance end-to-end over the tiny fixtures."""
+
+    def test_infer_end_to_end_with_trace(self, tiny_zoo, tmp_path):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "infer", "network2", "--count", "4", "--tile", "2",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        payload = json.loads(trace.read_text())
+        assert {"manifest", "metrics", "trace"} <= set(payload)
+        assert payload["trace"], "trace export carries no spans"
+        metrics_only = json.loads(metrics.read_text())
+        assert "trace" not in metrics_only
+        assert "manifest" in metrics_only
+
+    def test_infer_engines_agree_on_predictions(self, tiny_zoo, capsys):
+        outputs = {}
+        for engine in ("fused", "reference"):
+            assert main([
+                "infer", "network2", "--engine", engine,
+                "--count", "6", "--tile", "3",
+            ]) == 0
+            outputs[engine] = capsys.readouterr().out
+        fused = [l for l in outputs["fused"].splitlines() if "predictions" in l]
+        ref = [l for l in outputs["reference"].splitlines() if "predictions" in l]
+        assert fused and fused == ref
+
+    def test_serve_end_to_end_with_metrics(self, tiny_zoo, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "serve", "network2", "--requests", "8", "--clients", "2",
+            "--workers", "1", "--batch-size", "4", "--tile", "2",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        payload = json.loads(metrics.read_text())
+        assert "trace" not in payload
+        assert {"manifest", "metrics"} <= set(payload)
+
+    def test_conformance_cli_fast(self, tmp_path):
+        """Single-case differential sweep + empty golden dir: exit 0."""
+        report_path = tmp_path / "report.json"
+        assert main([
+            "conformance", "--cases", "1", "--engines", "fused,reference",
+            "--no-self-check", "--golden", str(tmp_path / "golden"),
+            "--report", str(report_path),
+        ]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["cases_run"] == 1
+        assert payload["mismatches"] == []
 
 
 class TestModelCommands:

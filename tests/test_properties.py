@@ -2,6 +2,10 @@
 
 Each property here encodes a statement from the paper's derivations:
 if one fails, the reproduction's maths is wrong somewhere.
+
+All random streams derive from the suite-wide base seed via the
+session-scoped ``derived_rng`` factory fixture (see ``conftest.py``);
+the hypothesis-drawn ``seed`` is a stream *key*, not a raw RNG seed.
 """
 
 import numpy as np
@@ -24,15 +28,15 @@ from repro.core import (
 )
 from repro.nn.functional import maxpool2d
 
-
-def _matrix(seed, rows, cols, scale=1.0):
-    return np.random.default_rng(seed).normal(size=(rows, cols)) * scale
+pytestmark = pytest.mark.property
 
 
-def _bits(seed, n, rows, density):
-    return (
-        np.random.default_rng(seed + 1).random((n, rows)) < density
-    ).astype(float)
+def _matrix(make_rng, seed, rows, cols, scale=1.0):
+    return make_rng(seed).normal(size=(rows, cols)) * scale
+
+
+def _bits(make_rng, seed, n, rows, density):
+    return (make_rng(seed, 1).random((n, rows)) < density).astype(float)
 
 
 @settings(max_examples=30, deadline=None)
@@ -41,10 +45,10 @@ def _bits(seed, n, rows, density):
     rows=st.integers(2, 30),
     cols=st.integers(1, 6),
 )
-def test_sei_reconstruction_bounded_by_lsb(seed, rows, cols):
+def test_sei_reconstruction_bounded_by_lsb(derived_rng, seed, rows, cols):
     """Property: SEI's effective weights differ from the target by at
     most half an 8-bit LSB of the matrix's own range."""
-    weights = _matrix(seed, rows, cols)
+    weights = _matrix(derived_rng, seed, rows, cols)
     sei = SEIMatrix(weights, max_crossbar_size=1 << 16)
     lsb = np.abs(weights).max() / 255
     assert np.abs(sei.effective_weights - weights).max() <= lsb / 2 + 1e-12
@@ -56,12 +60,12 @@ def test_sei_reconstruction_bounded_by_lsb(seed, rows, cols):
     rows=st.integers(2, 25),
     density=st.floats(0.0, 1.0),
 )
-def test_sei_compute_is_linear_in_input_rows(seed, rows, density):
+def test_sei_compute_is_linear_in_input_rows(derived_rng, seed, rows, density):
     """Property: Equ. 6 is a sum over selected rows, so computing with
     the union of two disjoint selections equals the sum of the parts."""
-    weights = _matrix(seed, rows, 3)
+    weights = _matrix(derived_rng, seed, rows, 3)
     sei = SEIMatrix(weights, max_crossbar_size=1 << 16)
-    rng = np.random.default_rng(seed)
+    rng = derived_rng(seed)
     a = (rng.random(rows) < density).astype(float)
     b = ((rng.random(rows) < density) * (1 - a)).astype(float)  # disjoint
     combined = np.clip(a + b, 0, 1)
@@ -79,15 +83,17 @@ def test_sei_compute_is_linear_in_input_rows(seed, rows, density):
     blocks=st.integers(2, 4),
     density=st.floats(0.05, 0.9),
 )
-def test_split_block_sums_partition_the_total(seed, rows, blocks, density):
+def test_split_block_sums_partition_the_total(
+    derived_rng, seed, rows, blocks, density
+):
     """Property: block partial sums add up to the unsplit MVM exactly."""
     if blocks > rows:
         return
-    weights = _matrix(seed, rows, 4)
+    weights = _matrix(derived_rng, seed, rows, 4)
     split = SplitMatrix(
         weights, natural_partition(rows, blocks), SplitDecision(0.0)
     )
-    bits = _bits(seed, 8, rows, density)
+    bits = _bits(derived_rng, seed, 8, rows, density)
     np.testing.assert_allclose(
         split.block_sums(bits).sum(axis=1), bits @ weights, atol=1e-10
     )
@@ -99,13 +105,13 @@ def test_split_block_sums_partition_the_total(seed, rows, blocks, density):
     rows=st.integers(4, 40),
     blocks=st.integers(2, 4),
 )
-def test_vote_monotone_in_threshold(seed, rows, blocks):
+def test_vote_monotone_in_threshold(derived_rng, seed, rows, blocks):
     """Property: raising the vote requirement can only clear bits."""
     if blocks > rows:
         return
-    weights = np.abs(_matrix(seed, rows, 3))
+    weights = np.abs(_matrix(derived_rng, seed, rows, 3))
     partition = natural_partition(rows, blocks)
-    bits = _bits(seed, 20, rows, 0.4)
+    bits = _bits(derived_rng, seed, 20, rows, 0.4)
     previous = None
     for vote in range(1, blocks + 1):
         split = SplitMatrix(
@@ -125,15 +131,15 @@ def test_vote_monotone_in_threshold(seed, rows, blocks):
     rows=st.integers(2, 30),
     threshold=st.floats(0.0, 0.5),
 )
-def test_dynamic_threshold_equivalence(seed, rows, threshold):
+def test_dynamic_threshold_equivalence(derived_rng, seed, rows, threshold):
     """Property: Equ. 9 == Equ. 4 — the unipolar structure makes the
     same decisions as direct signed thresholding, bar quantization on
     marginal cases."""
-    weights = _matrix(seed, rows, 4, scale=0.1)
+    weights = _matrix(derived_rng, seed, rows, 4, scale=0.1)
     matrix = DynamicThresholdMatrix(
         weights, threshold=threshold, max_crossbar_size=1 << 16
     )
-    bits = _bits(seed, 60, rows, 0.3)
+    bits = _bits(derived_rng, seed, 60, rows, 0.3)
     hw = matrix.fire(bits)
     sw = binarize(bits @ weights, threshold)
     assert (hw == sw).mean() > 0.95
@@ -141,8 +147,8 @@ def test_dynamic_threshold_equivalence(seed, rows, threshold):
 
 @settings(max_examples=25, deadline=None)
 @given(seed=st.integers(0, 500), rows=st.integers(2, 40))
-def test_linear_transform_inverse_property(seed, rows):
-    weights = _matrix(seed, rows, 3)
+def test_linear_transform_inverse_property(derived_rng, seed, rows):
+    weights = _matrix(derived_rng, seed, rows, 3)
     transform = LinearTransform.for_weights(weights)
     np.testing.assert_allclose(
         transform.recover(transform.store(weights)), weights, atol=1e-12
@@ -155,9 +161,9 @@ def test_linear_transform_inverse_property(seed, rows):
     h=st.integers(2, 10),
     threshold=st.floats(0.05, 0.95),
 )
-def test_quantize_pool_commutation_property(seed, h, threshold):
+def test_quantize_pool_commutation_property(derived_rng, seed, h, threshold):
     """Property (§3.1): binarize-then-OR == pool-then-binarize."""
-    values = np.random.default_rng(seed).random((2, 3, 2 * h, 2 * h))
+    values = derived_rng(seed).random((2, 3, 2 * h, 2 * h))
     quantize_first = or_pool(binarize(values, threshold), 2)
     pooled, _ = maxpool2d(values, 2)
     pool_first = binarize(pooled, threshold)
@@ -172,13 +178,13 @@ def test_quantize_pool_commutation_property(seed, h, threshold):
     cell_bits=st.sampled_from([1, 2, 4]),
 )
 def test_decompose_weights_reconstruction_property(
-    seed, rows, weight_bits, cell_bits
+    derived_rng, seed, rows, weight_bits, cell_bits
 ):
     """Property: the slice decomposition reconstructs within half an LSB
     for every (weight_bits, cell_bits) tiling."""
     if weight_bits % cell_bits != 0:
         return
-    weights = _matrix(seed, rows, 3)
+    weights = _matrix(derived_rng, seed, rows, 3)
     slices, coefficients, scale = decompose_weights(
         weights, weight_bits, cell_bits
     )
@@ -196,11 +202,11 @@ def test_decompose_weights_reconstruction_property(
     rows=st.integers(4, 24),
     blocks=st.integers(2, 3),
 )
-def test_block_distance_zero_iff_equal_means(seed, rows, blocks):
+def test_block_distance_zero_iff_equal_means(derived_rng, seed, rows, blocks):
     """Property: Equ. 10 is zero exactly when the block means agree."""
     if blocks > rows:
         return
-    rng = np.random.default_rng(seed)
+    rng = derived_rng(seed)
     # Construct a matrix of identical rows: any partition has distance 0.
     row = rng.normal(size=(1, 4))
     matrix = np.tile(row, (rows, 1))
@@ -217,11 +223,11 @@ def test_block_distance_zero_iff_equal_means(seed, rows, blocks):
     rows=st.integers(4, 16),
     blocks=st.integers(2, 4),
 )
-def test_partition_blocks_are_a_partition(seed, rows, blocks):
+def test_partition_blocks_are_a_partition(derived_rng, seed, rows, blocks):
     """Property: blocks are disjoint and cover every row once."""
     if blocks > rows:
         return
-    rng = np.random.default_rng(seed)
+    rng = derived_rng(seed)
     p = Partition(rng.permutation(rows), blocks)
     concatenated = np.concatenate(p.blocks())
     assert sorted(concatenated.tolist()) == list(range(rows))

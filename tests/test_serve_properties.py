@@ -1,0 +1,131 @@
+"""Property-based tests for the micro-batching serving path.
+
+Three liveness/ordering guarantees the batcher makes, checked over
+hypothesis-drawn coalescing configurations:
+
+* coalescing NEVER reorders results — every future resolves to its own
+  sample's output no matter how requests were grouped into batches;
+* a saturated in-flight semaphore plus a full admission queue makes
+  ``submit(timeout=...)`` raise :class:`BackpressureError` promptly —
+  load shedding, not deadlock;
+* ``stop(drain=True)`` resolves every pending future before returning.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BackpressureError
+from repro.serve import BatcherConfig, MicroBatcher
+
+pytestmark = pytest.mark.property
+
+#: Thread-based examples are slow-ish; keep the example budget modest.
+THREADED = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _echo(images: np.ndarray) -> np.ndarray:
+    """Identity-ish target: output row i encodes input row i."""
+    return np.asarray(images) * 2.0 + 1.0
+
+
+@THREADED
+@given(
+    n_requests=st.integers(1, 40),
+    max_batch_size=st.integers(1, 8),
+    workers=st.integers(1, 3),
+    delay_ms=st.sampled_from([0.0, 0.5, 2.0]),
+)
+def test_coalescing_never_reorders_results(
+    n_requests, max_batch_size, workers, delay_ms
+):
+    """Whatever batches form, future i always gets sample i's output."""
+    config = BatcherConfig(
+        max_batch_size=max_batch_size,
+        max_delay_ms=delay_ms,
+        workers=workers,
+        max_queue_depth=max(n_requests, 1),
+    )
+    samples = [np.array([float(i), float(-i)]) for i in range(n_requests)]
+    with MicroBatcher(_echo, config) as batcher:
+        futures = batcher.submit_many(samples, timeout=5.0)
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(
+                future.result(timeout=5.0), _echo(samples[i][None])[0]
+            )
+    assert batcher.stats.requests == n_requests
+
+
+@THREADED
+@given(queue_depth=st.integers(1, 3))
+def test_backpressure_raises_instead_of_deadlocking(queue_depth):
+    """Full queue + saturated workers: submit(timeout) sheds, not hangs."""
+    release = threading.Event()
+
+    def stall(images):
+        release.wait(timeout=10.0)
+        return _echo(images)
+
+    config = BatcherConfig(
+        max_batch_size=1,
+        max_delay_ms=0.0,
+        workers=1,
+        max_queue_depth=queue_depth,
+    )
+    batcher = MicroBatcher(stall, config).start()
+    try:
+        # One request occupies the single worker; with max_batch_size=1
+        # the collector then blocks on the in-flight semaphore, so the
+        # next queue_depth requests saturate the admission queue.
+        futures = [batcher.submit(np.zeros(2), timeout=5.0)]
+        for _ in range(queue_depth):
+            futures.append(batcher.submit(np.zeros(2), timeout=5.0))
+        started = time.monotonic()
+        with pytest.raises(BackpressureError):
+            batcher.submit(np.zeros(2), timeout=0.05)
+        assert time.monotonic() - started < 2.0, "rejection was not prompt"
+        assert batcher.stats.rejected >= 1
+    finally:
+        release.set()
+        batcher.stop(drain=True)
+    for future in futures:
+        assert future.done()
+        np.testing.assert_array_equal(future.result(), _echo(np.zeros(2)))
+
+
+@THREADED
+@given(
+    n_requests=st.integers(1, 25),
+    max_batch_size=st.integers(1, 8),
+)
+def test_shutdown_drains_pending_futures(n_requests, max_batch_size):
+    """stop(drain=True) resolves everything already submitted."""
+
+    def slowish(images):
+        time.sleep(0.001)
+        return _echo(images)
+
+    config = BatcherConfig(
+        max_batch_size=max_batch_size,
+        max_delay_ms=1.0,
+        workers=2,
+        max_queue_depth=max(n_requests, 1),
+    )
+    batcher = MicroBatcher(slowish, config).start()
+    samples = [np.array([float(i)]) for i in range(n_requests)]
+    futures = batcher.submit_many(samples, timeout=5.0)
+    batcher.stop(drain=True)
+    for i, future in enumerate(futures):
+        assert future.done(), f"future {i} left unresolved by drain"
+        np.testing.assert_array_equal(
+            future.result(), _echo(samples[i][None])[0]
+        )
+    assert batcher.stats.requests == n_requests

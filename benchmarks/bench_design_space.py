@@ -9,8 +9,8 @@ the same crossbar" — across the whole grid rather than two points.
 
 import pytest
 
-from repro.analysis import design_space_sweep, pareto_front
 from repro.arch import format_table
+from repro.dse import design_space_sweep, pareto_front
 
 from benchmarks.conftest import heading
 

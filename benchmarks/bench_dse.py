@@ -1,0 +1,193 @@
+"""DSE benchmark: parallel speedup + resumability of ``repro.dse``.
+
+Runs one hardware-evaluated exploration study (18 candidates: engine x
+crossbar size x cell precision, with device noise on the SEI rows)
+twice from scratch — once inline (``workers=1``) and once through the
+worker pool — and records the wall-clock speedup in ``BENCH_dse.json``
+at the repo root.  Target: >= 2.5x with 4 workers, **enforced only when
+the machine actually has >= 4 CPUs** (a single-core runner cannot
+honestly demonstrate process-level parallelism; the recorded numbers
+stay honest either way and the nightly multi-core CI job enforces the
+target).
+
+The bench also proves the resume contract the subsystem promises: the
+completed single-worker store is re-run, and the report asserts that
+
+* zero candidates were re-evaluated, and
+* the regenerated report is **byte-identical** to the first one.
+
+Run as a script (the CI smoke check uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_dse.py [--quick] [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.dse import (
+    GridAxis,
+    ParameterSpace,
+    Study,
+    build_report,
+    report_json,
+    run_study,
+)
+
+#: Pool speedup the bench must clear (full mode, >= MIN_CPUS cores).
+DSE_TARGET = 2.5
+MIN_CPUS = 4
+
+BENCH_NETWORK = "network2"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+
+def bench_study(quick: bool) -> Study:
+    """The benchmark study: 18 candidates (6 in quick mode).
+
+    No Algorithm 1 axes — every candidate shares the default zoo
+    artefact, so the timing isolates candidate evaluation (the part the
+    pool parallelises) rather than the shared one-off pipeline prefix.
+    """
+    space = ParameterSpace(
+        axes=(
+            GridAxis("engine", ("fused", "reference", "adc")),
+            GridAxis(
+                "crossbar", (512, 256) if quick else (512, 256, 128)
+            ),
+            GridAxis("cell_bits", (4,) if quick else (4, 8)),
+            GridAxis(
+                "read_sigma",
+                (0.02,),
+                when="engine != 'adc'",
+                default=0.0,
+            ),
+        ),
+    )
+    return Study(
+        name="bench_dse",
+        space=space,
+        network=BENCH_NETWORK,
+        objectives=("energy_uj", "area_mm2", "accuracy:max"),
+        eval_samples=64 if quick else 256,
+        tile=16,
+    )
+
+
+def bench_dse(quick: bool, workers: int) -> dict:
+    study = bench_study(quick)
+    candidates = len(study.candidates())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+
+        start = time.perf_counter()
+        single = run_study(study, workers=1, store_root=root / "w1")
+        single_seconds = time.perf_counter() - start
+        assert single.failed == 0, single.failures
+
+        start = time.perf_counter()
+        resumed = run_study(study, workers=1, store_root=root / "w1")
+        resume_seconds = time.perf_counter() - start
+        report_first = report_json(build_report(single))
+        report_resumed = report_json(build_report(resumed))
+
+        start = time.perf_counter()
+        pooled = run_study(study, workers=workers, store_root=root / "wN")
+        pooled_seconds = time.perf_counter() - start
+        assert pooled.failed == 0, pooled.failures
+        report_pooled = report_json(build_report(pooled))
+
+    speedup = single_seconds / pooled_seconds
+    cpu_count = os.cpu_count() or 1
+    target_enforced = not quick and cpu_count >= MIN_CPUS
+    return {
+        "study": study.name,
+        "study_digest": study.digest(),
+        "network": BENCH_NETWORK,
+        "candidates": candidates,
+        "eval_samples": study.eval_samples,
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "single_worker_seconds": single_seconds,
+        "pooled_seconds": pooled_seconds,
+        "speedup": speedup,
+        "target": DSE_TARGET,
+        "target_enforced": target_enforced,
+        "target_met": speedup >= DSE_TARGET if target_enforced else None,
+        "pool_report_identical": report_pooled == report_first,
+        "resume": {
+            "reevaluated": resumed.evaluated,
+            "skipped": resumed.skipped,
+            "seconds": resume_seconds,
+            "report_identical": report_resumed == report_first,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="6 candidates, 64 eval samples (CI smoke check)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="pool size for the parallel run (default 4)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"== Design-space exploration ({BENCH_NETWORK}) ==")
+    result = bench_dse(args.quick, args.workers)
+    enforced = "enforced" if result["target_enforced"] else (
+        f"not enforced: quick mode" if args.quick
+        else f"not enforced: only {result['cpu_count']} CPU(s)"
+    )
+    print(
+        f"  {result['candidates']} candidates: 1 worker "
+        f"{result['single_worker_seconds']:.1f}s  {result['workers']} workers "
+        f"{result['pooled_seconds']:.1f}s  speedup {result['speedup']:.2f}x "
+        f"(target >={result['target']:.1f}x, {enforced})"
+    )
+    print(
+        f"  resume: {result['resume']['reevaluated']} re-evaluated, "
+        f"{result['resume']['skipped']} skipped in "
+        f"{result['resume']['seconds']:.2f}s, report byte-identical: "
+        f"{result['resume']['report_identical']}"
+    )
+
+    report = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": args.quick,
+        "manifest": obs.run_manifest(bench="dse"),
+        "dse": result,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    status = 0
+    if not result["resume"]["report_identical"] or result["resume"]["reevaluated"]:
+        print("resume contract NOT met", file=sys.stderr)
+        status = 1
+    if not result["pool_report_identical"]:
+        print("pooled report differs from inline report", file=sys.stderr)
+        status = 1
+    if result["target_enforced"] and not result["target_met"]:
+        print("dse pool speedup target NOT met", file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Bench regression guard: compare fresh speedups against baselines.
+
+The repo commits headline benchmark results (``BENCH_perf_engine.json``,
+``BENCH_serve.json``, ``BENCH_dse.json``); CI regenerates them and this
+script fails the build when any ``speedup`` figure regressed beyond the
+tolerance.  Comparison is by JSON path: every ``speedup`` key found in
+the *baseline* file must exist in the fresh file and satisfy
+
+    fresh >= baseline * (1 - tolerance)
+
+Speedups present only in the fresh file are reported but never fail
+(new benchmarks land before their baseline does).  Keys other than
+``speedup`` are ignored — absolute wall-clock times vary with runner
+hardware; ratios are what the committed files promise.
+
+Usage::
+
+    python benchmarks/check_bench_regressions.py \
+        fresh_perf.json:BENCH_perf_engine.json \
+        fresh_serve.json:BENCH_serve.json \
+        --tolerance 0.2
+
+Exit status: 0 when every pair passes, 1 on any regression or missing
+path, 2 on usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+
+def collect_speedups(obj, path: str = "") -> Dict[str, float]:
+    """All ``speedup`` values in a JSON document, keyed by dotted path."""
+    found: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            child = f"{path}.{key}" if path else key
+            if key == "speedup" and isinstance(value, (int, float)):
+                found[child] = float(value)
+            else:
+                found.update(collect_speedups(value, child))
+    elif isinstance(obj, list):
+        for index, value in enumerate(obj):
+            found.update(collect_speedups(value, f"{path}[{index}]"))
+    return found
+
+
+def compare_pair(
+    fresh_path: Path, baseline_path: Path, tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """(failures, notes) for one fresh-vs-baseline file pair."""
+    fresh = collect_speedups(json.loads(fresh_path.read_text()))
+    baseline = collect_speedups(json.loads(baseline_path.read_text()))
+    failures: List[str] = []
+    notes: List[str] = []
+    if not baseline:
+        failures.append(f"{baseline_path}: no speedup keys found")
+        return failures, notes
+    for path, expected in sorted(baseline.items()):
+        if path not in fresh:
+            failures.append(
+                f"{fresh_path}: missing speedup path {path!r} "
+                f"(baseline {expected:.2f}x)"
+            )
+            continue
+        actual = fresh[path]
+        floor = expected * (1.0 - tolerance)
+        verdict = "ok" if actual >= floor else "REGRESSED"
+        line = (
+            f"{fresh_path.name}:{path}: {actual:.2f}x vs baseline "
+            f"{expected:.2f}x (floor {floor:.2f}x) {verdict}"
+        )
+        notes.append(line)
+        if actual < floor:
+            failures.append(line)
+    for path in sorted(set(fresh) - set(baseline)):
+        notes.append(
+            f"{fresh_path.name}:{path}: {fresh[path]:.2f}x (new, no baseline)"
+        )
+    return failures, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "pairs",
+        nargs="+",
+        metavar="FRESH:BASELINE",
+        help="fresh result file and committed baseline file, colon-separated",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown before failing (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+
+    all_failures: List[str] = []
+    for pair in args.pairs:
+        fresh_name, sep, baseline_name = pair.partition(":")
+        if not sep or not fresh_name or not baseline_name:
+            parser.error(f"pair must be FRESH:BASELINE, got {pair!r}")
+        fresh_path = Path(fresh_name)
+        baseline_path = Path(baseline_name)
+        for path in (fresh_path, baseline_path):
+            if not path.exists():
+                print(f"error: {path} does not exist", file=sys.stderr)
+                return 2
+        failures, notes = compare_pair(
+            fresh_path, baseline_path, args.tolerance
+        )
+        for note in notes:
+            print(note)
+        all_failures.extend(failures)
+
+    if all_failures:
+        print(
+            f"\n{len(all_failures)} bench regression(s) beyond "
+            f"{100 * args.tolerance:.0f}% tolerance:",
+            file=sys.stderr,
+        )
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall bench speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

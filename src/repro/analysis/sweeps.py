@@ -1,24 +1,29 @@
-"""Design-space sweeps over the cost model.
+"""Deprecated: design-space sweeps moved to :mod:`repro.dse`.
 
-The paper evaluates three fixed design points; a designer adopting the
-SEI structure wants the whole response surface: how do energy, area and
-efficiency move with the crossbar size limit, the device precision, the
-weight precision and the converter technology?  These helpers run the
-grid and return flat rows ready for :func:`repro.arch.report.format_table`
-or a plotting tool.
+This module is a compatibility shim.  The cost-model grid sweep now
+lives in :mod:`repro.dse.sweeps` and the (generalised, n-objective)
+Pareto front in :mod:`repro.dse.pareto`; both are re-exported here with
+a :class:`DeprecationWarning` so existing imports keep working for one
+release cycle.  New code should import from :mod:`repro.dse`.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import warnings
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import ConfigurationError
 from repro.hw.tech import TechnologyModel
 
-from repro.arch.designs import evaluate_all_designs
-
 __all__ = ["design_space_sweep", "pareto_front"]
+
+
+def _warn(name: str) -> None:
+    warnings.warn(
+        f"repro.analysis.sweeps.{name} moved to repro.dse.{name}; "
+        "this shim will be removed in a future release",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def design_space_sweep(
@@ -28,76 +33,25 @@ def design_space_sweep(
     tech: Optional[TechnologyModel] = None,
     structures: Sequence[str] = ("dac_adc", "sei"),
 ) -> List[Dict[str, object]]:
-    """Grid sweep over (crossbar size, cell precision) x structure.
+    """Deprecated alias for :func:`repro.dse.design_space_sweep`."""
+    _warn("design_space_sweep")
+    from repro.dse import design_space_sweep as impl
 
-    Each row carries the absolute energy/area plus the SEI saving vs the
-    same-configuration baseline, so crossbar-size and precision effects
-    separate cleanly.
-    """
-    tech = tech if tech is not None else TechnologyModel()
-    rows: List[Dict[str, object]] = []
-    for bits in cell_bits:
-        if tech.weight_bits % bits != 0:
-            raise ConfigurationError(
-                f"cell bits {bits} does not divide weight bits "
-                f"{tech.weight_bits}"
-            )
-        for size in crossbar_sizes:
-            grid_tech = replace(
-                tech, cell_bits=bits, max_crossbar_size=size
-            )
-            evaluations = evaluate_all_designs(network, grid_tech)
-            baseline = evaluations["dac_adc"]
-            for structure in structures:
-                ev = evaluations[structure]
-                rows.append(
-                    {
-                        "network": network,
-                        "cell_bits": bits,
-                        "crossbar": size,
-                        "structure": structure,
-                        "energy_uj": ev.energy_uj_per_picture,
-                        "area_mm2": ev.area_mm2,
-                        "gops_per_j": ev.gops_per_joule(),
-                        "energy_saving_vs_baseline": (
-                            ev.cost.energy_saving_vs(baseline.cost)
-                        ),
-                        "crossbars": sum(m.crossbars for m in ev.mappings),
-                    }
-                )
-    return rows
+    return impl(
+        network=network,
+        crossbar_sizes=crossbar_sizes,
+        cell_bits=cell_bits,
+        tech=tech,
+        structures=structures,
+    )
 
 
 def pareto_front(
     rows: Sequence[Dict[str, object]],
     minimise: Sequence[str] = ("energy_uj", "area_mm2"),
 ) -> List[Dict[str, object]]:
-    """Non-dominated subset of sweep rows under the given objectives.
+    """Deprecated alias for :func:`repro.dse.pareto_front`."""
+    _warn("pareto_front")
+    from repro.dse import pareto_front as impl
 
-    A row is kept when no other row is at least as good on every
-    objective and strictly better on one.
-    """
-    if not minimise:
-        raise ConfigurationError("need at least one objective")
-    rows = list(rows)
-    for row in rows:
-        for key in minimise:
-            if key not in row:
-                raise ConfigurationError(f"row missing objective {key!r}")
-
-    front: List[Dict[str, object]] = []
-    for candidate in rows:
-        dominated = False
-        for other in rows:
-            if other is candidate:
-                continue
-            at_least_as_good = all(
-                other[k] <= candidate[k] for k in minimise
-            )
-            strictly_better = any(other[k] < candidate[k] for k in minimise)
-            if at_least_as_good and strictly_better:
-                dominated = True
-                break
-        if not dominated:
-            front.append(candidate)
-    return front
+    return impl(rows, minimise=minimise)

@@ -116,8 +116,20 @@ class DesignCost:
         return sum(self.area_um2.values()) * 1e-6
 
     # -- analysis ---------------------------------------------------------------
+    @staticmethod
+    def _check_components(components) -> None:
+        if not components:
+            raise ConfigurationError("need at least one component name")
+        unknown = [c for c in components if c not in COMPONENTS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown component(s) {', '.join(map(repr, unknown))}; "
+                f"known: {', '.join(COMPONENTS)}"
+            )
+
     def energy_share(self, *components: str) -> float:
         """Fraction of total energy consumed by the given components."""
+        self._check_components(components)
         totals = self.energy_pj
         total = sum(totals.values())
         if total <= 0:
@@ -125,6 +137,7 @@ class DesignCost:
         return sum(totals[c] for c in components) / total
 
     def area_share(self, *components: str) -> float:
+        self._check_components(components)
         totals = self.area_um2
         total = sum(totals.values())
         if total <= 0:
@@ -133,15 +146,27 @@ class DesignCost:
 
     def energy_saving_vs(self, baseline: "DesignCost") -> float:
         """Fractional energy saving relative to ``baseline``."""
+        if baseline.total_energy_uj <= 0:
+            raise ConfigurationError(
+                "baseline design consumes no energy; saving undefined"
+            )
         return 1.0 - self.total_energy_uj / baseline.total_energy_uj
 
     def area_saving_vs(self, baseline: "DesignCost") -> float:
+        if baseline.total_area_mm2 <= 0:
+            raise ConfigurationError(
+                "baseline design occupies no area; saving undefined"
+            )
         return 1.0 - self.total_area_mm2 / baseline.total_area_mm2
 
     def gops_per_joule(self, gops_per_picture: float) -> float:
         """Energy efficiency given the per-picture workload in GOPs."""
         if gops_per_picture <= 0:
             raise ConfigurationError("gops_per_picture must be positive")
+        if self.total_energy_uj <= 0:
+            raise ConfigurationError(
+                "design consumes no energy; efficiency undefined"
+            )
         return gops_per_picture / (self.total_energy_uj * 1e-6)
 
 

@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli serve network2 --requests 64 --workers 2
     python -m repro.cli conformance --quick
     python -m repro.cli conformance --update-golden
+    python -m repro.cli explore sei_vs_adc --workers 4
+    python -m repro.cli explore --quick --report report.md
 
 Accuracy commands train models on first use and cache them under
 ``.cache/`` (a few minutes); cost-model commands are instant.
@@ -47,6 +49,38 @@ __all__ = ["main", "build_parser"]
 logger = obs.get_logger("cli")
 
 
+#: One-line summary per subcommand.  This is the single source the
+#: ``--help`` epilog renders, and tests/test_cli.py asserts it covers
+#: every ``_HANDLERS`` entry — adding a command without a summary (or a
+#: summary without a handler) fails the suite, so the help text can no
+#: longer drift from the actual command set.
+_COMMAND_SUMMARIES = {
+    "info": "package and paper summary",
+    "fig1": "Fig. 1: baseline power/area breakdown",
+    "table1": "Table 1: activation distribution",
+    "table2": "Table 2: network configurations",
+    "table3": "Table 3: quantization error rates",
+    "table5": "Table 5: energy/area of the structures",
+    "quantize": "run Algorithm 1 threshold search on a network",
+    "split": "split a network across crossbars",
+    "tradeoff": "power-time tradeoff and buffer plan",
+    "datasheet": "full chip datasheet for one design point",
+    "infer": "classify test samples through a warm inference session",
+    "serve": "drive micro-batched serving over a warm session",
+    "conformance": "cross-engine conformance harness (exit 1 on mismatch)",
+    "explore": "design-space exploration: run/resume a study, report the "
+    "Pareto front",
+}
+
+
+def _epilog() -> str:
+    width = max(len(name) for name in _COMMAND_SUMMARIES)
+    lines = ["commands:"]
+    for name, summary in _COMMAND_SUMMARIES.items():
+        lines.append(f"  {name:<{width}}  {summary}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -54,6 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Switched by Input: Power Efficient Structure "
             "for RRAM-based CNN' (DAC 2016)"
         ),
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     # Shared flags live on a parent parser attached to every subcommand
     # (not on ``parser`` itself: a subparser would re-apply its defaults
@@ -242,6 +278,77 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the full conformance report JSON to PATH",
+    )
+
+    explore = sub.add_parser(
+        "explore",
+        parents=[common],
+        help=_COMMAND_SUMMARIES["explore"],
+    )
+    explore.add_argument(
+        "study",
+        nargs="?",
+        default="sei_vs_adc",
+        help="built-in study name (default: sei_vs_adc; see --list)",
+    )
+    explore.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_studies",
+        help="list the built-in studies and exit",
+    )
+    explore.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: the study's *_quick variant when one exists, "
+        "otherwise the first 8 candidates",
+    )
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = evaluate inline)",
+    )
+    explore.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="evaluate only the first N candidates (0 = all)",
+    )
+    explore.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="run-store root; the study resumes from its records there "
+        "(default: .cache/dse)",
+    )
+    explore.add_argument(
+        "--seed", type=int, default=None, help="override the study seed"
+    )
+    explore.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="override eval_samples (test images scored per candidate)",
+    )
+    explore.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-candidate timeout in seconds (0 = unlimited)",
+    )
+    explore.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the markdown study report to PATH",
+    )
+    explore.add_argument(
+        "--json",
+        metavar="PATH",
+        dest="json_out",
+        default=None,
+        help="write the deterministic report JSON to PATH",
     )
     return parser
 
@@ -547,6 +654,75 @@ def _cmd_conformance(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_explore(args) -> int:
+    from repro.dse import (
+        available_studies,
+        build_report,
+        get_study,
+        render_markdown,
+        report_json,
+        run_study,
+    )
+
+    if args.list_studies:
+        for name in available_studies():
+            logger.info("%s", name)
+        return 0
+
+    name = args.study
+    limit = args.limit
+    if args.quick and not name.endswith("_quick"):
+        if f"{name}_quick" in available_studies():
+            name = f"{name}_quick"
+        elif not limit:
+            limit = 8
+
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.samples is not None:
+        overrides["eval_samples"] = args.samples
+    if args.timeout is not None:
+        overrides["timeout_s"] = args.timeout
+    study = get_study(name, **overrides)
+
+    with obs.span(
+        "cli.explore", study=study.name, workers=args.workers, limit=limit
+    ):
+        result = run_study(
+            study,
+            workers=args.workers,
+            store_root=None if args.out is None else Path(args.out),
+            limit=limit,
+        )
+        report = build_report(result)
+
+    logger.info(
+        "study %s: %d/%d candidate(s) complete (%d resumed, %d failed), "
+        "store %s",
+        study.name,
+        report["counts"]["completed"],
+        report["counts"]["candidates"],
+        result.skipped,
+        report["counts"]["failed"],
+        result.store.directory,
+    )
+    logger.info("%s", render_markdown(report))
+    if args.json_out is not None:
+        target = Path(args.json_out)
+        if str(target.parent) not in ("", "."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(report_json(report))
+        logger.info("report JSON written to %s", args.json_out)
+    if args.report is not None:
+        target = Path(args.report)
+        if str(target.parent) not in ("", "."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(render_markdown(report))
+        logger.info("markdown report written to %s", args.report)
+    return 0 if report["counts"]["completed"] else 1
+
+
 _HANDLERS = {
     "info": _cmd_info,
     "fig1": _cmd_fig1,
@@ -561,6 +737,7 @@ _HANDLERS = {
     "infer": _cmd_infer,
     "serve": _cmd_serve,
     "conformance": _cmd_conformance,
+    "explore": _cmd_explore,
 }
 
 

@@ -1,0 +1,72 @@
+"""Design-space exploration for the SEI structure (``repro.dse``).
+
+The subsystem splits into layers, lowest first:
+
+* :mod:`repro.dse.expr` — the declarative condition language (digestable
+  replacements for lambdas);
+* :mod:`repro.dse.space` — parameter spaces: grid, random and
+  conditional axes plus assignment constraints;
+* :mod:`repro.dse.study` — named, digestable study definitions and the
+  built-in registry (``sei_vs_adc`` reproduces the Table 3/5 comparison
+  as a design-space study);
+* :mod:`repro.dse.evaluate` — candidate scoring through the real
+  hardware engines + cost model (or the synthetic harness evaluator);
+* :mod:`repro.dse.store` / :mod:`repro.dse.runner` — the resumable
+  append-only run store and the parallel, fault-tolerant runner;
+* :mod:`repro.dse.pareto` — n-objective fronts, dominated volume and
+  constraint filters;
+* :mod:`repro.dse.sweeps` — the pure cost-model grid sweep (migrated
+  from ``repro.analysis.sweeps``);
+* :mod:`repro.dse.report` — deterministic JSON/markdown study reports.
+
+CLI entry point: ``repro-cli explore`` (see :mod:`repro.cli`).
+"""
+
+from repro.dse.expr import expr_names, safe_eval
+from repro.dse.pareto import (
+    apply_constraints,
+    dominated_volume,
+    normalise_objectives,
+    pareto_front,
+)
+from repro.dse.report import build_report, render_markdown, report_json
+from repro.dse.runner import StudyResult, run_study
+from repro.dse.space import GridAxis, ParameterSpace, RandomAxis
+from repro.dse.store import RunStore
+from repro.dse.study import (
+    BUILTIN_STUDIES,
+    Candidate,
+    Study,
+    available_studies,
+    get_study,
+)
+from repro.dse.sweeps import design_space_sweep
+
+__all__ = [
+    # spaces & studies
+    "GridAxis",
+    "RandomAxis",
+    "ParameterSpace",
+    "Candidate",
+    "Study",
+    "BUILTIN_STUDIES",
+    "available_studies",
+    "get_study",
+    # execution
+    "run_study",
+    "StudyResult",
+    "RunStore",
+    # analysis
+    "pareto_front",
+    "dominated_volume",
+    "apply_constraints",
+    "normalise_objectives",
+    "design_space_sweep",
+    # reporting
+    "build_report",
+    "render_markdown",
+    "report_json",
+    # expressions
+    "safe_eval",
+    "expr_names",
+]

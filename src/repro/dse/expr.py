@@ -1,0 +1,142 @@
+"""A tiny safe expression evaluator for declarative DSE conditions.
+
+Design-space definitions need conditions — "this axis only exists for
+SEI engines", "cell bits must divide weight bits", "keep rows with
+accuracy >= 0.9" — and those conditions must be part of the study
+*digest* so a resumed run can prove it is continuing the same study.
+Python callables don't digest deterministically (their ``repr`` carries
+a memory address), so conditions are written as small expression
+strings and evaluated here against a mapping of names.
+
+Supported syntax: literals, names (resolved from the mapping), ``and`` /
+``or`` / ``not``, comparisons (including chained ones), arithmetic
+(``+ - * / // % **``), unary minus, and the ``abs``/``min``/``max``
+calls.  Anything else — attribute access, subscripts, lambdas, other
+calls — is rejected at parse time, so a study file can never smuggle
+arbitrary code into a worker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["safe_eval", "expr_names"]
+
+_ALLOWED_CALLS = {"abs": abs, "min": min, "max": max, "round": round}
+
+_BIN_OPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a**b,
+}
+
+_CMP_OPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+
+def _eval_node(node: ast.AST, names: Mapping[str, Any], expr: str) -> Any:
+    if isinstance(node, ast.Expression):
+        return _eval_node(node.body, names, expr)
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id not in names:
+            raise ConfigurationError(
+                f"unknown name {node.id!r} in expression {expr!r} "
+                f"(available: {', '.join(sorted(map(str, names)))})"
+            )
+        return names[node.id]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return tuple(_eval_node(e, names, expr) for e in node.elts)
+    if isinstance(node, ast.BoolOp):
+        if isinstance(node.op, ast.And):
+            result = True
+            for value in node.values:
+                result = _eval_node(value, names, expr)
+                if not result:
+                    return result
+            return result
+        result = False
+        for value in node.values:
+            result = _eval_node(value, names, expr)
+            if result:
+                return result
+        return result
+    if isinstance(node, ast.UnaryOp):
+        operand = _eval_node(node.operand, names, expr)
+        if isinstance(node.op, ast.Not):
+            return not operand
+        if isinstance(node.op, ast.USub):
+            return -operand
+        if isinstance(node.op, ast.UAdd):
+            return +operand
+    if isinstance(node, ast.BinOp) and type(node.op) in _BIN_OPS:
+        return _BIN_OPS[type(node.op)](
+            _eval_node(node.left, names, expr),
+            _eval_node(node.right, names, expr),
+        )
+    if isinstance(node, ast.Compare):
+        left = _eval_node(node.left, names, expr)
+        for op, comparator in zip(node.ops, node.comparators):
+            if type(op) not in _CMP_OPS:
+                break
+            right = _eval_node(comparator, names, expr)
+            if not _CMP_OPS[type(op)](left, right):
+                return False
+            left = right
+        else:
+            return True
+    if isinstance(node, ast.Call):
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ALLOWED_CALLS
+            and not node.keywords
+        ):
+            args = [_eval_node(a, names, expr) for a in node.args]
+            return _ALLOWED_CALLS[node.func.id](*args)
+    raise ConfigurationError(
+        f"unsupported syntax {type(node).__name__} in expression {expr!r}"
+    )
+
+
+def expr_names(expr: str) -> frozenset:
+    """Variable names an expression references (allowed calls excluded)."""
+    if not isinstance(expr, str) or not expr.strip():
+        raise ConfigurationError(
+            f"expression must be a non-empty string, got {expr!r}"
+        )
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError as exc:
+        raise ConfigurationError(f"invalid expression {expr!r}: {exc}") from None
+    return frozenset(
+        node.id
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Name) and node.id not in _ALLOWED_CALLS
+    )
+
+
+def safe_eval(expr: str, names: Mapping[str, Any]) -> Any:
+    """Evaluate a restricted expression against a name mapping."""
+    if not isinstance(expr, str) or not expr.strip():
+        raise ConfigurationError(f"expression must be a non-empty string, got {expr!r}")
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError as exc:
+        raise ConfigurationError(f"invalid expression {expr!r}: {exc}") from None
+    return _eval_node(tree, names, expr)

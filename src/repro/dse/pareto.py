@@ -1,0 +1,218 @@
+"""n-objective Pareto analysis: fronts, dominated volume, constraints.
+
+Generalises the two-objective ``minimise`` front that used to live in
+``repro.analysis.sweeps`` to any number of objectives with explicit
+senses: an objective is a plain key (minimised), ``"key:max"`` /
+``"key:min"``, or a ``(key, sense)`` pair.  On top sit the two summary
+tools a design-space report needs:
+
+* :func:`dominated_volume` — the hypervolume of the region dominated by
+  the front up to a reference point (the nadir of the row set by
+  default), the standard scalar "how good is this front" indicator;
+* :func:`apply_constraints` — declarative row filters such as
+  ``"accuracy >= 0.9"`` (see :mod:`repro.dse.expr`), used for
+  constraint-filtered fronts like "best energy at no more than 0.5%
+  accuracy loss".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+from repro.dse.expr import safe_eval
+
+__all__ = [
+    "normalise_objectives",
+    "pareto_front",
+    "dominated_volume",
+    "apply_constraints",
+]
+
+Objective = Union[str, Tuple[str, str]]
+Row = Dict[str, Any]
+
+
+def normalise_objectives(
+    objectives: Sequence[Objective],
+) -> Tuple[Tuple[str, str], ...]:
+    """Normalise objective specs to ``((key, 'min'|'max'), ...)``."""
+    if not objectives:
+        raise ConfigurationError("need at least one objective")
+    normalised: List[Tuple[str, str]] = []
+    for objective in objectives:
+        if isinstance(objective, str):
+            key, _, sense = objective.partition(":")
+            sense = sense or "min"
+        else:
+            try:
+                key, sense = objective
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"objective must be 'key', 'key:sense' or (key, sense), "
+                    f"got {objective!r}"
+                ) from None
+        if sense not in ("min", "max"):
+            raise ConfigurationError(
+                f"objective sense must be 'min' or 'max', got {sense!r} "
+                f"for {key!r}"
+            )
+        if not key:
+            raise ConfigurationError(f"empty objective key in {objective!r}")
+        normalised.append((key, sense))
+    return tuple(normalised)
+
+
+def _signed_values(
+    rows: Sequence[Row], objectives: Tuple[Tuple[str, str], ...]
+) -> List[Tuple[float, ...]]:
+    """Rows as all-minimise coordinate tuples (max objectives negated)."""
+    for row in rows:
+        for key, _ in objectives:
+            if key not in row:
+                raise ConfigurationError(f"row missing objective {key!r}")
+            if row[key] is None:
+                raise ConfigurationError(
+                    f"row has no value for objective {key!r} (None)"
+                )
+    return [
+        tuple(
+            float(row[key]) if sense == "min" else -float(row[key])
+            for key, sense in objectives
+        )
+        for row in rows
+    ]
+
+
+def pareto_front(
+    rows: Sequence[Row],
+    objectives: Optional[Sequence[Objective]] = None,
+    *,
+    minimise: Optional[Sequence[str]] = None,
+) -> List[Row]:
+    """Non-dominated subset of ``rows`` under the given objectives.
+
+    A row is kept when no other row is at least as good on every
+    objective and strictly better on one.  ``minimise`` is the legacy
+    two-objective spelling (all objectives minimised) and maps onto
+    ``objectives`` unchanged.
+    """
+    if minimise is not None:
+        if objectives is not None:
+            raise ConfigurationError(
+                "pass either objectives or the legacy minimise, not both"
+            )
+        objectives = tuple(minimise)
+    if objectives is None:
+        objectives = ("energy_uj", "area_mm2")
+    specs = normalise_objectives(objectives)
+    rows = list(rows)
+    coords = _signed_values(rows, specs)
+
+    front: List[Row] = []
+    for i, candidate in enumerate(coords):
+        dominated = False
+        for j, other in enumerate(coords):
+            if i == j:
+                continue
+            if all(o <= c for o, c in zip(other, candidate)) and any(
+                o < c for o, c in zip(other, candidate)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(rows[i])
+    return front
+
+
+def _hypervolume(
+    points: List[Tuple[float, ...]], reference: Tuple[float, ...]
+) -> float:
+    """Exact hypervolume by slicing objectives (minimisation form).
+
+    Exponential in the number of objectives in the worst case, which is
+    fine for the front sizes (tens of points, <= 4-5 objectives) a DSE
+    report handles.
+    """
+    points = [p for p in points if all(pi < ri for pi, ri in zip(p, reference))]
+    if not points:
+        return 0.0
+    if len(reference) == 1:
+        return reference[0] - min(p[0] for p in points)
+    volume = 0.0
+    levels = sorted({p[-1] for p in points})
+    for i, level in enumerate(levels):
+        upper = levels[i + 1] if i + 1 < len(levels) else reference[-1]
+        if upper <= level:
+            continue
+        slab = [p[:-1] for p in points if p[-1] <= level]
+        volume += (upper - level) * _hypervolume(slab, reference[:-1])
+    return volume
+
+
+def dominated_volume(
+    rows: Sequence[Row],
+    objectives: Sequence[Objective],
+    reference: Optional[Dict[str, float]] = None,
+) -> float:
+    """Hypervolume dominated by ``rows`` up to a reference point.
+
+    ``reference`` maps objective keys to the reference value in original
+    (un-negated) units.  By default the nadir of ``rows`` (componentwise
+    worst value) offset by 10% of each objective's span is used — the
+    offset keeps nadir-touching points (and whole degenerate dimensions
+    where every row ties) contributing volume, and the default is a pure
+    function of the row set, so the indicator is reproducible across
+    resumed runs of the same study without external anchors.
+    """
+    specs = normalise_objectives(objectives)
+    rows = list(rows)
+    if not rows:
+        return 0.0
+    coords = _signed_values(rows, specs)
+    if reference is None:
+        ref = []
+        for k in range(len(specs)):
+            worst = max(point[k] for point in coords)
+            span = worst - min(point[k] for point in coords)
+            ref.append(worst + (0.1 * span if span > 0 else 1.0))
+        ref = tuple(ref)
+    else:
+        for key, _ in specs:
+            if key not in reference:
+                raise ConfigurationError(
+                    f"reference point missing objective {key!r}"
+                )
+        ref = tuple(
+            float(reference[key]) if sense == "min" else -float(reference[key])
+            for key, sense in specs
+        )
+    return _hypervolume(coords, ref)
+
+
+def apply_constraints(
+    rows: Sequence[Row],
+    constraints: Sequence[Union[str, Callable[[Row], bool]]],
+) -> List[Row]:
+    """Rows satisfying every constraint.
+
+    Constraints are declarative expressions over row keys
+    (``"accuracy >= 0.9"``) or plain callables.  A row missing a name an
+    expression uses is a :class:`~repro.errors.ConfigurationError` — a
+    typo in a constraint should not silently filter everything out.
+    """
+    kept = []
+    for row in rows:
+        ok = True
+        for constraint in constraints:
+            if callable(constraint):
+                satisfied = constraint(row)
+            else:
+                satisfied = safe_eval(constraint, row)
+            if not satisfied:
+                ok = False
+                break
+        if ok:
+            kept.append(row)
+    return kept

@@ -1,0 +1,279 @@
+"""Deterministic study reports: Pareto analysis + baseline savings.
+
+:func:`build_report` turns a :class:`~repro.dse.runner.StudyResult` into
+a plain-data report dict, and :func:`render_markdown` formats it for
+humans.  Both are **byte-deterministic** for a given set of store
+records: rows are ordered by candidate index, no timestamps or
+durations enter the report, and JSON serialisation is expected to use
+``sort_keys=True`` — so a killed-and-resumed run of the same study
+produces an identical report to an uninterrupted one.
+
+The baseline comparison reproduces the paper's Table 3/Table 5 framing
+inside a study: rows matching the study's ``baseline`` predicate (e.g.
+``"engine == 'adc'"``) are paired with the non-baseline rows that share
+every other grid coordinate, and per-pair energy/area savings and
+accuracy deltas are aggregated.  The ``consistent_with_paper`` flag
+asserts the *direction* of Table 3/Table 5 — SEI saves the large
+majority of converter-dominated energy and a substantial share of area
+— without hard-coding the paper's exact percentages.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.dse.expr import expr_names, safe_eval
+from repro.dse.pareto import (
+    apply_constraints,
+    dominated_volume,
+    pareto_front,
+)
+from repro.dse.runner import StudyResult
+from repro.dse.space import RandomAxis
+
+__all__ = ["build_report", "render_markdown", "report_json"]
+
+#: Noise axes never used for baseline pairing: a noisy SEI variant is
+#: still compared against the noise-free converter baseline.
+_NOISE_KEYS = ("read_sigma", "program_sigma")
+
+#: Aggregate savings thresholds for the Table 3/5 direction check: the
+#: paper reports ~96% energy and ~68-83% area saving for SEI vs DAC/ADC.
+_PAPER_ENERGY_SAVING_MIN = 0.5
+_PAPER_AREA_SAVING_MIN = 0.3
+
+
+def _match_key_names(result: StudyResult) -> List[str]:
+    """Config keys that pair a variant row with its baseline row.
+
+    Every grid axis except the ones the baseline predicate itself
+    switches on (e.g. ``engine``) and the noise axes.  Random axes are
+    excluded too — their per-candidate draws never coincide.
+    """
+    study = result.study
+    exclude = set(_NOISE_KEYS) | expr_names(study.baseline)
+    return [
+        axis.name
+        for axis in study.space.axes
+        if axis.name not in exclude and not isinstance(axis, RandomAxis)
+    ]
+
+
+def _baseline_comparison(result: StudyResult) -> Optional[Dict[str, Any]]:
+    study = result.study
+    if not study.baseline:
+        return None
+    baseline_rows = [
+        row for row in result.rows if safe_eval(study.baseline, row)
+    ]
+    variant_rows = [
+        row for row in result.rows if not safe_eval(study.baseline, row)
+    ]
+    if not baseline_rows or not variant_rows:
+        return None
+
+    names = _match_key_names(result)
+
+    def key(row: Dict[str, Any]):
+        return tuple((name, row.get(name)) for name in names)
+
+    baselines = {}
+    for row in baseline_rows:
+        baselines.setdefault(key(row), row)
+
+    pairs = []
+    for row in variant_rows:
+        base = baselines.get(key(row))
+        if base is None:
+            continue
+        pair: Dict[str, Any] = {
+            "candidate": row["candidate"],
+            "baseline_candidate": base["candidate"],
+            "match": dict(key(row)),
+        }
+        if base.get("energy_uj"):
+            pair["energy_saving"] = 1.0 - row["energy_uj"] / base["energy_uj"]
+        if base.get("area_mm2"):
+            pair["area_saving"] = 1.0 - row["area_mm2"] / base["area_mm2"]
+        if "accuracy" in row and "accuracy" in base:
+            pair["accuracy_delta"] = row["accuracy"] - base["accuracy"]
+        pairs.append(pair)
+    if not pairs:
+        return None
+
+    def _mean(key_: str) -> Optional[float]:
+        values = [p[key_] for p in pairs if key_ in p]
+        return sum(values) / len(values) if values else None
+
+    mean_energy = _mean("energy_saving")
+    mean_area = _mean("area_saving")
+    return {
+        "predicate": study.baseline,
+        "matched_on": names,
+        "pairs": pairs,
+        "mean_energy_saving": mean_energy,
+        "mean_area_saving": mean_area,
+        "mean_accuracy_delta": _mean("accuracy_delta"),
+        "consistent_with_paper": bool(
+            mean_energy is not None
+            and mean_area is not None
+            and mean_energy >= _PAPER_ENERGY_SAVING_MIN
+            and mean_area >= _PAPER_AREA_SAVING_MIN
+        ),
+    }
+
+
+def build_report(result: StudyResult) -> Dict[str, Any]:
+    """Plain-data report for a study result (JSON/markdown-ready)."""
+    study = result.study
+    rows = sorted(result.rows, key=lambda r: r["candidate"])
+    feasible = (
+        apply_constraints(rows, study.constraints)
+        if study.constraints
+        else rows
+    )
+    front = (
+        pareto_front(feasible, study.objectives) if feasible else []
+    )
+    front = sorted(front, key=lambda r: r["candidate"])
+    volume = (
+        dominated_volume(feasible, study.objectives) if feasible else 0.0
+    )
+    report: Dict[str, Any] = {
+        "study": {
+            "name": study.name,
+            "digest": study.digest(),
+            "network": study.network,
+            "evaluator": study.evaluator,
+            "objectives": list(study.objectives),
+            "constraints": list(study.constraints),
+            "baseline": study.baseline,
+            "seed": study.seed,
+            "eval_samples": study.eval_samples,
+        },
+        # Only store-derived counts: per-run session counters (how many
+        # candidates this call resumed vs evaluated) live on StudyResult
+        # and stay out of the report so a resumed run reports
+        # byte-identically to an uninterrupted one.
+        "counts": {
+            "candidates": len(study.candidates()),
+            "completed": len(rows),
+            "failed": result.failed,
+            "feasible": len(feasible),
+            "pareto_front": len(front),
+        },
+        "rows": rows,
+        "failures": [
+            {
+                "candidate": record.get("candidate"),
+                "config": record.get("config"),
+                "error": record.get("error"),
+                "attempts": record.get("attempts"),
+            }
+            for record in result.failures
+        ],
+        "pareto": {
+            "objectives": list(study.objectives),
+            "front": front,
+            "dominated_volume": volume,
+        },
+        "baseline_comparison": _baseline_comparison(result),
+    }
+    return report
+
+
+def report_json(report: Dict[str, Any]) -> str:
+    """The canonical (byte-deterministic) JSON serialisation."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_markdown(report: Dict[str, Any]) -> str:
+    """Human-readable markdown rendering of :func:`build_report` output."""
+    study = report["study"]
+    counts = report["counts"]
+    lines = [
+        f"# Study report: {study['name']}",
+        "",
+        f"- digest: `{study['digest']}`",
+        f"- network: {study['network']}  |  evaluator: {study['evaluator']}",
+        f"- objectives: {', '.join(study['objectives'])}",
+        (
+            f"- candidates: {counts['candidates']}  |  completed: "
+            f"{counts['completed']}  |  failed: {counts['failed']}  |  "
+            f"feasible: {counts['feasible']}"
+        ),
+        "",
+    ]
+    front = report["pareto"]["front"]
+    lines.append(
+        f"## Pareto front ({len(front)} point(s), dominated volume "
+        f"{_fmt(report['pareto']['dominated_volume'])})"
+    )
+    lines.append("")
+    if front:
+        keys = ["candidate"]
+        for objective in study["objectives"]:
+            keys.append(objective.split(":", 1)[0])
+        config_keys = sorted(
+            k
+            for k in front[0]
+            if k not in keys and k not in ("digest",) and
+            not isinstance(front[0][k], (list, dict))
+        )
+        header = keys + config_keys
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for row in front:
+            lines.append(
+                "| "
+                + " | ".join(_fmt(row.get(k, "")) for k in header)
+                + " |"
+            )
+        lines.append("")
+    comparison = report.get("baseline_comparison")
+    if comparison:
+        lines.append("## Baseline comparison")
+        lines.append("")
+        lines.append(f"- baseline predicate: `{comparison['predicate']}`")
+        lines.append(
+            f"- matched pairs: {len(comparison['pairs'])} "
+            f"(on {', '.join(comparison['matched_on'])})"
+        )
+        if comparison["mean_energy_saving"] is not None:
+            lines.append(
+                "- mean energy saving: "
+                f"{100 * comparison['mean_energy_saving']:.1f}%"
+            )
+        if comparison["mean_area_saving"] is not None:
+            lines.append(
+                "- mean area saving: "
+                f"{100 * comparison['mean_area_saving']:.1f}%"
+            )
+        if comparison["mean_accuracy_delta"] is not None:
+            lines.append(
+                "- mean accuracy delta: "
+                f"{100 * comparison['mean_accuracy_delta']:+.2f} pp"
+            )
+        lines.append(
+            "- consistent with paper (Tables 3/5 direction): "
+            f"{'yes' if comparison['consistent_with_paper'] else 'no'}"
+        )
+        lines.append("")
+    failures = report["failures"]
+    if failures:
+        lines.append(f"## Failures ({len(failures)})")
+        lines.append("")
+        for failure in failures:
+            lines.append(
+                f"- candidate {failure['candidate']}: {failure['error']} "
+                f"(config: {json.dumps(failure['config'], sort_keys=True)})"
+            )
+        lines.append("")
+    return "\n".join(lines)

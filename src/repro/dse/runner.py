@@ -1,0 +1,402 @@
+"""Parallel, resumable study execution.
+
+:func:`run_study` walks a study's candidate list, skips the candidates
+whose evaluations already sit in the run store, and fans the rest out:
+
+* ``workers=1`` evaluates inline — simplest, fully deterministic, and
+  what a single-core machine should use;
+* ``workers>1`` uses a :class:`concurrent.futures.ProcessPoolExecutor`.
+  The parent *prewarms* the shared model pipeline first (training +
+  Algorithm 1 run once, see :func:`repro.dse.evaluate.prewarm`), so
+  forked workers inherit the warm zoo registry and spawned workers hit
+  the digest-keyed disk cache.
+
+Fault model — an exploration must survive its candidates:
+
+* a worker raising a Python exception produces a ``status="failed"``
+  record (with the exception text) and the run continues;
+* a worker *dying* (OOM kill, hard crash) breaks the pool; a broken
+  pool cannot say which task killed it, so every crashed-or-unfinished
+  candidate is retried once in its own single-task pool — the one that
+  breaks *that* pool is recorded as crashed, its innocent neighbours
+  complete normally, and one poisonous candidate cannot wedge the
+  study;
+* a candidate exceeding ``study.timeout_s`` is recorded as failed and
+  its pool is abandoned (``shutdown(wait=False)``) — the stuck worker
+  is orphaned rather than waited on.
+
+Only the parent appends to the store, so records.jsonl has a single
+writer regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.errors import ConfigurationError
+
+from repro.dse.evaluate import evaluate_candidate, prewarm
+from repro.dse.store import RunStore
+from repro.dse.study import Candidate, Study
+
+__all__ = ["run_study", "StudyResult"]
+
+logger = obs.get_logger("dse.runner")
+
+
+@dataclass
+class StudyResult:
+    """Outcome of one :func:`run_study` call."""
+
+    study: Study
+    store: RunStore
+    #: Candidate digests completed before this call (resume skips).
+    skipped: int
+    #: Candidates evaluated by this call (ok + failed).
+    evaluated: int
+    failed: int
+    #: All successful rows (resumed + fresh), in candidate order.
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Failure records from this store, in candidate order.
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _row(candidate: Candidate, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Flat result row: config keys + metric keys + provenance."""
+    row = dict(candidate.config)
+    row.update(metrics)
+    row["candidate"] = candidate.index
+    row["digest"] = candidate.digest
+    return row
+
+
+def _ok_record(
+    candidate: Candidate, metrics: Dict[str, Any], duration_s: float
+) -> Dict[str, Any]:
+    return {
+        "status": "ok",
+        "digest": candidate.digest,
+        "candidate": candidate.index,
+        "config": candidate.config,
+        "metrics": metrics,
+        "duration_s": duration_s,
+    }
+
+
+def _failed_record(
+    candidate: Candidate, error: str, attempts: int
+) -> Dict[str, Any]:
+    return {
+        "status": "failed",
+        "digest": candidate.digest,
+        "candidate": candidate.index,
+        "config": candidate.config,
+        "error": error,
+        "attempts": attempts,
+    }
+
+
+def _worker_init() -> None:
+    """Reset per-process session state in a fresh pool worker.
+
+    Forked workers inherit the parent's compiled-session registry —
+    including noisy-engine RNG state the parent already consumed — which
+    would make pooled results diverge from an inline run of the same
+    study.  Dropping the sessions (but keeping the warm zoo models,
+    which carry no evaluation state) makes every candidate's session
+    compile fresh in whichever process evaluates it, so inline and
+    pooled runs score identically.
+    """
+    from repro.serve.session import clear_sessions
+
+    clear_sessions()
+
+
+def _evaluate_in_worker(
+    study: Study, candidate: Candidate
+) -> Dict[str, Any]:
+    """Worker-side wrapper: Python exceptions become failure payloads.
+
+    Returning (rather than raising) keeps exception classes that do not
+    pickle cleanly from poisoning the pool channel.
+    """
+    start = time.perf_counter()
+    try:
+        metrics = evaluate_candidate(study, candidate)
+        return {
+            "ok": True,
+            "metrics": metrics,
+            "duration_s": time.perf_counter() - start,
+        }
+    except Exception as exc:  # noqa: BLE001 - worker boundary
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _run_inline(
+    study: Study, store: RunStore, pending: List[Candidate]
+) -> None:
+    for candidate in pending:
+        outcome = _evaluate_in_worker(study, candidate)
+        if outcome["ok"]:
+            store.append(
+                _ok_record(
+                    candidate, outcome["metrics"], outcome["duration_s"]
+                )
+            )
+        else:
+            logger.warning(
+                "candidate %d failed: %s", candidate.index, outcome["error"]
+            )
+            store.append(_failed_record(candidate, outcome["error"], 1))
+
+
+def _run_isolated(
+    study: Study, store: RunStore, candidate: Candidate, attempt: int
+) -> None:
+    """Retry one pool-break survivor in its own single-task pool.
+
+    A broken shared pool cannot say *which* worker death killed it, so
+    survivors are retried one per throwaway pool: if the pool with only
+    this candidate breaks, the blame is exact ("worker crashed"); an
+    innocent neighbour of a poisonous candidate completes normally.
+    """
+    executor = ProcessPoolExecutor(max_workers=1, initializer=_worker_init)
+    abandon = False
+    try:
+        future = executor.submit(_evaluate_in_worker, study, candidate)
+        timeout = study.timeout_s if study.timeout_s > 0 else None
+        done, _ = wait({future}, timeout=timeout)
+        if not done:
+            logger.warning(
+                "candidate %d timed out after %.1fs (isolated retry)",
+                candidate.index,
+                study.timeout_s,
+            )
+            store.append(
+                _failed_record(
+                    candidate, f"timeout after {study.timeout_s}s", attempt
+                )
+            )
+            abandon = True
+            return
+        try:
+            outcome = future.result()
+        except BrokenProcessPool:
+            logger.warning(
+                "candidate %d crashed its worker", candidate.index
+            )
+            store.append(
+                _failed_record(candidate, "worker crashed", attempt)
+            )
+            abandon = True
+            return
+        if outcome["ok"]:
+            store.append(
+                _ok_record(
+                    candidate, outcome["metrics"], outcome["duration_s"]
+                )
+            )
+        else:
+            logger.warning(
+                "candidate %d failed: %s", candidate.index, outcome["error"]
+            )
+            store.append(
+                _failed_record(candidate, outcome["error"], attempt)
+            )
+    finally:
+        executor.shutdown(wait=not abandon, cancel_futures=abandon)
+
+
+def _run_pool(
+    study: Study, store: RunStore, pending: List[Candidate], workers: int
+) -> None:
+    queue = _run_pool_once(study, store, pending, workers)
+    for candidate, attempt in queue:
+        _run_isolated(study, store, candidate, attempt)
+
+
+def _run_pool_once(
+    study: Study, store: RunStore, pending: List[Candidate], workers: int
+) -> List[tuple]:
+    """One shared-pool pass; returns the candidates needing isolation."""
+    queue: List[tuple] = []
+    executor = ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init
+    )
+    futures = {
+        executor.submit(_evaluate_in_worker, study, candidate): (
+            candidate,
+            1,
+        )
+        for candidate in pending
+    }
+    abandon = False
+    try:
+        remaining = set(futures)
+        while remaining:
+            timeout = study.timeout_s if study.timeout_s > 0 else None
+            done, remaining = wait(
+                remaining, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Timeout: every still-running candidate is marked
+                # failed and the pool (with its stuck workers) is
+                # abandoned rather than joined.
+                for future in remaining:
+                    candidate, attempt = futures[future]
+                    logger.warning(
+                        "candidate %d timed out after %.1fs",
+                        candidate.index,
+                        study.timeout_s,
+                    )
+                    store.append(
+                        _failed_record(
+                            candidate,
+                            f"timeout after {study.timeout_s}s",
+                            attempt,
+                        )
+                    )
+                abandon = True
+                remaining = set()
+                break
+            broken: List[tuple] = []
+            for future in done:
+                candidate, attempt = futures[future]
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    broken.append((candidate, attempt))
+                    continue
+                if outcome["ok"]:
+                    store.append(
+                        _ok_record(
+                            candidate,
+                            outcome["metrics"],
+                            outcome["duration_s"],
+                        )
+                    )
+                else:
+                    logger.warning(
+                        "candidate %d failed: %s",
+                        candidate.index,
+                        outcome["error"],
+                    )
+                    store.append(
+                        _failed_record(candidate, outcome["error"], attempt)
+                    )
+            if broken:
+                # The pool is dead: the crashed and unfinished candidates
+                # move to isolated single-task retries (attempt 2), where
+                # a further crash blames exactly one candidate.
+                survivors = broken + [futures[f] for f in remaining]
+                queue = [(cand, att + 1) for cand, att in survivors]
+                logger.warning(
+                    "worker pool broke; retrying %d candidate(s) isolated",
+                    len(queue),
+                )
+                abandon = True
+                remaining = set()
+    finally:
+        executor.shutdown(wait=not abandon, cancel_futures=abandon)
+    return queue
+
+
+def run_study(
+    study: Study,
+    workers: int = 1,
+    store_root: Optional[Path] = None,
+    limit: int = 0,
+) -> StudyResult:
+    """Run (or resume) a study and return its accumulated results.
+
+    Parameters
+    ----------
+    study:
+        The study definition; its digest selects the run store, so the
+        same definition always resumes its own records.
+    workers:
+        Worker processes; 1 evaluates inline in this process.
+    store_root:
+        Run-store root directory (default ``.cache/dse``).
+    limit:
+        Evaluate only the first ``limit`` candidates (0 = all) — the
+        CI/smoke knob.  The store is shared with the unlimited run, so
+        a smoke pass warms the full study.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    store = RunStore.for_study(study, root=store_root)
+    store.ensure_manifest(study)
+
+    candidates = study.candidates(limit=limit)
+    completed = store.completed()
+    pending = [c for c in candidates if c.digest not in completed]
+    skipped = len(candidates) - len(pending)
+    logger.info(
+        "study %s: %d candidate(s), %d already complete, %d to evaluate "
+        "(%d worker(s))",
+        study.name,
+        len(candidates),
+        skipped,
+        len(pending),
+        workers,
+    )
+
+    if pending:
+        if workers == 1:
+            _run_inline(study, store, pending)
+        else:
+            # Shared pipeline prefixes are materialised in the parent so
+            # no worker retrains what another would also need.
+            prewarm(study, pending)
+            _run_pool(study, store, pending, workers)
+
+    completed = store.completed()
+    by_digest = {c.digest: c for c in candidates}
+    rows = [
+        _row(by_digest[digest], record["metrics"])
+        for digest, record in sorted(
+            completed.items(),
+            key=lambda item: item[1]["candidate"],
+        )
+        if digest in by_digest
+    ]
+    failures = sorted(
+        (
+            r
+            for r in store.load()
+            if r.get("status") == "failed"
+            and r.get("digest") not in completed
+            and r.get("digest") in by_digest
+        ),
+        key=lambda r: r.get("candidate", 0),
+    )
+    # Latest failure per digest (a retried-then-failed candidate appears
+    # once, with its final error).
+    last_failure: Dict[str, Dict[str, Any]] = {}
+    for record in failures:
+        last_failure[record["digest"]] = record
+    failures = sorted(
+        last_failure.values(), key=lambda r: r.get("candidate", 0)
+    )
+
+    evaluated = len(pending)
+    return StudyResult(
+        study=study,
+        store=store,
+        skipped=skipped,
+        evaluated=evaluated,
+        failed=len(failures),
+        rows=rows,
+        failures=failures,
+    )

@@ -1,0 +1,138 @@
+"""Resumable run store: append-only JSONL keyed by candidate digest.
+
+One study run owns one directory (default ``.cache/dse/<name>_<digest>``)
+holding:
+
+* ``manifest.json`` — the :func:`repro.obs.manifest.run_manifest` of the
+  study, written once on first open and *verified* on every reopen: a
+  directory whose manifest digest disagrees with the study being run is
+  refused rather than silently mixed (the study digest keys the store,
+  so this only trips when a directory is reused by hand);
+* ``records.jsonl`` — one JSON object per completed evaluation attempt,
+  appended and fsync-friendly (a crash can at worst truncate the final
+  line, which :meth:`RunStore.load` tolerates and reports).
+
+Resumption is digest-based, not index-based: a record belongs to a
+candidate through ``candidate["digest"]``, so re-running the same study
+skips exactly the candidates whose evaluation already succeeded — even
+if the surviving records arrived out of order from a worker pool.
+
+The store is single-writer by design: only the parent runner process
+appends (workers return results over the pool channel), so no file
+locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro import obs
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.dse.study import Study
+
+__all__ = ["RunStore"]
+
+logger = obs.get_logger("dse.store")
+
+
+def default_store_root() -> Path:
+    """Default root for study run directories (``.cache/dse``)."""
+    from repro.zoo import default_cache_dir
+
+    return default_cache_dir() / "dse"
+
+
+class RunStore:
+    """Append-only, digest-verified record store for one study run."""
+
+    def __init__(self, directory: Path, study_digest: str) -> None:
+        self.directory = Path(directory)
+        self.study_digest = study_digest
+        self.records_path = self.directory / "records.jsonl"
+        self.manifest_path = self.directory / "manifest.json"
+
+    @classmethod
+    def for_study(
+        cls, study: "Study", root: Optional[Path] = None
+    ) -> "RunStore":
+        """The store directory a study owns under ``root``."""
+        digest = study.digest()
+        base = Path(root) if root is not None else default_store_root()
+        return cls(base / f"{study.name}_{digest}", digest)
+
+    # -- manifest --------------------------------------------------------
+    def ensure_manifest(self, study: "Study") -> Dict[str, Any]:
+        """Create the run manifest, or verify it against ``study``.
+
+        Returns the manifest.  Raises :class:`ConfigurationError` when
+        the directory already belongs to a different study definition.
+        """
+        if self.manifest_path.exists():
+            manifest = json.loads(self.manifest_path.read_text())
+            recorded = manifest.get("config_digest")
+            if recorded != self.study_digest:
+                raise ConfigurationError(
+                    f"run store {self.directory} belongs to study digest "
+                    f"{recorded!r}, not {self.study_digest!r}; refusing to "
+                    "mix runs — use a fresh --out directory"
+                )
+            return manifest
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest = obs.run_manifest(
+            seed=study.seed, config=study, study=study.name
+        )
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        return manifest
+
+    # -- records ---------------------------------------------------------
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one evaluation record (one JSON line)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        with self.records_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def load(self) -> List[Dict[str, Any]]:
+        """All parseable records, in append order.
+
+        A torn final line (crash mid-append) is dropped with a warning;
+        a corrupt line elsewhere is also skipped, so a damaged store
+        degrades to re-evaluating the affected candidates rather than
+        refusing to resume.
+        """
+        if not self.records_path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        with self.records_path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    logger.warning(
+                        "%s: dropping corrupt record at line %d",
+                        self.records_path,
+                        lineno,
+                    )
+        return records
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Latest successful record per candidate digest.
+
+        Later records win, so a candidate that failed and was retried in
+        a subsequent run resolves to its eventual success.
+        """
+        done: Dict[str, Dict[str, Any]] = {}
+        for record in self.load():
+            digest = record.get("digest")
+            if digest and record.get("status") == "ok":
+                done[digest] = record
+        return done

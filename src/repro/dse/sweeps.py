@@ -1,0 +1,72 @@
+"""Cost-model design-space sweeps (migrated from ``repro.analysis.sweeps``).
+
+The paper evaluates three fixed design points; a designer adopting the
+SEI structure wants the whole response surface: how do energy, area and
+efficiency move with the crossbar size limit, the device precision, the
+weight precision and the converter technology?  :func:`design_space_sweep`
+runs the pure cost-model grid — no training, no inference — and returns
+flat rows ready for :func:`repro.arch.report.format_table`,
+:func:`repro.dse.pareto_front` or a plotting tool.
+
+Full studies that *also* score accuracy through the hardware engines
+live one level up in :mod:`repro.dse.study` / :mod:`repro.dse.runner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hw.tech import TechnologyModel
+
+from repro.arch.designs import evaluate_all_designs
+
+__all__ = ["design_space_sweep"]
+
+
+def design_space_sweep(
+    network: str = "network1",
+    crossbar_sizes: Sequence[int] = (1024, 512, 256, 128),
+    cell_bits: Sequence[int] = (2, 4, 8),
+    tech: Optional[TechnologyModel] = None,
+    structures: Sequence[str] = ("dac_adc", "sei"),
+) -> List[Dict[str, object]]:
+    """Grid sweep over (crossbar size, cell precision) x structure.
+
+    Each row carries the absolute energy/area plus the SEI saving vs the
+    same-configuration baseline, so crossbar-size and precision effects
+    separate cleanly.
+    """
+    tech = tech if tech is not None else TechnologyModel()
+    rows: List[Dict[str, object]] = []
+    for bits in cell_bits:
+        if tech.weight_bits % bits != 0:
+            raise ConfigurationError(
+                f"cell bits {bits} does not divide weight bits "
+                f"{tech.weight_bits}"
+            )
+        for size in crossbar_sizes:
+            grid_tech = replace(
+                tech, cell_bits=bits, max_crossbar_size=size
+            )
+            evaluations = evaluate_all_designs(network, grid_tech)
+            baseline = evaluations["dac_adc"]
+            for structure in structures:
+                ev = evaluations[structure]
+                rows.append(
+                    {
+                        "network": network,
+                        "cell_bits": bits,
+                        "crossbar": size,
+                        "structure": structure,
+                        "energy_uj": ev.energy_uj_per_picture,
+                        "area_mm2": ev.area_mm2,
+                        "gops_per_j": ev.gops_per_joule(),
+                        "energy_saving_vs_baseline": (
+                            ev.cost.energy_saving_vs(baseline.cost)
+                        ),
+                        "crossbars": sum(m.crossbars for m in ev.mappings),
+                    }
+                )
+    return rows

@@ -86,6 +86,50 @@ class TestDesignCost:
         assert small.area_mm2 > big.area_mm2
 
 
+class TestDesignCostEdgeCases:
+    """Degenerate inputs: empty designs, unknown components, zero baselines."""
+
+    @staticmethod
+    def _empty_cost():
+        from repro.arch.cost import DesignCost
+
+        return DesignCost(structure="sei", layers=[])
+
+    def test_unknown_component_rejected(self):
+        ev = evaluate_design("network1", "dac_adc")
+        with pytest.raises(ConfigurationError, match="unknown component"):
+            ev.cost.energy_share("adcs")
+        with pytest.raises(ConfigurationError, match="unknown component"):
+            ev.cost.area_share("adc", "nonsense")
+
+    def test_no_components_rejected(self):
+        ev = evaluate_design("network1", "dac_adc")
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ev.cost.energy_share()
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ev.cost.area_share()
+
+    def test_zero_total_shares_raise(self):
+        empty = self._empty_cost()
+        with pytest.raises(ConfigurationError, match="no energy"):
+            empty.energy_share("adc")
+        with pytest.raises(ConfigurationError, match="no area"):
+            empty.area_share("adc")
+
+    def test_zero_baseline_savings_raise(self):
+        ev = evaluate_design("network1", "sei")
+        empty = self._empty_cost()
+        with pytest.raises(ConfigurationError, match="baseline"):
+            ev.cost.energy_saving_vs(empty)
+        with pytest.raises(ConfigurationError, match="baseline"):
+            ev.cost.area_saving_vs(empty)
+
+    def test_zero_energy_efficiency_raises(self):
+        empty = self._empty_cost()
+        with pytest.raises(ConfigurationError, match="no energy"):
+            empty.gops_per_joule(1.0)
+
+
 class TestStructureOrdering:
     """The qualitative Table 5 orderings that must always hold."""
 

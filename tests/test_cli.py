@@ -58,6 +58,52 @@ class TestParser:
         assert serve.requests == 8
         assert serve.workers == 1
 
+    def test_explore_parses(self):
+        args = build_parser().parse_args(
+            ["explore", "--quick", "--workers", "2", "--out", "store",
+             "--report", "report.md", "--json", "report.json"]
+        )
+        assert args.study == "sei_vs_adc"
+        assert args.quick
+        assert args.workers == 2
+        assert args.out == "store"
+        assert args.report == "report.md"
+        assert args.json_out == "report.json"
+        listing = build_parser().parse_args(["explore", "--list"])
+        assert listing.list_studies
+        named = build_parser().parse_args(
+            ["explore", "synthetic_smoke", "--limit", "4", "--samples", "32",
+             "--timeout", "5", "--seed", "3"]
+        )
+        assert named.study == "synthetic_smoke"
+        assert named.limit == 4
+        assert named.samples == 32
+        assert named.timeout == 5.0
+        assert named.seed == 3
+
+    def test_help_epilog_covers_every_command(self):
+        """The --help epilog and the handler table cannot drift apart."""
+        from repro.cli import _COMMAND_SUMMARIES, _HANDLERS
+
+        assert set(_COMMAND_SUMMARIES) == set(_HANDLERS)
+        epilog = build_parser().epilog
+        for command in _HANDLERS:
+            assert command in epilog, command
+
+    def test_readme_cli_table_covers_every_command(self):
+        """README's CLI table lists every subcommand (drift guard)."""
+        from pathlib import Path
+
+        from repro.cli import _HANDLERS
+
+        readme = (
+            Path(__file__).resolve().parent.parent / "README.md"
+        ).read_text()
+        for command in _HANDLERS:
+            assert f"`{command}`" in readme, (
+                f"README CLI table is missing the {command!r} subcommand"
+            )
+
     def test_conformance_parses(self):
         args = build_parser().parse_args(
             ["conformance", "--quick", "--artifacts", "out", "--seed", "7"]
@@ -193,6 +239,53 @@ class TestSessionCommands:
         assert payload["ok"] is True
         assert payload["cases_run"] == 1
         assert payload["mismatches"] == []
+
+
+class TestExploreCommand:
+    """The explore command end-to-end over the synthetic study."""
+
+    def test_explore_synthetic_end_to_end(self, tmp_path):
+        store = tmp_path / "store"
+        json_path = tmp_path / "report.json"
+        md_path = tmp_path / "report.md"
+        assert main([
+            "explore", "synthetic_smoke", "--out", str(store),
+            "--json", str(json_path), "--report", str(md_path),
+        ]) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["counts"]["completed"] == 15
+        assert payload["pareto"]["front"]
+        assert md_path.read_text().startswith("# Study report")
+
+        # Resume through the CLI: byte-identical report artifact.
+        first = json_path.read_text()
+        assert main([
+            "explore", "synthetic_smoke", "--out", str(store),
+            "--json", str(json_path),
+        ]) == 0
+        assert json_path.read_text() == first
+
+    def test_explore_list(self, capsys):
+        assert main(["explore", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "sei_vs_adc" in out
+        assert "synthetic_smoke" in out
+
+    def test_explore_unknown_study(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown study"):
+            main(["explore", "nope"])
+
+    def test_explore_quick_limits_unknown_variant(self, tmp_path):
+        # synthetic_smoke has no *_quick variant: --quick caps candidates.
+        json_path = tmp_path / "report.json"
+        assert main([
+            "explore", "synthetic_smoke", "--quick",
+            "--out", str(tmp_path / "s"), "--json", str(json_path),
+        ]) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["counts"]["completed"] == 8
 
 
 class TestModelCommands:

@@ -1,0 +1,56 @@
+"""Version/capability probes for optional numpy fast paths.
+
+The packed SEI engine (:mod:`repro.core.packed`) counts active rows by
+popcounting ``np.packbits``-packed activation planes.  numpy grew a
+hardware-popcount ufunc (``np.bitwise_count``) in 2.0; older numpys get
+a pure-numpy byte lookup-table fallback that returns identical values.
+``tests/test_compat.py`` asserts the two paths agree on random uint64
+arrays, so the fallback stays honest even on new numpys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_BITWISE_COUNT", "popcount", "popcount_lut"]
+
+#: True when the native ``np.bitwise_count`` ufunc exists (numpy >= 2.0).
+HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Bits set in each of the 256 byte values.
+_BYTE_POPCOUNT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def popcount_lut(values: np.ndarray) -> np.ndarray:
+    """Per-element set-bit counts via the byte lookup table.
+
+    Works for any unsigned integer dtype by viewing each element as its
+    constituent bytes; the result dtype matches ``np.bitwise_count``
+    (``uint8`` per element, counts up to 64 fit comfortably).
+    """
+    values = np.asarray(values)
+    if values.dtype == np.uint8:
+        return _BYTE_POPCOUNT[values]
+    if values.dtype.kind != "u":
+        raise TypeError(
+            f"popcount expects unsigned integers, got {values.dtype}"
+        )
+    itemsize = values.dtype.itemsize
+    as_bytes = np.ascontiguousarray(values).view(np.uint8)
+    counts = _BYTE_POPCOUNT[as_bytes].reshape(values.shape + (itemsize,))
+    return counts.sum(axis=-1, dtype=np.uint8)
+
+
+if HAVE_BITWISE_COUNT:
+
+    def popcount(values: np.ndarray) -> np.ndarray:
+        """Per-element set-bit counts (native ``np.bitwise_count``)."""
+        return np.bitwise_count(values)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+
+    def popcount(values: np.ndarray) -> np.ndarray:
+        """Per-element set-bit counts (LUT fallback, numpy < 2.0)."""
+        return popcount_lut(values)

@@ -241,8 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--seed", type=int, default=0)
     conformance.add_argument(
         "--engines",
-        default="fused,reference,adc",
-        help="comma-separated engine names to conform (default: all three)",
+        default="fused,packed,reference,adc",
+        help="comma-separated engine names to conform (default: all four)",
     )
     conformance.add_argument(
         "--golden",

@@ -106,6 +106,12 @@ class BinarizedNetwork:
     input_bits: Optional[int] = 8
     #: Optional per-layer hardware substitutes (crossbar models).
     layer_computes: Dict[int, LayerCompute] = field(default_factory=dict)
+    #: Layers whose installed compute already emits the exact 0/1 plane
+    #: of ``binarize(output, thresholds[index])`` — the engine folded the
+    #: threshold comparison into its kernel, so the outer binarize would
+    #: be a redundant identity pass and is skipped.  Engines that fold
+    #: must guarantee bit-exactness against the unfolded comparison.
+    prebinarized: frozenset = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
         expected = intermediate_quantizable_indices(self.network)
@@ -235,7 +241,7 @@ class BinarizedNetwork:
                 ):
                     self._record_sei_layer(rec, index, layer, x)
                 x = layer.forward(x)
-            if index in self.thresholds:
+            if index in self.thresholds and index not in self.prebinarized:
                 # ReLU is merged into this comparison: relu is monotonic
                 # and the threshold is non-negative, so relu(g) > t == g > t.
                 x = binarize(x, self.thresholds[index])

@@ -9,8 +9,8 @@ kwargs, and the ADC baseline living behind a different function
 altogether.  This module consolidates all of that into one value:
 
 * :class:`EngineSpec` — *which* backend (``fused`` | ``reference`` |
-  ``adc``) plus *all* hardware/noise options it needs, as a single
-  frozen dataclass that digests cleanly into cache keys and run
+  ``adc`` | ``packed``) plus *all* hardware/noise options it needs, as a
+  single frozen dataclass that digests cleanly into cache keys and run
   manifests;
 * a **registry** mapping engine names to builder functions, so new
   backends (sharded, multi-device, ...) plug in without touching call
@@ -65,9 +65,11 @@ class EngineSpec:
     name:
         Registry name of the backend: ``'fused'`` (default; collapsed
         stacked-matmul SEI arithmetic), ``'reference'`` (the retained
-        pre-fusion per-slice loops, the equivalence oracle) or ``'adc'``
+        pre-fusion per-slice loops, the equivalence oracle), ``'adc'``
         (the traditional DAC+crossbar+ADC functional model, the Table 5
-        baseline).
+        baseline) or ``'packed'`` (bit-packed popcount SEI arithmetic:
+        activations as bit planes, precomputed integer row-weight
+        partial sums; see :mod:`repro.core.packed`).
     hardware:
         Device / fabric parameters (cell precision, noise sigmas, IR
         drop, crossbar size, partitioning).  The noise options that used
@@ -307,3 +309,10 @@ def _build_adc(
 register_engine("fused", _build_sei)
 register_engine("reference", _build_sei, oracle=True)
 register_engine("adc", _build_adc)
+
+# The packed popcount engine lives in its own module and imports this
+# registry lazily, so registering it here closes the loop without a
+# circular import at module load.
+from repro.core.packed import _build_packed  # noqa: E402
+
+register_engine("packed", _build_packed)

@@ -226,6 +226,13 @@ def assemble_sei_network(
     rng = rng if rng is not None else np.random.default_rng(config.seed)
 
     binarized = BinarizedNetwork(network, dict(thresholds))
+    # Per-layer assembly record: which hardware structure each weighted
+    # layer compiled to, with references to the live crossbar objects.
+    # Downstream engines that re-lower the compiled hardware (the packed
+    # popcount engine) and diagnostics read this instead of re-deriving
+    # the mapping.
+    hardware_layers: Dict[int, dict] = {}
+    binarized.hardware_layers = hardware_layers
     weighted = [
         i
         for i, layer in enumerate(network.layers)
@@ -259,7 +266,7 @@ def assemble_sei_network(
             # §3.2: the input layer stays DAC-driven (analog voltages on
             # the rows); its bit-sliced crossbars merge in analog into
             # the sense amplifiers.
-            binarized.layer_computes[index] = dac_analog_layer_compute(
+            dac_compute = dac_analog_layer_compute(
                 layer,
                 device=config.device,
                 weight_bits=config.weight_bits,
@@ -267,6 +274,8 @@ def assemble_sei_network(
                 engine=engine,
                 obs_index=index,
             )
+            binarized.layer_computes[index] = dac_compute
+            hardware_layers[index] = {"kind": "dac", "compute": dac_compute}
             continue
 
         if blocks <= 1:
@@ -281,6 +290,7 @@ def assemble_sei_network(
             binarized.layer_computes[index] = _unsplit_compute(
                 crossbar, engine, obs_index=index
             )
+            hardware_layers[index] = {"kind": "unsplit", "crossbar": crossbar}
             continue
 
         partition = partitions.get(index)
@@ -312,6 +322,11 @@ def assemble_sei_network(
             binarized.layer_computes[index] = _analog_merge_compute(
                 partition, crossbars, engine, obs_index=index
             )
+            hardware_layers[index] = {
+                "kind": "analog_merge",
+                "partition": partition,
+                "crossbars": crossbars,
+            }
             continue
 
         decision = decisions.get(
@@ -331,6 +346,7 @@ def assemble_sei_network(
             engine=engine,
         )
         binarized.layer_computes[index] = _split_compute(split, obs_index=index)
+        hardware_layers[index] = {"kind": "split", "matrix": split}
 
     return binarized
 
@@ -632,6 +648,17 @@ def dac_analog_layer_compute(
             inner_layer, driven, fused_matrix_fn, contiguous=False
         )
 
+    # Expose the compiled analog state for engines that re-lower this
+    # layer (the packed engine drives the same merged matrix with
+    # integer DAC codes instead of quantized floats).
+    compute.merged = merged
+    compute.dac = dac
+    compute.cells_per_weight = len(programmed)
+    # Without programming variation every normalized cell sits on the
+    # nibble grid, so merged == scale * N for integer N — the packed
+    # engine checks that against this unit to run the matmul in exact
+    # float32 integer arithmetic.
+    compute.unit = float(scale)
     return compute
 
 

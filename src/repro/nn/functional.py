@@ -63,6 +63,7 @@ def im2col(
     kernel_w: int,
     stride: int = 1,
     padding: int = 0,
+    out: np.ndarray = None,
 ) -> np.ndarray:
     """Unfold sliding windows of a batch of images into a matrix.
 
@@ -74,6 +75,11 @@ def im2col(
         Window height and width.
     stride, padding:
         Window stride and symmetric zero padding.
+    out:
+        Optional preallocated C-contiguous destination of shape
+        ``(n * out_h * out_w, c * kernel_h * kernel_w)`` and the same
+        dtype as ``images``; batch loops can reuse one buffer instead
+        of re-faulting a large fresh allocation per call.
 
     Returns
     -------
@@ -104,9 +110,24 @@ def im2col(
         writeable=False,
     )
     # -> (n, out_h, out_w, c, kernel_h, kernel_w) then flatten.
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
-        n * out_h * out_w, c * kernel_h * kernel_w
-    )
+    rows = n * out_h * out_w
+    width = c * kernel_h * kernel_w
+    if out is not None:
+        if (
+            out.shape != (rows, width)
+            or out.dtype != images.dtype
+            or not out.flags["C_CONTIGUOUS"]
+        ):
+            raise ShapeError(
+                f"im2col out must be C-contiguous {(rows, width)} "
+                f"{images.dtype}, got {out.shape} {out.dtype}"
+            )
+        np.copyto(
+            out.reshape(n, out_h, out_w, c, kernel_h, kernel_w),
+            windows.transpose(0, 2, 3, 1, 4, 5),
+        )
+        return out
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(rows, width)
     return np.ascontiguousarray(cols)
 
 

@@ -19,6 +19,7 @@ Metric convention (written by :func:`record_mvm_batch`, read by
 ``active_rows``           sum of active *logical* rows over all positions
 ``sa_events``             sense-amplifier (threshold) decisions
 ``noise_draws``           per-cell conductance noise samples drawn
+``popcount_events``       packed words popcounted (packed engine only)
 ``rows`` (gauge)          logical rows of the layer's weight matrix
 ``cols`` (gauge)          output columns
 ``blocks`` (gauge)        split blocks (1 = unsplit)
@@ -56,14 +57,17 @@ _LAYER_METRIC = re.compile(r"^hw/layer(\d+)/(\w+)$")
 def record_mvm_batch(
     metrics: Any,
     layer_index: int,
-    bits: np.ndarray,
+    bits: Optional[np.ndarray],
     cols: int,
     *,
+    rows: Optional[int] = None,
+    active_counts: Optional[np.ndarray] = None,
     blocks: int = 1,
     cells_per_weight: int,
     sa_events: Optional[int] = None,
     noise_draws: int = 0,
     digital_merge: Optional[bool] = None,
+    popcount_events: int = 0,
 ) -> None:
     """Record one batched crossbar invocation into the metrics registry.
 
@@ -71,21 +75,36 @@ def record_mvm_batch(
     crossbar rows; ``sa_events`` defaults to one comparison per column
     per block per sample (pass it explicitly for analog-merged layers,
     where the blocks share one sense-amp bank).
+
+    Engines that never materialise a float bit matrix (the packed
+    popcount engine) pass ``bits=None`` with ``active_counts`` (the
+    per-position active-row totals, already popcounted) and ``rows``
+    (the logical row count) instead — the derived metrics are identical.
+    ``popcount_events`` counts the packed words popcounted, the packed
+    engine's analogue of the per-row activity reductions.
     """
-    bits = np.asarray(bits)
-    if bits.ndim == 1:
-        bits = bits[None, :]
-    n, rows = bits.shape
+    if active_counts is not None:
+        if rows is None:
+            raise ValueError("active_counts requires an explicit rows count")
+        active_per_position = np.asarray(active_counts).reshape(-1)
+        n = active_per_position.shape[0]
+    else:
+        bits = np.asarray(bits)
+        if bits.ndim == 1:
+            bits = bits[None, :]
+        n, rows = bits.shape
+        active_per_position = bits.sum(axis=1)
     scope = metrics.scope(f"hw/layer{layer_index}")
     scope.inc("mvms", n * blocks)
     scope.inc("positions", n)
-    active_per_position = bits.sum(axis=1)
     scope.inc("active_rows", int(active_per_position.sum()))
     scope.inc(
         "sa_events", n * cols * blocks if sa_events is None else sa_events
     )
     if noise_draws:
         scope.inc("noise_draws", noise_draws)
+    if popcount_events:
+        scope.inc("popcount_events", popcount_events)
     scope.set_gauge("rows", rows)
     scope.set_gauge("cols", cols)
     scope.set_gauge("blocks", blocks)

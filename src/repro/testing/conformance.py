@@ -36,6 +36,7 @@ from repro.testing.faults import (
     run_campaign,
 )
 from repro.testing.generators import (
+    DEFAULT_ENGINES,
     ConformanceCase,
     generate_cases,
     iter_zoo_shaped_cases,
@@ -60,7 +61,7 @@ class ConformanceConfig:
     #: seeded samples).  The ``--quick`` smoke uses the default 20.
     cases: int = 20
     seed: int = 0
-    engines: Tuple[str, ...] = ("fused", "reference", "adc")
+    engines: Tuple[str, ...] = DEFAULT_ENGINES
     #: Golden corpus directory; ``None`` resolves ``tests/golden``.
     golden_dir: Optional[Path] = None
     #: Rewrite the corpus from the canonical zoo-shaped cases instead of

@@ -43,7 +43,7 @@ __all__ = [
 ]
 
 #: Engines every generated case runs through by default.
-DEFAULT_ENGINES: Tuple[str, ...] = ("fused", "reference", "adc")
+DEFAULT_ENGINES: Tuple[str, ...] = ("fused", "packed", "reference", "adc")
 
 #: Calibration sample count for the threshold quantiles.
 CALIBRATION_SAMPLES = 48

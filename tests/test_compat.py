@@ -1,0 +1,41 @@
+"""Tests for the numpy-version compatibility shims."""
+
+import numpy as np
+import pytest
+
+from repro._compat import HAVE_BITWISE_COUNT, popcount, popcount_lut
+
+
+class TestPopcount:
+    @pytest.mark.parametrize(
+        "dtype", [np.uint8, np.uint16, np.uint32, np.uint64]
+    )
+    def test_matches_python_bit_count(self, rng, dtype):
+        info = np.iinfo(dtype)
+        values = rng.integers(
+            0, info.max, size=257, dtype=dtype, endpoint=True
+        )
+        expected = np.array(
+            [bin(int(v)).count("1") for v in values], dtype=np.uint8
+        )
+        np.testing.assert_array_equal(popcount(values), expected)
+        np.testing.assert_array_equal(popcount_lut(values), expected)
+
+    def test_edge_values(self):
+        values = np.array([0, 1, 0xFF, 2**63, 2**64 - 1], dtype=np.uint64)
+        expected = np.array([0, 1, 8, 1, 64], dtype=np.uint8)
+        np.testing.assert_array_equal(popcount(values), expected)
+        np.testing.assert_array_equal(popcount_lut(values), expected)
+
+    def test_lut_agrees_with_native_when_available(self, rng):
+        if not HAVE_BITWISE_COUNT:
+            pytest.skip("numpy without bitwise_count: popcount IS the LUT")
+        words = rng.integers(0, 2**64 - 1, size=4096, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            popcount(words), popcount_lut(words)
+        )
+
+    def test_preserves_shape(self, rng):
+        words = rng.integers(0, 2**64 - 1, size=(3, 5), dtype=np.uint64)
+        assert popcount(words).shape == (3, 5)
+        assert popcount_lut(words).shape == (3, 5)

@@ -107,6 +107,13 @@ class TestGenerators:
         assert "adc" not in cases["golden-network3-mini"].engines
         assert "adc" in cases["golden-network1-mini"].engines
 
+    def test_packed_engine_in_default_grid(self):
+        from repro.testing.generators import DEFAULT_ENGINES
+
+        assert "packed" in DEFAULT_ENGINES
+        for case in iter_zoo_shaped_cases():
+            assert "packed" in case.engines
+
 
 class TestPolicies:
     def test_mode_validation(self):
@@ -155,6 +162,31 @@ class TestDifferentialRunner:
         case = replace(SMALL, name="unit-split", max_crossbar_size=24)
         result = _fast_runner().run_case(case)
         assert result.ok
+
+    def test_packed_engine_matches_oracle(self):
+        """Packed bit-plane engine holds the SEI equivalence tolerance.
+
+        Covers both the whole-crossbar and §4.3 split paths, plus the
+        stuck-at fault regime the noisy-inference speedup claim runs in
+        (stuck cells stay on the nibble grid, so the integer kernel must
+        remain engaged and exact).
+        """
+        for name, overrides in (
+            ("unit-packed", {}),
+            ("unit-packed-split", {"max_crossbar_size": 24}),
+            (
+                "unit-packed-stuck",
+                {"stuck_low_rate": 0.05, "stuck_high_rate": 0.05},
+            ),
+            ("unit-packed-noise", {"program_sigma": 0.2}),
+        ):
+            case = replace(
+                SMALL, name=name,
+                engines=("fused", "packed", "reference"), **overrides,
+            )
+            result = DifferentialRunner(minimize=False).run_case(case)
+            assert result.ok, [c.describe() for c in result.counterexamples]
+            assert result.comparisons["packed"].ok
 
     def test_policy_override_wins(self):
         runner = _fast_runner(
@@ -242,6 +274,16 @@ class TestGoldenCorpus:
         report = verify_corpus(tmp_path / "nowhere")
         assert report.ok
         assert report.checked == 0
+
+    def test_checked_in_corpus_pins_packed_logits(self):
+        """Every shipped golden entry carries packed-engine logits."""
+        from repro.testing.golden import default_golden_dir, load_corpus
+
+        entries = load_corpus(default_golden_dir())
+        assert entries, "checked-in golden corpus is missing"
+        for entry in entries:
+            assert "packed" in entry.outputs, entry.name
+            assert "packed" in entry.case.engines, entry.name
 
 
 def _curve(kind, levels, means):

@@ -1,0 +1,319 @@
+"""Unit and equivalence tests for the packed popcount SEI engine.
+
+The packed engine re-lowers the fused crossbar arithmetic onto bit-plane
+activations, precomputed per-group partial-sum tables and integer
+decision thresholds.  These tests pin each primitive against a brute
+force oracle (pack/unpack round-trips, group tables, decision tables)
+and the assembled engine against the fused network it wraps — including
+the exact-float32 DAC path, the folded binarize passes and serving-tile
+batch invariance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.binarized import binarize
+from repro.core.engines import EngineSpec, compile_network
+from repro.core.hardware_network import HardwareConfig
+from repro.core.packed import (
+    GROUP_ROWS,
+    PackedMatrix,
+    _decision_tables,
+    build_group_tables,
+    pack_bits,
+    unpack_bits,
+)
+from repro.core.splitting import SplitDecision
+from repro.errors import ConfigurationError, ShapeError
+from repro.hw.device import RRAMDevice
+
+TIGHT = dict(rtol=1e-9, atol=1e-12)
+
+
+def _bits(rng, n, rows, p=0.4):
+    return (rng.random((n, rows)) < p).astype(np.uint8)
+
+
+class TestPackRoundTrip:
+    @pytest.mark.parametrize("rows", [1, 7, 8, 9, 40, 63, 64, 65])
+    def test_round_trip(self, rng, rows):
+        bits = _bits(rng, 6, rows)
+        packed = pack_bits(bits)
+        assert packed.rows == rows
+        np.testing.assert_array_equal(unpack_bits(packed), bits)
+
+    def test_word_view_zero_padded(self, rng):
+        # 9 groups pad to 2 uint64 words; padding bytes must read zero so
+        # popcounts over whole words match popcounts over byte lanes.
+        bits = _bits(rng, 4, 72)
+        packed = pack_bits(bits)
+        words = packed.words
+        assert words.shape == (4, 2)
+        assert words.dtype == np.uint64
+        total = sum(bin(int(w)).count("1") for w in words.ravel())
+        assert total == int(bits.sum())
+
+    def test_packbits_bit_order(self):
+        # Row 8*g + j occupies bit 7-j of byte g (numpy MSB-first).
+        bits = np.zeros((1, 8), dtype=np.uint8)
+        bits[0, 0] = 1
+        assert pack_bits(bits).codes[0, 0] == 0x80
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            pack_bits(np.zeros(8))
+
+
+class TestGroupTables:
+    def test_matches_brute_force(self, rng):
+        rows = rng.integers(-255, 256, size=(16, 5)).astype(np.int64)
+        tables = build_group_tables(rows)
+        assert tables.shape == (2, 256, 5)
+        for g in range(2):
+            group = rows[g * GROUP_ROWS : (g + 1) * GROUP_ROWS]
+            for pattern in rng.integers(0, 256, size=32):
+                selected = [
+                    group[j]
+                    for j in range(GROUP_ROWS)
+                    if pattern & (1 << (GROUP_ROWS - 1 - j))
+                ]
+                expected = (
+                    np.sum(selected, axis=0)
+                    if selected
+                    else np.zeros(5, dtype=np.int64)
+                )
+                np.testing.assert_array_equal(
+                    tables[g, pattern].astype(np.int64), expected
+                )
+
+    def test_dtype_widens_when_needed(self):
+        small = np.full((8, 2), 255, dtype=np.int64)
+        assert build_group_tables(small).dtype == np.int16
+        large = np.full((8, 2), 50_000, dtype=np.int64)
+        assert build_group_tables(large).dtype == np.int32
+
+    def test_validation(self):
+        with pytest.raises(ShapeError, match="multiple"):
+            build_group_tables(np.zeros((9, 3), dtype=np.int64))
+        with pytest.raises(ConfigurationError, match="integer"):
+            build_group_tables(np.zeros((8, 3)))
+
+
+class TestPackedMatrix:
+    def _matrix(self, rng, rows=52, cols=6, blocks=(0, 20, 52), unit=0.01,
+                permute=False):
+        order = np.arange(rows)
+        if permute:
+            order = rng.permutation(rows)
+        block_index = [
+            order[lo:hi] for lo, hi in zip(blocks[:-1], blocks[1:])
+        ]
+        ints = rng.integers(-200, 201, size=(rows, cols))
+        units = [unit * (k + 1) for k in range(len(block_index))]
+        mats = [
+            units[k] * ints[idx].astype(np.float64)
+            for k, idx in enumerate(block_index)
+        ]
+        return (
+            PackedMatrix(mats, units, block_index, rows),
+            ints,
+            block_index,
+            units,
+        )
+
+    def _oracle(self, bits, ints, block_index, units):
+        """Float block sums straight from the definition of Equ. 6."""
+        out = np.zeros((bits.shape[0], ints.shape[1]))
+        for k, idx in enumerate(block_index):
+            out += units[k] * (
+                bits[:, idx].astype(np.float64) @ ints[idx].astype(np.float64)
+            )
+        return out
+
+    def test_compute_matches_oracle_contiguous(self, rng):
+        matrix, ints, block_index, units = self._matrix(rng)
+        assert matrix._ranges is not None  # fast slice-pack path
+        bits = _bits(rng, 9, 52)
+        np.testing.assert_allclose(
+            matrix.compute(bits),
+            self._oracle(bits, ints, block_index, units),
+            **TIGHT,
+        )
+
+    def test_compute_matches_oracle_gather(self, rng):
+        matrix, ints, block_index, units = self._matrix(rng, permute=True)
+        assert matrix._ranges is None  # sentinel gather path
+        bits = _bits(rng, 9, 52)
+        np.testing.assert_allclose(
+            matrix.compute(bits),
+            self._oracle(bits, ints, block_index, units),
+            **TIGHT,
+        )
+
+    def test_ragged_blocks_pad_to_byte_lanes(self, rng):
+        # 20- and 32-row blocks pad to the 32-row block height: 4 lanes
+        # per block, trailing word-line rows carry zero weights.
+        matrix, *_ = self._matrix(rng)
+        assert matrix.block_height == 32
+        assert matrix.groups_per_block == 4
+        bits = _bits(rng, 5, 52)
+        packed = matrix.pack(bits)
+        assert packed.codes.shape == (5, 8)
+        ones = matrix.ones_per_block(packed)
+        np.testing.assert_array_equal(ones[:, 0], bits[:, :20].sum(axis=1))
+        np.testing.assert_array_equal(ones[:, 1], bits[:, 20:].sum(axis=1))
+
+    def test_pack_paths_agree(self, rng):
+        contiguous, *_ = self._matrix(rng)
+        bits = _bits(rng, 7, 52)
+        fast = contiguous.pack(bits).codes.copy()
+        # Forcing the sentinel-gather path over the same layout must
+        # produce the identical byte plane.
+        contiguous._ranges = None
+        slow = contiguous.pack(bits).codes
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_scratch_plane_is_overwritten(self, rng):
+        matrix, *_ = self._matrix(rng)
+        first = matrix.pack(_bits(rng, 4, 52))
+        stale = first.codes.copy()
+        second = matrix.pack(1 - unpack_bits(first)[:, :52])
+        assert not np.array_equal(stale, second.codes)
+        assert first.codes is second.codes  # same scratch storage
+
+
+class TestDecisionTables:
+    def test_tables_match_float_comparison(self, rng):
+        rows, cols = 48, 4
+        ints = rng.integers(-120, 121, size=(rows, cols))
+        units = [0.004, 0.005]
+        block_index = [np.arange(0, 24), np.arange(24, 48)]
+        mats = [
+            units[k] * ints[idx].astype(np.float64)
+            for k, idx in enumerate(block_index)
+        ]
+        matrix = PackedMatrix(mats, units, block_index, rows)
+        decision = SplitDecision(
+            block_threshold=0.11, ones_slope=0.003, vote_threshold=1
+        )
+        bias = rng.normal(scale=0.05, size=cols)
+        tables = _decision_tables(matrix, decision, bias)
+        bits = _bits(rng, 40, rows)
+        packed = matrix.pack(bits)
+        ones = matrix.ones_per_block(packed)
+        acc = matrix.accumulate(packed)
+        for k in range(2):
+            analog = units[k] * acc[k].astype(np.float64) + bias
+            expected = analog > decision.thresholds_for(ones[:, k])[:, None]
+            fired = acc[k] >= tables[k][ones[:, k]]
+            np.testing.assert_array_equal(fired, expected)
+
+
+class TestAssembledEngine:
+    def _predict(self, engine, tiny_quantized, images, device, **hw):
+        config = HardwareConfig(device=device, **hw)
+        compiled = compile_network(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            EngineSpec(name=engine, hardware=config),
+        )
+        return compiled, compiled.predict(images)
+
+    @pytest.mark.parametrize(
+        "device",
+        [
+            RRAMDevice(bits=4),
+            RRAMDevice(bits=4, stuck_low_rate=0.03, stuck_high_rate=0.03),
+        ],
+        ids=["clean", "stuck"],
+    )
+    def test_matches_fused_and_folds_binarize(
+        self, device, tiny_quantized, tiny_dataset
+    ):
+        images = tiny_dataset["test_x"][:24]
+        packed, packed_logits = self._predict(
+            "packed", tiny_quantized, images, device, max_crossbar_size=128
+        )
+        fused, fused_logits = self._predict(
+            "fused", tiny_quantized, images, device, max_crossbar_size=128
+        )
+        np.testing.assert_allclose(packed_logits, fused_logits, **TIGHT)
+        # Stuck cells stay on the nibble grid: the integer kernel (and
+        # with it the folded threshold comparison) must stay engaged.
+        assert packed.prebinarized
+        assert packed.prebinarized <= set(tiny_quantized.thresholds)
+        assert not fused.prebinarized
+
+    def test_program_noise_falls_back_to_fused_exactly(
+        self, tiny_quantized, tiny_dataset
+    ):
+        device = RRAMDevice(bits=4, program_sigma=0.25)
+        images = tiny_dataset["test_x"][:16]
+        packed, packed_logits = self._predict(
+            "packed", tiny_quantized, images, device
+        )
+        _, fused_logits = self._predict(
+            "fused", tiny_quantized, images, device
+        )
+        # Off-grid cells: no folding anywhere, same float arithmetic.
+        assert packed.prebinarized == frozenset()
+        np.testing.assert_array_equal(packed_logits, fused_logits)
+
+    def test_folded_layers_emit_exact_bits(
+        self, tiny_quantized, tiny_dataset
+    ):
+        """A folded layer's plane equals binarize() of the unfolded one."""
+        device = RRAMDevice(bits=4)
+        config = HardwareConfig(device=device, max_crossbar_size=128)
+        images = tiny_dataset["test_x"][:8]
+        packed = compile_network(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            EngineSpec(name="packed", hardware=config),
+        )
+        fused = compile_network(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            EngineSpec(name="fused", hardware=config),
+        )
+        xp = packed._quantize_input(images)
+        xf = fused._quantize_input(images)
+        for index in range(len(packed.network.layers)):
+            layer = packed.network.layers[index]
+            if index in packed.prebinarized:
+                emitted = packed.layer_computes[index](layer, xp)
+                reference = binarize(
+                    fused.layer_computes[index](layer, xf),
+                    tiny_quantized.thresholds[index],
+                )
+                np.testing.assert_array_equal(
+                    np.asarray(emitted, dtype=np.float64), reference
+                )
+            xp = packed.run_layer(index, xp)
+            xf = fused.run_layer(index, xf)
+
+    def test_batch_invariance_through_serving_tiles(
+        self, tiny_quantized, tiny_dataset
+    ):
+        from repro.serve.session import InferenceSession, SessionConfig
+
+        device = RRAMDevice(bits=4, stuck_low_rate=0.02)
+        session = InferenceSession.from_artifacts(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            SessionConfig(
+                network="tiny",
+                engine=EngineSpec(
+                    name="packed", hardware=HardwareConfig(device=device)
+                ),
+                tile=5,
+            ),
+        )
+        images = tiny_dataset["test_x"][:12]
+        whole = session.infer_batch(images)
+        singles = np.stack([session.infer(x) for x in images])
+        np.testing.assert_array_equal(whole, singles)
+        parts = np.concatenate(
+            [session.infer_batch(images[:7]), session.infer_batch(images[7:])]
+        )
+        np.testing.assert_array_equal(whole, parts)

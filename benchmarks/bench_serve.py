@@ -41,6 +41,10 @@ from repro.serve import BatcherConfig, SessionConfig, compile_session
 #: Speedup the micro-batched path must clear over one-at-a-time (full mode).
 SERVE_TARGET = 3.0
 
+#: A scraped telemetry plane may cost at most this much throughput
+#: versus the same workload with nobody polling ``/metrics``.
+SCRAPE_OVERHEAD_TARGET = 0.02
+
 BENCH_NETWORK = "network2"
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
@@ -148,6 +152,123 @@ def bench_serve(quick: bool) -> dict:
     }
 
 
+def _run_live(session, requests, clients, config, scrape: bool) -> dict:
+    """One micro-batched pass with a live telemetry plane attached.
+
+    ``scrape=True`` also runs the HTTP exposition server with a poller
+    thread hammering ``/metrics`` every ~50ms — the cost a production
+    Prometheus scraper (far less frequent) can never exceed.
+    """
+    from urllib.request import urlopen
+
+    from repro import obs as _obs
+    from repro.obs import TelemetryPlane
+
+    _obs.disable()  # fresh recorder per phase: clean windows, fair cost
+    plane = TelemetryPlane().install()
+    batcher = plane.attach(session.serve(config))
+    stop = threading.Event()
+    scrapes = [0]
+    server = poller = None
+    if scrape:
+        server = plane.serve()
+        endpoint = server.url + "/metrics"
+
+        def poll() -> None:
+            while not stop.is_set():
+                try:
+                    urlopen(endpoint, timeout=5).read()
+                    scrapes[0] += 1
+                except Exception:  # noqa: BLE001 - keep polling
+                    pass
+                stop.wait(0.05)
+
+        poller = threading.Thread(target=poll, daemon=True)
+        poller.start()
+    try:
+        _, elapsed = _drive_concurrent(batcher, requests, clients)
+        sample = plane.sample()
+    finally:
+        stop.set()
+        if poller is not None:
+            poller.join()
+        if server is not None:
+            server.stop()
+        batcher.stop()
+        _obs.disable()
+    latency = plane.recorder.metrics.histogram("serve/latency_ms")
+    return {
+        "seconds": elapsed,
+        "requests_per_second": len(requests) / elapsed,
+        "scrapes": scrapes[0],
+        "latency_ms": {
+            "p50": latency.quantile(0.50),
+            "p95": latency.quantile(0.95),
+            "p99": latency.quantile(0.99),
+            "p999": latency.quantile(0.999),
+        },
+        "window": {
+            key: sample["window"].get(key)
+            for key in (
+                "p50_ms",
+                "p99_ms",
+                "requests_per_second",
+                "joules_per_request",
+                "power_saving_vs_static",
+            )
+        },
+    }
+
+
+def bench_telemetry(quick: bool) -> dict:
+    """Scrape-overhead measurement: live plane unscraped vs scraped.
+
+    The full run uses a longer request stream than the speedup section:
+    a scrape's cost only means anything relative to a workload at least
+    a few scrape intervals long (quick mode's number is smoke only).
+    """
+    requests_count = 64 if quick else 2048
+    clients = 2 if quick else 4
+    tile = 16
+
+    session = compile_session(SessionConfig(network=BENCH_NETWORK, tile=tile))
+    from repro.zoo import get_dataset
+
+    images = get_dataset().test.images
+    requests = [images[i % len(images)] for i in range(requests_count)]
+    session.infer(requests[0])
+
+    config = BatcherConfig(
+        max_batch_size=64,
+        max_delay_ms=2.0,
+        max_queue_depth=max(64, requests_count),
+        workers=2,
+    )
+    repeats = 1 if quick else 3
+    unscraped = scraped = None
+    for _ in range(repeats):
+        candidate = _run_live(session, requests, clients, config, False)
+        if unscraped is None or candidate["seconds"] < unscraped["seconds"]:
+            unscraped = candidate
+    for _ in range(repeats):
+        candidate = _run_live(session, requests, clients, config, True)
+        if scraped is None or candidate["seconds"] < scraped["seconds"]:
+            scraped = candidate
+
+    overhead = 1.0 - (
+        scraped["requests_per_second"] / unscraped["requests_per_second"]
+    )
+    return {
+        "requests": requests_count,
+        "clients": clients,
+        "unscraped": unscraped,
+        "scraped": scraped,
+        "scrape_overhead": overhead,
+        "scrape_overhead_target": SCRAPE_OVERHEAD_TARGET,
+        "scrape_overhead_met": overhead <= SCRAPE_OVERHEAD_TARGET,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -174,19 +295,45 @@ def main(argv=None) -> int:
         f"untiled serial rate {result['untiled_single_sample_rate']:.0f} req/s"
     )
 
+    print("== Telemetry plane scrape overhead ==")
+    telemetry = bench_telemetry(args.quick)
+    print(
+        f"  unscraped {telemetry['unscraped']['requests_per_second']:.0f} "
+        f"req/s  scraped {telemetry['scraped']['requests_per_second']:.0f} "
+        f"req/s ({telemetry['scraped']['scrapes']} scrapes)  overhead "
+        f"{100 * telemetry['scrape_overhead']:.2f}% "
+        f"(target <={100 * telemetry['scrape_overhead_target']:.0f}%)"
+    )
+    window = telemetry["scraped"]["window"]
+    quantiles = telemetry["scraped"]["latency_ms"]
+    joules = window["joules_per_request"]
+    print(
+        f"  windowed p50 {quantiles['p50']:.2f}ms  p99 "
+        f"{quantiles['p99']:.2f}ms  "
+        + (
+            f"energy {joules:.3e} J/req"
+            if joules is not None
+            else "energy n/a"
+        )
+    )
+
     report = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": args.quick,
         "manifest": obs.run_manifest(bench="serve"),
         "serving": result,
+        "telemetry": telemetry,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
     # Quick mode is a smoke check (tiny workloads distort ratios); the
-    # full run enforces the target.
+    # full run enforces the targets.
     if not args.quick and not result["target_met"]:
         print("serving speedup target NOT met", file=sys.stderr)
+        return 1
+    if not args.quick and not telemetry["scrape_overhead_met"]:
+        print("telemetry scrape overhead target NOT met", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,243 @@
+"""CI gate: scrape a live ``repro-cli serve --listen`` telemetry plane.
+
+Reads the exposition URL from the ``--port-file`` a serving process
+wrote (ephemeral-port discovery), scrapes every endpoint and asserts:
+
+* ``/healthz`` answers ``{"ok": true}``;
+* ``/metrics`` is well-formed Prometheus text 0.0.4 — every sample line
+  parses, every series has a ``# TYPE`` declaration, histogram buckets
+  are cumulative and end in ``+Inf`` — and contains the serving and SLO
+  series the dashboard promises;
+* ``/metrics.json`` carries the same status schema ``repro-cli top``
+  renders;
+* ``/flight`` dumps a non-empty event ring with the documented fields.
+
+The raw scrapes are written to ``--artifacts DIR`` for upload, so a red
+run leaves the evidence behind.  Exit 1 on any violation.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.cli serve network2 --listen 127.0.0.1:0 \\
+        --port-file port.txt --duration 20 &
+    python benchmarks/check_live_scrape.py --port-file port.txt \\
+        --artifacts scrape-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import time
+from pathlib import Path
+from urllib.request import urlopen
+
+#: Series that must exist in /metrics while a batcher serves traffic.
+REQUIRED_SERIES = (
+    "repro_serve_requests_total",
+    "repro_serve_batches_total",
+    "repro_serve_queue_depth",
+    "repro_serve_queue_depth_high_watermark",
+    "repro_serve_latency_ms_bucket",
+    "repro_serve_latency_ms_sum",
+    "repro_serve_latency_ms_count",
+    "repro_slo_latency_p50_ms",
+    "repro_slo_latency_p99_ms",
+    "repro_slo_requests_per_second",
+    "repro_slo_joules_per_request",
+    "repro_obs_uptime_seconds",
+    "repro_obs_scrapes_total",
+)
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})? (?P<value>[^ ]+)$"
+)
+_TYPE_LINE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)  # raises on malformed values, including NaN spelling
+
+
+def check_prometheus_text(text: str) -> list:
+    """Grammar + content violations in one /metrics payload."""
+    problems = []
+    declared = {}
+    samples = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE"):
+                match = _TYPE_LINE.match(line)
+                if match is None:
+                    problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+                else:
+                    declared[match["name"]] = match["type"]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        try:
+            value = _parse_value(match["value"])
+        except ValueError:
+            problems.append(f"line {lineno}: bad value: {line!r}")
+            continue
+        samples.setdefault(match["name"], []).append(
+            (match["labels"], value)
+        )
+
+    for name in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in declared and base not in declared:
+            problems.append(f"series {name} has no # TYPE declaration")
+
+    # Histogram buckets must be cumulative and close with +Inf.
+    for name, series in samples.items():
+        if not name.endswith("_bucket"):
+            continue
+        last = -1.0
+        saw_inf = False
+        for labels, value in series:
+            if labels and 'le="+Inf"' in labels:
+                saw_inf = True
+            if value < last:
+                problems.append(f"{name}: non-cumulative bucket {labels}")
+            last = value
+        if not saw_inf:
+            problems.append(f"{name}: missing le=\"+Inf\" bucket")
+
+    for name in REQUIRED_SERIES:
+        if name not in samples:
+            problems.append(f"required series missing: {name}")
+
+    requests = samples.get("repro_serve_requests_total", [(None, 0.0)])
+    if requests[0][1] <= 0:
+        problems.append(
+            "repro_serve_requests_total is 0 — scraped a plane with no "
+            "traffic behind it"
+        )
+    return problems
+
+
+def check_flight(dump: dict) -> list:
+    problems = []
+    for key in ("reason", "capacity", "recorded", "dropped", "events"):
+        if key not in dump:
+            problems.append(f"/flight dump missing key {key!r}")
+    events = dump.get("events", [])
+    if not events:
+        problems.append("/flight dump has no events")
+    for event in events[:32]:
+        for key in ("kind", "seq", "t_wall_s", "t_mono_s"):
+            if key not in event:
+                problems.append(
+                    f"flight event missing {key!r}: {event!r}"
+                )
+                break
+    kinds = {event.get("kind") for event in events}
+    if "batch" not in kinds:
+        problems.append(f"no 'batch' events in flight dump (saw {kinds})")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--port-file",
+        required=True,
+        help="file the serving process wrote its exposition URL to",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory to keep the raw scrapes in (CI upload)",
+    )
+    parser.add_argument(
+        "--wait",
+        type=float,
+        default=60.0,
+        help="seconds to wait for the port file / first traffic",
+    )
+    args = parser.parse_args(argv)
+
+    port_file = Path(args.port_file)
+    deadline = time.monotonic() + args.wait
+    url = None
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            url = port_file.read_text().strip()
+            break
+        time.sleep(0.25)
+    if url is None:
+        print(f"port file {port_file} never appeared", file=sys.stderr)
+        return 1
+    print(f"scraping {url}")
+
+    # Wait until the plane has seen traffic, then take the real scrapes.
+    while time.monotonic() < deadline:
+        status = json.loads(
+            urlopen(url + "/metrics.json", timeout=10).read()
+        )["status"]
+        if status["window"]["requests"] or status["flight"]["recorded"]:
+            break
+        time.sleep(0.25)
+
+    health = json.loads(urlopen(url + "/healthz", timeout=10).read())
+    metrics_text = urlopen(url + "/metrics", timeout=10).read().decode()
+    metrics_json = json.loads(urlopen(url + "/metrics.json", timeout=10).read())
+    flight = json.loads(urlopen(url + "/flight", timeout=10).read())
+
+    if args.artifacts:
+        artifacts = Path(args.artifacts)
+        artifacts.mkdir(parents=True, exist_ok=True)
+        (artifacts / "metrics.prom").write_text(metrics_text)
+        (artifacts / "metrics.json").write_text(
+            json.dumps(metrics_json, indent=2, sort_keys=True)
+        )
+        (artifacts / "healthz.json").write_text(
+            json.dumps(health, indent=2, sort_keys=True)
+        )
+        (artifacts / "flight.json").write_text(
+            json.dumps(flight, indent=2, sort_keys=True)
+        )
+
+    problems = []
+    if health.get("ok") is not True:
+        problems.append(f"/healthz not ok: {health}")
+    problems += check_prometheus_text(metrics_text)
+    status = metrics_json.get("status", {})
+    for key in ("seq", "uptime_s", "window", "slo", "flight"):
+        if key not in status:
+            problems.append(f"/metrics.json status missing {key!r}")
+    problems += check_flight(flight)
+
+    window = status.get("window", {})
+    print(
+        "window: {} req, p99 {} ms, {} J/req; flight: {} events".format(
+            window.get("requests"),
+            window.get("p99_ms"),
+            window.get("joules_per_request"),
+            flight.get("recorded"),
+        )
+    )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("live scrape OK: /metrics, /metrics.json, /healthz, /flight")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

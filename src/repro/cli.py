@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli tradeoff network1 --structure sei
     python -m repro.cli infer network2 --count 16
     python -m repro.cli serve network2 --requests 64 --workers 2
+    python -m repro.cli serve network2 --listen 9100 --duration 60
+    python -m repro.cli top --url http://127.0.0.1:9100
+    python -m repro.cli top --watch --frames 3 --interval 0.2
     python -m repro.cli conformance --quick
     python -m repro.cli conformance --update-golden
     python -m repro.cli explore sei_vs_adc --workers 4
@@ -66,7 +69,9 @@ _COMMAND_SUMMARIES = {
     "tradeoff": "power-time tradeoff and buffer plan",
     "datasheet": "full chip datasheet for one design point",
     "infer": "classify test samples through a warm inference session",
-    "serve": "drive micro-batched serving over a warm session",
+    "serve": "drive micro-batched serving over a warm session "
+    "(--listen publishes /metrics)",
+    "top": "live terminal dashboard over a serving telemetry plane",
     "conformance": "cross-engine conformance harness (exit 1 on mismatch)",
     "explore": "design-space exploration: run/resume a study, report the "
     "Pareto front",
@@ -120,6 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write metrics + run manifest JSON (no span tree) to PATH",
+    )
+    common.add_argument(
+        "--metrics-flush-interval",
+        metavar="SECONDS",
+        type=float,
+        default=0.0,
+        help="rewrite --trace/--metrics-out every SECONDS while the "
+        "command runs, so a killed run still leaves partial metrics "
+        "(0 = only write on exit)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -217,6 +231,87 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=64)
     serve.add_argument("--delay-ms", type=float, default=2.0)
     serve.add_argument("--queue", type=int, default=256)
+    serve.add_argument(
+        "--listen",
+        metavar="[HOST:]PORT",
+        default=None,
+        help="publish the live telemetry plane over HTTP: /metrics "
+        "(Prometheus), /metrics.json, /healthz, /flight (port 0 binds "
+        "an ephemeral port; see --port-file)",
+    )
+    serve.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound exposition URL to PATH (ephemeral-port "
+        "discovery for scripts/CI)",
+    )
+    serve.add_argument(
+        "--duration",
+        metavar="SECONDS",
+        type=float,
+        default=0.0,
+        help="with --listen: keep serving (looping the request set) for "
+        "this long so scrapers can watch a live window (0 = one pass)",
+    )
+    serve.add_argument(
+        "--slo-window",
+        metavar="SECONDS",
+        type=float,
+        default=60.0,
+        help="sliding SLO window length (with --listen)",
+    )
+    serve.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        help="breach when the windowed p99 latency exceeds this",
+    )
+    serve.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=None,
+        help="breach when the windowed error rate exceeds this",
+    )
+    serve.add_argument(
+        "--slo-joules-per-request",
+        type=float,
+        default=None,
+        help="breach when windowed SEI dynamic energy per request "
+        "(joules) exceeds this",
+    )
+
+    top = sub.add_parser(
+        "top",
+        parents=[common],
+        help=_COMMAND_SUMMARIES["top"],
+    )
+    top.add_argument(
+        "--url",
+        metavar="URL",
+        default=None,
+        help="poll a running exposition server's /metrics.json "
+        "(e.g. http://127.0.0.1:9100)",
+    )
+    top.add_argument(
+        "--watch",
+        action="store_true",
+        help="file-free demo mode: drive a synthetic in-process serving "
+        "workload and watch its live plane (no server, no model cache)",
+    )
+    top.add_argument(
+        "--interval",
+        metavar="SECONDS",
+        type=float,
+        default=1.0,
+        help="seconds between frames",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        help="stop after this many frames (0 = until interrupted)",
+    )
 
     conformance = sub.add_parser(
         "conformance",
@@ -354,10 +449,63 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _write_export(payload: dict, path: str) -> None:
+    # Atomic (tmp + rename) so a reader — or a kill mid-flush — never
+    # sees a truncated JSON document.
+    import os
+
     target = Path(path)
     if str(target.parent) not in ("", "."):
         target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, target)
+
+
+def _export_outputs(rec, args, argv) -> None:
+    """Write the recorder's export to the requested --trace/--metrics-out."""
+    export = rec.export(command=args.command, argv=argv)
+    if args.trace is not None:
+        _write_export(export, args.trace)
+    if args.metrics_out is not None:
+        metrics_only = {k: v for k, v in export.items() if k != "trace"}
+        _write_export(metrics_only, args.metrics_out)
+
+
+class _PeriodicFlusher:
+    """Daemon thread rewriting the metric exports every few seconds.
+
+    Long serving runs die by SIGKILL/OOM without unwinding the
+    ``recording()`` context; with ``--metrics-flush-interval`` the last
+    flushed export survives the kill.  Flush errors are swallowed — a
+    full disk must not take the measured command down.
+    """
+
+    def __init__(self, rec, args, argv, interval: float) -> None:
+        import threading
+
+        self._rec = rec
+        self._args = args
+        self._argv = argv
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="metrics-flusher", daemon=True
+        )
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                _export_outputs(self._rec, self._args, self._argv)
+            except Exception:  # noqa: BLE001 - keep flushing next tick
+                logger.debug("periodic metrics flush failed", exc_info=True)
+
+    def __enter__(self) -> "_PeriodicFlusher":
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stop.set()
+        self._thread.join()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -368,15 +516,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace is None and args.metrics_out is None:
         return handler(args) or 0
 
+    recorded_argv = list(argv or sys.argv[1:])
     with obs.recording() as rec:
-        status = handler(args) or 0
-    export = rec.export(command=args.command, argv=list(argv or sys.argv[1:]))
+        if args.metrics_flush_interval > 0:
+            with _PeriodicFlusher(
+                rec, args, recorded_argv, args.metrics_flush_interval
+            ):
+                status = handler(args) or 0
+        else:
+            status = handler(args) or 0
+    _export_outputs(rec, args, recorded_argv)
     if args.trace is not None:
-        _write_export(export, args.trace)
         logger.info("trace written to %s", args.trace)
     if args.metrics_out is not None:
-        metrics_only = {k: v for k, v in export.items() if k != "trace"}
-        _write_export(metrics_only, args.metrics_out)
         logger.info("metrics written to %s", args.metrics_out)
     return status
 
@@ -575,6 +727,39 @@ def _cmd_infer(args) -> None:
     )
 
 
+def _slo_config(args):
+    from repro.obs import SloConfig
+
+    return SloConfig(
+        window_s=args.slo_window,
+        p99_ms=args.slo_p99_ms,
+        max_error_rate=args.slo_error_rate,
+        max_joules_per_request=args.slo_joules_per_request,
+    )
+
+
+def _drive_requests(batcher, requests, clients: int):
+    """Fan ``requests`` across ``clients`` submitter threads; gather all."""
+    import threading
+
+    import numpy as np
+
+    futures = [None] * len(requests)
+
+    def client(offset: int) -> None:
+        for i in range(offset, len(requests), clients):
+            futures[i] = batcher.submit(requests[i])
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return np.stack([f.result() for f in futures])
+
+
 def _cmd_serve(args) -> None:
     import time
 
@@ -588,47 +773,160 @@ def _cmd_serve(args) -> None:
     dataset = get_dataset()
     images = dataset.test.images
     requests = [images[i % len(images)] for i in range(args.requests)]
-    batcher = api.serve(
-        args.network,
-        engine=EngineSpec(args.engine),
-        tile=args.tile,
-        batcher=BatcherConfig(
-            max_batch_size=args.batch_size,
-            max_delay_ms=args.delay_ms,
-            max_queue_depth=args.queue,
-            workers=args.workers,
-        ),
+    batcher_config = BatcherConfig(
+        max_batch_size=args.batch_size,
+        max_delay_ms=args.delay_ms,
+        max_queue_depth=args.queue,
+        workers=args.workers,
     )
-    # Split the requests across concurrent client threads, the traffic
-    # pattern the micro-batcher exists for.
-    import threading
 
-    futures = [None] * len(requests)
+    if args.listen is not None:
+        session = api.compile(
+            args.network, engine=EngineSpec(args.engine), tile=args.tile
+        )
+        batcher, plane, server = session.serve_live(
+            batcher_config, slo=_slo_config(args), listen=args.listen
+        )
+        logger.info("telemetry plane: %s/metrics", server.url)
+        if args.port_file is not None:
+            Path(args.port_file).write_text(server.url + "\n")
+        start = time.perf_counter()
+        outputs = _drive_requests(batcher, requests, args.clients)
+        # Keep looping the request set so scrapers see a *live* window,
+        # until the requested duration elapses.
+        while time.perf_counter() - start < args.duration:
+            _drive_requests(batcher, requests, args.clients)
+        elapsed = time.perf_counter() - start
+        from repro.obs import render_dashboard
 
-    def client(offset: int) -> None:
-        for i in range(offset, len(requests), args.clients):
-            futures[i] = batcher.submit(requests[i])
+        logger.info("%s", render_dashboard(plane.sample()))
+        server.stop()
+        batcher.stop()
+        plane.uninstall()
+    else:
+        batcher = api.serve(
+            args.network,
+            engine=EngineSpec(args.engine),
+            tile=args.tile,
+            batcher=batcher_config,
+        )
+        # Split the requests across concurrent client threads, the
+        # traffic pattern the micro-batcher exists for.
+        start = time.perf_counter()
+        outputs = _drive_requests(batcher, requests, args.clients)
+        elapsed = time.perf_counter() - start
+        batcher.stop()
 
-    start = time.perf_counter()
-    threads = [
-        threading.Thread(target=client, args=(c,))
-        for c in range(args.clients)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    outputs = np.stack([f.result() for f in futures])
-    elapsed = time.perf_counter() - start
-    batcher.stop()
+    served = batcher.stats.requests
     logger.info("served %d requests in %.3fs (%.0f req/s)",
-                len(requests), elapsed, len(requests) / elapsed)
+                served, elapsed, served / elapsed if elapsed else 0.0)
     for key, value in batcher.stats.as_dict().items():
         logger.info("  %s: %s", key, value)
     logger.info(
         "prediction histogram: %s",
         np.bincount(np.argmax(outputs, axis=1), minlength=10).tolist(),
     )
+
+
+def _watch_plane():
+    """A self-contained synthetic serving plane for ``top --watch``.
+
+    Builds a micro-batcher over a fake compute target that sleeps
+    ~200µs and records plausible ``hw/layer*`` activity (so the power
+    column is live), plus a driver thread submitting a steady trickle
+    of requests.  Returns ``(plane, stop_callable)``.  No model cache,
+    no network, no server — the file-free mode tests rely on.
+    """
+    import threading
+    import time as _time
+
+    import numpy as np
+
+    from repro.obs import TelemetryPlane, active
+    from repro.obs.power import record_mvm_batch
+    from repro.serve import BatcherConfig, MicroBatcher
+
+    rng = np.random.default_rng(0)
+
+    def fake_infer(batch: np.ndarray) -> np.ndarray:
+        _time.sleep(2e-4)
+        rec = active()
+        if rec is not None:
+            bits = (
+                rng.random((len(batch), 64)) < 0.25
+            ).astype(np.float64)
+            record_mvm_batch(
+                rec.metrics, 0, bits, 16, cells_per_weight=2
+            )
+        return np.zeros((len(batch), 10))
+
+    plane = TelemetryPlane().install()
+    batcher = plane.attach(
+        MicroBatcher(
+            fake_infer, BatcherConfig(max_batch_size=8, max_delay_ms=1.0)
+        ).start()
+    )
+    stop = threading.Event()
+
+    def drive() -> None:
+        sample = np.zeros(4)
+        while not stop.is_set():
+            try:
+                batcher.submit(sample, timeout=0.5)
+            except Exception:  # noqa: BLE001 - demo traffic, keep going
+                pass
+            _time.sleep(2e-3)
+
+    driver = threading.Thread(target=drive, name="top-demo", daemon=True)
+    driver.start()
+
+    def shutdown() -> None:
+        stop.set()
+        driver.join()
+        batcher.stop()
+        plane.uninstall()
+
+    return plane, shutdown
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.obs import render_dashboard
+
+    if args.url is None and not args.watch:
+        logger.error("top needs --url URL (poll a server) or --watch")
+        return 2
+
+    fetch = None
+    shutdown = None
+    if args.watch:
+        plane, shutdown = _watch_plane()
+        fetch = lambda: plane.sample()  # noqa: E731
+    else:
+        import json as _json
+        from urllib.request import urlopen
+
+        endpoint = args.url.rstrip("/") + "/metrics.json"
+
+        def fetch():
+            with urlopen(endpoint, timeout=5.0) as response:
+                return _json.loads(response.read())["status"]
+
+    frame = 0
+    try:
+        while True:
+            frame += 1
+            print(render_dashboard(fetch()), flush=True)
+            if args.frames and frame >= args.frames:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if shutdown is not None:
+            shutdown()
+    return 0
 
 
 def _cmd_conformance(args) -> int:
@@ -736,6 +1034,7 @@ _HANDLERS = {
     "datasheet": _cmd_datasheet,
     "infer": _cmd_infer,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "conformance": _cmd_conformance,
     "explore": _cmd_explore,
 }

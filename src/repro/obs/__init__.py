@@ -15,7 +15,12 @@ Dependency-free (stdlib + numpy) instrumentation for the reproduction:
   :func:`set_gauge` / :func:`observe`, which cost one ``None`` check
   when recording is disabled;
 * :mod:`repro.obs.log` — the ``repro.*`` logger tree and CLI verbosity
-  mapping.
+  mapping;
+* :mod:`repro.obs.live` / :mod:`repro.obs.slo` / :mod:`repro.obs.flight`
+  / :mod:`repro.obs.exposition` — the live telemetry plane: snapshot /
+  delta reads of the registry, sliding-window SLO tracking (latency
+  quantiles, error rates, J/request), a flight-recorder ring buffer,
+  and the ``/metrics`` HTTP exposition server (see docs/observability.md).
 
 Typical use::
 
@@ -27,10 +32,29 @@ Typical use::
     json.dump(rec.export(seed=0), open("trace.json", "w"))
 """
 
-from repro.obs import log, manifest, metrics, power, tracing
+from repro.obs import (
+    exposition,
+    flight,
+    live,
+    log,
+    manifest,
+    metrics,
+    power,
+    slo,
+    tracing,
+)
+from repro.obs.exposition import ExpositionServer, render_prometheus
+from repro.obs.flight import FlightRecorder
+from repro.obs.live import TelemetryPlane, render_dashboard
 from repro.obs.log import configure, get_logger
 from repro.obs.manifest import config_digest, run_manifest
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    delta_metrics,
+    quantile_from_counts,
+)
+from repro.obs.slo import SloConfig, SloTracker
 from repro.obs.recorder import (
     Recorder,
     active,
@@ -50,6 +74,20 @@ __all__ = [
     "manifest",
     "power",
     "log",
+    "live",
+    "slo",
+    "flight",
+    "exposition",
+    "TelemetryPlane",
+    "SloConfig",
+    "SloTracker",
+    "FlightRecorder",
+    "ExpositionServer",
+    "MetricsSnapshot",
+    "render_prometheus",
+    "render_dashboard",
+    "delta_metrics",
+    "quantile_from_counts",
     "Recorder",
     "Tracer",
     "Span",

@@ -1,0 +1,215 @@
+"""HTTP exposition of the live telemetry plane (stdlib only).
+
+A daemon-threaded :class:`http.server.ThreadingHTTPServer` publishing a
+:class:`~repro.obs.live.TelemetryPlane`:
+
+==================  =====================================================
+``/metrics``        Prometheus text format (0.0.4): every counter, gauge
+                    and histogram in the registry plus the live SLO
+                    window (``repro_slo_latency_p99_ms`` etc.)
+``/metrics.json``   the same data as structured JSON (live status +
+                    the raw ``as_dict`` payload + the power estimate)
+``/healthz``        liveness: ``{"ok": true, ...}`` with uptime and the
+                    registry sequence number
+``/flight``         dump the flight-recorder ring as JSON
+==================  =====================================================
+
+Metric names map ``/``-separated registry scopes onto the Prometheus
+grammar: ``serve/latency_ms`` becomes ``repro_serve_latency_ms``;
+counters get the conventional ``_total`` suffix; histograms expose
+cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``.  The
+registry's fixed-bin histograms have an implicit lower bound, so mass
+observed below the first edge appears in ``_count``/``+Inf`` but no
+finite bucket — the same truncation the registry itself applies.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.obs.log import get_logger
+
+__all__ = ["render_prometheus", "ExpositionServer"]
+
+logger = get_logger("obs.exposition")
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str = "repro") -> str:
+    flat = _NAME_SANITIZE.sub("_", name.strip("/").replace("/", "_"))
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(
+    metrics: dict,
+    extra_gauges: Optional[Dict[str, object]] = None,
+    extra_counters: Optional[Dict[str, object]] = None,
+    prefix: str = "repro",
+) -> str:
+    """Prometheus text-format exposition of an ``as_dict()`` payload.
+
+    ``extra_gauges``/``extra_counters`` let the caller add synthesized
+    series (the SLO window stats) without writing them into the
+    registry itself.
+    """
+    lines = []
+
+    counters = dict(metrics.get("counters", {}))
+    if extra_counters:
+        counters.update(extra_counters)
+    for name in sorted(counters):
+        prom = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(counters[name])}")
+
+    gauges = dict(metrics.get("gauges", {}))
+    if extra_gauges:
+        gauges.update(extra_gauges)
+    for name in sorted(gauges):
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(gauges[name])}")
+
+    for name in sorted(metrics.get("histograms", {})):
+        hist = metrics["histograms"][name]
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for edge, count in zip(hist["edges"][1:], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(float(edge))}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{prom}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{prom}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+class _PlaneHandler(BaseHTTPRequestHandler):
+    """Routes one request against the bound plane (see ExpositionServer)."""
+
+    plane = None  # injected by ExpositionServer via a subclass attribute
+    server_version = "repro-exposition/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._reply(status, body, "application/json")
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        plane = self.plane
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            plane.recorder.metrics.inc("obs/scrapes")
+            if path == "/metrics":
+                body = plane.prometheus_text().encode("utf-8")
+                self._reply(
+                    200, body, "text/plain; version=0.0.4; charset=utf-8"
+                )
+            elif path == "/metrics.json":
+                self._reply_json(plane.metrics_json())
+            elif path == "/healthz":
+                self._reply_json(plane.health())
+            elif path == "/flight":
+                self._reply_json(plane.flight_dump(reason="scrape"))
+            else:
+                self._reply_json(
+                    {
+                        "error": f"unknown path {path!r}",
+                        "paths": [
+                            "/metrics",
+                            "/metrics.json",
+                            "/healthz",
+                            "/flight",
+                        ],
+                    },
+                    status=404,
+                )
+        except BrokenPipeError:  # scraper went away mid-reply
+            pass
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            logger.warning("exposition error on %s: %s", path, exc)
+            try:
+                self._reply_json({"error": str(exc)}, status=500)
+            except Exception:  # noqa: BLE001
+                pass
+
+    def log_message(self, fmt: str, *args) -> None:
+        logger.debug("%s %s", self.address_string(), fmt % args)
+
+
+class ExpositionServer:
+    """A telemetry plane on an HTTP port, served from a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port`/:attr:`url`
+    after construction.  Use as a context manager or call
+    :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(self, plane, host: str = "127.0.0.1", port: int = 0) -> None:
+        handler = type("BoundPlaneHandler", (_PlaneHandler,), {"plane": plane})
+        self.plane = plane
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ExpositionServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="obs-exposition",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("telemetry exposition listening on %s/metrics", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join()
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "ExpositionServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,136 @@
+"""Flight recorder: a bounded ring buffer of structured serving events.
+
+Post-mortem JSON exports answer "what happened over the whole run"; the
+flight recorder answers "what happened *just now*" — the last few
+thousand per-request/per-batch events (enqueue -> batch -> infer ->
+reply timestamps, batch sizes, engine, session digest) kept in a fixed
+amount of memory, dumpable on demand or automatically when something
+goes wrong (an SLO breach, a failed batch).
+
+Event schema — every event is a flat JSON-safe dict:
+
+==============  ==========================================================
+``seq``         monotonic event number (gaps mean the ring wrapped)
+``kind``        event type: ``enqueue`` | ``rejected`` | ``batch`` |
+                ``batch_failed`` | anything a caller records
+``t_wall_s``    ``time.time()`` at record time
+``t_mono_s``    ``time.monotonic()`` at record time (duration maths)
+*fields*        kind-specific: the :class:`repro.serve.MicroBatcher`
+                records ``rid``/``rids`` request ids, ``size``,
+                ``engine``, ``session`` digest, ``queue_ms`` waits,
+                ``infer_ms``, ``error`` strings
+==============  ==========================================================
+
+Recording is a lock-protected deque append — cheap enough for the
+serving hot path, and the buffer never grows past ``capacity``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded ring buffer of structured events.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest events fall off first.
+    auto_dump_kinds:
+        Event kinds that trigger ``on_auto_dump(kind, event)`` right
+        after being recorded (e.g. ``{"batch_failed"}`` so a crash dump
+        exists the moment a batch blows up).
+    on_auto_dump:
+        Callback for the above; exceptions it raises are swallowed — a
+        broken dump hook must never take the serving path down.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        auto_dump_kinds: Iterable[str] = (),
+        on_auto_dump: Optional[Callable[[str, dict], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.auto_dump_kinds = frozenset(auto_dump_kinds)
+        self.on_auto_dump = on_auto_dump
+        self._events: "deque[dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dumps = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def seq(self) -> int:
+        """Total events ever recorded (survivors + fallen-off)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events that have already fallen off the ring."""
+        with self._lock:
+            return self._seq - len(self._events)
+
+    @property
+    def dumps(self) -> int:
+        """How many times :meth:`dump` has run (auto or on demand)."""
+        return self._dumps
+
+    def record(self, kind: str, **fields: Any) -> dict:
+        """Append one event; returns the recorded dict."""
+        event: Dict[str, Any] = {
+            "kind": kind,
+            "t_wall_s": time.time(),
+            "t_mono_s": time.monotonic(),
+        }
+        event.update(fields)
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            self._events.append(event)
+        if kind in self.auto_dump_kinds and self.on_auto_dump is not None:
+            try:
+                self.on_auto_dump(kind, event)
+            except Exception:  # noqa: BLE001 - never break the hot path
+                pass
+        return event
+
+    def events(self, kind: Optional[str] = None) -> List[dict]:
+        """Copy of the buffered events, oldest first (optionally by kind)."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e["kind"] == kind]
+        return events
+
+    def dump(self, reason: str = "on-demand") -> dict:
+        """The whole ring as one JSON-safe payload, newest last."""
+        with self._lock:
+            events = list(self._events)
+            recorded = self._seq
+            self._dumps += 1
+        return {
+            "reason": reason,
+            "dumped_at_utc": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "capacity": self.capacity,
+            "recorded": recorded,
+            "dropped": recorded - len(events),
+            "events": events,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,297 @@
+"""The live telemetry plane: continuously-queryable serving observability.
+
+``repro.obs`` so far produced *post-mortem* artifacts — JSON exports
+written when a run finishes.  :class:`TelemetryPlane` layers an
+operational surface on the same recorder, for long-lived serving
+processes:
+
+* **snapshots** — :meth:`sample` takes a sequence-numbered copy-on-read
+  :class:`~repro.obs.metrics.MetricsSnapshot` of the registry and feeds
+  the sliding-window :class:`~repro.obs.slo.SloTracker`;
+* **SLO windows** — windowed p50/p95/p99/p999 latency, error and
+  rejection rates, and SEI dynamic power per request (joules), checked
+  against configurable targets with breach counters;
+* **flight recorder** — a bounded ring of per-request/per-batch events
+  from the :class:`~repro.serve.MicroBatcher`, dumped automatically on
+  SLO breach or batch failure and on demand via ``/flight``;
+* **exposition** — :meth:`serve` starts the stdlib HTTP thread from
+  :mod:`repro.obs.exposition` publishing ``/metrics`` (Prometheus
+  text), ``/metrics.json``, ``/healthz`` and ``/flight``.
+
+Typical wiring (what ``repro-cli serve --listen`` does)::
+
+    plane = TelemetryPlane(slo=SloConfig(window_s=30, p99_ms=50))
+    plane.install()                      # recorder becomes process-global
+    batcher = plane.attach(session.serve())
+    server = plane.serve(port=9100)      # http://127.0.0.1:9100/metrics
+
+Sampling is scrape-driven: every ``/metrics`` hit (or ``top`` frame)
+advances the SLO window.  A plane with no scrapers accumulates metrics
+but evaluates no windows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from repro.obs import recorder as _recorder
+from repro.obs.flight import FlightRecorder
+from repro.obs.recorder import Recorder
+from repro.obs.slo import QUANTILES, SloConfig, SloTracker
+
+__all__ = ["TelemetryPlane", "render_dashboard"]
+
+
+class TelemetryPlane:
+    """Snapshot + SLO + flight-recorder plane over one recorder.
+
+    ``recorder`` defaults to the currently-active process recorder, or
+    a fresh one when instrumentation is off (call :meth:`install` to
+    make it global so hot paths feed it).
+    """
+
+    def __init__(
+        self,
+        recorder: Optional[Recorder] = None,
+        slo: Optional[SloConfig] = None,
+        flight_capacity: int = 2048,
+        max_kept_dumps: int = 8,
+    ) -> None:
+        if recorder is None:
+            recorder = _recorder.active()
+        if recorder is None:
+            recorder = Recorder()
+        self.recorder = recorder
+        self.flight = FlightRecorder(
+            capacity=flight_capacity,
+            auto_dump_kinds={"batch_failed"},
+            on_auto_dump=self._auto_dump,
+        )
+        self.tracker = SloTracker(slo, on_breach=self._on_breach)
+        self.dumps: "deque[dict]" = deque(maxlen=max_kept_dumps)
+        self._lock = threading.Lock()
+        self._started_mono = time.monotonic()
+        self._started_wall = time.time()
+        self._last_sample: Optional[dict] = None
+        self._installed = False
+
+    # -- wiring ----------------------------------------------------------
+    def install(self) -> "TelemetryPlane":
+        """Make this plane's recorder the process-global recorder.
+
+        No-op when it already is; when a *different* recorder is
+        active, the plane adopts it instead of fighting over the global
+        slot (the CLI's ``--trace``/``--metrics-out`` recorder wins).
+        """
+        active = _recorder.active()
+        if active is None:
+            _recorder.enable(self.recorder)
+            self._installed = True
+        elif active is not self.recorder:
+            self.recorder = active
+        return self
+
+    def uninstall(self) -> None:
+        """Undo :meth:`install`: disable the global recorder iff this
+        plane enabled it (an adopted recorder is left in place)."""
+        if self._installed and _recorder.active() is self.recorder:
+            _recorder.disable()
+        self._installed = False
+
+    def attach(self, batcher):
+        """Point a :class:`~repro.serve.MicroBatcher` at the flight ring."""
+        batcher.flight = self.flight
+        return batcher
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0):
+        """A started :class:`~repro.obs.exposition.ExpositionServer`."""
+        from repro.obs.exposition import ExpositionServer
+
+        return ExpositionServer(self, host=host, port=port).start()
+
+    # -- breach / failure hooks ------------------------------------------
+    def _keep_dump(self, reason: str) -> dict:
+        dump = self.flight.dump(reason=reason)
+        with self._lock:
+            self.dumps.append(dump)
+        self.recorder.metrics.inc("obs/flight/auto_dumps")
+        return dump
+
+    def _on_breach(self, name, observed, limit, stats) -> None:
+        self._keep_dump(
+            f"slo-breach:{name} observed={observed:.6g} limit={limit:.6g}"
+        )
+
+    def _auto_dump(self, kind: str, event: dict) -> None:
+        self._keep_dump(f"event:{kind}")
+
+    # -- query surface ---------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_mono
+
+    def sample(self) -> dict:
+        """Take a snapshot, advance the SLO window, return live status.
+
+        The payload is JSON-safe and self-contained: sequence number,
+        uptime, the windowed stats (latency quantiles, rates, power per
+        request), configured targets, breach counters and flight-ring
+        occupancy.
+        """
+        snapshot = self.recorder.metrics.snapshot()
+        window = self.tracker.observe(snapshot)
+        sample = {
+            "seq": snapshot.seq,
+            "wall_time_s": snapshot.wall_time_s,
+            "uptime_s": time.monotonic() - self._started_mono,
+            "window": window,
+            "slo": {
+                "window_s": self.tracker.config.window_s,
+                "targets": self.tracker.config.targets(),
+                "breach_counts": dict(self.tracker.breach_counts),
+                "total_breaches": self.tracker.total_breaches,
+            },
+            "flight": {
+                "buffered": len(self.flight),
+                "capacity": self.flight.capacity,
+                "recorded": self.flight.seq,
+                "dropped": self.flight.dropped,
+                "dumps": self.flight.dumps,
+            },
+        }
+        with self._lock:
+            self._last_sample = sample
+        return sample
+
+    def health(self) -> dict:
+        """Liveness payload for ``/healthz`` (always ``ok`` when up)."""
+        return {
+            "ok": True,
+            "uptime_s": self.uptime_s,
+            "seq": self.recorder.metrics.seq,
+            "recording": _recorder.active() is self.recorder,
+            "total_breaches": self.tracker.total_breaches,
+        }
+
+    def metrics_json(self) -> dict:
+        """Full JSON exposition: live status + the raw metrics payload."""
+        from repro.obs.power import estimate_from_metrics
+
+        status = self.sample()
+        metrics = self.recorder.metrics.as_dict()
+        payload = {"status": status, "metrics": metrics}
+        power = estimate_from_metrics(metrics)
+        if power is not None:
+            payload["power"] = power
+        return payload
+
+    def flight_dump(self, reason: str = "on-demand") -> dict:
+        """Dump the flight ring now (also kept in ``self.dumps``)."""
+        return self._keep_dump(reason)
+
+    def prometheus_text(self) -> str:
+        """The whole registry + live window in Prometheus text format."""
+        from repro.obs.exposition import render_prometheus
+
+        status = self.sample()
+        window = status["window"]
+        extra_gauges = {
+            "obs/uptime_seconds": status["uptime_s"],
+            "obs/metrics_seq": status["seq"],
+            "slo/window_seconds": status["slo"]["window_s"],
+            "slo/window_observed_seconds": window["window_s"],
+            "obs/flight_buffered": status["flight"]["buffered"],
+        }
+        for label, _ in QUANTILES:
+            extra_gauges[f"slo/latency_{label[:-3]}_ms"] = window[label]
+        for name in (
+            "requests_per_second",
+            "error_rate",
+            "rejection_rate",
+            "joules_per_request",
+            "power_saving_vs_static",
+        ):
+            extra_gauges[f"slo/{name}"] = window[name]
+        extra_counters = {
+            f"slo/breaches/{name}": count
+            for name, count in self.tracker.breach_counts.items()
+        }
+        extra_counters["obs/flight_events"] = self.flight.seq
+        return render_prometheus(
+            self.recorder.metrics.as_dict(),
+            extra_gauges=extra_gauges,
+            extra_counters=extra_counters,
+        )
+
+
+def _fmt(value, unit: str = "", digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}{unit}"
+
+
+def render_dashboard(sample: dict) -> str:
+    """One ``repro-cli top`` frame from a :meth:`TelemetryPlane.sample`.
+
+    Pure function of the sample payload (also works on a payload fetched
+    from ``/metrics.json`` — the dashboard and the endpoint share one
+    schema), so tests can render without a terminal or a server.
+    """
+    window = sample["window"]
+    slo = sample["slo"]
+    flight = sample["flight"]
+    lines = [
+        "repro-top  uptime {:>8}  seq {}  window {}".format(
+            _fmt(sample.get("uptime_s"), "s", 1),
+            sample.get("seq"),
+            _fmt(window.get("window_s"), "s", 1),
+        ),
+        "  throughput {:>10}   requests {:>6}   batches {:>5}   "
+        "mean batch {}".format(
+            _fmt(window.get("requests_per_second"), " req/s", 1),
+            window.get("requests"),
+            window.get("batches"),
+            _fmt(window.get("mean_batch_size"), "", 1),
+        ),
+        "  latency    p50 {:>9}  p95 {:>9}  p99 {:>9}  p999 {:>9}".format(
+            _fmt(window.get("p50_ms"), "ms"),
+            _fmt(window.get("p95_ms"), "ms"),
+            _fmt(window.get("p99_ms"), "ms"),
+            _fmt(window.get("p999_ms"), "ms"),
+        ),
+        "  queue      depth {:>5}   high-watermark {:>5}   rejected {:>5}  "
+        "failed {:>5}".format(
+            window.get("queue_depth") if window.get("queue_depth") is not None else "-",
+            window.get("queue_depth_high_watermark")
+            if window.get("queue_depth_high_watermark") is not None
+            else "-",
+            window.get("rejected"),
+            window.get("failed_requests"),
+        ),
+        "  power      {:>12} J/req   saving vs static {}".format(
+            "{:.3e}".format(window["joules_per_request"])
+            if window.get("joules_per_request") is not None
+            else "-",
+            _fmt(window.get("power_saving_vs_static"), "", 3),
+        ),
+        "  slo        breaches {:>4}   {}".format(
+            slo.get("total_breaches"),
+            " ".join(
+                f"{name}={count}"
+                for name, count in sorted(
+                    slo.get("breach_counts", {}).items()
+                )
+            )
+            or "(no targets configured)",
+        ),
+        "  flight     {}/{} events buffered   {} dropped   {} dumps".format(
+            flight.get("buffered"),
+            flight.get("capacity"),
+            flight.get("dropped"),
+            flight.get("dumps"),
+        ),
+    ]
+    return "\n".join(lines)

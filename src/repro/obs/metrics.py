@@ -13,6 +13,8 @@ Python types only, so the result round-trips through JSON unchanged.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
@@ -23,7 +25,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsScope",
+    "MetricsSnapshot",
     "DEFAULT_FRACTION_EDGES",
+    "quantile_from_counts",
+    "delta_metrics",
 ]
 
 #: Default histogram edges for fraction-valued observations (activity
@@ -95,6 +100,26 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile from the binned mass.
+
+        Log-linear interpolation within the winning bin (linear when a
+        bin edge is <= 0), clamped to the observed min/max — so when all
+        mass landed in one bin of equal observations the answer is
+        exact, and a histogram over log-spaced latency edges gives the
+        Prometheus-style tail quantiles without storing samples.
+        Returns ``None`` while no in-range mass has been observed;
+        out-of-range observations contribute only through the min/max
+        clamp.
+        """
+        return quantile_from_counts(
+            self.edges,
+            self.counts,
+            q,
+            observed_min=self.min if self.count else None,
+            observed_max=self.max if self.count else None,
+        )
+
     def as_dict(self) -> dict:
         return {
             "edges": [float(e) for e in self.edges],
@@ -107,6 +132,53 @@ class Histogram:
         }
 
 
+def quantile_from_counts(
+    edges: Sequence[float],
+    counts: Sequence[float],
+    q: float,
+    observed_min: Optional[float] = None,
+    observed_max: Optional[float] = None,
+) -> Optional[float]:
+    """``q``-quantile of binned mass (``edges`` has one more entry).
+
+    The workhorse behind :meth:`Histogram.quantile`, kept standalone so
+    windowed *deltas* of histogram counts (sliding SLO windows) can be
+    quantiled the same way.  Interpolation within the winning bin is
+    log-linear when both bin edges are positive (the natural choice for
+    the log-spaced latency edges), linear otherwise; the result is
+    clamped to ``[observed_min, observed_max]`` when given.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    edges = np.asarray(edges, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.float64)
+    total = float(counts.sum())
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = np.cumsum(counts)
+    index = int(np.searchsorted(cumulative, rank, side="left"))
+    index = min(index, counts.size - 1)
+    # An empty winning bin (rank fell exactly on a cumulative boundary)
+    # contributes no mass: advance to the bin that actually holds it.
+    while index < counts.size - 1 and counts[index] == 0:
+        index += 1
+    lo, hi = float(edges[index]), float(edges[index + 1])
+    in_bin = float(counts[index])
+    below = float(cumulative[index]) - in_bin
+    fraction = (rank - below) / in_bin if in_bin > 0 else 0.0
+    fraction = min(max(fraction, 0.0), 1.0)
+    if lo > 0 and hi > 0:
+        value = float(np.exp(np.log(lo) + fraction * (np.log(hi) - np.log(lo))))
+    else:
+        value = lo + fraction * (hi - lo)
+    if observed_min is not None:
+        value = max(value, float(observed_min))
+    if observed_max is not None:
+        value = min(value, float(observed_max))
+    return value
+
+
 def _plain_number(value: Union[int, float, None]):
     """Export values as native ints where exact, floats otherwise."""
     if value is None:
@@ -117,41 +189,97 @@ def _plain_number(value: Union[int, float, None]):
     return value
 
 
+class MetricsSnapshot:
+    """One consistent copy-on-read view of a registry.
+
+    ``seq`` is the registry's monotonic write-sequence number at capture
+    time: two snapshots with equal ``seq`` are guaranteed identical, so
+    pollers (the exposition server, ``repro-cli top``) can skip
+    re-serialising an idle registry.  ``metrics`` is the plain-types
+    :meth:`MetricsRegistry.as_dict` payload, safe to hand across threads
+    — the live registry keeps mutating underneath without affecting it.
+    """
+
+    __slots__ = ("seq", "wall_time_s", "monotonic_s", "metrics")
+
+    def __init__(
+        self, seq: int, wall_time_s: float, monotonic_s: float, metrics: dict
+    ) -> None:
+        self.seq = seq
+        self.wall_time_s = wall_time_s
+        self.monotonic_s = monotonic_s
+        self.metrics = metrics
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "wall_time_s": self.wall_time_s,
+            "monotonic_s": self.monotonic_s,
+            "metrics": self.metrics,
+        }
+
+
 class MetricsRegistry:
-    """Process-local store of named counters, gauges and histograms."""
+    """Process-local store of named counters, gauges and histograms.
+
+    Writes through the registry methods (the only way instrumented code
+    in this repo records — :func:`repro.obs.count` etc. route here) are
+    serialised by a re-entrant lock and bump a monotonic sequence
+    number, so :meth:`snapshot` can produce consistent copy-on-read
+    views while hot paths keep writing.  Mutating an instrument handle
+    directly bypasses the sequence number (the values still land; only
+    change detection by ``seq`` misses them).
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.RLock()
+        self._seq = 0
+
+    @property
+    def seq(self) -> int:
+        """Monotonic count of registry write operations."""
+        return self._seq
 
     # -- instruments -------------------------------------------------------
     def counter(self, name: str) -> Counter:
-        instrument = self._counters.get(name)
-        if instrument is None:
-            instrument = self._counters[name] = Counter()
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+                self._seq += 1
         return instrument
 
     def gauge(self, name: str) -> Gauge:
-        instrument = self._gauges.get(name)
-        if instrument is None:
-            instrument = self._gauges[name] = Gauge()
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+                self._seq += 1
         return instrument
 
     def histogram(
         self, name: str, edges: Optional[Sequence[float]] = None
     ) -> Histogram:
-        instrument = self._histograms.get(name)
-        if instrument is None:
-            instrument = self._histograms[name] = Histogram(edges)
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(edges)
+                self._seq += 1
         return instrument
 
     # -- shorthands ---------------------------------------------------------
     def inc(self, name: str, n: Union[int, float] = 1) -> None:
-        self.counter(name).inc(n)
+        with self._lock:
+            self.counter(name).inc(n)
+            self._seq += 1
 
     def set_gauge(self, name: str, value: Union[int, float]) -> None:
-        self.gauge(name).set(value)
+        with self._lock:
+            self.gauge(name).set(value)
+            self._seq += 1
 
     def observe(
         self,
@@ -159,7 +287,9 @@ class MetricsRegistry:
         values: Union[float, np.ndarray],
         edges: Optional[Sequence[float]] = None,
     ) -> None:
-        self.histogram(name, edges).observe(values)
+        with self._lock:
+            self.histogram(name, edges).observe(values)
+            self._seq += 1
 
     def scope(self, prefix: str) -> "MetricsScope":
         """A view that prefixes every metric name with ``prefix/``."""
@@ -168,20 +298,84 @@ class MetricsRegistry:
     # -- export -------------------------------------------------------------
     def as_dict(self) -> dict:
         """JSON-serialisable snapshot of every instrument."""
-        return {
-            "counters": {
-                name: _plain_number(c.value)
-                for name, c in sorted(self._counters.items())
-            },
-            "gauges": {
-                name: _plain_number(g.value)
-                for name, g in sorted(self._gauges.items())
-            },
-            "histograms": {
-                name: h.as_dict()
-                for name, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    name: _plain_number(c.value)
+                    for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: _plain_number(g.value)
+                    for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.as_dict()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Consistent, timestamped, sequence-numbered copy of everything.
+
+        The returned object shares nothing mutable with the registry:
+        readers (SLO windows, the exposition server) work on it freely
+        while hot paths continue writing.
+        """
+        with self._lock:
+            return MetricsSnapshot(
+                seq=self._seq,
+                wall_time_s=time.time(),
+                monotonic_s=time.monotonic(),
+                metrics=self.as_dict(),
+            )
+
+
+def _delta_histogram(new: dict, old: Optional[dict]) -> dict:
+    if old is None or old.get("edges") != new.get("edges"):
+        # First sighting (or edges changed — treat as a fresh series).
+        return dict(new)
+    counts = [
+        int(n) - int(o) for n, o in zip(new["counts"], old["counts"])
+    ]
+    count = int(new["count"]) - int(old["count"])
+    total = float(new["sum"]) - float(old["sum"])
+    return {
+        "edges": list(new["edges"]),
+        "counts": counts,
+        "count": count,
+        "sum": total,
+        # min/max are lifetime extremes — they do not subtract; the
+        # window quantiles below interpolate from counts alone.
+        "min": None,
+        "max": None,
+        "mean": total / count if count else None,
+    }
+
+
+def delta_metrics(old: dict, new: dict) -> dict:
+    """Windowed difference of two :meth:`MetricsRegistry.as_dict` payloads.
+
+    Counters and histogram bins subtract (missing-in-old means the
+    series started inside the window, so the full new value counts);
+    gauges are last-value-wins and carry the *new* reading.  The result
+    has the same shape as ``as_dict()``, so everything that consumes a
+    metrics export — including
+    :func:`repro.obs.power.estimate_from_metrics` — works unchanged on
+    a window.
+    """
+    old_counters = old.get("counters", {})
+    old_histograms = old.get("histograms", {})
+    return {
+        "counters": {
+            name: value - old_counters.get(name, 0)
+            for name, value in new.get("counters", {}).items()
+        },
+        "gauges": dict(new.get("gauges", {})),
+        "histograms": {
+            name: _delta_histogram(hist, old_histograms.get(name))
+            for name, hist in new.get("histograms", {}).items()
+        },
+    }
 
 
 class MetricsScope:

@@ -1,0 +1,230 @@
+"""Sliding-window SLO tracking over metrics snapshots.
+
+The serving metrics (``serve/latency_ms`` histogram, request/rejection
+counters, ``hw/layer*`` activity) are *lifetime* accumulators — useless
+for "is the service healthy right now".  :class:`SloTracker` turns a
+stream of :class:`~repro.obs.metrics.MetricsSnapshot` readings into
+windowed statistics by differencing the newest snapshot against the
+oldest one inside the window:
+
+* tail latency — p50/p95/p99/p999 estimated from the windowed delta of
+  the log-spaced latency histogram bins
+  (:func:`repro.obs.metrics.quantile_from_counts`);
+* error / rejection rates — failed and backpressure-rejected requests
+  as a fraction of window admissions;
+* SEI dynamic power per request — the window's ``hw/layer*`` activity
+  deltas priced through :func:`repro.obs.power.estimate_from_metrics`
+  (Table 5 constants, observed row activity), divided by the window's
+  completed requests: joules *this* traffic actually cost.
+
+Targets live in :class:`SloConfig`; every observation in breach of a
+configured target bumps that target's breach counter and fires the
+``on_breach`` callback (the telemetry plane uses it to trigger a flight
+-recorder dump).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import (
+    MetricsSnapshot,
+    delta_metrics,
+    quantile_from_counts,
+)
+
+__all__ = ["SloConfig", "SloTracker", "QUANTILES"]
+
+#: The tail quantiles every window reports, as (label, q) pairs.
+QUANTILES = (
+    ("p50_ms", 0.50),
+    ("p95_ms", 0.95),
+    ("p99_ms", 0.99),
+    ("p999_ms", 0.999),
+)
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Window length and the targets a healthy window must satisfy.
+
+    ``None`` disables a target; breach counters only exist for
+    configured targets.
+    """
+
+    #: Sliding-window length in seconds.
+    window_s: float = 60.0
+    #: Windowed p99 request latency must stay below this (milliseconds).
+    p99_ms: Optional[float] = None
+    #: Windowed p50 request latency must stay below this (milliseconds).
+    p50_ms: Optional[float] = None
+    #: Failed requests / window admissions must stay below this.
+    max_error_rate: Optional[float] = None
+    #: Backpressure rejections / window admissions must stay below this.
+    max_rejection_rate: Optional[float] = None
+    #: Windowed SEI dynamic energy per completed request (joules).
+    max_joules_per_request: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {self.window_s}")
+
+    def targets(self) -> Dict[str, float]:
+        """The configured (non-``None``) targets by stat name."""
+        pairs = {
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "error_rate": self.max_error_rate,
+            "rejection_rate": self.max_rejection_rate,
+            "joules_per_request": self.max_joules_per_request,
+        }
+        return {name: value for name, value in pairs.items() if value is not None}
+
+
+def _window_stats(base: MetricsSnapshot, head: MetricsSnapshot) -> dict:
+    """Windowed serving statistics between two snapshots."""
+    from repro.obs.power import estimate_from_metrics
+
+    span_s = head.monotonic_s - base.monotonic_s
+    delta = delta_metrics(base.metrics, head.metrics)
+    counters = delta["counters"]
+    requests = int(counters.get("serve/requests", 0))
+    failed = int(counters.get("serve/failed_requests", 0))
+    rejected = int(counters.get("serve/rejected", 0))
+    batches = int(counters.get("serve/batches", 0))
+    admitted = requests + failed
+    offered = admitted + rejected
+
+    stats: dict = {
+        "window_s": span_s,
+        "seq": head.seq,
+        "requests": requests,
+        "batches": batches,
+        "failed_requests": failed,
+        "rejected": rejected,
+        "requests_per_second": requests / span_s if span_s > 0 else None,
+        "mean_batch_size": requests / batches if batches else None,
+        "error_rate": failed / admitted if admitted else None,
+        "rejection_rate": rejected / offered if offered else None,
+        "queue_depth": head.metrics.get("gauges", {}).get(
+            "serve/queue_depth"
+        ),
+        "queue_depth_high_watermark": head.metrics.get("gauges", {}).get(
+            "serve/queue_depth_high_watermark"
+        ),
+    }
+
+    latency = delta["histograms"].get("serve/latency_ms")
+    for label, q in QUANTILES:
+        stats[label] = (
+            quantile_from_counts(latency["edges"], latency["counts"], q)
+            if latency is not None
+            else None
+        )
+
+    power = estimate_from_metrics(delta)
+    if power is not None and requests:
+        dynamic_pj = power["total"]["dynamic_pj"]
+        stats["dynamic_pj"] = dynamic_pj
+        stats["joules_per_request"] = dynamic_pj * 1e-12 / requests
+        stats["power_saving_vs_static"] = power["total"]["saving_vs_static"]
+    else:
+        stats["dynamic_pj"] = None
+        stats["joules_per_request"] = None
+        stats["power_saving_vs_static"] = None
+    return stats
+
+
+def _empty_stats(head: MetricsSnapshot) -> dict:
+    stats = {
+        "window_s": 0.0,
+        "seq": head.seq,
+        "requests": 0,
+        "batches": 0,
+        "failed_requests": 0,
+        "rejected": 0,
+        "requests_per_second": None,
+        "mean_batch_size": None,
+        "error_rate": None,
+        "rejection_rate": None,
+        "queue_depth": head.metrics.get("gauges", {}).get(
+            "serve/queue_depth"
+        ),
+        "queue_depth_high_watermark": head.metrics.get("gauges", {}).get(
+            "serve/queue_depth_high_watermark"
+        ),
+        "dynamic_pj": None,
+        "joules_per_request": None,
+        "power_saving_vs_static": None,
+    }
+    for label, _ in QUANTILES:
+        stats[label] = None
+    return stats
+
+
+class SloTracker:
+    """Feed me snapshots; I keep the window and count target breaches.
+
+    ``observe`` is driven by whoever samples the registry — the
+    exposition server on every scrape, ``repro-cli top`` on every
+    frame, a benchmark loop.  Breaches are evaluated per observation:
+    a window that stays in breach across N samples counts N (the
+    counters measure *time in breach* at the sampling cadence, not
+    distinct incidents).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SloConfig] = None,
+        on_breach: Optional[Callable[[str, float, float, dict], None]] = None,
+    ) -> None:
+        self.config = config if config is not None else SloConfig()
+        self.on_breach = on_breach
+        self.breach_counts: Dict[str, int] = {
+            name: 0 for name in self.config.targets()
+        }
+        self.last: Optional[dict] = None
+        self._snapshots: "deque[MetricsSnapshot]" = deque()
+
+    @property
+    def total_breaches(self) -> int:
+        return sum(self.breach_counts.values())
+
+    def observe(self, snapshot: MetricsSnapshot) -> dict:
+        """Add one snapshot; returns the current window's statistics."""
+        snaps = self._snapshots
+        snaps.append(snapshot)
+        horizon = snapshot.monotonic_s - self.config.window_s
+        # Keep exactly one snapshot at-or-before the horizon as the
+        # window base, so young windows still span their full age.
+        while len(snaps) >= 2 and snaps[1].monotonic_s <= horizon:
+            snaps.popleft()
+        base = snaps[0]
+        if len(snaps) < 2 or snapshot.monotonic_s <= base.monotonic_s:
+            stats = _empty_stats(snapshot)
+        else:
+            stats = _window_stats(base, snapshot)
+        stats["breaches"] = self._check(stats)
+        stats["breach_counts"] = dict(self.breach_counts)
+        self.last = stats
+        return stats
+
+    def _check(self, stats: dict) -> list:
+        """Evaluate targets against one window; returns live breaches."""
+        breaches = []
+        for name, target in self.config.targets().items():
+            observed = stats.get(name)
+            if observed is None or observed <= target:
+                continue
+            self.breach_counts[name] += 1
+            breaches.append(
+                {"target": name, "observed": observed, "limit": target}
+            )
+            if self.on_breach is not None:
+                try:
+                    self.on_breach(name, observed, target, stats)
+                except Exception:  # noqa: BLE001 - monitoring stays up
+                    pass
+        return breaches

@@ -26,6 +26,7 @@ matter how the batcher happened to coalesce it (asserted in
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -111,12 +112,15 @@ class BatcherStats:
 
 
 class _Request:
-    __slots__ = ("x", "future", "enqueued_at")
+    __slots__ = ("x", "future", "enqueued_at", "rid")
 
-    def __init__(self, x: np.ndarray, future: Future, enqueued_at: float):
+    def __init__(
+        self, x: np.ndarray, future: Future, enqueued_at: float, rid: int
+    ):
         self.x = x
         self.future = future
         self.enqueued_at = enqueued_at
+        self.rid = rid
 
 
 _STOP = object()
@@ -174,6 +178,20 @@ class MicroBatcher:
         self._inflight = threading.Semaphore(self.config.workers)
         #: Edges for the batch-size histogram (one bin per size).
         self._size_edges = np.arange(self.config.max_batch_size + 1) + 0.5
+        #: Optional flight recorder (a :class:`repro.obs.FlightRecorder`);
+        #: attach one via :meth:`repro.obs.TelemetryPlane.attach` to get
+        #: per-request/per-batch events into the bounded ring.
+        self.flight = None
+        self._rid = itertools.count(1)
+        # What the flight events say about the compute behind this
+        # batcher: engine name + session digest when the target is an
+        # InferenceSession, best-effort otherwise.
+        session_config = getattr(target, "config", None)
+        engine_spec = getattr(session_config, "engine", None)
+        self._target_info = {
+            "engine": getattr(engine_spec, "name", None),
+            "session": getattr(target, "digest", None),
+        }
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -249,22 +267,32 @@ class MicroBatcher:
                 "MicroBatcher is not running (call start() or use it as a "
                 "context manager)"
             )
-        request = _Request(np.asarray(x), Future(), time.monotonic())
+        request = _Request(
+            np.asarray(x), Future(), time.monotonic(), next(self._rid)
+        )
         try:
             self._queue.put(request, block=True, timeout=timeout)
         except queue.Full:
             with self._stats_lock:
                 self.stats.rejected += 1
             obs.count("serve/rejected")
+            flight = self.flight
+            if flight is not None:
+                flight.record(
+                    "rejected",
+                    rid=request.rid,
+                    queue_depth=self.config.max_queue_depth,
+                    timeout_s=timeout,
+                    **self._target_info,
+                )
             raise BackpressureError(
                 f"serving queue full ({self.config.max_queue_depth} pending "
                 f"requests) and no slot freed within {timeout}s"
             ) from None
-        depth = self._queue.qsize()
-        with self._stats_lock:
-            if depth > self.stats.max_observed_queue_depth:
-                self.stats.max_observed_queue_depth = depth
-        obs.set_gauge("serve/queue_depth", depth)
+        depth = self._note_queue_depth()
+        flight = self.flight
+        if flight is not None:
+            flight.record("enqueue", rid=request.rid, queue_depth=depth)
         return request.future
 
     def submit_many(
@@ -274,6 +302,33 @@ class MicroBatcher:
         return [self.submit(x, timeout=timeout) for x in xs]
 
     # -- internals -------------------------------------------------------
+    def _note_queue_depth(self) -> int:
+        """Sample the queue depth once; update gauge + high-watermark.
+
+        Both ``submit`` and the drain loop used to write the
+        ``serve/queue_depth`` gauge independently, so a stale producer
+        write could land after the drain's fresher one.  Routing both
+        through one helper makes each write a fresh ``qsize()`` sample
+        and keeps the ``serve/queue_depth_high_watermark`` gauge in
+        lock-step with ``stats.max_observed_queue_depth``.
+        """
+        depth = self._queue.qsize()
+        if self._closed:
+            # The _STOP sentinel is queued during shutdown; it is not a
+            # pending request and must not count as one.
+            depth = max(0, depth - 1)
+        with self._stats_lock:
+            if depth > self.stats.max_observed_queue_depth:
+                self.stats.max_observed_queue_depth = depth
+            watermark = self.stats.max_observed_queue_depth
+        rec = obs.active()
+        if rec is not None:
+            rec.metrics.set_gauge("serve/queue_depth", depth)
+            rec.metrics.set_gauge(
+                "serve/queue_depth_high_watermark", watermark
+            )
+        return depth
+
     def _collect_loop(self) -> None:
         cfg = self.config
         delay = cfg.max_delay_ms / 1e3
@@ -314,6 +369,7 @@ class MicroBatcher:
 
     def _run_batch_inner(self, batch: List[_Request]) -> None:
         images = np.stack([request.x for request in batch])
+        started = time.monotonic()
         with obs.span("serve.batch", size=len(batch)):
             try:
                 outputs = self._infer(images)
@@ -321,7 +377,17 @@ class MicroBatcher:
                 with self._stats_lock:
                     self.stats.failed_batches += 1
                 obs.count("serve/failed_batches")
+                obs.count("serve/failed_requests", len(batch))
                 logger.warning("batch of %d failed: %s", len(batch), exc)
+                flight = self.flight
+                if flight is not None:
+                    flight.record(
+                        "batch_failed",
+                        rids=[request.rid for request in batch],
+                        size=len(batch),
+                        error=f"{type(exc).__name__}: {exc}",
+                        **self._target_info,
+                    )
                 for request in batch:
                     request.future.set_exception(exc)
                 return
@@ -332,6 +398,9 @@ class MicroBatcher:
             self.stats.requests += len(batch)
             self.stats.batches += 1
             self.stats.batch_sizes.append(len(batch))
+        latencies_ms = [
+            (done - request.enqueued_at) * 1e3 for request in batch
+        ]
         rec = obs.active()
         if rec is not None:
             rec.metrics.inc("serve/requests", len(batch))
@@ -339,10 +408,23 @@ class MicroBatcher:
             rec.metrics.observe(
                 "serve/batch_size", len(batch), edges=self._size_edges
             )
-            latencies_ms = np.array(
-                [(done - request.enqueued_at) * 1e3 for request in batch]
-            )
             rec.metrics.observe(
-                "serve/latency_ms", latencies_ms, edges=LATENCY_EDGES_MS
+                "serve/latency_ms",
+                np.array(latencies_ms),
+                edges=LATENCY_EDGES_MS,
             )
-            rec.metrics.set_gauge("serve/queue_depth", self._queue.qsize())
+            self._note_queue_depth()
+        flight = self.flight
+        if flight is not None:
+            flight.record(
+                "batch",
+                rids=[request.rid for request in batch],
+                size=len(batch),
+                queue_ms=[
+                    round((started - request.enqueued_at) * 1e3, 3)
+                    for request in batch
+                ],
+                infer_ms=round((done - started) * 1e3, 3),
+                latency_ms=[round(v, 3) for v in latencies_ms],
+                **self._target_info,
+            )

@@ -263,6 +263,38 @@ class InferenceSession:
         """A *running* micro-batcher over this session."""
         return self.batcher(config).start()
 
+    def serve_live(
+        self,
+        config: Optional[BatcherConfig] = None,
+        *,
+        slo=None,
+        flight_capacity: int = 2048,
+        listen: Optional[str] = None,
+    ):
+        """A running batcher wired into a live telemetry plane.
+
+        Returns ``(batcher, plane, server)``: the
+        :class:`MicroBatcher` feeds the plane's flight recorder, the
+        plane's recorder is installed process-global (so the serving
+        hot path lands in its registry), and — when ``listen`` is given
+        as ``"host:port"`` or just ``"port"`` — an
+        :class:`~repro.obs.exposition.ExpositionServer` is started on
+        it (``server`` is ``None`` otherwise).  This is the wiring
+        behind ``repro-cli serve --listen``.
+        """
+        from repro.obs.live import TelemetryPlane
+
+        plane = TelemetryPlane(slo=slo, flight_capacity=flight_capacity)
+        plane.install()
+        batcher = plane.attach(self.serve(config))
+        server = None
+        if listen is not None:
+            host, _, port = str(listen).rpartition(":")
+            server = plane.serve(
+                host=host or "127.0.0.1", port=int(port or 0)
+            )
+        return batcher, plane, server
+
     def __repr__(self) -> str:
         return (
             f"InferenceSession(network={self.config.network!r}, "

@@ -304,3 +304,133 @@ class TestModelCommands:
         out = capsys.readouterr().out
         assert "quantized test error" in out
         assert "layer 0" in out
+
+
+class TestTelemetryCli:
+    """serve --listen, top, and --metrics-flush-interval."""
+
+    def test_serve_listen_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "network2", "--listen", "127.0.0.1:9100",
+            "--port-file", "port.txt", "--duration", "5",
+            "--slo-window", "30", "--slo-p99-ms", "50",
+            "--slo-error-rate", "0.01", "--slo-joules-per-request", "1e-6",
+        ])
+        assert args.listen == "127.0.0.1:9100"
+        assert args.port_file == "port.txt"
+        assert args.duration == 5.0
+        assert args.slo_window == 30.0
+        assert args.slo_p99_ms == 50.0
+        assert args.slo_error_rate == 0.01
+        assert args.slo_joules_per_request == 1e-6
+        plain = build_parser().parse_args(["serve", "network2"])
+        assert plain.listen is None and plain.duration == 0.0
+
+    def test_top_flags_parse(self):
+        args = build_parser().parse_args([
+            "top", "--url", "http://127.0.0.1:9100",
+            "--interval", "0.5", "--frames", "3",
+        ])
+        assert args.url == "http://127.0.0.1:9100"
+        assert args.interval == 0.5
+        assert args.frames == 3
+        watch = build_parser().parse_args(["top", "--watch"])
+        assert watch.watch and watch.url is None
+
+    def test_flush_interval_parses_on_any_command(self):
+        args = build_parser().parse_args([
+            "table5", "--metrics-out", "m.json",
+            "--metrics-flush-interval", "0.5",
+        ])
+        assert args.metrics_flush_interval == 0.5
+
+    def test_top_requires_url_or_watch(self):
+        assert main(["top", "--frames", "1"]) == 2
+
+    def test_top_watch_renders_frames(self, capsys):
+        assert main([
+            "top", "--watch", "--frames", "2", "--interval", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro-top") == 2
+        assert "latency" in out and "flight" in out
+
+    def test_top_polls_a_live_server(self, capsys):
+        """top --url renders frames scraped from a real exposition server."""
+        from repro import obs
+        from repro.obs import TelemetryPlane
+
+        plane = TelemetryPlane().install()
+        plane.recorder.metrics.inc("serve/requests", 3)
+        server = plane.serve()
+        try:
+            assert main([
+                "top", "--url", server.url, "--frames", "1",
+            ]) == 0
+        finally:
+            server.stop()
+            obs.disable()
+        assert "repro-top" in capsys.readouterr().out
+
+    def test_serve_listen_end_to_end(self, tiny_zoo, tmp_path, capsys):
+        port_file = tmp_path / "port.txt"
+        assert main([
+            "serve", "network2", "--requests", "8", "--clients", "2",
+            "--workers", "1", "--batch-size", "4", "--tile", "2",
+            "--listen", "127.0.0.1:0", "--port-file", str(port_file),
+        ]) == 0
+        url = port_file.read_text().strip()
+        assert url.startswith("http://127.0.0.1:")
+        out = capsys.readouterr().out
+        assert "repro-top" in out  # final dashboard frame
+        assert "served" in out
+        # The exposition server died with the command.
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/healthz", timeout=2)
+
+    def test_flush_interval_survives_sigkill(self, tmp_path):
+        """A killed run leaves valid partial metrics behind."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        metrics_path = tmp_path / "metrics.json"
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(repo / "src"),
+            OMP_NUM_THREADS="1",
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "top", "--watch",
+                "--frames", "0", "--interval", "0.2",
+                "--metrics-out", str(metrics_path),
+                "--metrics-flush-interval", "0.1",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if metrics_path.exists() and metrics_path.read_text():
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("flusher never wrote the metrics file")
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        # SIGKILL skips all cleanup: only the periodic flusher's atomic
+        # writes can explain a parseable file.
+        payload = json.loads(metrics_path.read_text())
+        assert "metrics" in payload and "manifest" in payload
+        assert "trace" not in payload

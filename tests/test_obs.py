@@ -440,3 +440,126 @@ class TestLogging:
         assert verbosity_level(0) == logging.INFO
         assert verbosity_level(-1) == logging.WARNING
         assert verbosity_level(-5) == logging.ERROR
+
+
+class TestRecorderEdgeCases:
+    """Recorder swap/teardown corners the serving plane leans on."""
+
+    def test_swap_recorder_while_span_open(self):
+        """A span survives the global recorder changing under it.
+
+        The span belongs to the tracer that opened it, so closing it
+        after a swap must unwind *that* tracer's stack — and metric
+        helpers called meanwhile land in the *new* recorder.
+        """
+        first = obs.enable()
+        span = obs.span("outer", who="first")
+        span.__enter__()
+        second = Recorder()
+        obs.enable(second)  # swap mid-span
+        obs.count("after_swap")
+        span.__exit__(None, None, None)
+        obs.disable()
+
+        assert first.tracer.depth == 0
+        assert [s.name for s in first.tracer.roots] == ["outer"]
+        assert first.metrics.as_dict()["counters"] == {}
+        assert second.metrics.as_dict()["counters"] == {"after_swap": 1}
+        assert second.tracer.roots == []
+
+    def test_nested_recording_restores_outer_recorder(self):
+        with obs.recording() as outer:
+            obs.count("outer_metric")
+            with obs.recording() as inner:
+                obs.count("inner_metric")
+            assert obs.active() is outer
+            obs.count("outer_metric")
+        assert obs.active() is None
+        assert outer.metrics.as_dict()["counters"] == {"outer_metric": 2}
+        assert inner.metrics.as_dict()["counters"] == {"inner_metric": 1}
+
+    def test_null_path_allocation_free(self):
+        """Disabled instrumentation must not accumulate memory.
+
+        The hot paths call these helpers millions of times with
+        recording off; net traced allocations over thousands of calls
+        must stay at zero (transient call frames don't count — they are
+        freed before the snapshot).
+        """
+        import tracemalloc
+
+        assert obs.active() is None
+        values = np.array([1.0, 2.0])
+
+        def hammer(n):
+            for _ in range(n):
+                obs.count("x")
+                obs.set_gauge("y", 1.0)
+                obs.observe("z", values)
+                assert obs.span("s") is NULL_SPAN
+
+        hammer(10)  # warm up lazy imports/caches outside the window
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            hammer(2000)
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before < 512, (
+            f"null path leaked {after - before} bytes over 2000 iterations"
+        )
+
+    def test_null_span_is_shared_and_inert(self):
+        with obs.span("anything", a=1) as sp:
+            sp.set("k", "v")  # must be a no-op, not an error
+        assert obs.span("again") is NULL_SPAN
+
+
+class TestLoggingEdgeCases:
+    def test_broken_pipe_on_emit_is_silent(self, capsys, monkeypatch):
+        """`repro-cli table5 | head` closing stdout must not traceback."""
+        import sys as _sys
+
+        class _ClosedPipe:
+            def write(self, data):
+                raise BrokenPipeError("downstream went away")
+
+            def flush(self):
+                raise BrokenPipeError("downstream went away")
+
+        logger = obs.configure(0)
+        monkeypatch.setattr(_sys, "stdout", _ClosedPipe())
+        obs.get_logger("test").info("does this pipe hold?")  # must not raise
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_configure_retunes_formatter_without_stacking(self):
+        from repro.obs.log import _StdoutHandler
+
+        logger = obs.configure(0, fmt="%(levelname)s %(message)s")
+        stdout_handlers = [
+            h for h in logger.handlers if isinstance(h, _StdoutHandler)
+        ]
+        assert len(stdout_handlers) == 1
+        assert stdout_handlers[0].formatter._fmt == "%(levelname)s %(message)s"
+        obs.configure(0)  # back to default
+        assert stdout_handlers[0].formatter._fmt == "%(message)s"
+        assert [
+            h for h in logger.handlers if isinstance(h, _StdoutHandler)
+        ] == stdout_handlers
+
+    def test_stdout_handler_follows_stream_swaps(self, capsys):
+        """The handler writes to wherever sys.stdout points at emit time."""
+        import io
+        import sys as _sys
+
+        obs.configure(0)
+        logger = obs.get_logger("swap")
+        buffer = io.StringIO()
+        original = _sys.stdout
+        try:
+            _sys.stdout = buffer
+            logger.info("into the buffer")
+        finally:
+            _sys.stdout = original
+        assert "into the buffer" in buffer.getvalue()

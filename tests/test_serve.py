@@ -354,3 +354,145 @@ class TestApiFacade:
     def test_serve_rejects_conflicting_batcher_args(self):
         with pytest.raises(ConfigurationError):
             api.serve(batcher=BatcherConfig(), workers=4)
+
+
+class TestTelemetryWiring:
+    """Queue-depth gauge/watermark and flight-recorder batcher hooks."""
+
+    def test_queue_depth_and_watermark_gauges(self, request_images):
+        from repro import obs
+
+        release = threading.Event()
+
+        def gated_infer(batch):
+            release.wait(timeout=10)
+            return np.zeros((len(batch), 4))
+
+        config = BatcherConfig(
+            max_batch_size=4, max_delay_ms=1.0, max_queue_depth=16, workers=1
+        )
+        with obs.recording() as rec:
+            with MicroBatcher(gated_infer, config) as batcher:
+                futures = [
+                    batcher.submit(x) for x in request_images[:8]
+                ]
+                gauges = rec.metrics.as_dict()["gauges"]
+                # Both gauges exist while requests are queued, and the
+                # watermark tracks the stats-side maximum.
+                assert gauges["serve/queue_depth"] >= 0
+                assert (
+                    gauges["serve/queue_depth_high_watermark"]
+                    == batcher.stats.max_observed_queue_depth
+                )
+                assert gauges["serve/queue_depth_high_watermark"] >= 1
+                release.set()
+                for f in futures:
+                    f.result(timeout=10)
+            gauges = rec.metrics.as_dict()["gauges"]
+            # After the drain, the last gauge write came from the drain
+            # loop's fresh qsize() sample: the queue is empty.
+            assert gauges["serve/queue_depth"] == 0
+            assert (
+                gauges["serve/queue_depth_high_watermark"]
+                == batcher.stats.max_observed_queue_depth
+            )
+
+    def test_flight_events_cover_request_lifecycle(
+        self, tiny_session, request_images
+    ):
+        from repro.obs import FlightRecorder
+
+        flight = FlightRecorder(capacity=256)
+        config = BatcherConfig(max_batch_size=4, max_delay_ms=1.0)
+        with tiny_session.batcher(config) as batcher:
+            batcher.flight = flight
+            for f in batcher.submit_many(request_images[:6]):
+                f.result(timeout=30)
+        enqueues = flight.events("enqueue")
+        batches = flight.events("batch")
+        assert len(enqueues) == 6
+        assert sorted(e["rid"] for e in enqueues) == [1, 2, 3, 4, 5, 6]
+        assert sum(b["size"] for b in batches) == 6
+        batched_rids = sorted(rid for b in batches for rid in b["rids"])
+        assert batched_rids == [1, 2, 3, 4, 5, 6]
+        # Batch events carry the session identity and stage timings.
+        assert batches[0]["session"] == tiny_session.digest
+        assert batches[0]["engine"] == "fused"
+        assert batches[0]["infer_ms"] >= 0
+        assert len(batches[0]["queue_ms"]) == batches[0]["size"]
+        assert len(batches[0]["latency_ms"]) == batches[0]["size"]
+
+    def test_flight_records_rejections_and_failures(self, request_images):
+        from repro import obs
+        from repro.obs import FlightRecorder
+
+        flight = FlightRecorder(capacity=64)
+        release = threading.Event()
+        fail = {"on": True}
+
+        def infer(batch):
+            release.wait(timeout=10)
+            if fail["on"]:
+                fail["on"] = False
+                raise RuntimeError("injected fault")
+            return np.zeros((len(batch), 4))
+
+        config = BatcherConfig(
+            max_batch_size=1, max_delay_ms=0.0, max_queue_depth=1, workers=1
+        )
+        with obs.recording() as rec:
+            with MicroBatcher(infer, config) as batcher:
+                batcher.flight = flight
+                doomed = batcher.submit(request_images[0])
+                # Worker holds request 1; fill the queue, then overflow.
+                batcher.submit(request_images[1])
+                with pytest.raises(BackpressureError):
+                    batcher.submit(request_images[2], timeout=0.05)
+                release.set()
+                with pytest.raises(RuntimeError):
+                    doomed.result(timeout=10)
+            counters = rec.metrics.as_dict()["counters"]
+        rejected = flight.events("rejected")
+        failed = flight.events("batch_failed")
+        assert len(rejected) == 1
+        assert len(failed) == 1
+        assert "injected fault" in failed[0]["error"]
+        assert failed[0]["rids"] == [1]
+        assert counters["serve/failed_requests"] == 1
+        assert counters["serve/failed_batches"] == 1
+
+    def test_serve_live_wires_plane_and_server(self, tiny_session):
+        import json
+        import urllib.request
+
+        from repro import obs
+        from repro.obs import SloConfig
+
+        batcher, plane, server = tiny_session.serve_live(
+            BatcherConfig(max_batch_size=4, max_delay_ms=1.0),
+            slo=SloConfig(window_s=30.0),
+            listen="127.0.0.1:0",
+        )
+        try:
+            assert batcher.flight is plane.flight
+            assert obs.active() is plane.recorder
+            images = np.zeros((4,) + tiny_session.hardware.network.input_shape)
+            for f in batcher.submit_many(list(images)):
+                f.result(timeout=30)
+            payload = json.loads(
+                urllib.request.urlopen(
+                    server.url + "/metrics.json", timeout=10
+                ).read()
+            )
+            assert payload["metrics"]["counters"]["serve/requests"] == 4
+        finally:
+            server.stop()
+            batcher.stop()
+            obs.disable()
+
+    def test_no_flight_no_overhead_path(self, tiny_session, request_images):
+        """flight=None (the default) keeps the batcher flight-free."""
+        with tiny_session.batcher() as batcher:
+            assert batcher.flight is None
+            for f in batcher.submit_many(request_images[:4]):
+                f.result(timeout=30)

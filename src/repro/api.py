@@ -16,10 +16,27 @@ between releases; this module will not.
 All verbs accept an :class:`~repro.core.engines.EngineSpec` for the
 backend selection; plain engine-name strings still work but emit a
 :class:`DeprecationWarning` (see :func:`repro.core.engines.resolve_engine`).
+
+The device side is declarative too: pass a
+:class:`~repro.hw.array.DeviceSpec` via ``device=`` to compile/infer/
+serve and the facade threads it into the engine's hardware config —
+non-idealities and (optionally) :class:`~repro.hw.array.TemporalConfig`
+aging, with a :class:`~repro.hw.retune.RetunePolicy` closing the online
+re-tuning loop::
+
+    session = api.compile(
+        "network2",
+        device=api.DeviceSpec(
+            program_sigma=0.02,
+            temporal=api.TemporalConfig(drift_nu=0.05),
+        ),
+        retune=api.RetunePolicy(check_every=8),
+    )
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -27,12 +44,15 @@ import numpy as np
 
 from repro import zoo
 from repro.core.engines import EngineSpec, resolve_engine
+from repro.core.hardware_network import HardwareConfig
 from repro.core.threshold_search import (
     SearchConfig,
     SearchResult,
     search_thresholds,
 )
 from repro.errors import ConfigurationError
+from repro.hw.array import DeviceSpec, TemporalConfig, make_array
+from repro.hw.retune import RetunePolicy
 from repro.nn.network import Sequential
 from repro.serve.batcher import BatcherConfig, MicroBatcher
 from repro.serve.session import InferenceSession, SessionConfig, compile_session
@@ -48,6 +68,10 @@ __all__ = [
     "BatcherConfig",
     "InferenceSession",
     "MicroBatcher",
+    "DeviceSpec",
+    "TemporalConfig",
+    "RetunePolicy",
+    "make_array",
 ]
 
 
@@ -83,6 +107,31 @@ def quantize(
     return search_thresholds(network, images, labels, config)
 
 
+def _apply_device(
+    spec: EngineSpec, device: Optional[DeviceSpec]
+) -> EngineSpec:
+    """Thread a :class:`DeviceSpec` into an engine's hardware config."""
+    if device is None:
+        return spec
+    default = HardwareConfig()
+    if (
+        spec.hardware.device != default.device
+        or spec.hardware.temporal is not None
+    ):
+        raise ConfigurationError(
+            "pass either device= or an EngineSpec with explicit hardware, "
+            "not both — the DeviceSpec would silently override the "
+            "engine's device settings"
+        )
+    temporal = device.temporal if device.temporal.enabled else None
+    return replace(
+        spec,
+        hardware=replace(
+            spec.hardware, device=device.device(), temporal=temporal
+        ),
+    )
+
+
 def _session_config(
     network: str,
     engine: Union[EngineSpec, str, None],
@@ -90,8 +139,11 @@ def _session_config(
     calibrate_splits: bool,
     search: Optional[SearchConfig],
     cache_dir: Optional[Path],
+    device: Optional[DeviceSpec] = None,
+    retune: Optional[RetunePolicy] = None,
+    age_per_batch: float = 1.0,
 ) -> SessionConfig:
-    spec = resolve_engine(engine, caller="repro.api")
+    spec = _apply_device(resolve_engine(engine, caller="repro.api"), device)
     return SessionConfig(
         network=network,
         engine=spec,
@@ -99,6 +151,8 @@ def _session_config(
         calibrate_splits=calibrate_splits,
         search=search,
         cache_dir=cache_dir,
+        retune=retune,
+        age_per_batch=age_per_batch,
     )
 
 
@@ -113,6 +167,9 @@ def compile(  # noqa: A001 - deliberate verb name on the facade
     cache_dir: Optional[Path] = None,
     dataset=None,
     reuse: bool = True,
+    device: Optional[DeviceSpec] = None,
+    retune: Optional[RetunePolicy] = None,
+    age_per_batch: float = 1.0,
 ) -> InferenceSession:
     """Compile a warm :class:`InferenceSession`.
 
@@ -124,6 +181,12 @@ def compile(  # noqa: A001 - deliberate verb name on the facade
     * ``compile(my_network, my_thresholds)`` — explicit artefacts,
       bypassing the zoo (``calibrate_splits``/``dataset``/``reuse`` do
       not apply).
+
+    ``device`` declares the RRAM cells (non-idealities + optional
+    aging) without hand-building an EngineSpec; it is rejected when the
+    EngineSpec already carries non-default hardware.  ``retune`` arms
+    the session's online re-tuning loop and ``age_per_batch`` sets its
+    device clock (both only meaningful over aging hardware).
     """
     if isinstance(network, str):
         if thresholds is not None:
@@ -132,7 +195,15 @@ def compile(  # noqa: A001 - deliberate verb name on the facade
                 "object; zoo models carry their own"
             )
         config = _session_config(
-            network, engine, tile, calibrate_splits, search, cache_dir
+            network,
+            engine,
+            tile,
+            calibrate_splits,
+            search,
+            cache_dir,
+            device=device,
+            retune=retune,
+            age_per_batch=age_per_batch,
         )
         return compile_session(config, dataset=dataset, reuse=reuse)
     if thresholds is None:
@@ -146,11 +217,17 @@ def compile(  # noqa: A001 - deliberate verb name on the facade
             "network name) — explicit-artifact sessions take "
             "decisions/partitions via InferenceSession.from_artifacts"
         )
-    spec = resolve_engine(engine, caller="repro.api")
+    spec = _apply_device(resolve_engine(engine, caller="repro.api"), device)
     return InferenceSession.from_artifacts(
         network,
         thresholds,
-        SessionConfig(network="<custom>", engine=spec, tile=tile),
+        SessionConfig(
+            network="<custom>",
+            engine=spec,
+            tile=tile,
+            retune=retune,
+            age_per_batch=age_per_batch,
+        ),
     )
 
 
@@ -161,6 +238,7 @@ def infer(
     engine: Union[EngineSpec, str, None] = None,
     tile: int = 16,
     cache_dir: Optional[Path] = None,
+    device: Optional[DeviceSpec] = None,
 ) -> np.ndarray:
     """Logits for one sample or a batch on a named zoo model.
 
@@ -168,7 +246,8 @@ def infer(
     repeated calls with the same configuration pay no setup cost.
     """
     session = compile(
-        network, engine=engine, tile=tile, cache_dir=cache_dir
+        network, engine=engine, tile=tile, cache_dir=cache_dir,
+        device=device,
     )
     return session.infer(x)
 
@@ -179,6 +258,8 @@ def serve(
     engine: Union[EngineSpec, str, None] = None,
     tile: int = 16,
     cache_dir: Optional[Path] = None,
+    device: Optional[DeviceSpec] = None,
+    retune: Optional[RetunePolicy] = None,
     batcher: Optional[BatcherConfig] = None,
     max_batch_size: Optional[int] = None,
     max_delay_ms: Optional[float] = None,
@@ -210,6 +291,7 @@ def serve(
     if batcher is None:
         batcher = BatcherConfig(**overrides)
     session = compile(
-        network, engine=engine, tile=tile, cache_dir=cache_dir
+        network, engine=engine, tile=tile, cache_dir=cache_dir,
+        device=device, retune=retune,
     )
     return session.serve(batcher)

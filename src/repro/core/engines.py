@@ -296,6 +296,13 @@ def _build_adc(
             "the 'adc' engine merges digitised partial sums exactly and "
             "takes no split decisions/partitions"
         )
+    temporal = spec.hardware.temporal
+    if temporal is not None and temporal.enabled:
+        raise ConfigurationError(
+            "the 'adc' engine calibrates its converter ranges against "
+            "static cells; temporal aging requires the fused or "
+            "reference engine"
+        )
     return assemble_adc_network(
         network,
         thresholds=thresholds,

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ConfigurationError
+from repro.hw.array import DeviceArrayBase, TemporalConfig, make_array
 from repro.hw.device import RRAMDevice
 from repro.hw.peripherals import ADC, DAC
 from repro.hw.tech import TechnologyModel
@@ -67,6 +68,9 @@ class HardwareConfig:
     partition_method: str = "homogenize"
     homogenize_iterations: int = 2000
     seed: int = 0
+    #: Optional aging behaviour; None (or all-off) keeps the cells on
+    #: static SimDeviceArrays — bit-identical to historical behaviour.
+    temporal: Optional[TemporalConfig] = None
 
     def __post_init__(self) -> None:
         if self.partition_method not in ("natural", "homogenize"):
@@ -106,6 +110,7 @@ class HardwareSplitMatrix(SplitMatrix):
                 max_crossbar_size=config.max_crossbar_size,
                 ir_drop_lambda=config.ir_drop_lambda,
                 rng=rng,
+                temporal=config.temporal,
             )
             for block in self.blocks
         ]
@@ -113,27 +118,39 @@ class HardwareSplitMatrix(SplitMatrix):
         # block crossbars fuse into one batched matmul over the padded
         # block layout (see SplitMatrix).  Noisy reads stay per-crossbar:
         # each SEIMatrix already reads all its slices in one vectorized
-        # draw.
-        if config.device.read_sigma <= 0:
-            height = self._padded_weights.shape[1]
-            self._padded_cells = np.zeros_like(self._padded_weights)
-            for k, (block, crossbar) in enumerate(
-                zip(self.blocks, self._block_crossbars)
-            ):
-                self._padded_cells[k, : len(block)] = crossbar.fused_matrix
-        else:
-            self._padded_cells = None
+        # draw.  The static collapse is cached against the block arrays'
+        # generation counters, so aging blocks re-collapse lazily.
+        self._fused_blocks = config.device.read_sigma <= 0
+        self._padded_cache: Optional[tuple] = None
+
+    @property
+    def block_arrays(self) -> list:
+        """The live device arrays behind the block crossbars."""
+        return [crossbar.array for crossbar in self._block_crossbars]
 
     def _block_matrices(self) -> np.ndarray:
         """Per-block signed matrices in the padded ``(K, H, cols)`` layout.
 
-        Noiseless reads return the precomputed static cells; noisy reads
-        rebuild the layout each call from one vectorized read per block
-        (every read covers all of that block's slices in a single RNG
-        draw — stream-identical to the per-slice reference loop).
+        Noiseless reads return the cached static cells (re-collapsed
+        only when a block array's generation moved); noisy reads rebuild
+        the layout each call from one vectorized read per block (every
+        read covers all of that block's slices in a single RNG draw —
+        stream-identical to the per-slice reference loop).
         """
-        if self._padded_cells is not None:
-            return self._padded_cells
+        if self._fused_blocks:
+            generations = tuple(
+                crossbar.array.generation
+                for crossbar in self._block_crossbars
+            )
+            cache = self._padded_cache
+            if cache is None or cache[0] != generations:
+                cells = np.zeros_like(self._padded_weights)
+                for k, (block, crossbar) in enumerate(
+                    zip(self.blocks, self._block_crossbars)
+                ):
+                    cells[k, : len(block)] = crossbar.fused_matrix
+                self._padded_cache = (generations, cells)
+            return self._padded_cache[1]
         cells = np.zeros_like(self._padded_weights)
         for k, (block, crossbar) in enumerate(
             zip(self.blocks, self._block_crossbars)
@@ -143,6 +160,16 @@ class HardwareSplitMatrix(SplitMatrix):
                 * crossbar.ir_drop_attenuation
             )
         return cells
+
+    def _sums_from_gathered(self, gathered: np.ndarray) -> np.ndarray:
+        # The fused funnel: both block_sums and block_bits land here, so
+        # this is where the batch's read events reach the block arrays
+        # (the reference paths go through compute_reference, which
+        # accounts its own reads).
+        sums = super()._sums_from_gathered(gathered)
+        for crossbar in self._block_crossbars:
+            crossbar.array.note_reads(gathered.shape[0])
+        return sums
 
     def block_sums(self, bits: np.ndarray, validate: bool = True) -> np.ndarray:
         if self._engine == "reference":
@@ -233,6 +260,12 @@ def assemble_sei_network(
     # the mapping.
     hardware_layers: Dict[int, dict] = {}
     binarized.hardware_layers = hardware_layers
+    # Flat registry of every live device array in the compiled network,
+    # keyed "layer<i>" / "layer<i>/block<k>".  The serving layer ages,
+    # health-checks and re-tunes through this — it is the one place the
+    # Sim/Phys split surfaces at network granularity.
+    device_arrays: Dict[str, DeviceArrayBase] = {}
+    binarized.device_arrays = device_arrays
     weighted = [
         i
         for i, layer in enumerate(network.layers)
@@ -273,9 +306,11 @@ def assemble_sei_network(
                 rng=rng,
                 engine=engine,
                 obs_index=index,
+                temporal=config.temporal,
             )
             binarized.layer_computes[index] = dac_compute
             hardware_layers[index] = {"kind": "dac", "compute": dac_compute}
+            device_arrays[f"layer{index}"] = dac_compute.array
             continue
 
         if blocks <= 1:
@@ -286,11 +321,13 @@ def assemble_sei_network(
                 max_crossbar_size=config.max_crossbar_size,
                 ir_drop_lambda=config.ir_drop_lambda,
                 rng=rng,
+                temporal=config.temporal,
             )
             binarized.layer_computes[index] = _unsplit_compute(
                 crossbar, engine, obs_index=index
             )
             hardware_layers[index] = {"kind": "unsplit", "crossbar": crossbar}
+            device_arrays[f"layer{index}"] = crossbar.array
             continue
 
         partition = partitions.get(index)
@@ -316,6 +353,7 @@ def assemble_sei_network(
                     max_crossbar_size=config.max_crossbar_size,
                     ir_drop_lambda=config.ir_drop_lambda,
                     rng=rng,
+                    temporal=config.temporal,
                 )
                 for block in partition.blocks()
             ]
@@ -327,6 +365,8 @@ def assemble_sei_network(
                 "partition": partition,
                 "crossbars": crossbars,
             }
+            for k, crossbar in enumerate(crossbars):
+                device_arrays[f"layer{index}/block{k}"] = crossbar.array
             continue
 
         decision = decisions.get(
@@ -347,6 +387,8 @@ def assemble_sei_network(
         )
         binarized.layer_computes[index] = _split_compute(split, obs_index=index)
         hardware_layers[index] = {"kind": "split", "matrix": split}
+        for k, array in enumerate(split.block_arrays):
+            device_arrays[f"layer{index}/block{k}"] = array
 
     return binarized
 
@@ -509,17 +551,32 @@ def _analog_merge_compute(
     # The merge is a straight current sum over blocks, so the K crossbars
     # concatenate into ONE matrix indexed by the permuted input order: a
     # single matmul replaces the per-block loop.  Noiseless reads
-    # concatenate once up front; noisy reads rebuild the stack each call
-    # from one vectorized read per crossbar (stream-identical to the
-    # per-slice reference loop).
+    # concatenate once per device-array generation (exactly once on
+    # static arrays); noisy reads rebuild the stack each call from one
+    # vectorized read per crossbar (stream-identical to the per-slice
+    # reference loop).
     perm = np.concatenate([np.asarray(b, dtype=np.intp) for b in blocks])
-    static = None
-    if engine != "reference" and all(
+    fused = engine != "reference" and all(
         xbar.fused_matrix is not None for xbar in crossbars
-    ):
-        static = np.concatenate(
-            [xbar.fused_matrix for xbar in crossbars], axis=0
-        )
+    )
+    static_cache: list = [None]
+
+    def static_matrix() -> np.ndarray:
+        generations = tuple(xbar.array.generation for xbar in crossbars)
+        cache = static_cache[0]
+        if cache is None or cache[0] != generations:
+            static_cache[0] = (
+                generations,
+                np.concatenate(
+                    [xbar.fused_matrix for xbar in crossbars], axis=0
+                ),
+            )
+        return static_cache[0][1]
+
+    def note_reads(bits: np.ndarray) -> None:
+        n = bits.shape[0] if bits.ndim > 1 else 1
+        for xbar in crossbars:
+            xbar.array.note_reads(n)
 
     def matrix_fn(bits: np.ndarray) -> np.ndarray:
         record(bits)
@@ -530,17 +587,20 @@ def _analog_merge_compute(
                 total = part if total is None else total + part
             return total
         ensure_binary(bits, "analog-merge inputs")
-        if static is not None:
-            return bits[..., perm] @ static
-        stacked = np.concatenate(
-            [
-                xbar.read_effective_weights(xbar.rng)
-                * xbar.ir_drop_attenuation
-                for xbar in crossbars
-            ],
-            axis=0,
-        )
-        return bits[..., perm] @ stacked
+        if fused:
+            out = bits[..., perm] @ static_matrix()
+        else:
+            stacked = np.concatenate(
+                [
+                    xbar.read_effective_weights(xbar.rng)
+                    * xbar.ir_drop_attenuation
+                    for xbar in crossbars
+                ],
+                axis=0,
+            )
+            out = bits[..., perm] @ stacked
+        note_reads(bits)
+        return out
 
     def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
         return apply_matrix_fn(layer, x, matrix_fn)
@@ -588,14 +648,16 @@ def dac_analog_layer_compute(
     rng: Optional[np.random.Generator] = None,
     engine: str = "fused",
     obs_index: Optional[int] = None,
+    temporal: Optional[TemporalConfig] = None,
 ):
     """The SEI design's input layer: DAC-driven crossbars, analog merge.
 
     Activations pass through ``data_bits`` DACs; the bit-sliced
-    positive/negative crossbars are programmed through the device; their
-    output currents combine in the analog domain (scaled summing) before
-    the sense amplifiers — no ADC anywhere (§3.2 / mapper convention).
-    ``engine='reference'`` keeps the pre-fusion per-slice loop.
+    positive/negative crossbars are programmed through a device array;
+    their output currents combine in the analog domain (scaled summing)
+    before the sense amplifiers — no ADC anywhere (§3.2 / mapper
+    convention).  ``engine='reference'`` keeps the pre-fusion per-slice
+    loop.
     """
     device = device if device is not None else RRAMDevice(bits=4)
     rng = rng if rng is not None else np.random.default_rng()
@@ -606,34 +668,51 @@ def dac_analog_layer_compute(
     slices, coefficients, scale = decompose_weights(
         matrix, weight_bits, device.bits
     )
-    programmed = [
-        device.conductance_to_normalized(device.program(s, rng))
-        for s in slices
-    ]
+    array = make_array(device, temporal=temporal, rng=rng)
+    array.program(slices, rng)
     dac = DAC(bits=data_bits)
     cell_max = 2**device.bits - 1
+
     # The bit-sliced crossbars merge in the analog domain (scaled current
-    # summing), so the programmed slices collapse once into a single
-    # signed matrix — each call is then one DAC quantization + one matmul.
-    merged = (
-        np.tensordot(coefficients, np.stack(programmed), axes=1)
-        * cell_max
-        * scale
-    )
+    # summing), so the programmed slices collapse into a single signed
+    # matrix — each call is then one DAC quantization + one matmul.  The
+    # collapse is cached per device-array generation (exactly once on a
+    # static array).
+    merged_cache: list = [None]
+
+    def merged_matrix() -> np.ndarray:
+        generation = array.generation
+        cache = merged_cache[0]
+        if cache is None or cache[0] != generation:
+            merged_cache[0] = (
+                generation,
+                np.tensordot(coefficients, array.normalized, axes=1)
+                * cell_max
+                * scale,
+            )
+        return merged_cache[0][1]
+
+    def note_reads(driven: np.ndarray) -> None:
+        array.note_reads(driven.shape[0] if driven.ndim > 1 else 1)
 
     def matrix_fn(x: np.ndarray) -> np.ndarray:
         driven = dac.quantize(np.clip(x, 0.0, 1.0))
-        _record_dac(obs_index, driven, matrix.shape[1], len(programmed))
+        _record_dac(obs_index, driven, matrix.shape[1], array.shape[0])
         if engine == "reference":
             total = np.zeros(driven.shape[:-1] + (matrix.shape[1],))
-            for coeff, cells in zip(coefficients, programmed):
+            for coeff, cells in zip(coefficients, array.normalized):
                 total = total + coeff * (driven @ cells) * cell_max
-            return total * scale
-        return driven @ merged
+            out = total * scale
+        else:
+            out = driven @ merged_matrix()
+        note_reads(driven)
+        return out
 
     def fused_matrix_fn(driven: np.ndarray) -> np.ndarray:
-        _record_dac(obs_index, driven, matrix.shape[1], len(programmed))
-        return driven @ merged
+        _record_dac(obs_index, driven, matrix.shape[1], array.shape[0])
+        out = driven @ merged_matrix()
+        note_reads(driven)
+        return out
 
     def compute(inner_layer: Layer, x: np.ndarray) -> np.ndarray:
         if engine == "reference":
@@ -650,10 +729,12 @@ def dac_analog_layer_compute(
 
     # Expose the compiled analog state for engines that re-lower this
     # layer (the packed engine drives the same merged matrix with
-    # integer DAC codes instead of quantized floats).
-    compute.merged = merged
+    # integer DAC codes instead of quantized floats; it refuses aging
+    # arrays, so the compile-time collapse it captures here stays valid).
+    compute.merged = merged_matrix()
     compute.dac = dac
-    compute.cells_per_weight = len(programmed)
+    compute.cells_per_weight = array.shape[0]
+    compute.array = array
     # Without programming variation every normalized cell sits on the
     # nibble grid, so merged == scale * N for integer N — the packed
     # engine checks that against this unit to run the matmul in exact
@@ -697,11 +778,10 @@ def adc_layer_compute(
     slices, coefficients, scale = decompose_weights(
         matrix, tech.weight_bits, device.bits
     )
-    # Program each slice crossbar through the device.
-    programmed = [
-        device.conductance_to_normalized(device.program(s, rng))
-        for s in slices
-    ]
+    # Program each slice crossbar through a (static) device array.
+    array = make_array(device, rng=rng)
+    array.program(slices, rng)
+    programmed = array.normalized
     dac = DAC(bits=data_bits)
     adc = ADC(bits=8)
     cell_max = 2**device.bits - 1
@@ -728,11 +808,13 @@ def adc_layer_compute(
             currents = (driven @ cells) * cell_max
             digitised = adc.quantize(currents, full_scale)
             out = out + coeff * digitised
+        array.note_reads(driven.shape[0] if driven.ndim > 1 else 1)
         return out * scale
 
     def compute(inner_layer: Layer, x: np.ndarray) -> np.ndarray:
         return apply_matrix_fn(inner_layer, x, matrix_fn)
 
+    compute.array = array
     return compute
 
 
@@ -779,13 +861,15 @@ def assemble_adc_network(
         if calibration_images is not None
         else None
     )
+    device_arrays: Dict[str, DeviceArrayBase] = {}
+    binarized.device_arrays = device_arrays
     first_weighted = True
     for index, layer in enumerate(network.layers):
         if isinstance(layer, (Conv2D, Dense)):
             layer_calibration = None
             if calibration_flow is not None:
                 layer_calibration = _as_matrix_rows(layer, calibration_flow)
-            binarized.layer_computes[index] = adc_layer_compute(
+            layer_compute = adc_layer_compute(
                 layer,
                 tech=tech,
                 device=device,
@@ -794,6 +878,8 @@ def assemble_adc_network(
                 calibration=layer_calibration,
                 rng=rng,
             )
+            binarized.layer_computes[index] = layer_compute
+            device_arrays[f"layer{index}"] = layer_compute.array
             first_weighted = False
         if calibration_flow is not None:
             # Propagate the calibration batch through the (now hooked)

@@ -336,7 +336,7 @@ class PackedMatrix:
         fused = crossbar.fused_matrix
         if fused is None:
             return None
-        unit = float(crossbar._scale) * float(crossbar.ir_drop_attenuation)
+        unit = float(crossbar.scale) * float(crossbar.ir_drop_attenuation)
         if unit <= 0 or not np.isfinite(unit):
             return None
         quotient = fused / unit
@@ -600,6 +600,7 @@ def packed_unsplit_compute(
         else:
             out = np.empty(acc[0].shape)
         np.multiply(acc[0], matrix.units[0], out=out, casting="unsafe")
+        crossbar.array.note_reads(bits_u8.shape[0])
         return out
 
     def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
@@ -673,6 +674,8 @@ def packed_split_compute(
                 counts[:m], vote_threshold, out=out[start:stop],
                 casting="unsafe",
             )
+        for xbar in split._block_crossbars:
+            xbar.array.note_reads(n)
         return out
 
     def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
@@ -711,6 +714,8 @@ def packed_analog_merge_compute(
         out *= matrix.units[0]
         for k in range(1, matrix.num_blocks):
             out += acc[k] * matrix.units[k]
+        for xbar in crossbars:
+            xbar.array.note_reads(bits_u8.shape[0])
         return out
 
     def compute(layer: Layer, x: np.ndarray) -> np.ndarray:
@@ -729,6 +734,7 @@ def packed_dac_compute(
     unit: Optional[float] = None,
     bias: Optional[np.ndarray] = None,
     threshold: Optional[float] = None,
+    array=None,
 ):
     """Integer-level re-lowering of the DAC-driven input layer (§3.2).
 
@@ -793,6 +799,8 @@ def packed_dac_compute(
 
         _record_dac(obs_index, codes, cols, cells_per_weight)
         n = codes.shape[0]
+        if array is not None:
+            array.note_reads(n)
         chunk = min(_DAC_CHUNK, n)
         if int_matrix is not None:
             buf = scratch.get("widen32", (chunk, codes.shape[1]), np.float32)
@@ -916,6 +924,13 @@ def assemble_packed_network(
         allowed=("packed",),
         caller="assemble_packed_network",
     )
+    temporal = spec.hardware.temporal
+    if temporal is not None and temporal.enabled:
+        raise ConfigurationError(
+            "the packed engine captures its integer partial-sum tables "
+            "from the cells at assemble time; temporal aging requires "
+            "the fused or reference engine"
+        )
     inner = EngineSpec(
         name="fused", hardware=spec.hardware, data_bits=spec.data_bits
     )
@@ -941,6 +956,7 @@ def assemble_packed_network(
                 unit=getattr(fused_compute, "unit", None),
                 bias=layer_bias(network.layers[index]),
                 threshold=thresholds.get(index),
+                array=getattr(fused_compute, "array", None),
             )
         elif kind == "unsplit":
             crossbar = info["crossbar"]

@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, MappingError, ShapeError
+from repro.hw.array import DeviceArrayBase, TemporalConfig, make_array
 from repro.hw.device import RRAMDevice
 from repro.nn.layers import Layer
 
@@ -135,6 +136,10 @@ class SEIMatrix:
         same crossbar and is immune (see DynamicThresholdMatrix).
     rng:
         Source of programming noise (only used when the device is noisy).
+    temporal:
+        Optional :class:`~repro.hw.array.TemporalConfig`; when enabled
+        the cells live on a :class:`~repro.hw.array.
+        TemporalSimDeviceArray` and age between computes.
     """
 
     weights: np.ndarray
@@ -144,6 +149,7 @@ class SEIMatrix:
     signed_inputs: bool = True
     ir_drop_lambda: float = 0.0
     rng: Optional[np.random.Generator] = None
+    temporal: Optional[TemporalConfig] = None
 
     def __post_init__(self) -> None:
         self.weights = np.asarray(self.weights, dtype=np.float64)
@@ -172,30 +178,26 @@ class SEIMatrix:
                 "crossbar limit"
             )
 
-        # Program every slice through the device: this applies the 4-bit
-        # level quantization (slices are exact nibbles, so quantization is
-        # lossless here) and programming variation if configured.
+        # Program every slice through the device array: this applies the
+        # 4-bit level quantization (slices are exact nibbles, so
+        # quantization is lossless here) and programming variation if
+        # configured.  The array programs a (K, rows, cols) stack one
+        # leading slice at a time, consuming the RNG stream exactly like
+        # the historical per-slice loop here.
         rng = self.rng if self.rng is not None else np.random.default_rng()
-        programmed = [
-            self.device.conductance_to_normalized(self.device.program(s, rng))
-            for s in slices
-        ]
-        self._cells = np.stack(programmed)  # (num_slices, rows, cols)
+        self.array: DeviceArrayBase = make_array(
+            self.device, temporal=self.temporal, rng=rng
+        )
+        self.array.program(slices, rng)
 
         # Fused-kernel state.  The K slices of a column all feed the same
         # analog current sum (Equ. 6), so the crossbar is equivalent to ONE
-        # signed matrix; collapsing it here turns compute() into a single
-        # BLAS matmul.  With read noise the collapse must happen per read
-        # (the noise is per-cell per-read), so we keep the stacked
-        # conductances ready for one vectorized multi-slice read.
-        span = self.device.g_max - self.device.g_min
-        self._conductances = self.device.g_min + self._cells * span
-        if self.device.read_sigma <= 0:
-            self._fused_matrix = (
-                self.effective_weights * self.ir_drop_attenuation
-            )
-        else:
-            self._fused_matrix = None
+        # signed matrix; collapsing it turns compute() into a single BLAS
+        # matmul.  With read noise the collapse must happen per read (the
+        # noise is per-cell per-read); with an aging array it must happen
+        # per *generation* — the cache below is keyed on the array's
+        # generation counter, so a static array collapses exactly once.
+        self._fused_cache: Optional[Tuple[int, np.ndarray]] = None
 
     # -- geometry ------------------------------------------------------------
     @property
@@ -231,11 +233,25 @@ class SEIMatrix:
 
     # -- behaviour ------------------------------------------------------------
     @property
+    def scale(self) -> float:
+        """Integer-representation to weight-unit conversion factor."""
+        return self._scale
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Extra-port merge coefficients ``A_k`` (Equ. 6)."""
+        return self._coefficients
+
+    @property
     def effective_weights(self) -> np.ndarray:
-        """The signed matrix the programmed cells actually represent."""
+        """The signed matrix the cells *currently* represent.
+
+        Reads the device array's present state, so on a temporal backend
+        this reflects accumulated drift/retention/disturb.
+        """
         cell_max = 2**self.device.bits - 1
         recon = np.zeros_like(self.weights)
-        for coeff, cells in zip(self._coefficients, self._cells):
+        for coeff, cells in zip(self._coefficients, self.array.normalized):
             recon = recon + coeff * cells * cell_max
         return recon * self._scale
 
@@ -246,9 +262,21 @@ class SEIMatrix:
         When reads are noiseless the crossbar is a static linear map, and
         ``compute(bits) == bits @ fused_matrix`` exactly; composite
         structures (splitting, analog merge) stack these to fuse across
-        crossbars.
+        crossbars.  The collapse is cached per device-array generation:
+        static arrays collapse once, aging arrays re-collapse lazily
+        whenever their state moved.
         """
-        return self._fused_matrix
+        if self.device.read_sigma > 0:
+            return None
+        generation = self.array.generation
+        cache = self._fused_cache
+        if cache is None or cache[0] != generation:
+            cache = (
+                generation,
+                self.effective_weights * self.ir_drop_attenuation,
+            )
+            self._fused_cache = cache
+        return cache[1]
 
     def read_effective_weights(
         self, rng: Optional[np.random.Generator] = None
@@ -263,9 +291,7 @@ class SEIMatrix:
         if self.device.read_sigma <= 0:
             return self.effective_weights
         rng = rng if rng is not None else np.random.default_rng()
-        noisy = self.device.conductance_to_normalized(
-            self.device.read(self._conductances, rng)
-        )
+        noisy = self.array.read_normalized(rng)
         cell_max = 2**self.device.bits - 1
         return (
             np.tensordot(self._coefficients, noisy, axes=1)
@@ -289,11 +315,15 @@ class SEIMatrix:
         (:meth:`compute_reference`).
         """
         bits = self._check_bits(bits, validate)
-        if self._fused_matrix is not None:
-            return bits @ self._fused_matrix
-        rng = self.rng if self.rng is not None else np.random.default_rng()
-        matrix = self.read_effective_weights(rng)
-        return (bits @ matrix) * self.ir_drop_attenuation
+        fused = self.fused_matrix
+        if fused is not None:
+            out = bits @ fused
+        else:
+            rng = self.rng if self.rng is not None else np.random.default_rng()
+            matrix = self.read_effective_weights(rng)
+            out = (bits @ matrix) * self.ir_drop_attenuation
+        self.array.note_reads(self._read_positions(bits))
+        return out
 
     def compute_reference(self, bits: np.ndarray) -> np.ndarray:
         """The pre-fusion slice-loop implementation, kept verbatim.
@@ -318,14 +348,21 @@ class SEIMatrix:
         cell_max = 2**self.device.bits - 1
         span = self.device.g_max - self.device.g_min
         result = np.zeros(bits.shape[:-1] + (self.cols,))
-        for coeff, cells in zip(self._coefficients, self._cells):
+        for coeff, cells in zip(self._coefficients, self.array.normalized):
             if self.device.read_sigma > 0:
                 conductance = self.device.read(
                     self.device.g_min + cells * span, rng
                 )
                 cells = self.device.conductance_to_normalized(conductance)
             result = result + coeff * (bits @ cells) * cell_max
-        return result * self._scale * self.ir_drop_attenuation
+        out = result * self._scale * self.ir_drop_attenuation
+        self.array.note_reads(self._read_positions(bits))
+        return out
+
+    @staticmethod
+    def _read_positions(bits: np.ndarray) -> int:
+        """MVM positions in a batch: one read event per input vector."""
+        return int(np.prod(bits.shape[:-1], dtype=np.int64))
 
     def _check_bits(
         self, bits: np.ndarray, validate: bool = True
@@ -347,11 +384,15 @@ def sei_layer_compute(
     weight_bits: int = 8,
     max_crossbar_size: int = 512,
     rng: Optional[np.random.Generator] = None,
+    temporal: Optional[TemporalConfig] = None,
 ):
     """Build a BinarizedNetwork layer-compute hook backed by an SEIMatrix.
 
     Raises :class:`MappingError` if the layer needs splitting; use
-    :func:`repro.core.splitting.split_layer_compute` in that case.
+    :func:`repro.core.splitting.split_layer_compute` in that case.  The
+    hook exposes its backing structure as ``compute.matrix`` (and the
+    live device array as ``compute.array``) so aging campaigns can
+    advance the device clock between inference passes.
     """
     matrix = SEIMatrix(
         layer_weight_matrix(layer),
@@ -359,9 +400,12 @@ def sei_layer_compute(
         weight_bits=weight_bits,
         max_crossbar_size=max_crossbar_size,
         rng=rng,
+        temporal=temporal,
     )
 
     def compute(inner_layer: Layer, x: np.ndarray) -> np.ndarray:
         return apply_matrix_fn(inner_layer, x, matrix.compute)
 
+    compute.matrix = matrix
+    compute.array = matrix.array
     return compute

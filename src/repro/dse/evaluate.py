@@ -34,7 +34,24 @@ Candidate configuration keys understood by the hardware evaluator:
 ``refine_passes``  Algorithm 1 refinement passes
 ``search_step`` / ``thres_min`` / ``thres_max`` / ``criterion``
                    remaining Algorithm 1 hyper-parameters
+``drift_nu``       conductance drift exponent (temporal aging)
+``drift_nu_sigma`` per-cell drift-exponent dispersion
+``retention_rate`` retention decay rate (``1 / tau``)
+``read_disturb``   per-read disturb rate
+``age_batches``    inference batches run to age the session pre-scoring
+``retune``         online re-tune cadence in batches (0/absent = off)
 =================  ==========================================================
+
+Any non-zero aging knob compiles the session over
+:class:`~repro.hw.array.TemporalSimDeviceArray` cells (``reuse=False``
+— aged sessions must not leak into the warm registry), scores the
+fresh hardware, runs ``age_batches`` aging batches, re-scores, and
+records the drift/retune telemetry plus the device-array snapshot
+digest that pins the exact aged cell state.
+
+The ``aging`` evaluator is the zoo-free, fully deterministic
+device-level variant: one array programmed, aged and health-checked —
+milliseconds per candidate, byte-identical across resumed runs.
 """
 
 from __future__ import annotations
@@ -54,6 +71,7 @@ __all__ = [
     "evaluate_candidate",
     "hardware_evaluator",
     "synthetic_evaluator",
+    "aging_evaluator",
     "prewarm",
 ]
 
@@ -74,6 +92,24 @@ def _search_config(config: Dict[str, Any]):
     return SearchConfig(**kwargs) if kwargs else None
 
 
+def _temporal_config(config: Dict[str, Any], seed: int):
+    """The aging behaviour a candidate implies (None = static cells)."""
+    from repro.hw.array import TemporalConfig
+
+    drift = float(config.get("drift_nu") or 0.0)
+    rate = float(config.get("retention_rate") or 0.0)
+    disturb = float(config.get("read_disturb") or 0.0)
+    if drift <= 0 and rate <= 0 and disturb <= 0:
+        return None
+    return TemporalConfig(
+        drift_nu=drift,
+        drift_nu_sigma=float(config.get("drift_nu_sigma") or 0.0),
+        retention_tau=1.0 / rate if rate > 0 else 0.0,
+        read_disturb_rate=disturb,
+        seed=int(config.get("temporal_seed", seed)),
+    )
+
+
 def _engine_spec(study: "Study", config: Dict[str, Any]):
     from repro.core.engines import EngineSpec
     from repro.core.hardware_network import HardwareConfig
@@ -89,6 +125,7 @@ def _engine_spec(study: "Study", config: Dict[str, Any]):
         weight_bits=int(config.get("weight_bits", 8)),
         max_crossbar_size=int(config.get("crossbar", 512)),
         seed=int(config.get("hardware_seed", study.seed)),
+        temporal=_temporal_config(config, study.seed),
     )
     return EngineSpec(
         name=str(config.get("engine", "fused")),
@@ -103,6 +140,7 @@ def hardware_evaluator(
     """Score one candidate through the real engines + cost model."""
     from repro import obs, zoo
     from repro.arch.designs import evaluate_design
+    from repro.hw.retune import RetunePolicy
     from repro.hw.tech import TechnologyModel
     from repro.obs.power import estimate_from_metrics
     from repro.serve.session import SessionConfig, compile_session
@@ -112,11 +150,21 @@ def hardware_evaluator(
     search = _search_config(config)
     network = str(config.get("network", study.network))
 
-    session = compile_session(
-        SessionConfig(
-            network=network, engine=spec, tile=study.tile, search=search
-        )
+    temporal = spec.hardware.temporal is not None
+    retune_every = int(config.get("retune") or 0)
+    session_config = SessionConfig(
+        network=network,
+        engine=spec,
+        tile=study.tile,
+        search=search,
+        retune=(
+            RetunePolicy(check_every=retune_every)
+            if retune_every > 0
+            else None
+        ),
     )
+    # Aged sessions mutate their device arrays; never share them.
+    session = compile_session(session_config, reuse=not temporal)
     dataset = zoo.get_dataset()
     samples = min(study.eval_samples, len(dataset.test))
     images = dataset.test.images[:samples]
@@ -153,6 +201,34 @@ def hardware_evaluator(
         ),
         "crossbars": int(sum(m.crossbars for m in evaluation.mappings)),
     }
+    if temporal:
+        age_batches = int(config.get("age_batches") or 0)
+        probe = images[: study.tile]
+        for _ in range(age_batches):
+            session.infer_batch(probe)
+        health = session.health()
+        aged_error = float(session.error_rate(images, labels))
+        record["fresh_error_rate"] = error_rate
+        record["aged_error_rate"] = aged_error
+        # Deployment accuracy is the aged one — that is the design point.
+        record["error_rate"] = aged_error
+        record["accuracy"] = 1.0 - aged_error
+        record["device_age"] = max(
+            (h.age for h in health.values()), default=0.0
+        )
+        record["worst_drift"] = max(
+            (h.drift_level_steps for h in health.values()), default=0.0
+        )
+        arrays = session.device_arrays
+        if arrays:
+            first = sorted(arrays)[0]
+            record["snapshot_digest"] = arrays[first].snapshot().digest()
+        if retune_every > 0:
+            retune_report = session.retune()
+            record["retune_events"] = len(retune_report.events)
+            record["post_retune_error_rate"] = float(
+                session.error_rate(images, labels)
+            )
     if study.eval_repeats > 1:
         record["error_rate_runs"] = errors
     if session.model is not None:
@@ -192,9 +268,60 @@ def synthetic_evaluator(
     }
 
 
+def aging_evaluator(
+    study: "Study", candidate: "Candidate"
+) -> Dict[str, Any]:
+    """Device-level aging score: one array programmed, aged, checked.
+
+    Zoo-free and fully deterministic (everything derives from the study
+    seed and the candidate config), so resumed
+    :mod:`repro.dse` runs reproduce records byte-for-byte — asserted in
+    ``tests/test_dse.py``.  The returned ``snapshot_digest`` pins the
+    exact aged cell state each record was measured on.
+    """
+    import numpy as np
+
+    from repro.hw.array import make_array
+    from repro.hw.device import RRAMDevice
+
+    config = candidate.config
+    temporal = _temporal_config(config, study.seed)
+    bits = int(config.get("cell_bits", 4))
+    rows = int(config.get("rows", 32))
+    cols = int(config.get("cols", 32))
+    age = float(config.get("age", 64.0))
+    reads = int(config.get("reads", 0))
+
+    device = RRAMDevice(
+        bits=bits,
+        program_sigma=float(config.get("program_sigma") or 0.0),
+    )
+    targets = np.random.default_rng([study.seed, 0xA6E]).random((rows, cols))
+    array = make_array(
+        device,
+        temporal=temporal,
+        rng=np.random.default_rng([study.seed, candidate.index]),
+    )
+    array.program(targets, np.random.default_rng([study.seed, candidate.index]))
+    array.note_reads(reads)
+    array.advance(age)
+    health = array.health()
+    levels = float(2**bits - 1)
+    return {
+        "drift_level_steps": health.drift_level_steps,
+        "max_drift_level_steps": health.max_drift_level_steps,
+        "device_age": health.age,
+        "reads": health.reads_since_program,
+        "snapshot_digest": array.snapshot().digest(),
+        # Cell-level figure of merit: fraction of the level grid intact.
+        "accuracy": max(0.0, 1.0 - health.drift_level_steps / levels),
+    }
+
+
 EVALUATORS: Dict[str, Callable[["Study", "Candidate"], Dict[str, Any]]] = {
     "hardware": hardware_evaluator,
     "synthetic": synthetic_evaluator,
+    "aging": aging_evaluator,
 }
 
 

@@ -187,6 +187,31 @@ def _device_variation() -> Study:
     )
 
 
+def _device_aging() -> Study:
+    """Drift/retention trade-off at device level (zoo-free, instant).
+
+    Sweeps the drift exponent and deployment age over one programmed
+    array via the deterministic ``aging`` evaluator; the Pareto front
+    answers "how long until a re-tune is due" per drift corner.  Every
+    record carries the device-array snapshot digest, which the resume
+    tests use to prove killed-and-resumed runs are byte-identical.
+    """
+    space = ParameterSpace(
+        axes=(
+            GridAxis("drift_nu", (0.0, 0.02, 0.05, 0.1)),
+            GridAxis("drift_nu_sigma", (0.0, 0.5)),
+            GridAxis("age", (16.0, 64.0, 256.0)),
+        ),
+    )
+    return Study(
+        name="device_aging",
+        space=space,
+        objectives=("drift_level_steps", "accuracy:max"),
+        evaluator="aging",
+        baseline="",
+    )
+
+
 def _synthetic_smoke() -> Study:
     """Zoo-free harness exercise: analytic objectives, instant candidates."""
     space = ParameterSpace(
@@ -208,6 +233,7 @@ BUILTIN_STUDIES: Dict[str, Study] = {
     "sei_vs_adc": _sei_vs_adc(quick=False),
     "sei_vs_adc_quick": _sei_vs_adc(quick=True),
     "device_variation": _device_variation(),
+    "device_aging": _device_aging(),
     "synthetic_smoke": _synthetic_smoke(),
 }
 

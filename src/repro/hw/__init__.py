@@ -1,10 +1,38 @@
-"""RRAM hardware substrate: device, crossbar, peripherals, technology model."""
+"""RRAM hardware substrate: device, arrays, crossbar, peripherals, tech.
 
+The stable hardware surface.  Cell state lives on
+:class:`DeviceArrayBase` implementations (:class:`SimDeviceArray` — the
+static numpy model; :class:`TemporalSimDeviceArray` — seeded aging);
+engines program and read *through* that interface rather than holding
+conductance arrays, which is what makes a physical backend (a
+``PhysDeviceArray`` driving a tester) a drop-in replacement.
+:class:`DeviceSpec` is the declarative entry point the ``repro.api``
+facade threads through compile/serve.
+"""
+
+from repro.hw.array import (
+    ArrayHealth,
+    DeviceArrayBase,
+    DeviceArraySnapshot,
+    DeviceSpec,
+    SimDeviceArray,
+    TemporalConfig,
+    TemporalSimDeviceArray,
+    make_array,
+)
 from repro.hw.crossbar import Crossbar
 from repro.hw.device import RRAMDevice
 from repro.hw.peripherals import ADC, DAC, SEIDecoder, SenseAmp, TraditionalDecoder
+from repro.hw.retune import (
+    RetuneEvent,
+    RetunePolicy,
+    RetuneReport,
+    array_needs_retune,
+    check_and_retune,
+    retune_array,
+)
 from repro.hw.tech import REFERENCE_PLATFORMS, ReferencePlatform, TechnologyModel
-from repro.hw.tuning import TuningResult, tune_cells
+from repro.hw.tuning import TuningResult, stuck_cell_map, tune_cells
 
 __all__ = [
     "RRAMDevice",
@@ -18,5 +46,22 @@ __all__ = [
     "ReferencePlatform",
     "REFERENCE_PLATFORMS",
     "TuningResult",
+    "stuck_cell_map",
     "tune_cells",
+    # Device arrays (the Sim/Phys split).
+    "DeviceArrayBase",
+    "SimDeviceArray",
+    "TemporalSimDeviceArray",
+    "TemporalConfig",
+    "DeviceArraySnapshot",
+    "ArrayHealth",
+    "DeviceSpec",
+    "make_array",
+    # Online re-tuning.
+    "RetunePolicy",
+    "RetuneEvent",
+    "RetuneReport",
+    "array_needs_retune",
+    "retune_array",
+    "check_and_retune",
 ]

@@ -13,11 +13,13 @@ and the fabrication size limit (512 x 512 state of the art [15]).
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError, MappingError, ShapeError
+from repro.hw.array import DeviceArrayBase, TemporalConfig, make_array
 from repro.hw.device import RRAMDevice
 
 __all__ = ["Crossbar"]
@@ -44,6 +46,16 @@ class Crossbar:
     rng:
         Generator used for programming variation (fixed at program time)
         and read noise.
+    temporal:
+        Optional :class:`~repro.hw.array.TemporalConfig`; when enabled
+        the cells live on an aging
+        :class:`~repro.hw.array.TemporalSimDeviceArray`.
+
+    The cells themselves live on a :class:`~repro.hw.array.
+    DeviceArrayBase` exposed as :attr:`array` — program, read, age,
+    snapshot and re-tune the crossbar through it.  The historical
+    ``crossbar.conductance`` attribute access still works but is
+    deprecated in favour of ``crossbar.array.conductance``.
     """
 
     def __init__(
@@ -53,6 +65,7 @@ class Crossbar:
         max_size: int = 512,
         ir_drop_lambda: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        temporal: Optional[TemporalConfig] = None,
     ) -> None:
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
@@ -75,12 +88,37 @@ class Crossbar:
         self.rows = rows
         self.cols = cols
 
-        #: Conductances actually programmed (includes programming error).
-        self.conductance = self.device.program(weights, self._rng)
+        #: The stateful device array holding the programmed cells.
+        self.array: DeviceArrayBase = make_array(
+            self.device, temporal=temporal, rng=self._rng
+        )
+        self.array.program(weights, self._rng)
         #: The quantized weights the crossbar represents, back in [0, 1].
         self.effective_weights = self.device.conductance_to_normalized(
             self.device.level_conductance(self.device.quantize_levels(weights))
         )
+
+    @property
+    def conductance(self) -> np.ndarray:
+        """Deprecated: read the cells via ``crossbar.array`` instead."""
+        warnings.warn(
+            "Crossbar.conductance is deprecated; use "
+            "crossbar.array.conductance (and crossbar.array.read(...) for "
+            "noisy reads) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.array.conductance
+
+    @conductance.setter
+    def conductance(self, value: np.ndarray) -> None:
+        warnings.warn(
+            "assigning Crossbar.conductance is deprecated; program the "
+            "cells through crossbar.array.apply_conductance(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.array.apply_conductance(value)
 
     # -- computation -------------------------------------------------------
     @property
@@ -104,7 +142,10 @@ class Crossbar:
                 f"input has {v_in.shape[-1]} entries, crossbar has "
                 f"{self.rows} rows"
             )
-        conductance = self.device.read(self.conductance, self._rng)
+        conductance = self.array.read(self._rng)
+        self.array.note_reads(
+            int(np.prod(v_in.shape[:-1], dtype=np.int64))
+        )
         return (v_in @ conductance) * self.ir_drop_attenuation
 
     def compute(self, v_in: np.ndarray) -> np.ndarray:

@@ -50,6 +50,13 @@ from repro.core.binarized import BinarizedNetwork
 from repro.core.pipeline import SplitConfig, build_split_network
 from repro.core.threshold_search import SearchConfig
 from repro.errors import ConfigurationError
+from repro.hw.array import ArrayHealth, DeviceArrayBase
+from repro.hw.retune import (
+    RetunePolicy,
+    RetuneReport,
+    check_and_retune,
+    retune_array,
+)
 from repro.nn.network import Sequential
 
 from repro.serve.batcher import BatcherConfig, MicroBatcher
@@ -86,10 +93,23 @@ class SessionConfig:
     search: Optional[SearchConfig] = None
     #: Model cache location override.
     cache_dir: Optional[Path] = None
+    #: Online re-tuning policy for sessions over aging hardware
+    #: (``engine.hardware.temporal``): every ``retune.check_every``
+    #: batches the session health-checks its device arrays and re-tunes
+    #: the ones whose drift crossed the policy threshold.  None disables
+    #: the automatic loop (``session.retune()`` still works manually).
+    retune: Optional[RetunePolicy] = None
+    #: Device time units added per ``infer_batch`` call on temporal
+    #: arrays (the aging clock of the serving loop).
+    age_per_batch: float = 1.0
 
     def __post_init__(self) -> None:
         if self.tile < 1:
             raise ConfigurationError(f"tile must be >= 1, got {self.tile}")
+        if self.age_per_batch < 0:
+            raise ConfigurationError(
+                f"age_per_batch must be >= 0, got {self.age_per_batch}"
+            )
 
     def digest(self) -> str:
         """Deterministic digest of the full session configuration."""
@@ -118,6 +138,16 @@ class InferenceSession:
         #: session was built from explicit artefacts).
         self.model = model
         self._infer_lock = None  # reserved; numpy forward is thread-safe
+        self._batches = 0
+        self._aging_paused = False
+        #: Seeded independently of the programming stream, so retunes
+        #: are reproducible given the same inference history.
+        self._retune_rng = np.random.default_rng(
+            [config.engine.hardware.seed, 0x7E7]
+        )
+        #: Reference predictions per input digest, captured by the first
+        #: self_check on fresh (just-programmed) temporal hardware.
+        self._check_baselines: Dict[str, np.ndarray] = {}
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -163,6 +193,16 @@ class InferenceSession:
         return self.config.engine.deterministic
 
     @property
+    def device_arrays(self) -> Dict[str, DeviceArrayBase]:
+        """The compiled network's live device arrays, keyed by layer."""
+        return getattr(self.hardware, "device_arrays", {})
+
+    @property
+    def temporal(self) -> bool:
+        """Whether any of the session's device arrays ages over time."""
+        return any(a.temporal for a in self.device_arrays.values())
+
+    @property
     def num_classes(self) -> int:
         """Output width: the final weighted layer's column count."""
         from repro.core.matrix_compute import layer_weight_matrix
@@ -195,11 +235,35 @@ class InferenceSession:
             logits = self.hardware.forward(chunk)
             outputs.append(logits[: tile - pad] if pad else logits)
         obs.count("serve/samples", n)
+        self._after_batch()
         return (
             np.concatenate(outputs)
             if len(outputs) != 1
             else outputs[0]
         )
+
+    def _after_batch(self) -> None:
+        """Advance the device clock and run the retune cadence."""
+        if self._aging_paused or not self.temporal:
+            return
+        self._batches += 1
+        if self.config.age_per_batch > 0:
+            for array in self.device_arrays.values():
+                if array.temporal:
+                    array.advance(self.config.age_per_batch)
+        policy = self.config.retune
+        if policy is not None and self._batches % policy.check_every == 0:
+            report = check_and_retune(
+                self.device_arrays, policy, rng=self._retune_rng
+            )
+            if report.retuned:
+                logger.info(
+                    "session %s retuned %d arrays (worst drift %.3f "
+                    "level steps)",
+                    self.digest,
+                    len(report.events),
+                    report.worst_drift,
+                )
 
     def infer(self, x: np.ndarray) -> np.ndarray:
         """Logits for one sample ``(*input_shape)`` or a batch.
@@ -225,17 +289,32 @@ class InferenceSession:
         predictions = self.classify(images)
         return float(np.mean(predictions != np.asarray(labels)))
 
-    def self_check(self, images: np.ndarray) -> None:
-        """Assert this session's outputs are batch-composition invariant.
+    def self_check(
+        self, images: np.ndarray, max_disagreement: float = 0.0
+    ) -> None:
+        """Assert the session still answers like it did when compiled.
 
-        Routes the session through the conformance harness's
+        Static (non-temporal) sessions run the conformance harness's
         batch-invariance check (:func:`repro.testing.differential.
         check_batch_invariance`): whole batch vs one-at-a-time vs split
         compositions, bit-for-bit.  Raises
         :class:`~repro.errors.ConformanceError` on a violation; a no-op
         for non-deterministic engines (their outputs are stochastic by
         design, so composition invariance is not defined).
+
+        Sessions over *aging* hardware are not batch-composition
+        invariant (every batch advances the device clock), so the check
+        changes meaning: the first call on a probe set captures the
+        fresh hardware's predictions as the baseline, and every later
+        call re-classifies the same probes and fails once the
+        disagreement fraction exceeds ``max_disagreement`` — the
+        degradation signal the online re-tuning loop keys on.  The
+        probe passes themselves do not advance the aging clock.
         """
+        images = np.asarray(images)
+        if self.temporal:
+            self._degradation_check(images, max_disagreement)
+            return
         if not self.deterministic:
             logger.info(
                 "self_check skipped: engine %r is non-deterministic",
@@ -245,12 +324,97 @@ class InferenceSession:
         from repro.errors import ConformanceError
         from repro.testing.differential import check_batch_invariance
 
-        violation = check_batch_invariance(self, np.asarray(images))
+        violation = check_batch_invariance(self, images)
         if violation is not None:
             raise ConformanceError(
                 f"session {self.digest!r} is not batch-invariant: "
                 f"{violation}"
             )
+
+    def _degradation_check(
+        self, images: np.ndarray, max_disagreement: float
+    ) -> None:
+        import hashlib
+
+        from repro.errors import ConformanceError
+
+        key = hashlib.sha256(
+            repr(images.shape).encode() + images.tobytes()
+        ).hexdigest()[:16]
+        self._aging_paused = True
+        try:
+            predictions = self.classify(images)
+        finally:
+            self._aging_paused = False
+        baseline = self._check_baselines.get(key)
+        if baseline is None:
+            self._check_baselines[key] = predictions
+            obs.set_gauge("serve/self_check/disagreement", 0.0)
+            return
+        disagreement = float(np.mean(predictions != baseline))
+        obs.set_gauge("serve/self_check/disagreement", disagreement)
+        if disagreement > max_disagreement:
+            worst = max(
+                (h.drift_level_steps for h in self.health().values()),
+                default=0.0,
+            )
+            raise ConformanceError(
+                f"session {self.digest!r} degraded: {disagreement:.1%} of "
+                f"probe predictions moved vs the fresh-hardware baseline "
+                f"(allowed {max_disagreement:.1%}; worst array drift "
+                f"{worst:.3f} level steps) — re-tune "
+                f"(session.retune(force=True)) to restore"
+            )
+
+    # -- aging hardware ---------------------------------------------------
+    def health(self) -> Dict[str, ArrayHealth]:
+        """Health read-outs of every device array, mirrored to gauges."""
+        report: Dict[str, ArrayHealth] = {}
+        for name, array in self.device_arrays.items():
+            health = array.health()
+            report[name] = health
+            obs.set_gauge(f"hw/drift/{name}", health.drift_level_steps)
+            obs.set_gauge(
+                f"hw/reads/{name}", float(health.reads_since_program)
+            )
+            obs.set_gauge(f"hw/age/{name}", health.age)
+        if report:
+            obs.set_gauge(
+                "hw/drift/worst",
+                max(h.drift_level_steps for h in report.values()),
+            )
+        return report
+
+    def retune(
+        self,
+        policy: Optional[RetunePolicy] = None,
+        force: bool = False,
+    ) -> RetuneReport:
+        """Health-check and re-tune the session's device arrays now.
+
+        ``policy`` defaults to the session's configured policy (or the
+        :class:`~repro.hw.retune.RetunePolicy` defaults); ``force=True``
+        re-tunes every temporal array regardless of its drift level.
+        """
+        policy = (
+            policy
+            if policy is not None
+            else (self.config.retune or RetunePolicy())
+        )
+        if not force:
+            return check_and_retune(
+                self.device_arrays, policy, rng=self._retune_rng
+            )
+        report = RetuneReport()
+        for name, array in self.device_arrays.items():
+            report.checked[name] = array.health()
+            if array.temporal:
+                report.events.append(
+                    retune_array(
+                        array, policy, rng=self._retune_rng, name=name
+                    )
+                )
+        return report
 
     # -- serving ---------------------------------------------------------
     def batcher(

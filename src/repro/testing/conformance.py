@@ -217,6 +217,19 @@ def _save_counterexamples(
         report.artifacts.extend(ce.save(directory))
 
 
+def _save_campaigns(report: ConformanceReport, directory: Path) -> None:
+    """One JSON artifact per campaign: curves, violations and the
+    device-array snapshot digests pinning the aged cell state."""
+    import json
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for campaign in report.campaigns:
+        path = directory / f"campaign_{campaign.case.name}.json"
+        path.write_text(json.dumps(campaign.as_dict(), indent=2))
+        report.artifacts.append(path)
+
+
 def run_conformance(
     config: Optional[ConformanceConfig] = None,
 ) -> ConformanceReport:
@@ -276,6 +289,8 @@ def run_conformance(
         report.mismatches or report.injected is not None
     ):
         _save_counterexamples(report, config.artifacts_dir)
+    if config.artifacts_dir is not None and report.campaigns:
+        _save_campaigns(report, config.artifacts_dir)
 
     obs.set_gauge("conformance/ok", 1 if report.ok else 0)
     return report

@@ -35,6 +35,7 @@ from repro.analysis.robustness import (
     sense_amp_offset_sweep,
 )
 from repro.errors import ConfigurationError, ConformanceError
+from repro.hw.array import TemporalConfig
 from repro.hw.tuning import stuck_cell_map
 from repro.testing.differential import (
     Counterexample,
@@ -54,6 +55,7 @@ __all__ = [
     "CampaignResult",
     "inject_and_detect",
     "run_campaign",
+    "temporal_aging_sweep",
 ]
 
 logger = obs.get_logger("testing")
@@ -61,7 +63,12 @@ logger = obs.get_logger("testing")
 #: Fault kinds understood by :class:`FaultSpec`.
 FAULT_KINDS = (
     "program", "read", "stuck_low", "stuck_high", "sa_noise", "sa_offset",
+    "drift", "retention", "read_disturb",
 )
+
+#: Temporal aging kinds — swept through device-array time evolution
+#: (:func:`temporal_aging_sweep`) rather than the device recipe.
+AGING_KINDS = ("drift", "retention", "read_disturb")
 
 #: Map from fault kind to the ConformanceCase field it perturbs (device
 #: faults only; the sense-amp kinds live in the sweep functions).
@@ -95,8 +102,8 @@ class FaultSpec:
         """The case re-described with this fault on its device recipe."""
         if self.kind not in _DEVICE_FIELDS:
             raise ConfigurationError(
-                f"fault kind {self.kind!r} is a sense-amp fault; it sweeps "
-                "through run_campaign, not through the device recipe"
+                f"fault kind {self.kind!r} is not a device-recipe fault; "
+                "it sweeps through run_campaign, not through the recipe"
             )
         return replace(case, **{_DEVICE_FIELDS[self.kind]: self.level})
 
@@ -145,6 +152,113 @@ def inject_and_detect(
     return counterexample
 
 
+def _aging_temporal_config(
+    kind: str, level: float, seed: int
+) -> Optional[TemporalConfig]:
+    """The :class:`TemporalConfig` realising one aging level.
+
+    ``level`` is always oriented so *larger is worse*: the drift
+    exponent for ``"drift"``, the retention decay *rate* (``1 / tau``)
+    for ``"retention"`` and the per-read disturb rate for
+    ``"read_disturb"``.  Level 0 returns None — static arrays, the
+    clean baseline.
+
+    Drift carries per-cell exponent dispersion (lognormal ``sigma``):
+    without it every cell would decay by the same factor, a uniform
+    rescale an argmax readout cannot see.  Retention and read disturb
+    are uniform mechanisms by construction — their degradation shows
+    through *thresholded* hidden layers, so sweep them on cases with
+    at least two conv layers.
+    """
+    if level <= 0:
+        return None
+    if kind == "drift":
+        return TemporalConfig(drift_nu=level, drift_nu_sigma=0.5, seed=seed)
+    if kind == "retention":
+        return TemporalConfig(retention_tau=1.0 / level, seed=seed)
+    return TemporalConfig(read_disturb_rate=level, seed=seed)
+
+
+def temporal_aging_sweep(
+    network,
+    thresholds: Dict[int, float],
+    images: np.ndarray,
+    labels: np.ndarray,
+    levels: Sequence[float] = (0.0, 0.02, 0.05, 0.1),
+    trials: int = 3,
+    kind: str = "drift",
+    device_bits: int = 4,
+    seed: int = 0,
+    age: float = 64.0,
+) -> Tuple[NoiseSweepResult, str]:
+    """Error vs device *age* for one aging mechanism.
+
+    The temporal sibling of :func:`repro.analysis.robustness.
+    sei_variation_sweep`: hidden layers run on aging
+    :class:`~repro.hw.array.TemporalSimDeviceArray` cells, a burn-in
+    pass accrues the read history, the device clock advances by
+    ``age`` time units, and the *aged* hardware is scored.  Returns the
+    degradation curve plus the snapshot digest of the worst-level
+    hardware's first array — the campaign artifact that pins the exact
+    aged cell state a report was produced from.
+    """
+    if kind not in AGING_KINDS:
+        raise ConfigurationError(
+            f"kind must be one of {', '.join(AGING_KINDS)}, got {kind!r}"
+        )
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    from repro.core.binarized import BinarizedNetwork
+    from repro.core.sei import sei_layer_compute
+    from repro.hw.device import RRAMDevice
+    from repro.nn.layers import Conv2D, Dense
+
+    indices = [
+        i
+        for i, layer in enumerate(network.layers)
+        if isinstance(layer, (Conv2D, Dense))
+    ][1:]  # the DAC-driven input layer keeps exact software math (§3.2)
+    errors: List[List[float]] = []
+    digest = ""
+    for level in levels:
+        level_errors = []
+        for trial in range(trials):
+            rng = np.random.default_rng(seed * 1000 + trial)
+            device = RRAMDevice(bits=device_bits)
+            temporal = _aging_temporal_config(kind, level, seed + trial)
+            binarized = BinarizedNetwork(network, dict(thresholds))
+            computes = []
+            for index in indices:
+                compute = sei_layer_compute(
+                    network.layers[index],
+                    device=device,
+                    max_crossbar_size=1 << 20,
+                    rng=rng,
+                    temporal=temporal,
+                )
+                binarized.layer_computes[index] = compute
+                computes.append(compute)
+            # Burn in (accrues the read history read-disturb keys on),
+            # then advance the device clock and score the aged hardware.
+            binarized.predict(images)
+            for compute in computes:
+                compute.array.advance(age)
+            level_errors.append(binarized.error_rate(images, labels))
+            if computes:
+                digest = computes[0].array.snapshot().digest()
+        errors.append(level_errors)
+    arr = np.asarray(errors)
+    result = NoiseSweepResult(
+        knob=kind,
+        levels=list(levels),
+        mean_error=arr.mean(axis=1).tolist(),
+        std_error=arr.std(axis=1).tolist(),
+        worst_error=arr.max(axis=1).tolist(),
+        trials=trials,
+    )
+    return result, digest
+
+
 @dataclass(frozen=True)
 class CampaignConfig:
     """One degradation campaign: which knobs, how far, what is tolerable."""
@@ -158,10 +272,13 @@ class CampaignConfig:
             "stuck_low": (0.0, 0.02, 0.08),
             "sa_noise": (0.0, 0.05, 0.15),
             "sa_offset": (0.0, 0.05, 0.15),
+            "drift": (0.0, 0.05, 0.2),
         }
     )
     trials: int = 3
     seed: int = 0
+    #: Device age (time units) aging sweeps advance the clock by.
+    aging_time: float = 64.0
     #: Mean error at any level may exceed the clean baseline by at most
     #: this much (absolute error-rate points).
     max_accuracy_loss: float = 0.75
@@ -195,6 +312,9 @@ class CampaignResult:
     #: Expected stuck-cell density at each stuck sweep's worst level
     #: (sanity anchor from :func:`repro.hw.tuning.stuck_cell_map`).
     expected_stuck_fraction: float = 0.0
+    #: Device-array snapshot digest per aging sweep (worst level) —
+    #: pins the exact aged cell state the curve was scored on.
+    snapshot_digests: Dict[str, str] = field(default_factory=dict)
 
     def violations(self) -> List[str]:
         """Every monotonicity / boundedness violation, human-readable."""
@@ -248,6 +368,7 @@ class CampaignResult:
                 }
                 for kind, curve in self.curves.items()
             },
+            "snapshot_digests": dict(self.snapshot_digests),
             "violations": self.violations(),
             "ok": self.ok,
         }
@@ -277,10 +398,20 @@ def run_campaign(
     baseline = oracle.error_rate(built.inputs, labels)
 
     curves: Dict[str, NoiseSweepResult] = {}
+    snapshot_digests: Dict[str, str] = {}
     with obs.span("conformance.campaign", case=case.name):
         for kind, levels in sorted(config.sweeps.items()):
             with obs.span("conformance.sweep", kind=kind):
-                if kind in ("program", "read"):
+                if kind in AGING_KINDS:
+                    curve, digest = temporal_aging_sweep(
+                        built.network, built.thresholds,
+                        built.inputs, labels,
+                        levels=levels, trials=config.trials, kind=kind,
+                        device_bits=case.device_bits, seed=config.seed,
+                        age=config.aging_time,
+                    )
+                    snapshot_digests[kind] = digest
+                elif kind in ("program", "read"):
                     curve = sei_variation_sweep(
                         built.network, built.thresholds,
                         built.inputs, labels,
@@ -335,6 +466,7 @@ def run_campaign(
         curves=curves,
         baseline_error=float(baseline),
         expected_stuck_fraction=expected_stuck,
+        snapshot_digests=snapshot_digests,
     )
     for line in result.violations():
         logger.warning("campaign violation: %s", line)

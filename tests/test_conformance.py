@@ -376,3 +376,63 @@ class TestCampaignEndToEnd:
         assert set(result.curves) == {"stuck_low", "sa_offset"}
         assert result.expected_stuck_fraction > 0.0
         assert result.ok, result.violations()
+
+
+class TestAgingCampaign:
+    """Temporal-aging sweeps through the campaign harness."""
+
+    def test_drift_sweep_monotone_with_snapshot_digest(self):
+        """A drift-only campaign on the small case: error grows
+        monotonically with the drift exponent and the result records
+        the device-array snapshot digest for the artifact trail."""
+        from repro.testing.faults import run_campaign
+
+        config = CampaignConfig(
+            sweeps={"drift": (0.0, 0.05, 0.2)}, trials=2
+        )
+        result = run_campaign(SMALL, config)
+        curve = result.curves["drift"]
+        assert curve.mean_error[0] == result.baseline_error
+        assert curve.mean_error[-1] > curve.mean_error[0]
+        assert result.ok, result.violations()
+        digest = result.snapshot_digests["drift"]
+        assert len(digest) == 16
+        assert result.as_dict()["snapshot_digests"]["drift"] == digest
+
+    def test_aging_sweep_is_deterministic(self):
+        from repro.testing.faults import run_campaign
+
+        config = CampaignConfig(sweeps={"drift": (0.0, 0.2)}, trials=1)
+        a = run_campaign(SMALL, config)
+        b = run_campaign(SMALL, config)
+        assert a.curves["drift"].mean_error == b.curves["drift"].mean_error
+        assert a.snapshot_digests == b.snapshot_digests
+
+    def test_aging_kinds_are_not_device_recipe_faults(self):
+        spec = FaultSpec(kind="drift", level=0.1)
+        with pytest.raises(ConfigurationError, match="not a device-recipe"):
+            spec.apply_to_case(SMALL)
+
+    def test_campaign_artifacts_include_digests(self, tmp_path):
+        """conformance --campaign writes per-case campaign JSON with the
+        snapshot digest, for the CI artifact trail."""
+        import json
+
+        config = ConformanceConfig(
+            engines=("fused", "reference"),
+            golden_dir=tmp_path / "golden",
+            self_check=False,
+            artifacts_dir=tmp_path / "artifacts",
+            explicit_cases=[SMALL],
+            campaign=CampaignConfig(
+                sweeps={"drift": (0.0, 0.2)}, trials=1
+            ),
+        )
+        report = run_conformance(config)
+        assert report.ok
+        campaign_files = [
+            p for p in report.artifacts if p.name.startswith("campaign_")
+        ]
+        assert campaign_files
+        payload = json.loads(campaign_files[0].read_text())
+        assert payload["snapshot_digests"]["drift"]

@@ -112,4 +112,10 @@ class TestNonIdealities:
             device=RRAMDevice(program_sigma=0.3),
             rng=np.random.default_rng(7),
         )
-        np.testing.assert_allclose(a.conductance, b.conductance)
+        np.testing.assert_allclose(a.array.conductance, b.array.conductance)
+
+    def test_conductance_attribute_is_deprecated(self, rng):
+        xbar = Crossbar(rng.random((4, 4)))
+        with pytest.warns(DeprecationWarning):
+            legacy = xbar.conductance
+        np.testing.assert_array_equal(legacy, xbar.array.conductance)

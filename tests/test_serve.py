@@ -496,3 +496,104 @@ class TestTelemetryWiring:
             assert batcher.flight is None
             for f in batcher.submit_many(request_images[:4]):
                 f.result(timeout=30)
+
+
+class TestTemporalSession:
+    """The aging → detection → re-tune closed loop (ISSUE acceptance)."""
+
+    @staticmethod
+    def _temporal_config(**kwargs):
+        from repro.hw.array import TemporalConfig
+
+        spec = EngineSpec(
+            hardware=HardwareConfig(
+                temporal=TemporalConfig(
+                    drift_nu=0.3, drift_nu_sigma=0.5, seed=5
+                )
+            )
+        )
+        return SessionConfig(network="tiny", tile=8, engine=spec, **kwargs)
+
+    def test_fresh_temporal_session_matches_static(
+        self, tiny_quantized, tiny_session, request_images
+    ):
+        """age_per_batch=0 freezes the clock: a temporal session that
+        never ages is bit-identical to the static seed behaviour."""
+        frozen = InferenceSession.from_artifacts(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            self._temporal_config(age_per_batch=0.0),
+        )
+        assert frozen.temporal
+        assert frozen.device_arrays
+        np.testing.assert_array_equal(
+            frozen.infer_batch(request_images),
+            tiny_session.infer_batch(request_images),
+        )
+
+    def test_aging_degrades_then_retune_restores(
+        self, tiny_quantized, tiny_dataset
+    ):
+        """Baseline self_check passes; drift accumulates until the check
+        raises; a forced re-tune restores the programmed state and the
+        check passes again."""
+        from repro.errors import ConformanceError
+
+        session = InferenceSession.from_artifacts(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            self._temporal_config(age_per_batch=200.0),
+        )
+        probe = tiny_dataset["test_x"][:16]
+        session.self_check(probe)  # records the fresh-hardware baseline
+
+        for _ in range(5):
+            session.infer_batch(probe)
+        drift = max(
+            h.drift_level_steps for h in session.health().values()
+        )
+        assert drift > 0.0
+        with pytest.raises(ConformanceError, match="degraded"):
+            session.self_check(probe)
+
+        report = session.retune(force=True)
+        assert report.retuned
+        assert all(e.drift_level_steps > 0 for e in report.events)
+        session.self_check(probe)  # back to the baseline predictions
+        assert all(
+            h.drift_level_steps == 0.0
+            for h in session.health().values()
+        )
+
+    def test_retune_policy_fires_automatically(
+        self, tiny_quantized, tiny_dataset
+    ):
+        from repro import obs
+        from repro.hw.retune import RetunePolicy
+
+        session = InferenceSession.from_artifacts(
+            tiny_quantized.network,
+            tiny_quantized.thresholds,
+            self._temporal_config(
+                age_per_batch=200.0,
+                retune=RetunePolicy(check_every=2, drift_threshold=0.25),
+            ),
+        )
+        probe = tiny_dataset["test_x"][:8]
+        with obs.recording() as rec:
+            for _ in range(4):
+                session.infer_batch(probe)
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters.get("hw/retune/events", 0) >= 1
+        # The cadence-driven loop kept drift below the threshold.
+        assert all(
+            h.drift_level_steps < 0.25
+            for h in session.health().values()
+        )
+
+    def test_static_session_self_check_unchanged(
+        self, tiny_session, request_images
+    ):
+        """Deterministic static sessions keep the batch-invariance
+        self-check; nothing about the new path disturbs it."""
+        tiny_session.self_check(request_images[:8])

@@ -9,7 +9,9 @@ Everything the paper's reproduction does reduces to this sequence::
         future = batcher.submit(image)
 
 plus :func:`quantize` for running Algorithm 1 on a user-supplied
-network.  These five verbs are the supported surface: internals
+network and :func:`gateway` for serving at scale (a sharded,
+admission-controlled front-end over N warm sessions).  These verbs
+are the supported surface: internals
 (``repro.core``, ``repro.zoo``, ...) stay importable but may reshuffle
 between releases; this module will not.
 
@@ -55,6 +57,7 @@ from repro.hw.array import DeviceSpec, TemporalConfig, make_array
 from repro.hw.retune import RetunePolicy
 from repro.nn.network import Sequential
 from repro.serve.batcher import BatcherConfig, MicroBatcher
+from repro.serve.gateway import AsyncGateway, GatewayConfig
 from repro.serve.session import InferenceSession, SessionConfig, compile_session
 
 __all__ = [
@@ -63,6 +66,9 @@ __all__ = [
     "compile",
     "infer",
     "serve",
+    "gateway",
+    "AsyncGateway",
+    "GatewayConfig",
     "EngineSpec",
     "SessionConfig",
     "BatcherConfig",
@@ -295,3 +301,66 @@ def serve(
         device=device, retune=retune,
     )
     return session.serve(batcher)
+
+
+def gateway(
+    networks: Union[str, Dict[str, str], "list", "tuple"] = "network2",
+    *,
+    shards: Optional[int] = None,
+    config: Optional[GatewayConfig] = None,
+    engine: Union[EngineSpec, str, None] = None,
+    tile: int = 16,
+    cache_dir: Optional[Path] = None,
+    device: Optional[DeviceSpec] = None,
+    retune: Optional[RetunePolicy] = None,
+    start: bool = True,
+) -> AsyncGateway:
+    """A sharded async serving gateway over warm zoo sessions.
+
+    ``networks`` names the tenants: one zoo model name, several, or an
+    explicit ``{tenant: network}`` mapping.  Each tenant factory
+    compiles through :func:`compile`; stateless sessions (no aging, no
+    re-tuning) are shared between shards via the warm-session registry,
+    while stateful ones (``device`` with temporal aging, or ``retune``)
+    compile one isolated replica per shard so shards age independently.
+
+    ``config`` carries the serving-plane knobs (admission limits,
+    routing replicas, batcher shape); ``shards`` is a convenience
+    override of ``config.shards``.  Returns a *running* gateway unless
+    ``start=False``::
+
+        with api.gateway("network2", shards=4) as gw:
+            logits = gw.infer(image)
+    """
+    if isinstance(networks, str):
+        networks = {networks: networks}
+    elif not isinstance(networks, dict):
+        networks = {name: name for name in networks}
+    stateful = retune is not None or (
+        device is not None and device.temporal.enabled
+    )
+
+    def _factory(network_name: str):
+        def build():
+            return compile(
+                network_name,
+                engine=engine,
+                tile=tile,
+                cache_dir=cache_dir,
+                device=device,
+                retune=retune,
+                reuse=not stateful,
+            )
+
+        return build
+
+    tenants = {
+        tenant: _factory(network_name)
+        for tenant, network_name in networks.items()
+    }
+    if config is None:
+        config = GatewayConfig(shards=shards if shards is not None else 2)
+    elif shards is not None and shards != config.shards:
+        config = replace(config, shards=shards)
+    gw = AsyncGateway(tenants, config=config)
+    return gw.start() if start else gw

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli infer network2 --count 16
     python -m repro.cli serve network2 --requests 64 --workers 2
     python -m repro.cli serve network2 --listen 9100 --duration 60
+    python -m repro.cli loadgen network2 --shards 2 --profile bursty
+    python -m repro.cli loadgen network2 --quick --report loadgen.json
     python -m repro.cli top --url http://127.0.0.1:9100
     python -m repro.cli top --watch --frames 3 --interval 0.2
     python -m repro.cli conformance --quick
@@ -71,6 +73,9 @@ _COMMAND_SUMMARIES = {
     "infer": "classify test samples through a warm inference session",
     "serve": "drive micro-batched serving over a warm session "
     "(--listen publishes /metrics)",
+    "loadgen": "drive a sharded gateway with seeded open-loop traffic "
+    "(poisson/bursty/diurnal or trace replay) and report latency "
+    "quantiles",
     "top": "live terminal dashboard over a serving telemetry plane",
     "conformance": "cross-engine conformance harness (exit 1 on mismatch)",
     "explore": "design-space exploration: run/resume a study, report the "
@@ -279,6 +284,85 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="breach when windowed SEI dynamic energy per request "
         "(joules) exceeds this",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        parents=[common],
+        help=_COMMAND_SUMMARIES["loadgen"],
+    )
+    _add_session_args(loadgen)
+    loadgen.add_argument(
+        "--shards", type=int, default=2, help="session shards on the ring"
+    )
+    loadgen.add_argument(
+        "--profile",
+        choices=("poisson", "bursty", "diurnal"),
+        default="poisson",
+        help="arrival process (ignored with --replay)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=200.0,
+        help="mean arrival rate, requests/second",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=2.0,
+        help="schedule horizon in seconds",
+    )
+    loadgen.add_argument(
+        "--burst-rate", type=float, default=1000.0,
+        help="bursty: arrival rate inside a burst",
+    )
+    loadgen.add_argument(
+        "--burst-dwell", type=float, default=0.05,
+        help="bursty: mean burst dwell time (s)",
+    )
+    loadgen.add_argument(
+        "--calm-dwell", type=float, default=0.2,
+        help="bursty: mean calm dwell time (s)",
+    )
+    loadgen.add_argument(
+        "--period", type=float, default=1.0,
+        help="diurnal: sinusoid period (s)",
+    )
+    loadgen.add_argument(
+        "--amplitude", type=float, default=0.5,
+        help="diurnal: modulation depth in [0,1)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--replay",
+        metavar="PATH",
+        default=None,
+        help="replay a saved trace file instead of generating a schedule",
+    )
+    loadgen.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        dest="save_trace_path",
+        default=None,
+        help="save the generated schedule as a replayable trace file",
+    )
+    loadgen.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the summary report JSON to PATH (CI artifact)",
+    )
+    loadgen.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="gateway token-bucket admission rate (req/s; default off)",
+    )
+    loadgen.add_argument(
+        "--max-in-flight", type=int, default=256,
+        help="gateway bounded in-flight admission window",
+    )
+    loadgen.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: short low-rate run (overrides --rate/--duration)",
     )
 
     top = sub.add_parser(
@@ -828,6 +912,90 @@ def _cmd_serve(args) -> None:
     )
 
 
+def _cmd_loadgen(args) -> int:
+    from repro import api
+    from repro.core.engines import EngineSpec
+    from repro.serve import (
+        GatewayConfig,
+        LoadProfile,
+        generate_schedule,
+        load_trace,
+        run_load,
+        save_trace,
+        stationary_rate,
+    )
+    from repro.zoo import get_dataset
+
+    rate = 150.0 if args.quick else args.rate
+    duration = 1.0 if args.quick else args.duration
+    if args.replay is not None:
+        profile = load_trace(args.replay)
+    else:
+        profile = LoadProfile(
+            kind=args.profile,
+            rate=rate,
+            duration_s=duration,
+            burst_rate=args.burst_rate,
+            burst_dwell_s=args.burst_dwell,
+            calm_dwell_s=args.calm_dwell,
+            period_s=args.period,
+            amplitude=args.amplitude,
+        )
+    schedule = generate_schedule(profile, seed=args.seed)
+    if args.save_trace_path is not None:
+        save_trace(args.save_trace_path, schedule, profile, seed=args.seed)
+        logger.info("trace written to %s", args.save_trace_path)
+    images = get_dataset().test.images
+    config = GatewayConfig(
+        shards=args.shards,
+        rate=args.rate_limit,
+        max_in_flight=args.max_in_flight,
+    )
+    gateway = api.gateway(
+        args.network,
+        config=config,
+        engine=EngineSpec(args.engine),
+        tile=args.tile,
+    )
+    try:
+        report = run_load(
+            lambda x: gateway.submit(x, tenant=args.network),
+            schedule,
+            lambda i: images[i % len(images)],
+        )
+        report["gateway"] = gateway.stats()
+    finally:
+        gateway.stop()
+    report["profile"] = {
+        "kind": profile.kind,
+        "seed": args.seed,
+        "stationary_rate_rps": round(stationary_rate(profile), 3),
+        "arrivals": len(schedule),
+    }
+    report["shards"] = args.shards
+    logger.info(
+        "offered %.0f req/s -> served %.0f req/s  "
+        "(ok=%d rejected=%d errors=%d)",
+        report["offered_rate_rps"],
+        report["throughput_rps"],
+        report["ok"],
+        report["rejected"],
+        report["errors"] + report["dead"],
+    )
+    logger.info(
+        "latency p50=%s p95=%s p99=%s p999=%s (ms)",
+        report["p50_ms"],
+        report["p95_ms"],
+        report["p99_ms"],
+        report["p999_ms"],
+    )
+    if args.report is not None:
+        _write_export(report, args.report)
+        logger.info("report written to %s", args.report)
+    # A smoke run fails only if nothing was served at all.
+    return 0 if report["ok"] > 0 else 1
+
+
 def _watch_plane():
     """A self-contained synthetic serving plane for ``top --watch``.
 
@@ -1034,6 +1202,7 @@ _HANDLERS = {
     "datasheet": _cmd_datasheet,
     "infer": _cmd_infer,
     "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "top": _cmd_top,
     "conformance": _cmd_conformance,
     "explore": _cmd_explore,

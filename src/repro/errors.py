@@ -37,7 +37,20 @@ class ServeError(ReproError):
 
 
 class BackpressureError(ServeError):
-    """The serving queue is full and the submit timeout elapsed."""
+    """The serving queue is full and the submit timeout elapsed.
+
+    Also raised by the gateway's admission control (token bucket
+    exhausted or the bounded in-flight window full) — one exception
+    type for every deliberate load-shedding decision, so clients have
+    a single thing to catch and retry-with-backoff on."""
+
+
+class ShardDeadError(ServeError):
+    """The shard holding this request died before answering.
+
+    In-flight requests on a killed shard fail with this error instead
+    of hanging or being silently dropped; *new* requests re-route to
+    the surviving shards."""
 
 
 class ConformanceError(ReproError):

@@ -33,16 +33,30 @@ from typing import Dict, Optional
 
 from repro.obs.log import get_logger
 
-__all__ = ["render_prometheus", "ExpositionServer"]
+__all__ = ["render_prometheus", "merge_prometheus", "ExpositionServer"]
 
 logger = get_logger("obs.exposition")
 
 _NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_VALUE_ESCAPE = re.compile(r'(["\\\n])')
 
 
 def _prom_name(name: str, prefix: str = "repro") -> str:
     flat = _NAME_SANITIZE.sub("_", name.strip("/").replace("/", "_"))
     return f"{prefix}_{flat}" if prefix else flat
+
+
+def _label_body(labels: Optional[Dict[str, str]]) -> str:
+    """``key="value"`` pairs (sorted, escaped), without the braces."""
+    if not labels:
+        return ""
+    return ",".join(
+        '{}="{}"'.format(
+            _NAME_SANITIZE.sub("_", str(key)),
+            _LABEL_VALUE_ESCAPE.sub(r"\\\1", str(value)).replace("\n", "\\n"),
+        )
+        for key, value in sorted(labels.items())
+    )
 
 
 def _prom_value(value) -> str:
@@ -62,14 +76,19 @@ def render_prometheus(
     extra_gauges: Optional[Dict[str, object]] = None,
     extra_counters: Optional[Dict[str, object]] = None,
     prefix: str = "repro",
+    labels: Optional[Dict[str, str]] = None,
 ) -> str:
     """Prometheus text-format exposition of an ``as_dict()`` payload.
 
     ``extra_gauges``/``extra_counters`` let the caller add synthesized
     series (the SLO window stats) without writing them into the
-    registry itself.
+    registry itself.  ``labels`` stamps every series with constant
+    labels (``{shard="shard-0"}``) — how the gateway keeps N shards'
+    identically-named series apart on one aggregated endpoint.
     """
     lines = []
+    base = _label_body(labels)
+    suffix = f"{{{base}}}" if base else ""
 
     counters = dict(metrics.get("counters", {}))
     if extra_counters:
@@ -77,7 +96,7 @@ def render_prometheus(
     for name in sorted(counters):
         prom = _prom_name(name, prefix) + "_total"
         lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {_prom_value(counters[name])}")
+        lines.append(f"{prom}{suffix} {_prom_value(counters[name])}")
 
     gauges = dict(metrics.get("gauges", {}))
     if extra_gauges:
@@ -85,7 +104,7 @@ def render_prometheus(
     for name in sorted(gauges):
         prom = _prom_name(name, prefix)
         lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {_prom_value(gauges[name])}")
+        lines.append(f"{prom}{suffix} {_prom_value(gauges[name])}")
 
     for name in sorted(metrics.get("histograms", {})):
         hist = metrics["histograms"][name]
@@ -94,13 +113,49 @@ def render_prometheus(
         cumulative = 0
         for edge, count in zip(hist["edges"][1:], hist["counts"]):
             cumulative += count
-            lines.append(
-                f'{prom}_bucket{{le="{_prom_value(float(edge))}"}} '
-                f"{cumulative}"
+            bucket = _label_body(
+                dict(labels or {}, le=_prom_value(float(edge)))
             )
-        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
-        lines.append(f"{prom}_sum {_prom_value(hist['sum'])}")
-        lines.append(f"{prom}_count {hist['count']}")
+            lines.append(f"{prom}_bucket{{{bucket}}} {cumulative}")
+        inf_bucket = _label_body(dict(labels or {}, le="+Inf"))
+        lines.append(f'{prom}_bucket{{{inf_bucket}}} {hist["count"]}')
+        lines.append(f"{prom}_sum{suffix} {_prom_value(hist['sum'])}")
+        lines.append(f"{prom}_count{suffix} {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def merge_prometheus(parts) -> str:
+    """Concatenate per-source expositions into one valid document.
+
+    Each part carries its own ``# TYPE`` headers; the text format
+    requires a metric's header once per document with all its series in
+    one contiguous group, so the merge buckets every series line under
+    its (deduplicated) header, preserving first-seen metric order.
+    This is how the gateway publishes N shard registries behind a
+    single ``/metrics``.
+    """
+    groups: "Dict[str, list]" = {}
+    order = []
+    for part in parts:
+        current: Optional[list] = None
+        for line in part.splitlines():
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                if line not in groups:
+                    groups[line] = []
+                    order.append(line)
+                current = groups[line]
+            elif current is not None:
+                current.append(line)
+            else:  # headerless prelude line: keep it, unheadered
+                if line not in groups:
+                    groups[line] = []
+                    order.append(line)
+    lines = []
+    for header in order:
+        lines.append(header)
+        lines.extend(groups[header])
     return "\n".join(lines) + "\n"
 
 
@@ -126,7 +181,13 @@ class _PlaneHandler(BaseHTTPRequestHandler):
         plane = self.plane
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         try:
-            plane.recorder.metrics.inc("obs/scrapes")
+            # Any provider with prometheus_text/metrics_json/health/
+            # flight_dump can sit behind this server (a TelemetryPlane,
+            # or the gateway's aggregated multi-shard view, which has
+            # no single recorder).
+            recorder = getattr(plane, "recorder", None)
+            if recorder is not None:
+                recorder.metrics.inc("obs/scrapes")
             if path == "/metrics":
                 body = plane.prometheus_text().encode("utf-8")
                 self._reply(

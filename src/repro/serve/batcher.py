@@ -38,6 +38,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import BackpressureError, ConfigurationError, ServeError
+from repro.serve.clock import SYSTEM_CLOCK, Clock
 
 __all__ = ["BatcherConfig", "BatcherStats", "MicroBatcher"]
 
@@ -139,6 +140,15 @@ class MicroBatcher:
     config:
         Coalescing/capacity parameters; defaults to
         :class:`BatcherConfig`.
+    clock:
+        Time source for every recorded timestamp (enqueue, batch start
+        and end, latency histograms).  Defaults to the real
+        :data:`~repro.serve.clock.SYSTEM_CLOCK`; tests inject a
+        :class:`~repro.serve.clock.FakeClock` so latency accounting is
+        exact instead of wall-clock-tolerant.  The *coalescing wait*
+        itself stays on real time — it parks a thread in
+        ``queue.get`` — so a fake clock changes what gets measured,
+        never whether threads wake up.
 
     Use as a context manager (``with session.batcher() as mb: ...``) or
     call :meth:`start` / :meth:`stop` explicitly.
@@ -148,6 +158,7 @@ class MicroBatcher:
         self,
         target: Union[Callable[[np.ndarray], np.ndarray], object],
         config: Optional[BatcherConfig] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         infer = getattr(target, "infer_batch", None)
         if infer is None:
@@ -159,6 +170,7 @@ class MicroBatcher:
             infer = target
         self._infer = infer
         self.config = config if config is not None else BatcherConfig()
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
         self.stats = BatcherStats()
         self._queue: "queue.Queue" = queue.Queue(
             maxsize=self.config.max_queue_depth
@@ -169,6 +181,11 @@ class MicroBatcher:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
         self._abort = False
+        self._abort_error: Optional[BaseException] = None
+        #: Requests currently inside a dispatched batch (guarded by
+        #: ``_stats_lock``): :meth:`abort` fails these directly so a
+        #: killed shard's waiters never hang on a stalled worker.
+        self._inflight_requests: set = set()
         # In-flight batch limiter.  Without it the collector would drain
         # the bounded admission queue straight into the executor's
         # *unbounded* internal queue and backpressure would never engage;
@@ -182,6 +199,12 @@ class MicroBatcher:
         #: attach one via :meth:`repro.obs.TelemetryPlane.attach` to get
         #: per-request/per-batch events into the bounded ring.
         self.flight = None
+        #: Optional dedicated :class:`repro.obs.Recorder`.  Unset (the
+        #: default), metrics go to the process-global recorder as
+        #: before; a gateway shard points this at its *own* recorder so
+        #: per-shard series stay separable behind the aggregated
+        #: ``/metrics`` endpoint.
+        self.recorder = None
         self._rid = itertools.count(1)
         # What the flight events say about the compute behind this
         # batcher: engine name + session digest when the target is an
@@ -220,30 +243,94 @@ class MicroBatcher:
         )
         return self
 
-    def stop(self, drain: bool = True) -> None:
+    def stop(
+        self,
+        drain: bool = True,
+        error: Optional[BaseException] = None,
+    ) -> None:
         """Shut down; ``drain=True`` finishes pending requests first.
 
         With ``drain=False`` pending (not yet dispatched) requests are
-        cancelled.  Idempotent.
+        cancelled — or, when ``error`` is given, *failed* with that
+        exception instead.  The error form is what a dying shard uses:
+        every waiter gets a :class:`~repro.errors.ShardDeadError`
+        promptly rather than a bare cancellation (or worse, a hang).
+        Idempotent.
         """
         with self._state_lock:
             if self._collector is None or self._closed:
                 return
             self._closed = True
             self._abort = not drain
+            self._abort_error = error if not drain else None
         self._queue.put(_STOP)
         self._collector.join()
         assert self._executor is not None
         self._executor.shutdown(wait=True)
         # Anything still queued was behind the sentinel of an aborted
-        # shutdown: cancel it so waiters do not hang.
+        # shutdown: resolve it so waiters do not hang.
         while True:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
             if item is not _STOP:
-                item.future.cancel()
+                self._drop_request(item)
+
+    def _drop_request(self, request: "_Request") -> None:
+        """Resolve one undispatched request during an aborted shutdown."""
+        if self._abort_error is not None:
+            if not request.future.done():
+                request.future.set_exception(self._abort_error)
+        else:
+            request.future.cancel()
+
+    def abort(self, error: Optional[BaseException] = None) -> None:
+        """Abrupt, non-blocking shutdown: fail everything, wait for nothing.
+
+        Unlike :meth:`stop` this never joins workers, so it returns
+        promptly even when a batch is wedged inside ``infer``.  Every
+        queued *and* in-flight request is failed with ``error``
+        (default: a :class:`~repro.errors.ServeError`); a wedged
+        worker's late ``set_result`` on an already-failed future is a
+        silent no-op.  This is the crash path a dying gateway shard
+        takes — liveness over graceful drain.
+        """
+        error = (
+            error
+            if error is not None
+            else ServeError("MicroBatcher aborted")
+        )
+        with self._state_lock:
+            if self._collector is None:
+                return
+            already = self._closed
+            self._closed = True
+            self._abort = True
+            self._abort_error = error
+        if not already:
+            self._queue.put(_STOP)
+        # A collector parked on the in-flight semaphore (all workers
+        # busy) would never see the sentinel; hand it a free slot.
+        self._inflight.release()
+        # Fail whatever is still queued (racing the collector over the
+        # queue is fine — each item is resolved by exactly one side).
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                self._drop_request(item)
+        self._queue.put(_STOP)  # the drain above may have eaten it
+        with self._stats_lock:
+            inflight = list(self._inflight_requests)
+        for request in inflight:
+            if not request.future.done():
+                request.future.set_exception(error)
+        executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=False)
 
     def __enter__(self) -> "MicroBatcher":
         if not self.running:
@@ -267,15 +354,20 @@ class MicroBatcher:
                 "MicroBatcher is not running (call start() or use it as a "
                 "context manager)"
             )
+        # np.asarray is a no-op view for ndarray inputs: the request
+        # carries the caller's buffer by reference (zero-copy handoff
+        # between the gateway front-end and the shard's worker pool).
         request = _Request(
-            np.asarray(x), Future(), time.monotonic(), next(self._rid)
+            np.asarray(x), Future(), self.clock.monotonic(), next(self._rid)
         )
         try:
             self._queue.put(request, block=True, timeout=timeout)
         except queue.Full:
             with self._stats_lock:
                 self.stats.rejected += 1
-            obs.count("serve/rejected")
+            rec = self._rec()
+            if rec is not None:
+                rec.metrics.inc("serve/rejected")
             flight = self.flight
             if flight is not None:
                 flight.record(
@@ -302,6 +394,10 @@ class MicroBatcher:
         return [self.submit(x, timeout=timeout) for x in xs]
 
     # -- internals -------------------------------------------------------
+    def _rec(self):
+        """The recorder metric writes go to (dedicated or global)."""
+        return self.recorder if self.recorder is not None else obs.active()
+
     def _note_queue_depth(self) -> int:
         """Sample the queue depth once; update gauge + high-watermark.
 
@@ -321,7 +417,7 @@ class MicroBatcher:
             if depth > self.stats.max_observed_queue_depth:
                 self.stats.max_observed_queue_depth = depth
             watermark = self.stats.max_observed_queue_depth
-        rec = obs.active()
+        rec = self._rec()
         if rec is not None:
             rec.metrics.set_gauge("serve/queue_depth", depth)
             rec.metrics.set_gauge(
@@ -338,7 +434,7 @@ class MicroBatcher:
             if first is _STOP:
                 return
             if self._abort:
-                first.future.cancel()
+                self._drop_request(first)
                 self._inflight.release()
                 continue
             batch = [first]
@@ -356,28 +452,47 @@ class MicroBatcher:
                     stop_after = True
                     break
                 batch.append(item)
+            if self._abort:
+                for item in batch:
+                    self._drop_request(item)
+                self._inflight.release()
+                return
             assert self._executor is not None
-            self._executor.submit(self._run_batch, batch)
+            try:
+                self._executor.submit(self._run_batch, batch)
+            except RuntimeError:
+                # abort() shut the executor down between our check and
+                # the submit; resolve the batch ourselves.
+                for item in batch:
+                    self._drop_request(item)
+                self._inflight.release()
+                return
             if stop_after:
                 return
 
     def _run_batch(self, batch: List[_Request]) -> None:
+        with self._stats_lock:
+            self._inflight_requests.update(batch)
         try:
             self._run_batch_inner(batch)
         finally:
+            with self._stats_lock:
+                self._inflight_requests.difference_update(batch)
             self._inflight.release()
 
     def _run_batch_inner(self, batch: List[_Request]) -> None:
         images = np.stack([request.x for request in batch])
-        started = time.monotonic()
+        started = self.clock.monotonic()
         with obs.span("serve.batch", size=len(batch)):
             try:
                 outputs = self._infer(images)
             except Exception as exc:  # fan the failure out to every waiter
                 with self._stats_lock:
                     self.stats.failed_batches += 1
-                obs.count("serve/failed_batches")
-                obs.count("serve/failed_requests", len(batch))
+                rec = self._rec()
+                if rec is not None:
+                    rec.metrics.inc("serve/failed_batches")
+                    rec.metrics.inc("serve/failed_requests", len(batch))
                 logger.warning("batch of %d failed: %s", len(batch), exc)
                 flight = self.flight
                 if flight is not None:
@@ -389,11 +504,15 @@ class MicroBatcher:
                         **self._target_info,
                     )
                 for request in batch:
-                    request.future.set_exception(exc)
+                    if not request.future.done():
+                        request.future.set_exception(exc)
                 return
-        done = time.monotonic()
+        done = self.clock.monotonic()
         for i, request in enumerate(batch):
-            request.future.set_result(outputs[i])
+            # done() futures were failed by abort() while this batch
+            # was in flight; their waiters already have their answer.
+            if not request.future.done():
+                request.future.set_result(outputs[i])
         with self._stats_lock:
             self.stats.requests += len(batch)
             self.stats.batches += 1
@@ -401,7 +520,7 @@ class MicroBatcher:
         latencies_ms = [
             (done - request.enqueued_at) * 1e3 for request in batch
         ]
-        rec = obs.active()
+        rec = self._rec()
         if rec is not None:
             rec.metrics.inc("serve/requests", len(batch))
             rec.metrics.inc("serve/batches")

@@ -1,0 +1,79 @@
+"""Injectable time sources for the serving plane.
+
+Every latency, deadline and rate computation in :mod:`repro.serve` goes
+through a :class:`Clock` rather than calling :func:`time.monotonic`
+directly.  Production code uses the process-wide :data:`SYSTEM_CLOCK`;
+tests inject a :class:`FakeClock` and *advance time by hand*, which
+turns wall-clock-tolerance assertions ("the deadline fired within
+~50ms, hopefully") into exact equalities ("the deadline fired at
+t=0.002") — the fix for the flaky soak paths in
+``tests/test_serve_properties.py``.
+
+The protocol is deliberately tiny: ``monotonic()`` and ``sleep()``.
+Blocking primitives (queue timeouts, event waits) stay on real time —
+a fake clock cannot wake a thread parked in ``queue.get`` — so fake
+clocks are for *accounting* determinism (latency math, token-bucket
+refills, arrival schedules), not for faking thread scheduling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Clock", "SystemClock", "FakeClock", "SYSTEM_CLOCK"]
+
+
+class Clock:
+    """Minimal time-source protocol used across the serving plane."""
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real time: :func:`time.monotonic` / :func:`time.sleep`."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A manually-advanced monotonic clock for deterministic tests.
+
+    ``sleep(s)`` advances the clock by exactly ``s`` and returns
+    immediately; ``advance(s)`` does the same from a controlling
+    thread.  Reads and writes are lock-protected so a fake-clocked
+    batcher's worker threads and the test body see one consistent
+    timeline.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new now."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
+
+
+#: The default, shared real-time clock.
+SYSTEM_CLOCK = SystemClock()

@@ -1,0 +1,631 @@
+"""Sharded async serving gateway: admission control + consistent routing.
+
+The front door of the serving plane.  An :class:`AsyncGateway` owns:
+
+* an **asyncio front-end** — one event loop on a daemon thread; every
+  request is a coroutine, so thousands of concurrent waiters cost
+  futures, not threads.  Synchronous callers use the thread-safe
+  :meth:`AsyncGateway.submit` facade (a ``concurrent.futures.Future``)
+  or the blocking :meth:`AsyncGateway.infer`;
+* **admission control** — a :class:`TokenBucket` (sustained rate +
+  burst) and a bounded in-flight window.  Either limit trips
+  :class:`~repro.errors.BackpressureError`, the same deliberate
+  load-shedding signal the per-shard batcher queues use, so clients
+  have exactly one exception to catch and back off on;
+* a **consistent router** — requests hash onto the
+  :class:`~repro.serve.router.ConsistentRouter` ring, so a given
+  routing key always lands on the same live shard and shard loss
+  remaps only ~1/N of the key space;
+* N **session shards** — warm multi-tenant
+  :class:`~repro.serve.shard.SessionShard` workers.  Request arrays
+  hand over zero-copy (the batcher stacks views of the caller's
+  buffers); because sessions execute in fixed hardware tiles, gateway
+  responses are bit-identical to a single inline
+  :class:`~repro.serve.session.InferenceSession` no matter the shard
+  count, coalescing, or tenant interleaving;
+* **failure handling** — a dead shard is discarded from the ring the
+  moment it is detected (its in-flight requests fail promptly with
+  :class:`~repro.errors.ShardDeadError`; new traffic re-routes to the
+  survivors) and may only rejoin through the shard's health gate
+  (:meth:`AsyncGateway.rejoin_shard`);
+* an **aggregated telemetry view** — the gateway itself satisfies the
+  :class:`~repro.obs.exposition.ExpositionServer` provider surface:
+  one ``/metrics`` endpoint publishes every shard's registry labelled
+  ``shard="<id>"`` plus the gateway's own admission/routing series
+  labelled ``shard="gateway"``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro import obs
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    ServeError,
+    ShardDeadError,
+)
+from repro.obs.exposition import merge_prometheus, render_prometheus
+from repro.serve.batcher import LATENCY_EDGES_MS, BatcherConfig
+from repro.serve.clock import SYSTEM_CLOCK, Clock
+from repro.serve.router import ConsistentRouter
+from repro.serve.shard import SessionShard
+
+__all__ = ["GatewayConfig", "TokenBucket", "AsyncGateway"]
+
+logger = obs.get_logger("serve")
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Shape and limits of one gateway deployment."""
+
+    #: Number of session shards behind the router.
+    shards: int = 2
+    #: Virtual nodes per shard on the consistent-hash ring.
+    replicas: int = 64
+    #: Bounded in-flight window: requests admitted but unanswered.
+    #: Submits beyond it are shed with ``BackpressureError``.
+    max_in_flight: int = 256
+    #: Token-bucket sustained admission rate (requests/second);
+    #: ``None`` disables rate limiting.
+    rate: Optional[float] = None
+    #: Token-bucket burst capacity (ignored when ``rate`` is None).
+    burst: int = 64
+    #: How long a shard admission (its bounded queue) may block before
+    #: the gateway sheds the request.
+    submit_timeout_s: float = 2.0
+    #: ``"request"`` spreads each tenant's requests across shards
+    #: (per-request keys); ``"tenant"`` pins a tenant to one shard
+    #: (cache affinity over balance).
+    affinity: str = "request"
+    #: Warm-model registry capacity per shard.
+    registry_capacity: int = 4
+    #: Pay every tenant's cold start at gateway start.
+    prewarm: bool = True
+    #: Per-tenant micro-batcher parameters (every shard shares these).
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {self.burst}")
+        if self.affinity not in ("request", "tenant"):
+            raise ConfigurationError(
+                f"affinity must be 'request' or 'tenant', got "
+                f"{self.affinity!r}"
+            )
+
+
+class TokenBucket:
+    """Classic token bucket on an injectable clock.
+
+    Refills continuously at ``rate`` tokens/second up to ``burst``;
+    :meth:`try_acquire` is non-blocking (admission control sheds load,
+    it does not queue it).  Thread-safe.  With a
+    :class:`~repro.serve.clock.FakeClock` the refill schedule is exact,
+    which is what the property tests assert.
+    """
+
+    def __init__(
+        self, rate: float, burst: int, clock: Optional[Clock] = None
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self._tokens = self.burst
+        self._last = self.clock.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available right now; never blocks."""
+        with self._lock:
+            now = self.clock.monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (refreshed to now)."""
+        with self._lock:
+            now = self.clock.monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            return self._tokens
+
+
+class AsyncGateway:
+    """Admission-controlled, consistently-routed front-end over N shards.
+
+    Parameters
+    ----------
+    tenants:
+        ``name -> factory`` building each tenant's inference target
+        (each shard builds its own replica from the same factory — the
+        fixed-tile execution of :class:`~repro.serve.session.
+        InferenceSession` makes the replicas bit-identical).  A bare
+        factory/callable/session is accepted as shorthand for
+        ``{"default": ...}``.
+    config:
+        :class:`GatewayConfig`; defaults are a 2-shard deployment with
+        no rate limit.
+    clock:
+        Injected time source for the token bucket, latency accounting
+        and every shard batcher.
+    """
+
+    def __init__(
+        self,
+        tenants: Union[Mapping[str, Callable[[], object]], Callable, object],
+        config: Optional[GatewayConfig] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if not isinstance(tenants, Mapping):
+            target = tenants
+            if callable(target) and not hasattr(target, "infer_batch"):
+                tenants = {"default": target}
+            else:
+                tenants = {"default": lambda: target}
+        if not tenants:
+            raise ConfigurationError("gateway needs at least one tenant")
+        self.config = config if config is not None else GatewayConfig()
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.tenants = dict(tenants)
+        from repro.obs.recorder import Recorder
+
+        #: Gateway-level admission/routing metrics (shards have their own).
+        self.recorder = Recorder()
+        self._bucket = (
+            TokenBucket(self.config.rate, self.config.burst, clock=self.clock)
+            if self.config.rate is not None
+            else None
+        )
+        self._router = ConsistentRouter(replicas=self.config.replicas)
+        self._shards: Dict[str, SessionShard] = {
+            f"shard-{i}": SessionShard(
+                f"shard-{i}",
+                self.tenants,
+                batcher=self.config.batcher,
+                registry_capacity=self.config.registry_capacity,
+                clock=self.clock,
+            )
+            for i in range(self.config.shards)
+        }
+        self._seq = itertools.count()
+        self._in_flight = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        #: Threads that park on a shard's bounded admission queue so the
+        #: event loop never blocks on backpressure.
+        self._submit_pool: Optional[ThreadPoolExecutor] = None
+        self._started_mono = time.monotonic()
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def shard_ids(self):
+        """All shard ids, live or dead (sorted)."""
+        return sorted(self._shards)
+
+    @property
+    def live_shards(self):
+        """Shard ids currently on the routing ring (sorted)."""
+        return self._router.shards
+
+    def shard(self, shard_id: str) -> SessionShard:
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise ServeError(
+                f"unknown shard {shard_id!r} (have {self.shard_ids})"
+            ) from None
+
+    def start(self) -> "AsyncGateway":
+        with self._lock:
+            if self._thread is not None:
+                raise ServeError("gateway is already started")
+            self._submit_pool = ThreadPoolExecutor(
+                max_workers=max(4, 2 * len(self._shards)),
+                thread_name_prefix="gateway-submit",
+            )
+            self._loop = asyncio.new_event_loop()
+            ready = threading.Event()
+            self._thread = threading.Thread(
+                target=self._loop_main,
+                args=(ready,),
+                name="gateway-loop",
+                daemon=True,
+            )
+            self._thread.start()
+            ready.wait()
+        prewarm = tuple(self.tenants) if self.config.prewarm else ()
+        for sid, shard in self._shards.items():
+            shard.start(prewarm=prewarm)
+            self._router.add(sid)
+        self._started_mono = time.monotonic()
+        self.recorder.metrics.set_gauge(
+            "serve/gateway/live_shards", len(self._router)
+        )
+        logger.info(
+            "gateway serving: %d shards x %d tenants, ring replicas=%d, "
+            "in-flight<=%d, rate=%s",
+            len(self._shards),
+            len(self.tenants),
+            self.config.replicas,
+            self.config.max_in_flight,
+            self.config.rate,
+        )
+        return self
+
+    def _loop_main(self, ready: threading.Event) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        self._loop.call_soon(ready.set)
+        self._loop.run_forever()
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: shards finish pending work, loop stops."""
+        with self._lock:
+            thread, self._thread = self._thread, None
+            loop, self._loop = self._loop, None
+            pool, self._submit_pool = self._submit_pool, None
+        for shard in self._shards.values():
+            if shard.state != "dead":  # dead shards already failed out
+                shard.stop(drain=drain)
+        for sid in list(self._router.shards):
+            self._router.discard(sid)
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join()
+        if loop is not None:
+            loop.close()
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def __enter__(self) -> "AsyncGateway":
+        if not self.running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # -- chaos / membership ----------------------------------------------
+    def kill_shard(self, shard_id: str) -> None:
+        """Abruptly kill one shard (chaos hook): in-flight requests on it
+        fail with :class:`~repro.errors.ShardDeadError`, new traffic
+        re-routes to the survivors."""
+        shard = self.shard(shard_id)
+        shard.kill()
+        self._quarantine(shard_id)
+
+    def rejoin_shard(
+        self,
+        shard_id: str,
+        probes: Optional[np.ndarray] = None,
+        retune: bool = True,
+    ) -> None:
+        """Return a dead shard to the ring — but only through its health
+        gate (re-tune + ``self_check``); a failing shard stays out and
+        the gate's :class:`~repro.errors.ConformanceError` propagates."""
+        shard = self.shard(shard_id)
+        shard.rejoin(probes=probes, retune=retune)
+        self._router.add(shard_id)
+        self.recorder.metrics.inc("serve/gateway/rejoins")
+        self.recorder.metrics.set_gauge(
+            "serve/gateway/live_shards", len(self._router)
+        )
+        logger.info("gateway: shard %s back on the ring", shard_id)
+
+    def _quarantine(self, shard_id: str) -> None:
+        """Take a dead shard off the ring (idempotent)."""
+        if self._router.discard(shard_id):
+            self.recorder.metrics.inc("serve/gateway/shard_deaths")
+            self.recorder.metrics.set_gauge(
+                "serve/gateway/live_shards", len(self._router)
+            )
+            logger.warning(
+                "gateway: shard %s off the ring (%d live)",
+                shard_id,
+                len(self._router),
+            )
+
+    # -- request path ----------------------------------------------------
+    def _routing_key(self, tenant: str, key: Optional[str]) -> str:
+        if key is not None:
+            return f"{tenant}#{key}"
+        if self.config.affinity == "tenant":
+            return tenant
+        return f"{tenant}#{next(self._seq)}"
+
+    async def _handle(
+        self, x: np.ndarray, tenant: str, key: Optional[str]
+    ) -> np.ndarray:
+        metrics = self.recorder.metrics
+        t0 = self.clock.monotonic()
+        # Admission control, cheapest checks first.  Shedding happens
+        # *before* any shard sees the request, so an overloaded gateway
+        # degrades into fast, explicit rejections.
+        if self._bucket is not None and not self._bucket.try_acquire():
+            metrics.inc("serve/gateway/rejected_rate")
+            raise BackpressureError(
+                f"gateway rate limit: bucket empty "
+                f"(rate={self.config.rate}/s, burst={self.config.burst})"
+            )
+        if self._in_flight >= self.config.max_in_flight:
+            metrics.inc("serve/gateway/rejected_inflight")
+            raise BackpressureError(
+                f"gateway in-flight window full "
+                f"({self.config.max_in_flight} requests outstanding)"
+            )
+        # _in_flight is only touched on the gateway loop, so plain
+        # int arithmetic is race-free.
+        self._in_flight += 1
+        metrics.set_gauge("serve/gateway/in_flight", self._in_flight)
+        try:
+            routing_key = self._routing_key(tenant, key)
+            loop = asyncio.get_running_loop()
+            last_dead: Optional[ShardDeadError] = None
+            # One admission attempt per shard that was live when we
+            # started: enough to walk past every concurrently-dying
+            # shard without ever spinning.
+            for _ in range(max(1, len(self._router))):
+                try:
+                    shard_id = self._router.route(routing_key)
+                except ServeError:
+                    break  # ring is empty
+                shard = self._shards[shard_id]
+                try:
+                    # The shard's bounded queue may block (that is the
+                    # backpressure design) — park a pool thread on it,
+                    # never the event loop.
+                    future = await loop.run_in_executor(
+                        self._submit_pool,
+                        lambda s=shard: s.submit(
+                            x,
+                            tenant=tenant,
+                            timeout=self.config.submit_timeout_s,
+                        ),
+                    )
+                except ShardDeadError as exc:
+                    # Shard died between routing and admission: take it
+                    # off the ring and re-route this (not-yet-admitted)
+                    # request to a survivor.
+                    self._quarantine(shard_id)
+                    metrics.inc("serve/gateway/rerouted")
+                    last_dead = exc
+                    continue
+                except BackpressureError:
+                    metrics.inc("serve/gateway/shard_backpressure")
+                    raise
+                metrics.inc("serve/gateway/admitted")
+                try:
+                    result = await asyncio.wrap_future(future)
+                except ShardDeadError:
+                    # Admitted, then the shard died under us: the
+                    # request fails cleanly (no hang, no silent drop,
+                    # no double-execution guess) and the ring heals for
+                    # the traffic behind it.
+                    self._quarantine(shard_id)
+                    metrics.inc("serve/gateway/failed")
+                    raise
+                except Exception:
+                    metrics.inc("serve/gateway/failed")
+                    raise
+                metrics.inc("serve/gateway/completed")
+                metrics.observe(
+                    "serve/gateway/latency_ms",
+                    (self.clock.monotonic() - t0) * 1e3,
+                    edges=LATENCY_EDGES_MS,
+                )
+                return result
+            metrics.inc("serve/gateway/no_live_shard")
+            raise (
+                last_dead
+                if last_dead is not None
+                else ServeError("no live shard on the gateway ring")
+            )
+        finally:
+            self._in_flight -= 1
+            metrics.set_gauge("serve/gateway/in_flight", self._in_flight)
+
+    def _resolve_tenant(self, tenant: Optional[str]) -> str:
+        """Default an unspecified tenant to the only unambiguous choice.
+
+        ``None`` means "the obvious tenant": ``"default"`` when present
+        (bare-callable gateways), otherwise the sole registered tenant
+        (``api.gateway("network2")`` registers one tenant named
+        ``"network2"``).  Several tenants and no ``"default"`` is
+        ambiguous and must be spelled out.
+        """
+        if tenant is None:
+            if "default" in self.tenants:
+                return "default"
+            if len(self.tenants) == 1:
+                return next(iter(self.tenants))
+            raise ConfigurationError(
+                "tenant= is required on a multi-tenant gateway "
+                f"(have {sorted(self.tenants)})"
+            )
+        if tenant not in self.tenants:
+            raise ConfigurationError(
+                f"unknown tenant {tenant!r} (have {sorted(self.tenants)})"
+            )
+        return tenant
+
+    def submit(
+        self,
+        x: np.ndarray,
+        tenant: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> "Future[np.ndarray]":
+        """Thread-safe sync facade: one request, a Future of its output.
+
+        The Future resolves to the output row, or raises
+        :class:`~repro.errors.BackpressureError` (shed),
+        :class:`~repro.errors.ShardDeadError` (shard died while the
+        request was in flight) or the inference error itself.
+        """
+        with self._lock:
+            loop = self._loop
+        if loop is None or not self.running:
+            raise ServeError(
+                "gateway is not running (call start() or use it as a "
+                "context manager)"
+            )
+        tenant = self._resolve_tenant(tenant)
+        return asyncio.run_coroutine_threadsafe(
+            self._handle(np.asarray(x), tenant, key), loop
+        )
+
+    def submit_many(self, xs, tenant: Optional[str] = None):
+        """Submit several samples; one Future per sample, in order."""
+        return [self.submit(x, tenant=tenant) for x in xs]
+
+    def infer(
+        self,
+        x: np.ndarray,
+        tenant: Optional[str] = None,
+        key: Optional[str] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(x, tenant=tenant, key=key).result(timeout=timeout)
+
+    # -- aggregated telemetry (ExpositionServer provider surface) --------
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_mono
+
+    def stats(self) -> dict:
+        """JSON-safe gateway-level stats snapshot."""
+        counters = self.recorder.metrics.as_dict().get("counters", {})
+        gateway_counters = {
+            name.rsplit("/", 1)[-1]: value
+            for name, value in counters.items()
+            if name.startswith("serve/gateway/")
+        }
+        return {
+            "in_flight": self._in_flight,
+            "max_in_flight": self.config.max_in_flight,
+            "live_shards": self.live_shards,
+            "shards": {
+                sid: shard.state for sid, shard in sorted(self._shards.items())
+            },
+            "rate": self.config.rate,
+            "tokens": self._bucket.tokens if self._bucket else None,
+            "counters": gateway_counters,
+        }
+
+    def health(self) -> dict:
+        live = self.live_shards
+        return {
+            "ok": self.running and len(live) > 0,
+            "uptime_s": self.uptime_s,
+            "live_shards": live,
+            "shards": {
+                sid: self._shards[sid].health() for sid in self.shard_ids
+            },
+            "in_flight": self._in_flight,
+            "tenants": sorted(self.tenants),
+        }
+
+    def metrics_json(self) -> dict:
+        return {
+            "gateway": self.stats(),
+            "metrics": self.recorder.metrics.as_dict(),
+            "shards": {
+                sid: {
+                    "health": shard.health(),
+                    "metrics": shard.metrics_dict(),
+                }
+                for sid, shard in sorted(self._shards.items())
+            },
+        }
+
+    def flight_dump(self, reason: str = "on-demand") -> dict:
+        return {
+            "reason": reason,
+            "shards": {
+                sid: shard.plane.flight.dump(reason=reason)
+                for sid, shard in sorted(self._shards.items())
+            },
+        }
+
+    def prometheus_text(self) -> str:
+        """One exposition document: gateway + every shard, labelled.
+
+        Gateway-level series carry ``shard="gateway"``; each shard's
+        registry carries ``shard="<id>"`` — same metric names, disjoint
+        label sets, one valid document.
+        """
+        live = set(self.live_shards)
+        parts = [
+            render_prometheus(
+                self.recorder.metrics.as_dict(),
+                extra_gauges={
+                    "serve/gateway/uptime_seconds": self.uptime_s,
+                    "serve/gateway/tokens": (
+                        self._bucket.tokens if self._bucket else float("nan")
+                    ),
+                },
+                labels={"shard": "gateway"},
+            )
+        ]
+        for sid, shard in sorted(self._shards.items()):
+            parts.append(
+                render_prometheus(
+                    shard.metrics_dict(),
+                    extra_gauges={
+                        "serve/shard/live": 1.0 if sid in live else 0.0,
+                    },
+                    labels={"shard": sid},
+                )
+            )
+        return merge_prometheus(parts)
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Publish the aggregated view on HTTP (``/metrics`` et al)."""
+        from repro.obs.exposition import ExpositionServer
+
+        return ExpositionServer(self, host=host, port=port).start()
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncGateway(shards={len(self._shards)}, "
+            f"live={len(self._router)}, tenants={sorted(self.tenants)}, "
+            f"running={self.running})"
+        )

@@ -1,0 +1,301 @@
+"""One serving shard: a warm multi-tenant worker behind the gateway.
+
+A :class:`SessionShard` is the unit the gateway routes to.  Each shard
+owns:
+
+* a :class:`~repro.serve.registry.WarmRegistry` of per-tenant inference
+  targets (LRU-evicted, cold-start prewarmed at :meth:`start`);
+* one :class:`~repro.serve.batcher.MicroBatcher` per active tenant,
+  coalescing that tenant's requests into tile-sized batches;
+* a private :class:`~repro.obs.Recorder` + flight ring, so the shard's
+  ``serve/*`` series stay separable behind the gateway's aggregated
+  ``/metrics`` endpoint (labelled ``shard="<id>"``).
+
+Shards are threads in this process (numpy releases the GIL inside the
+MVM kernels, and request arrays hand over zero-copy), but the lifecycle
+is written as if they were remote: the gateway only talks to a shard
+through :meth:`submit`, :meth:`kill`, :meth:`rejoin` and
+:meth:`health`, so a process- or host-backed shard can drop in behind
+the same surface.
+
+Lifecycle::
+
+    new -> (start) -> serving -> (kill) -> dead -> (rejoin) -> serving
+                              -> (stop) -> stopped
+
+``kill`` is abrupt (chaos semantics): every queued and in-flight
+request fails promptly with :class:`~repro.errors.ShardDeadError` —
+no hangs, no silent drops — and the gateway re-routes *new* traffic.
+``rejoin`` is health-gated: tenants optionally re-tune their aging
+hardware (:meth:`~repro.serve.session.InferenceSession.retune`), every
+tenant must pass its ``self_check`` probes, and only then does the
+shard accept traffic again.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConformanceError, ConfigurationError, ShardDeadError
+from repro.obs.live import TelemetryPlane
+from repro.obs.recorder import Recorder
+from repro.serve.batcher import BatcherConfig, MicroBatcher
+from repro.serve.clock import SYSTEM_CLOCK, Clock
+from repro.serve.registry import WarmRegistry
+
+__all__ = ["SessionShard"]
+
+logger = obs.get_logger("serve")
+
+#: Shard lifecycle states.
+STATE_NEW = "new"
+STATE_SERVING = "serving"
+STATE_DEAD = "dead"
+STATE_STOPPED = "stopped"
+
+
+class SessionShard:
+    """A warm, killable, rejoinable serving worker for N tenants.
+
+    Parameters
+    ----------
+    shard_id:
+        Stable identity on the router's hash ring.
+    tenants:
+        ``name -> factory``; each factory builds that tenant's
+        inference target (an :class:`~repro.serve.session.
+        InferenceSession` or any object with ``infer_batch``).  The
+        factory runs at most ``registry_capacity`` times concurrently
+        resident per shard (LRU beyond that).
+    batcher:
+        Coalescing parameters shared by every tenant batcher.
+    registry_capacity:
+        Warm-model registry size (tenants resident at once).
+    clock:
+        Injected time source, threaded into every tenant batcher.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        tenants: Mapping[str, Callable[[], object]],
+        batcher: Optional[BatcherConfig] = None,
+        registry_capacity: int = 4,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if not tenants:
+            raise ConfigurationError("a shard needs at least one tenant")
+        self.shard_id = str(shard_id)
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.batcher_config = (
+            batcher if batcher is not None else BatcherConfig()
+        )
+        self._tenants = dict(tenants)
+        #: Dedicated recorder: the shard's serve/* metrics live here.
+        self.recorder = Recorder()
+        self.plane = TelemetryPlane(recorder=self.recorder)
+        self.registry = WarmRegistry(
+            loader=self._load_tenant,
+            capacity=registry_capacity,
+            recorder=self.recorder,
+        )
+        self._batchers: Dict[str, MicroBatcher] = {}
+        self._lock = threading.Lock()
+        self.state = STATE_NEW
+        self.deaths = 0
+        self.rejoins = 0
+
+    # -- internals -------------------------------------------------------
+    def _load_tenant(self, tenant: str):
+        factory = self._tenants.get(tenant)
+        if factory is None:
+            raise ConfigurationError(
+                f"shard {self.shard_id!r} has no tenant {tenant!r} "
+                f"(tenants: {sorted(self._tenants)})"
+            )
+        return factory()
+
+    def _make_batcher(self, tenant: str) -> MicroBatcher:
+        target = self.registry.get(tenant)
+        batcher = MicroBatcher(
+            target, self.batcher_config, clock=self.clock
+        )
+        batcher.recorder = self.recorder
+        batcher.flight = self.plane.flight
+        return batcher.start()
+
+    def _batcher_for(self, tenant: str) -> MicroBatcher:
+        with self._lock:
+            if self.state != STATE_SERVING:
+                raise ShardDeadError(
+                    f"shard {self.shard_id!r} is {self.state}, not serving"
+                )
+            batcher = self._batchers.get(tenant)
+            if batcher is None:
+                batcher = self._make_batcher(tenant)
+                self._batchers[tenant] = batcher
+            return batcher
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def serving(self) -> bool:
+        return self.state == STATE_SERVING
+
+    def start(self, prewarm: Iterable[str] = ()) -> "SessionShard":
+        """Begin serving; ``prewarm`` pays those tenants' cold starts now."""
+        with self._lock:
+            if self.state not in (STATE_NEW, STATE_STOPPED):
+                raise ShardDeadError(
+                    f"shard {self.shard_id!r} cannot start from state "
+                    f"{self.state!r} (dead shards rejoin instead)"
+                )
+            self.state = STATE_SERVING
+        for tenant in prewarm:
+            self.registry.get(tenant)
+        logger.debug(
+            "shard %s serving (%d tenants prewarmed)",
+            self.shard_id,
+            len(list(prewarm)) if not isinstance(prewarm, (list, tuple))
+            else len(prewarm),
+        )
+        return self
+
+    def submit(self, x: np.ndarray, tenant: str = "default", timeout=None):
+        """Enqueue one request for ``tenant``; a Future of its output row.
+
+        Raises :class:`~repro.errors.ShardDeadError` when the shard is
+        not serving, and :class:`~repro.errors.BackpressureError` when
+        the tenant's admission queue stays full past ``timeout``.
+        """
+        return self._batcher_for(tenant).submit(x, timeout=timeout)
+
+    def kill(self) -> None:
+        """Abrupt chaos death: fail everything in flight, accept nothing.
+
+        Idempotent; never blocks on a wedged worker.
+        """
+        with self._lock:
+            if self.state == STATE_DEAD:
+                return
+            self.state = STATE_DEAD
+            self.deaths += 1
+            batchers = dict(self._batchers)
+            self._batchers.clear()
+        error = ShardDeadError(
+            f"shard {self.shard_id!r} died with this request in flight"
+        )
+        for batcher in batchers.values():
+            batcher.abort(error)
+        self.recorder.metrics.inc("serve/shard/deaths")
+        self.plane.flight.record("shard_killed", shard=self.shard_id)
+        logger.warning("shard %s killed", self.shard_id)
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: finish (or cancel) pending work, then stop."""
+        with self._lock:
+            if self.state in (STATE_STOPPED, STATE_NEW):
+                self.state = STATE_STOPPED
+                return
+            self.state = STATE_STOPPED
+            batchers = dict(self._batchers)
+            self._batchers.clear()
+        for batcher in batchers.values():
+            batcher.stop(drain=drain)
+
+    def rejoin(
+        self,
+        probes: Optional[np.ndarray] = None,
+        tenants: Optional[Iterable[str]] = None,
+        retune: bool = True,
+        max_disagreement: float = 0.0,
+    ) -> "SessionShard":
+        """Health-gated return to service after :meth:`kill`.
+
+        For each tenant to gate (``tenants`` defaults to the warm
+        residents), the shard first re-tunes aging hardware when the
+        tenant session supports it (``retune=True``, the PR 8 hook),
+        then runs ``self_check(probes)``.  Any gate failure leaves the
+        shard dead and re-raises — a degraded shard must not rejoin the
+        ring.  Only after every gate passes does the state flip back to
+        serving (with fresh batchers created lazily per tenant).
+        """
+        with self._lock:
+            if self.state != STATE_DEAD:
+                raise ShardDeadError(
+                    f"shard {self.shard_id!r} is {self.state!r}; only dead "
+                    "shards rejoin"
+                )
+        gate_tenants = list(
+            tenants if tenants is not None else self.registry.resident
+        )
+        for tenant in gate_tenants:
+            target = self.registry.get(tenant)
+            if retune and hasattr(target, "retune"):
+                try:
+                    target.retune(force=True)
+                except Exception:
+                    logger.warning(
+                        "shard %s: tenant %r re-tune failed",
+                        self.shard_id,
+                        tenant,
+                        exc_info=True,
+                    )
+                    raise
+            if probes is not None and hasattr(target, "self_check"):
+                try:
+                    target.self_check(probes)
+                except ConformanceError:
+                    self.recorder.metrics.inc("serve/shard/rejoin_refused")
+                    logger.warning(
+                        "shard %s: tenant %r failed the rejoin health "
+                        "gate; staying dead",
+                        self.shard_id,
+                        tenant,
+                    )
+                    raise
+        with self._lock:
+            self.state = STATE_SERVING
+            self.rejoins += 1
+        self.recorder.metrics.inc("serve/shard/rejoins")
+        self.plane.flight.record("shard_rejoined", shard=self.shard_id)
+        logger.info(
+            "shard %s rejoined after health gate (%d tenants checked)",
+            self.shard_id,
+            len(gate_tenants),
+        )
+        return self
+
+    # -- observability ---------------------------------------------------
+    def health(self) -> dict:
+        """JSON-safe health/identity payload for ``/healthz`` aggregation."""
+        with self._lock:
+            tenants_live = sorted(self._batchers)
+            state = self.state
+        stats = {
+            tenant: batcher.stats.as_dict()
+            for tenant, batcher in self._batchers.items()
+        }
+        return {
+            "shard": self.shard_id,
+            "state": state,
+            "serving": state == STATE_SERVING,
+            "deaths": self.deaths,
+            "rejoins": self.rejoins,
+            "registry": self.registry.stats(),
+            "tenants_live": tenants_live,
+            "batchers": stats,
+        }
+
+    def metrics_dict(self) -> dict:
+        """The shard recorder's raw metrics payload (for aggregation)."""
+        return self.recorder.metrics.as_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionShard(id={self.shard_id!r}, state={self.state!r}, "
+            f"tenants={sorted(self._tenants)})"
+        )

@@ -1,14 +1,23 @@
 """Property-based tests for the micro-batching serving path.
 
-Three liveness/ordering guarantees the batcher makes, checked over
+Liveness/ordering/accounting guarantees the batcher makes, checked over
 hypothesis-drawn coalescing configurations:
 
 * coalescing NEVER reorders results — every future resolves to its own
   sample's output no matter how requests were grouped into batches;
 * a saturated in-flight semaphore plus a full admission queue makes
-  ``submit(timeout=...)`` raise :class:`BackpressureError` promptly —
-  load shedding, not deadlock;
-* ``stop(drain=True)`` resolves every pending future before returning.
+  ``submit(timeout=...)`` raise :class:`BackpressureError` — load
+  shedding, not deadlock;
+* ``stop(drain=True)`` resolves every pending future before returning;
+* latency accounting is **exact** on an injected
+  :class:`~repro.serve.clock.FakeClock`: the recorded latency histogram
+  equals the hand-computed service times, with no wall-clock tolerance
+  anywhere (this replaced the flaky "rejection arrived within ~2 s"
+  style assertions — timing claims are now equalities on a fake clock,
+  and the few tests that genuinely need real threads sleeping are
+  marked ``slow``);
+* the gateway's :class:`~repro.serve.TokenBucket` refills on the exact
+  continuous schedule its rate implies.
 """
 
 import threading
@@ -20,7 +29,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.errors import BackpressureError
-from repro.serve import BatcherConfig, MicroBatcher
+from repro.obs.recorder import Recorder
+from repro.serve import BatcherConfig, FakeClock, MicroBatcher, TokenBucket
 
 pytestmark = pytest.mark.property
 
@@ -30,6 +40,9 @@ THREADED = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
+
+#: Pure-computation examples (fake clock, no threads) can afford more.
+FAST = settings(max_examples=100, deadline=None)
 
 
 def _echo(images: np.ndarray) -> np.ndarray:
@@ -64,10 +77,17 @@ def test_coalescing_never_reorders_results(
     assert batcher.stats.requests == n_requests
 
 
+@pytest.mark.slow
 @THREADED
 @given(queue_depth=st.integers(1, 3))
 def test_backpressure_raises_instead_of_deadlocking(queue_depth):
-    """Full queue + saturated workers: submit(timeout) sheds, not hangs."""
+    """Full queue + saturated workers: submit(timeout) sheds, not hangs.
+
+    Genuinely real-time (a thread parks in ``queue.put`` until the
+    0.05 s admission timeout expires), hence the ``slow`` marker.  The
+    shed-not-hang claim is the ``pytest.raises`` itself — if the submit
+    deadlocked the test would time out, no wall-clock assertion needed.
+    """
     release = threading.Event()
 
     def stall(images):
@@ -88,10 +108,8 @@ def test_backpressure_raises_instead_of_deadlocking(queue_depth):
         futures = [batcher.submit(np.zeros(2), timeout=5.0)]
         for _ in range(queue_depth):
             futures.append(batcher.submit(np.zeros(2), timeout=5.0))
-        started = time.monotonic()
         with pytest.raises(BackpressureError):
             batcher.submit(np.zeros(2), timeout=0.05)
-        assert time.monotonic() - started < 2.0, "rejection was not prompt"
         assert batcher.stats.rejected >= 1
     finally:
         release.set()
@@ -129,3 +147,83 @@ def test_shutdown_drains_pending_futures(n_requests, max_batch_size):
             future.result(), _echo(samples[i][None])[0]
         )
     assert batcher.stats.requests == n_requests
+
+
+@THREADED
+@given(
+    # Powers of two (in seconds) stay exact through the seconds->ms
+    # conversion, so the histogram comparison needs no tolerance.
+    service_times=st.lists(
+        st.sampled_from([2.0**-k for k in range(4, 12)]),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_latency_accounting_is_exact_on_a_fake_clock(service_times):
+    """The recorded latency histogram equals the injected service times.
+
+    The target advances the shared FakeClock by a known amount per
+    batch; requests run one at a time, so request i's recorded latency
+    is *exactly* ``service_times[i]`` — the deadline/latency assertions
+    that used to tolerate scheduler jitter are equalities here.
+    """
+    clock = FakeClock()
+    calls = {"i": 0}
+
+    def timed_target(images):
+        clock.advance(service_times[calls["i"]])
+        calls["i"] += 1
+        return _echo(images)
+
+    config = BatcherConfig(
+        max_batch_size=1, max_delay_ms=0.0, workers=1, max_queue_depth=4
+    )
+    batcher = MicroBatcher(timed_target, config, clock=clock)
+    batcher.recorder = Recorder()
+    with batcher:
+        for expected in service_times:
+            before = clock.monotonic()
+            batcher.submit(np.zeros(2), timeout=5.0).result(timeout=10.0)
+            # The clock moved by exactly this request's service time...
+            assert clock.monotonic() - before == expected
+    hist = batcher.recorder.metrics.as_dict()["histograms"][
+        "serve/latency_ms"
+    ]
+    # ...and the histogram recorded exactly those latencies.
+    assert hist["count"] == len(service_times)
+    assert hist["sum"] == sum(s * 1e3 for s in service_times)
+
+
+@FAST
+@given(
+    rate=st.sampled_from([1.0, 4.0, 32.0, 256.0]),
+    burst=st.integers(1, 16),
+    steps=st.lists(
+        st.tuples(
+            # Power-of-two advances keep refill arithmetic exact.
+            st.sampled_from([0.0] + [2.0**-k for k in range(0, 10)]),
+            st.booleans(),  # whether to try acquiring after advancing
+        ),
+        max_size=40,
+    ),
+)
+def test_token_bucket_refills_on_the_exact_schedule(rate, burst, steps):
+    """TokenBucket against an exact reference model on one fake clock."""
+    clock = FakeClock()
+    bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+    tokens = float(burst)  # reference model, same arithmetic
+    last = clock.monotonic()
+    for advance, acquire in steps:
+        clock.advance(advance)
+        if not acquire:
+            continue
+        now = clock.monotonic()
+        tokens = min(float(burst), tokens + (now - last) * rate)
+        last = now
+        expect = tokens >= 1.0
+        assert bucket.try_acquire() is expect
+        if expect:
+            tokens -= 1.0
+    now = clock.monotonic()
+    tokens = min(float(burst), tokens + (now - last) * rate)
+    assert bucket.tokens == tokens

@@ -2,16 +2,17 @@
 
 The repo commits headline benchmark results (``BENCH_perf_engine.json``,
 ``BENCH_serve.json``, ``BENCH_dse.json``); CI regenerates them and this
-script fails the build when any ``speedup`` figure regressed beyond the
-tolerance.  Comparison is by JSON path: every ``speedup`` key found in
-the *baseline* file must exist in the fresh file and satisfy
+script fails the build when any ``speedup``, ``skip_fraction`` or
+``energy_savings`` figure regressed beyond the tolerance.  Comparison
+is by JSON path: every guarded key found in the *baseline* file must
+exist in the fresh file and satisfy
 
     fresh >= baseline * (1 - tolerance)
 
-Speedups present only in the fresh file are reported but never fail
-(new benchmarks land before their baseline does).  Keys other than
-``speedup`` are ignored — absolute wall-clock times vary with runner
-hardware; ratios are what the committed files promise.
+Figures present only in the fresh file are reported but never fail
+(new benchmarks land before their baseline does).  Other keys are
+ignored — absolute wall-clock times vary with runner hardware; ratios
+and model-derived fractions are what the committed files promise.
 
 Usage::
 
@@ -33,13 +34,19 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 
+#: JSON keys the guard enforces: throughput ratios plus the estimator's
+#: skipped-row-work fraction and dynamic-energy saving (both
+#: deterministic model outputs, so the same tolerance is generous).
+GUARDED_KEYS = ("speedup", "skip_fraction", "energy_savings")
+
+
 def collect_speedups(obj, path: str = "") -> Dict[str, float]:
-    """All ``speedup`` values in a JSON document, keyed by dotted path."""
+    """All guarded values in a JSON document, keyed by dotted path."""
     found: Dict[str, float] = {}
     if isinstance(obj, dict):
         for key, value in obj.items():
             child = f"{path}.{key}" if path else key
-            if key == "speedup" and isinstance(value, (int, float)):
+            if key in GUARDED_KEYS and isinstance(value, (int, float)):
                 found[child] = float(value)
             else:
                 found.update(collect_speedups(value, child))
@@ -58,12 +65,12 @@ def compare_pair(
     failures: List[str] = []
     notes: List[str] = []
     if not baseline:
-        failures.append(f"{baseline_path}: no speedup keys found")
+        failures.append(f"{baseline_path}: no guarded keys found")
         return failures, notes
     for path, expected in sorted(baseline.items()):
         if path not in fresh:
             failures.append(
-                f"{fresh_path}: missing speedup path {path!r} "
+                f"{fresh_path}: missing guarded path {path!r} "
                 f"(baseline {expected:.2f}x)"
             )
             continue
@@ -129,7 +136,7 @@ def main(argv=None) -> int:
         for failure in all_failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("\nall bench speedups within tolerance")
+    print("\nall bench figures within tolerance")
     return 0
 
 

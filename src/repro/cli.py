@@ -213,6 +213,21 @@ def build_parser() -> argparse.ArgumentParser:
             default=16,
             help="fixed execution tile of the session (samples per wave)",
         )
+        p.add_argument(
+            "--estimator",
+            choices=("off", "exact", "threshold"),
+            default="off",
+            help="runtime activation estimator: skip MVM row work once "
+            "column outputs are decided ('exact' is bit-identical, "
+            "'threshold' trades accuracy via --confidence)",
+        )
+        p.add_argument(
+            "--confidence",
+            type=float,
+            default=1.0,
+            help="threshold-estimator confidence knob in (0, 1]; 1.0 "
+            "keeps the full bound, smaller skips more aggressively",
+        )
 
     infer = sub.add_parser(
         "infer",
@@ -422,6 +437,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--engines",
         default="fused,packed,reference,adc",
         help="comma-separated engine names to conform (default: all four)",
+    )
+    conformance.add_argument(
+        "--estimator",
+        choices=("off", "exact"),
+        default="off",
+        help="with 'exact': also assert the fused/packed engines with "
+        "the runtime activation estimator stay bit-identical to their "
+        "estimator-off selves on the golden corpus",
     )
     conformance.add_argument(
         "--golden",
@@ -787,14 +810,26 @@ def _cmd_datasheet(args) -> None:
     logger.info("%s", sheet.render())
 
 
+def _session_engine_spec(args):
+    """The :class:`EngineSpec` a session subcommand's flags describe."""
+    from repro.core.engines import EngineSpec
+    from repro.core.estimate import EstimatorPolicy
+
+    return EngineSpec(
+        args.engine,
+        estimator=EstimatorPolicy(
+            mode=args.estimator, confidence=args.confidence
+        ),
+    )
+
+
 def _cmd_infer(args) -> None:
     from repro import api
-    from repro.core.engines import EngineSpec
     from repro.zoo import get_dataset
 
     dataset = get_dataset()
     session = api.compile(
-        args.network, engine=EngineSpec(args.engine), tile=args.tile
+        args.network, engine=_session_engine_spec(args), tile=args.tile
     )
     images = dataset.test.images[: args.count]
     labels = dataset.test.labels[: args.count]
@@ -850,7 +885,6 @@ def _cmd_serve(args) -> None:
     import numpy as np
 
     from repro import api
-    from repro.core.engines import EngineSpec
     from repro.serve import BatcherConfig
     from repro.zoo import get_dataset
 
@@ -866,7 +900,7 @@ def _cmd_serve(args) -> None:
 
     if args.listen is not None:
         session = api.compile(
-            args.network, engine=EngineSpec(args.engine), tile=args.tile
+            args.network, engine=_session_engine_spec(args), tile=args.tile
         )
         batcher, plane, server = session.serve_live(
             batcher_config, slo=_slo_config(args), listen=args.listen
@@ -890,7 +924,7 @@ def _cmd_serve(args) -> None:
     else:
         batcher = api.serve(
             args.network,
-            engine=EngineSpec(args.engine),
+            engine=_session_engine_spec(args),
             tile=args.tile,
             batcher=batcher_config,
         )
@@ -914,7 +948,6 @@ def _cmd_serve(args) -> None:
 
 def _cmd_loadgen(args) -> int:
     from repro import api
-    from repro.core.engines import EngineSpec
     from repro.serve import (
         GatewayConfig,
         LoadProfile,
@@ -954,7 +987,7 @@ def _cmd_loadgen(args) -> int:
     gateway = api.gateway(
         args.network,
         config=config,
-        engine=EngineSpec(args.engine),
+        engine=_session_engine_spec(args),
         tile=args.tile,
     )
     try:
@@ -1023,8 +1056,23 @@ def _watch_plane():
             bits = (
                 rng.random((len(batch), 64)) < 0.25
             ).astype(np.float64)
+            active_rows = int(bits.sum())
+            positions = len(batch) * 16
+            decided = (positions * 3) // 4
             record_mvm_batch(
-                rec.metrics, 0, bits, 16, cells_per_weight=2
+                rec.metrics,
+                0,
+                bits,
+                16,
+                cells_per_weight=2,
+                # A plausible estimator signature so the skip gauges in
+                # the dashboard are live: ~40% of active rows skipped,
+                # ~75% of output bits decided early.
+                skipped_rows=(active_rows * 2) // 5,
+                skipped_slots=(bits.size * 2) // 5,
+                est_positions=positions,
+                est_decided=decided,
+                sa_events=positions - decided,
             )
         return np.zeros((len(batch), 10))
 
@@ -1105,6 +1153,7 @@ def _cmd_conformance(args) -> int:
         cases=20 if args.quick else args.cases,
         seed=args.seed,
         engines=engines,
+        estimator=args.estimator,
         golden_dir=Path(args.golden) if args.golden else None,
         update_golden=args.update_golden,
         self_check=not args.no_self_check,

@@ -32,6 +32,7 @@ from repro.core.engines import (
     register_engine,
     resolve_engine,
 )
+from repro.core.estimate import EstimatorPolicy, SkipStats
 from repro.core.homogenize import (
     Partition,
     block_mean_distance,
@@ -105,6 +106,8 @@ __all__ = [
     "estimate_sei_output_noise_std",
     "robustify_thresholds",
     "EngineSpec",
+    "EstimatorPolicy",
+    "SkipStats",
     "available_engines",
     "compile_network",
     "engine_builder",

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.core.binarized import BinarizedNetwork
+from repro.core.estimate import EstimatorPolicy
 from repro.core.hardware_network import (
     HardwareConfig,
     assemble_adc_network,
@@ -78,11 +79,20 @@ class EngineSpec:
         Intermediate-data DAC precision for the ``'adc'`` engine (the
         input layer always runs 8-bit DACs, §3.2).  Ignored by the SEI
         engines, whose intermediate data is 1-bit by construction.
+    estimator:
+        Runtime output-activity estimation policy
+        (:class:`repro.core.estimate.EstimatorPolicy`).  ``off`` by
+        default; ``exact`` lets the fused / packed engines skip row work
+        once every output bit is provably decided (bit-identical to
+        ``off``); ``threshold`` trades bounded output disagreement for
+        earlier skipping (CompRRAE-style).  Rejected by the ``adc`` and
+        ``reference`` engines, which stay estimator-free baselines.
     """
 
     name: str = "fused"
     hardware: HardwareConfig = field(default_factory=HardwareConfig)
     data_bits: int = 8
+    estimator: EstimatorPolicy = field(default_factory=EstimatorPolicy)
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -295,6 +305,11 @@ def _build_adc(
         raise ConfigurationError(
             "the 'adc' engine merges digitised partial sums exactly and "
             "takes no split decisions/partitions"
+        )
+    if spec.estimator.enabled:
+        raise ConfigurationError(
+            "the 'adc' engine digitises full column sums and supports no "
+            "runtime activation estimator; use the fused or packed engine"
         )
     temporal = spec.hardware.temporal
     if temporal is not None and temporal.enabled:

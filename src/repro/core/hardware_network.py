@@ -37,6 +37,7 @@ from repro.nn.layers import Conv2D, Dense, Layer, MaxPool2D, ReLU
 from repro.nn.network import Sequential
 
 from repro.core.binarized import BinarizedNetwork
+from repro.core.estimate import ColumnEstimator, EstimatorPolicy, SkipStats
 from repro.core.homogenize import Partition, homogenize, natural_partition
 from repro.core.matrix_compute import (
     apply_matrix_fn,
@@ -248,6 +249,19 @@ def assemble_sei_network(
     )
     config = spec.hardware
     engine = spec.name
+    estimator = spec.estimator
+    if estimator.enabled:
+        if engine == "reference":
+            raise ConfigurationError(
+                "the 'reference' engine is the equivalence oracle and "
+                "runs estimator-free; use the fused or packed engine"
+            )
+        if config.temporal is not None and config.temporal.enabled:
+            raise ConfigurationError(
+                "the runtime activation estimator compiles bound tables "
+                "against static cells; temporal aging would make them "
+                "stale — disable one of the two"
+            )
     decisions = decisions if decisions is not None else {}
     partitions = partitions if partitions is not None else {}
     rng = rng if rng is not None else np.random.default_rng(config.seed)
@@ -324,7 +338,12 @@ def assemble_sei_network(
                 temporal=config.temporal,
             )
             binarized.layer_computes[index] = _unsplit_compute(
-                crossbar, engine, obs_index=index
+                crossbar,
+                engine,
+                obs_index=index,
+                estimator=estimator,
+                threshold=thresholds.get(index),
+                bias=layer_bias(layer),
             )
             hardware_layers[index] = {"kind": "unsplit", "crossbar": crossbar}
             device_arrays[f"layer{index}"] = crossbar.array
@@ -385,7 +404,9 @@ def assemble_sei_network(
             rng=rng,
             engine=engine,
         )
-        binarized.layer_computes[index] = _split_compute(split, obs_index=index)
+        binarized.layer_computes[index] = _split_compute(
+            split, obs_index=index, estimator=estimator
+        )
         hardware_layers[index] = {"kind": "split", "matrix": split}
         for k, array in enumerate(split.block_arrays):
             device_arrays[f"layer{index}/block{k}"] = array
@@ -403,6 +424,7 @@ def _record_mvms(
     sa_events: Optional[int] = None,
     noise_draws: int = 0,
     digital_merge: Optional[bool] = None,
+    skip: Optional[SkipStats] = None,
 ) -> None:
     """Count one crossbar invocation when a recorder is active.
 
@@ -425,6 +447,10 @@ def _record_mvms(
         sa_events=sa_events,
         noise_draws=noise_draws,
         digital_merge=digital_merge,
+        skipped_rows=skip.skipped_rows if skip else 0,
+        skipped_slots=skip.skipped_slots if skip else 0,
+        est_positions=skip.est_positions if skip else 0,
+        est_decided=skip.est_decided if skip else 0,
     )
 
 
@@ -446,6 +472,9 @@ def _identity_compute():
 def _unsplit_compute(
     crossbar: SEIMatrix, engine: str = "fused",
     obs_index: Optional[int] = None,
+    estimator: Optional[EstimatorPolicy] = None,
+    threshold: Optional[float] = None,
+    bias: Optional[np.ndarray] = None,
 ):
     noise_draws = crossbar.num_cells if crossbar.fused_matrix is None else 0
 
@@ -463,6 +492,62 @@ def _unsplit_compute(
             return apply_matrix_fn(layer, x, reference_fn)
 
         return compute
+
+    # Estimator hook-in: only on static (noiseless-read) cells — the
+    # bound tables are compiled against the collapsed matrix — and only
+    # for thresholded hidden layers whose T lies in [0, 1), where the
+    # outer binarize maps an emitted 0/1 plane to itself.  The final
+    # (un-thresholded) layer and noisy crossbars silently fall through
+    # to the unmodified path.
+    if (
+        estimator is not None
+        and estimator.enabled
+        and crossbar.fused_matrix is not None
+        and threshold is not None
+        and 0.0 <= threshold < 1.0
+    ):
+        bias_vec = (
+            np.zeros(crossbar.cols)
+            if bias is None
+            else np.asarray(bias, dtype=np.float64)
+        )
+        # Off-mode fires a column when sum + bias_c > T; the bias is
+        # folded into the estimator's accumulator.
+        column_est = ColumnEstimator(
+            crossbar.fused_matrix, estimator, bias=bias_vec
+        )
+        thr_eff = float(threshold)
+
+        def est_fn(bits: np.ndarray) -> np.ndarray:
+            n = bits.shape[0] if bits.ndim > 1 else 1
+            out, ambiguous, stats = column_est.decide(bits, thr_eff)
+            if ambiguous.any():
+                # Exact mode could not certify every position: replay
+                # the unmodified off-mode arithmetic on the whole batch
+                # (same GEMM shape, so bitwise identical values) and
+                # let the outer binarize make the comparisons.  The
+                # crossbar accounts its own reads on this path.
+                _record_mvms(
+                    obs_index, bits, crossbar.cols,
+                    cells_per_weight=crossbar.cells_per_weight,
+                )
+                return crossbar.compute(bits, validate=False) + bias_vec
+            crossbar.array.note_reads(n)
+            _record_mvms(
+                obs_index, bits, crossbar.cols,
+                cells_per_weight=crossbar.cells_per_weight,
+                sa_events=n * crossbar.cols - stats.est_decided,
+                skip=stats,
+            )
+            return out
+
+        def est_compute(layer: Layer, x: np.ndarray) -> np.ndarray:
+            ensure_binary(x, "SEI inputs")
+            return apply_matrix_fn(
+                layer, x, est_fn, add_bias=False, contiguous=False
+            )
+
+        return est_compute
 
     def matrix_fn(bits: np.ndarray) -> np.ndarray:
         _record_mvms(
@@ -483,19 +568,25 @@ def _unsplit_compute(
     return compute
 
 
-def _split_compute(split: HardwareSplitMatrix, obs_index: Optional[int] = None):
+def _split_compute(
+    split: HardwareSplitMatrix,
+    obs_index: Optional[int] = None,
+    estimator: Optional[EstimatorPolicy] = None,
+):
     noise_draws = sum(
         xbar.num_cells
         for xbar in split._block_crossbars
         if xbar.fused_matrix is None
     )
 
-    def record(bits: np.ndarray) -> None:
+    def record(bits, sa_events=None, skip=None):
         _record_mvms(
             obs_index, bits, split.cols,
             blocks=split.num_blocks,
             cells_per_weight=split._block_crossbars[0].cells_per_weight,
             noise_draws=noise_draws,
+            sa_events=sa_events,
+            skip=skip,
         )
 
     if split._engine == "reference":
@@ -508,6 +599,241 @@ def _split_compute(split: HardwareSplitMatrix, obs_index: Optional[int] = None):
             return apply_matrix_fn(layer, x, reference_fn, add_bias=False)
 
         return compute
+
+    # Estimator hook-in: per-block interval bounds plus §4.3 vote-level
+    # early termination.  A block's firing bit is decided chunk by chunk
+    # against its dynamic threshold; a column whose *vote* is settled
+    # (counts >= V, or mathematically unreachable) stops caring about
+    # later blocks, and a position with every column settled skips the
+    # remaining block crossbars outright.  Only on static cells — noisy
+    # blocks fall through to the unmodified path.
+    if estimator is not None and estimator.enabled and split._fused_blocks:
+        block_rows = [np.asarray(b, dtype=np.intp) for b in split.blocks]
+        # Each block's estimator indexes the *full* bit matrix through
+        # its row_index — no per-block sub-matrix is ever gathered (the
+        # homogenized partitions scatter rows, so those gathers would
+        # be full fancy-index copies of the batch).
+        estimators = [
+            ColumnEstimator(
+                xbar.fused_matrix,
+                estimator,
+                bias=split.block_bias,
+                row_index=rows_k,
+            )
+            for xbar, rows_k in zip(split._block_crossbars, block_rows)
+        ]
+        vote = split.decision.vote_threshold
+        num_blocks = split.num_blocks
+        cols = split.cols
+        total_rows = split.weights.shape[0]
+        # 0/1 block-membership matrix: one matmul yields every block's
+        # per-position active-row count.
+        membership32 = np.zeros((total_rows, num_blocks), dtype=np.float32)
+        for k, rows_k in enumerate(block_rows):
+            membership32[rows_k, k] = 1.0
+
+        # Head sizes spanning a whole block have no intra-block
+        # checkpoint: the estimator degenerates to pure vote-level
+        # (whole-block) skipping, and the fast schedule below keeps the
+        # off path's batched layout for the unskippable prefix blocks.
+        needs32 = any(e.has_checkpoint for e in estimators)
+        block_sizes = [len(r) for r in block_rows]
+        # Natural (contiguous-range) partitions need no gather at all: a
+        # block's column slice of the batch feeds BLAS as-is (bitwise
+        # identical to the gathered layout — trailing padded zero rows
+        # never change a partial sum, and 0/1 counts are exact in any
+        # order).  Scattered partitions keep the off path's flat gather.
+        spans = []
+        for rows_k in block_rows:
+            first = int(rows_k[0]) if rows_k.size else 0
+            last = first + rows_k.size
+            if not np.array_equal(rows_k, np.arange(first, last)):
+                spans = None
+                break
+            spans.append((first, last))
+
+        def est_fn_blocks(bits: np.ndarray) -> np.ndarray:
+            # Deferred-block schedule: blocks are computed with the
+            # *same* gathered layout + strided matmuls as the off path
+            # (bit-identical arithmetic by construction), but each
+            # block's GEMM only sees the positions whose §4.3 vote is
+            # still live — once a position's vote is settled (counts
+            # >= V, or mathematically unreachable), its remaining block
+            # crossbars are never driven at all.
+            n = bits.shape[0]
+            stats = SkipStats()
+            matrices = split._block_matrices()
+            if spans is None:
+                gathered = split._gathered(bits)
+                ones_blk = gathered.sum(axis=2)
+            else:
+                gathered = bits
+                ones_blk = np.stack(
+                    [bits[:, a:b].sum(axis=1) for a, b in spans], axis=1
+                )
+            counts = np.zeros((n, cols), dtype=np.uint8)
+            alive = np.arange(n)
+            g_al = gathered
+            ones_al = ones_blk
+            counts_al = counts
+            dec_al = np.zeros((n, cols), dtype=bool)
+            processed = np.zeros(num_blocks, dtype=np.int64)
+            # The estimator owns every (position, block, column)
+            # sense-amp decision; the ones it closes early are exactly
+            # the skipped blocks' comparisons.
+            stats.est_positions = n * cols * num_blocks
+            for k in range(num_blocks):
+                if alive.size == 0:
+                    break
+                processed[k] = alive.size
+                if spans is None:
+                    operand = g_al[:, k, :]
+                    mat = matrices[k]
+                else:
+                    first, last = spans[k]
+                    operand = g_al[:, first:last]
+                    mat = matrices[k][: last - first]
+                sums = operand @ mat
+                sums += split.block_bias
+                thr = split.decision.thresholds_for(ones_al[:, k])[:, None]
+                out_k = sums > thr
+                np.add(counts_al, out_k, out=counts_al, casting="unsafe")
+                remaining = num_blocks - 1 - k
+                # A position can only retire once a vote is reachable
+                # (k+1 >= vote) or unreachable (remaining < vote) —
+                # skip the decision planes on blocks where neither holds.
+                if k + 1 < vote and remaining >= vote:
+                    continue
+                dec_al = (
+                    dec_al
+                    | (counts_al >= vote)
+                    | (counts_al + remaining < vote)
+                )
+                if remaining:
+                    done = dec_al.all(axis=1)
+                    if done.any():
+                        d = int(done.sum())
+                        stats.skipped_rows += int(
+                            ones_al[done, k + 1 :].sum()
+                        )
+                        stats.skipped_slots += d * sum(block_sizes[k + 1 :])
+                        stats.est_decided += d * cols * remaining
+                        counts[alive[done]] = counts_al[done]
+                        keep = ~done
+                        alive = alive[keep]
+                        g_al = g_al[keep]
+                        ones_al = ones_al[keep]
+                        counts_al = counts_al[keep]
+                        dec_al = dec_al[keep]
+            if alive.size:
+                counts[alive] = counts_al
+            for k in range(num_blocks):
+                if processed[k]:
+                    split._block_crossbars[k].array.note_reads(
+                        int(processed[k])
+                    )
+            record(
+                bits,
+                sa_events=stats.est_positions - stats.est_decided,
+                skip=stats,
+            )
+            return (counts >= vote).astype(np.float64)
+
+        def est_fn(bits: np.ndarray) -> np.ndarray:
+            n = bits.shape[0]
+            stats = SkipStats()
+            # One float32 copy of the batch serves every block's
+            # checkpoint stage (and the membership matmul: 0/1 counts
+            # stay exact in float32).
+            bits32 = bits.astype(np.float32) if needs32 else None
+            lhs = bits if bits32 is None else bits32
+            ones_all = (lhs @ membership32).astype(np.float64)
+            counts = np.zeros((n, cols), dtype=np.uint8)
+            alive = np.arange(n)
+            # Alive-compacted working set: whole-row compaction happens
+            # only when positions actually retire.  Vote bookkeeping
+            # runs in uint8 — an (n, cols) pass then moves 1/8th of the
+            # bytes the float plane would.
+            bits_al = bits
+            bits32_al = bits32
+            ones_al = ones_all
+            counts_al = counts
+            dec_al = np.zeros((n, cols), dtype=bool)
+            processed = np.zeros(num_blocks, dtype=np.int64)
+            fallback = False
+            for k in range(num_blocks):
+                if alive.size == 0:
+                    break
+                # Block k fires a column when its partial sum + bias_c
+                # clears the dynamic threshold t(ones_k) (Equ. 7); the
+                # bias sits inside the estimator, so the threshold
+                # stays the cheap per-position column vector.
+                thr = split.decision.thresholds_for(ones_al[:, k])[:, None]
+                out_k, ambiguous, s = estimators[k].decide(
+                    bits_al, thr, care=~dec_al, ones=ones_al[:, k],
+                    bits32=bits32_al,
+                )
+                if ambiguous.any():
+                    fallback = True
+                    break
+                processed[k] = alive.size
+                stats.merge(s)
+                counts_al = counts_al + out_k.astype(np.uint8)
+                remaining = num_blocks - 1 - k
+                dec_al = (
+                    dec_al
+                    | (counts_al >= vote)
+                    | (counts_al + remaining < vote)
+                )
+                if remaining:
+                    done = dec_al.all(axis=1)
+                    if done.any():
+                        stats.skipped_rows += int(
+                            ones_al[done, k + 1 :].sum()
+                        )
+                        stats.skipped_slots += int(done.sum()) * sum(
+                            len(block_rows[j])
+                            for j in range(k + 1, num_blocks)
+                        )
+                        counts[alive[done]] = counts_al[done]
+                        keep = ~done
+                        alive = alive[keep]
+                        bits_al = bits_al[keep]
+                        if bits32_al is not None:
+                            bits32_al = bits32_al[keep]
+                        ones_al = ones_al[keep]
+                        counts_al = counts_al[keep]
+                        dec_al = dec_al[keep]
+            if alive.size:
+                counts[alive] = counts_al
+            if fallback:
+                # Exact mode hit an uncertifiable position: replay the
+                # unmodified off-mode vote on the whole batch (identical
+                # arithmetic; block_bits accounts its own reads).
+                record(bits)
+                fb = split.block_bits(bits, validate=False).sum(axis=1)
+                return (fb >= vote).astype(np.float64)
+            for k in range(num_blocks):
+                if processed[k]:
+                    split._block_crossbars[k].array.note_reads(
+                        int(processed[k])
+                    )
+            record(
+                bits,
+                sa_events=stats.est_positions - stats.est_decided,
+                skip=stats,
+            )
+            return (counts >= vote).astype(np.float64)
+
+        kernel = est_fn if needs32 else est_fn_blocks
+
+        def est_compute(layer: Layer, x: np.ndarray) -> np.ndarray:
+            ensure_binary(x, "split-matrix inputs")
+            return apply_matrix_fn(
+                layer, x, kernel, add_bias=False, contiguous=False
+            )
+
+        return est_compute
 
     def matrix_fn(bits: np.ndarray) -> np.ndarray:
         record(bits)

@@ -29,6 +29,9 @@ Candidate configuration keys understood by the hardware evaluator:
 ``read_sigma``     per-read conductance noise (SEI engines)
 ``program_sigma``  programming-variation sigma
 ``data_bits``      intermediate-data DAC precision (``adc`` engine)
+``estimator``      runtime activation estimator mode: ``off`` | ``exact``
+                   | ``threshold`` (fused/packed engines)
+``confidence``     threshold-estimator confidence knob in (0, 1]
 ``hardware_seed``  programming-draw seed (default: the study seed)
 ``network``        zoo network override (default: the study network)
 ``refine_passes``  Algorithm 1 refinement passes
@@ -112,6 +115,7 @@ def _temporal_config(config: Dict[str, Any], seed: int):
 
 def _engine_spec(study: "Study", config: Dict[str, Any]):
     from repro.core.engines import EngineSpec
+    from repro.core.estimate import EstimatorPolicy
     from repro.core.hardware_network import HardwareConfig
     from repro.hw.device import RRAMDevice
 
@@ -131,6 +135,10 @@ def _engine_spec(study: "Study", config: Dict[str, Any]):
         name=str(config.get("engine", "fused")),
         hardware=hardware,
         data_bits=int(config.get("data_bits", 8)),
+        estimator=EstimatorPolicy(
+            mode=str(config.get("estimator", "off")),
+            confidence=float(config.get("confidence", 1.0)),
+        ),
     )
 
 
@@ -179,9 +187,11 @@ def hardware_evaluator(
 
     errors = []
     power: Optional[dict] = None
+    eval_start = time.perf_counter()
     with obs.recording() as rec:
         for _ in range(study.eval_repeats):
             errors.append(float(session.error_rate(images, labels)))
+    eval_wall_s = time.perf_counter() - eval_start
     power = estimate_from_metrics(rec.metrics, tech)
 
     structure = "dac_adc" if spec.name == "adc" else "sei"
@@ -238,6 +248,18 @@ def hardware_evaluator(
     if power is not None and structure == "sei":
         record["sei_dynamic_saving"] = power["total"]["saving_vs_static"]
         record["sei_dynamic_pj"] = power["total"]["dynamic_pj"]
+    if "estimator" in config:
+        # Estimator studies trade energy against latency: the skip
+        # bookkeeping is not free, so the wall-clock of the scoring
+        # loop is itself an objective.
+        record["eval_wall_s"] = eval_wall_s
+        if power is not None:
+            record["skipped_rows_pct"] = (
+                power["total"]["skipped_rows_pct"] or 0.0
+            )
+            record["estimator_hit_rate"] = (
+                power["total"]["estimator_hit_rate"] or 0.0
+            )
     return record
 
 

@@ -212,6 +212,44 @@ def _device_aging() -> Study:
     )
 
 
+def _activation_skip() -> Study:
+    """The runtime activation estimator as an energy x accuracy x latency axis.
+
+    Sweeps :class:`repro.core.estimate.EstimatorPolicy` over both SEI
+    compute engines on network1 (the Table 1 network whose upper layers
+    are sparsest, hence most skippable): ``off`` is the baseline,
+    ``exact`` must keep accuracy bit-for-bit while cutting
+    ``sei_dynamic_pj``, and ``threshold`` trades accuracy for deeper
+    skipping through the confidence knob.  ``eval_wall_s`` joins the
+    objectives because the estimator's bound bookkeeping costs real
+    time — the Pareto front shows where prediction pays for itself.
+
+    The baseline predicate names ``confidence`` so pairing ignores it:
+    every threshold variant compares against its engine's estimator-off
+    row, not a same-confidence phantom.
+    """
+    space = ParameterSpace(
+        axes=(
+            GridAxis("engine", ("fused", "packed")),
+            GridAxis("estimator", ("off", "exact", "threshold")),
+            GridAxis(
+                "confidence",
+                (0.95, 0.8, 0.6),
+                when="estimator == 'threshold'",
+                default=1.0,
+            ),
+        ),
+    )
+    return Study(
+        name="activation_skip",
+        space=space,
+        network="network1",
+        objectives=("sei_dynamic_pj", "eval_wall_s", "accuracy:max"),
+        baseline="estimator == 'off' and confidence <= 1.0",
+        eval_samples=256,
+    )
+
+
 def _synthetic_smoke() -> Study:
     """Zoo-free harness exercise: analytic objectives, instant candidates."""
     space = ParameterSpace(
@@ -232,6 +270,7 @@ def _synthetic_smoke() -> Study:
 BUILTIN_STUDIES: Dict[str, Study] = {
     "sei_vs_adc": _sei_vs_adc(quick=False),
     "sei_vs_adc_quick": _sei_vs_adc(quick=True),
+    "activation_skip": _activation_skip(),
     "device_variation": _device_variation(),
     "device_aging": _device_aging(),
     "synthetic_smoke": _synthetic_smoke(),

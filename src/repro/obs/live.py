@@ -213,6 +213,8 @@ class TelemetryPlane:
             "rejection_rate",
             "joules_per_request",
             "power_saving_vs_static",
+            "skipped_rows_pct",
+            "estimator_hit_rate",
         ):
             extra_gauges[f"slo/{name}"] = window[name]
         extra_counters = {
@@ -276,6 +278,14 @@ def render_dashboard(sample: dict) -> str:
             if window.get("joules_per_request") is not None
             else "-",
             _fmt(window.get("power_saving_vs_static"), "", 3),
+        ),
+        "  skip       rows skipped {:>8}   estimator hits {:>8}".format(
+            "{:.1%}".format(window["skipped_rows_pct"])
+            if window.get("skipped_rows_pct") is not None
+            else "-",
+            "{:.1%}".format(window["estimator_hit_rate"])
+            if window.get("estimator_hit_rate") is not None
+            else "-",
         ),
         "  slo        breaches {:>4}   {}".format(
             slo.get("total_breaches"),

@@ -17,6 +17,11 @@ Metric convention (written by :func:`record_mvm_batch`, read by
 ``mvms``                  crossbar activations (samples x blocks)
 ``positions``             samples pushed through the layer (one logical MVM)
 ``active_rows``           sum of active *logical* rows over all positions
+``skipped_rows``          active rows whose drive/reads the runtime
+                          activation estimator skipped
+``skipped_slots``         raw row slots skipped (active or not)
+``est_positions``         output-bit decisions owned by the estimator
+``est_decided``           of those, decided early (skippable work left)
 ``sa_events``             sense-amplifier (threshold) decisions
 ``noise_draws``           per-cell conductance noise samples drawn
 ``popcount_events``       packed words popcounted (packed engine only)
@@ -30,16 +35,23 @@ Metric convention (written by :func:`record_mvm_batch`, read by
 Energy model per layer (constants from
 :class:`repro.hw.tech.TechnologyModel`):
 
-* RRAM reads:   ``active_rows * cells_per_weight * cols * cell_read_energy_pj``
-* row drivers:  ``active_rows * cells_per_weight * row_drive_energy_pj``
+* RRAM reads:   ``selected_rows * cells_per_weight * cols * cell_read_energy_pj``
+* row drivers:  ``selected_rows * cells_per_weight * row_drive_energy_pj``
 * sense amps:   ``sa_events * sense_amp_energy_pj``
 * digital vote: ``positions * cols * digital_op_energy_pj`` when the layer
   is split with a digital merge (``blocks > 1``)
 
+where ``selected_rows = active_rows - skipped_rows`` — rows whose word
+lines actually switched.  Without a runtime estimator installed
+``skipped_rows`` is zero and ``selected_rows == active_rows`` (the
+historical accounting); with one, the priced work shrinks by exactly
+the rows the :mod:`repro.core.estimate` bounds proved unnecessary.
+
 The *static* variant substitutes ``positions * rows`` for
-``active_rows``; SA and digital terms are identical in both (the SA
-fires every cycle regardless of input), so the reported saving isolates
-exactly the input-switched effect the paper's name refers to.
+``selected_rows``; the static SA term stays at the full comparison count
+(the SA fires every cycle regardless of input), so the reported saving
+isolates the input-switched effect plus the estimator's early-decision
+skipping on top of it.
 """
 
 from __future__ import annotations
@@ -68,6 +80,10 @@ def record_mvm_batch(
     noise_draws: int = 0,
     digital_merge: Optional[bool] = None,
     popcount_events: int = 0,
+    skipped_rows: int = 0,
+    skipped_slots: int = 0,
+    est_positions: int = 0,
+    est_decided: int = 0,
 ) -> None:
     """Record one batched crossbar invocation into the metrics registry.
 
@@ -105,6 +121,14 @@ def record_mvm_batch(
         scope.inc("noise_draws", noise_draws)
     if popcount_events:
         scope.inc("popcount_events", popcount_events)
+    if skipped_rows:
+        scope.inc("skipped_rows", skipped_rows)
+    if skipped_slots:
+        scope.inc("skipped_slots", skipped_slots)
+    if est_positions:
+        scope.inc("est_positions", est_positions)
+    if est_decided:
+        scope.inc("est_decided", est_decided)
     scope.set_gauge("rows", rows)
     scope.set_gauge("cols", cols)
     scope.set_gauge("blocks", blocks)
@@ -154,19 +178,30 @@ def estimate_from_metrics(metrics: Any, tech: Any = None) -> Optional[dict]:
         "row_drive_pj": 0.0,
         "sense_amp_pj": 0.0,
         "digital_pj": 0.0,
+        "active_rows": 0.0,
+        "skipped_rows": 0.0,
+        "selected_rows": 0.0,
+        "est_positions": 0.0,
+        "est_decided": 0.0,
     }
     for index in sorted(per_layer):
         m = per_layer[index]
         positions = float(m.get("positions", 0))
         active_rows = float(m.get("active_rows", 0))
+        skipped_rows = float(m.get("skipped_rows", 0))
+        est_positions = float(m.get("est_positions", 0))
+        est_decided = float(m.get("est_decided", 0))
         sa_events = float(m.get("sa_events", 0))
         rows = float(m.get("rows", 0))
         cols = float(m.get("cols", 0))
         blocks = float(m.get("blocks", 1))
         cells = float(m.get("cells_per_weight", 1))
 
-        rram_pj = active_rows * cells * cols * tech.cell_read_energy_pj
-        drive_pj = active_rows * cells * tech.row_drive_energy_pj
+        # Post-skip selection: only rows the estimator did not prove
+        # unnecessary actually switch their word lines.
+        selected_rows = max(active_rows - skipped_rows, 0.0)
+        rram_pj = selected_rows * cells * cols * tech.cell_read_energy_pj
+        drive_pj = selected_rows * cells * tech.row_drive_energy_pj
         sa_pj = sa_events * tech.sense_amp_energy_pj
         digital_merge = float(m.get("digital_merge", 1.0 if blocks > 1 else 0.0))
         digital_pj = (
@@ -188,6 +223,12 @@ def estimate_from_metrics(metrics: Any, tech: Any = None) -> Optional[dict]:
         layers[str(index)] = {
             "positions": int(positions),
             "mean_row_activity": activity,
+            "active_rows": int(active_rows),
+            "skipped_rows": int(skipped_rows),
+            "selected_rows": int(selected_rows),
+            "estimator_hit_rate": (
+                est_decided / est_positions if est_positions else None
+            ),
             "rram_read_pj": rram_pj,
             "row_drive_pj": drive_pj,
             "sense_amp_pj": sa_pj,
@@ -204,10 +245,25 @@ def estimate_from_metrics(metrics: Any, tech: Any = None) -> Optional[dict]:
         totals["row_drive_pj"] += drive_pj
         totals["sense_amp_pj"] += sa_pj
         totals["digital_pj"] += digital_pj
+        totals["active_rows"] += active_rows
+        totals["skipped_rows"] += skipped_rows
+        totals["selected_rows"] += selected_rows
+        totals["est_positions"] += est_positions
+        totals["est_decided"] += est_decided
 
     totals["saving_vs_static"] = (
         1.0 - totals["dynamic_pj"] / totals["static_pj"]
         if totals["static_pj"]
+        else None
+    )
+    totals["skipped_rows_pct"] = (
+        totals["skipped_rows"] / totals["active_rows"]
+        if totals["active_rows"]
+        else None
+    )
+    totals["estimator_hit_rate"] = (
+        totals["est_decided"] / totals["est_positions"]
+        if totals["est_positions"]
         else None
     )
     return {

@@ -130,10 +130,14 @@ def _window_stats(base: MetricsSnapshot, head: MetricsSnapshot) -> dict:
         stats["dynamic_pj"] = dynamic_pj
         stats["joules_per_request"] = dynamic_pj * 1e-12 / requests
         stats["power_saving_vs_static"] = power["total"]["saving_vs_static"]
+        stats["skipped_rows_pct"] = power["total"]["skipped_rows_pct"]
+        stats["estimator_hit_rate"] = power["total"]["estimator_hit_rate"]
     else:
         stats["dynamic_pj"] = None
         stats["joules_per_request"] = None
         stats["power_saving_vs_static"] = None
+        stats["skipped_rows_pct"] = None
+        stats["estimator_hit_rate"] = None
     return stats
 
 
@@ -158,6 +162,8 @@ def _empty_stats(head: MetricsSnapshot) -> dict:
         "dynamic_pj": None,
         "joules_per_request": None,
         "power_saving_vs_static": None,
+        "skipped_rows_pct": None,
+        "estimator_hit_rate": None,
     }
     for label, _ in QUANTILES:
         stats[label] = None

@@ -67,13 +67,16 @@ from repro.testing.faults import (
     CampaignConfig,
     CampaignResult,
     FaultSpec,
+    estimator_confidence_sweep,
     inject_and_detect,
     run_campaign,
 )
 from repro.testing.conformance import (
     ConformanceConfig,
     ConformanceReport,
+    SkipExactResult,
     run_conformance,
+    run_skip_exact,
 )
 
 __all__ = [
@@ -103,9 +106,12 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "FaultSpec",
+    "estimator_confidence_sweep",
     "inject_and_detect",
     "run_campaign",
     "ConformanceConfig",
     "ConformanceReport",
+    "SkipExactResult",
     "run_conformance",
+    "run_skip_exact",
 ]

@@ -17,16 +17,19 @@ CLI prints and the CI job gates on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro import obs
-from repro.errors import ConformanceError
+from repro.errors import ConfigurationError, ConformanceError
 from repro.testing.differential import (
     CaseResult,
     Counterexample,
     DifferentialRunner,
+    case_engine_spec,
 )
 from repro.testing.faults import (
     CampaignConfig,
@@ -38,6 +41,7 @@ from repro.testing.faults import (
 from repro.testing.generators import (
     DEFAULT_ENGINES,
     ConformanceCase,
+    build_case,
     generate_cases,
     iter_zoo_shaped_cases,
 )
@@ -48,7 +52,17 @@ from repro.testing.golden import (
     verify_corpus,
 )
 
-__all__ = ["ConformanceConfig", "ConformanceReport", "run_conformance"]
+__all__ = [
+    "ConformanceConfig",
+    "ConformanceReport",
+    "SkipExactResult",
+    "run_conformance",
+    "run_skip_exact",
+]
+
+#: Engines the runtime activation estimator plugs into — the only ones
+#: the ``skip_exact`` oracle pass can (and must) cover.
+ESTIMATOR_ENGINES = ("fused", "packed")
 
 logger = obs.get_logger("testing")
 
@@ -77,6 +91,107 @@ class ConformanceConfig:
     campaign_config: Optional[CampaignConfig] = None
     #: Explicit case list overriding the generator (for reruns).
     explicit_cases: Optional[Sequence[ConformanceCase]] = None
+    #: ``"exact"`` adds the ``skip_exact`` oracle pass: the fused and
+    #: packed engines with the exact runtime activation estimator must
+    #: stay bit-identical to their estimator-off selves on the
+    #: zoo-shaped (golden) cases.
+    estimator: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.estimator not in ("off", "exact"):
+            raise ConfigurationError(
+                "ConformanceConfig estimator must be 'off' or 'exact', "
+                f"got {self.estimator!r}"
+            )
+
+
+@dataclass
+class SkipExactResult:
+    """One case x engine verdict from the ``skip_exact`` oracle pass.
+
+    The exact runtime activation estimator
+    (:class:`repro.core.estimate.EstimatorPolicy` ``mode='exact'``)
+    promises *bit-identical* outputs to the estimator-off engine: every
+    early decision it takes carries a rigorous rounding-error margin
+    (fused) or is pure integer arithmetic (packed), and anything it
+    cannot prove falls back to the off arithmetic.  This pass holds it
+    to that promise — no tolerance, ``array_equal`` or bust.
+    """
+
+    case_name: str
+    engine: str
+    identical: bool
+    mismatched_samples: int = 0
+    max_abs_diff: float = 0.0
+
+    def describe(self) -> str:
+        if self.identical:
+            return f"{self.case_name}/{self.engine}: bit-identical"
+        return (
+            f"{self.case_name}/{self.engine}: exact estimator diverged "
+            f"from estimator-off on {self.mismatched_samples} sample(s), "
+            f"max |diff| {self.max_abs_diff:.3e}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case_name,
+            "engine": self.engine,
+            "identical": self.identical,
+            "mismatched_samples": self.mismatched_samples,
+            "max_abs_diff": self.max_abs_diff,
+        }
+
+
+def run_skip_exact(
+    cases: Sequence[ConformanceCase],
+    engines: Sequence[str] = ESTIMATOR_ENGINES,
+    runner: Optional[DifferentialRunner] = None,
+) -> List[SkipExactResult]:
+    """Assert estimator-exact sessions match estimator-off bit-for-bit.
+
+    The :class:`DifferentialRunner` compares *engines against the
+    oracle*; this pass compares *one engine against itself* across the
+    estimator toggle, which the runner's oracle plumbing cannot
+    express.  Each case x engine pair compiles two fresh sessions from
+    the same artefacts — identical specs except the estimator — and
+    compares full-batch outputs with ``np.array_equal``.
+    """
+    from repro.core.estimate import EstimatorPolicy
+
+    runner = runner if runner is not None else DifferentialRunner(
+        minimize=False, check_invariance=False
+    )
+    results: List[SkipExactResult] = []
+    for case in cases:
+        built = build_case(case)
+        for engine in engines:
+            if engine not in case.engines:
+                continue
+            spec_off = case_engine_spec(case, engine)
+            spec_exact = replace(
+                spec_off, estimator=EstimatorPolicy(mode="exact")
+            )
+            with obs.span(
+                "conformance.skip_exact", case=case.name, engine=engine
+            ):
+                off = runner._execute(built, spec_off, built.inputs)
+                exact = runner._execute(built, spec_exact, built.inputs)
+            if np.array_equal(off, exact):
+                results.append(SkipExactResult(case.name, engine, True))
+            else:
+                differs = np.any(off != exact, axis=-1)
+                results.append(
+                    SkipExactResult(
+                        case.name,
+                        engine,
+                        False,
+                        mismatched_samples=int(differs.sum()),
+                        max_abs_diff=float(np.abs(off - exact).max()),
+                    )
+                )
+            obs.count("conformance/skip_exact_pairs")
+    return results
 
 
 @dataclass
@@ -92,6 +207,7 @@ class ConformanceReport:
     injected: Optional[Counterexample] = None
     self_check_error: Optional[str] = None
     campaigns: List[CampaignResult] = field(default_factory=list)
+    skip_exact: List[SkipExactResult] = field(default_factory=list)
     artifacts: List[Path] = field(default_factory=list)
 
     @property
@@ -122,6 +238,10 @@ class ConformanceReport:
         ]
 
     @property
+    def skip_exact_failures(self) -> List[SkipExactResult]:
+        return [r for r in self.skip_exact if not r.identical]
+
+    @property
     def ok(self) -> bool:
         if self.mismatches or self.invariance_violations:
             return False
@@ -130,6 +250,8 @@ class ConformanceReport:
         if self.config.self_check and self.self_check_error is not None:
             return False
         if self.campaign_violations:
+            return False
+        if self.skip_exact_failures:
             return False
         return True
 
@@ -176,6 +298,13 @@ class ConformanceReport:
             )
         for line in self.campaign_violations:
             lines.append(f"  CAMPAIGN {line}")
+        if self.skip_exact:
+            lines.append(
+                f"skip_exact: {len(self.skip_exact)} case x engine "
+                f"pair(s), {len(self.skip_exact_failures)} divergence(s)"
+            )
+            for result in self.skip_exact_failures:
+                lines.append(f"  SKIP-EXACT {result.describe()}")
         if self.artifacts:
             lines.append(
                 f"artifacts: {len(self.artifacts)} file(s) under "
@@ -201,6 +330,7 @@ class ConformanceReport:
                 ),
             },
             "campaigns": [c.as_dict() for c in self.campaigns],
+            "skip_exact": [r.as_dict() for r in self.skip_exact],
             "artifacts": [str(p) for p in self.artifacts],
             "ok": self.ok,
         }
@@ -265,6 +395,19 @@ def run_conformance(
             report.golden_refreshed = len(entries)
         else:
             report.golden = verify_corpus(golden_dir)
+
+        if config.estimator == "exact":
+            skip_engines = tuple(
+                e for e in ESTIMATOR_ENGINES if e in config.engines
+            )
+            if skip_engines:
+                report.skip_exact = run_skip_exact(
+                    list(iter_zoo_shaped_cases()),
+                    engines=skip_engines,
+                    runner=DifferentialRunner(
+                        minimize=False, check_invariance=False
+                    ),
+                )
 
         if config.self_check:
             probe = next(iter_zoo_shaped_cases(engines=("fused",)))

@@ -53,6 +53,7 @@ __all__ = [
     "FaultSpec",
     "CampaignConfig",
     "CampaignResult",
+    "estimator_confidence_sweep",
     "inject_and_detect",
     "run_campaign",
     "temporal_aging_sweep",
@@ -63,7 +64,7 @@ logger = obs.get_logger("testing")
 #: Fault kinds understood by :class:`FaultSpec`.
 FAULT_KINDS = (
     "program", "read", "stuck_low", "stuck_high", "sa_noise", "sa_offset",
-    "drift", "retention", "read_disturb",
+    "drift", "retention", "read_disturb", "estimator",
 )
 
 #: Temporal aging kinds — swept through device-array time evolution
@@ -259,6 +260,65 @@ def temporal_aging_sweep(
     return result, digest
 
 
+def estimator_confidence_sweep(
+    case: ConformanceCase,
+    levels: Sequence[float] = (0.0, 0.1, 0.3, 0.5),
+    engine: str = "fused",
+    runner: Optional[DifferentialRunner] = None,
+) -> NoiseSweepResult:
+    """Decision disagreement vs the estimator-off engine as confidence drops.
+
+    Sweeps the ``threshold`` runtime activation estimator
+    (:class:`repro.core.estimate.EstimatorPolicy`) on ``engine`` and
+    measures the fraction of samples whose *classification decisions*
+    depart from the same engine running estimator-free.  ``levels`` are
+    oriented larger-is-worse like every campaign knob: a level ``l``
+    sweeps ``confidence = 1 - l``, and level ``0.0`` is the clean
+    baseline (estimator off, disagreement identically zero).  The
+    campaign asserts the resulting curve is monotone within tolerance
+    and bounded — the CompRRAE-style deal the ``threshold`` mode offers
+    is *graceful* accuracy-for-energy, not a cliff.
+    """
+    for level in levels:
+        if not 0.0 <= level < 1.0:
+            raise ConfigurationError(
+                "estimator sweep levels are 1 - confidence and must lie "
+                f"in [0, 1), got {level}"
+            )
+    from repro.core.estimate import EstimatorPolicy
+
+    runner = runner if runner is not None else DifferentialRunner(
+        minimize=False, check_invariance=False
+    )
+    built = build_case(case)
+    spec_off = case_engine_spec(case, engine)
+    base = runner._execute(built, spec_off, built.inputs)
+    base_decisions = np.argmax(base, axis=-1)
+    disagreement: List[float] = []
+    for level in levels:
+        if level <= 0.0:
+            disagreement.append(0.0)
+            continue
+        spec = replace(
+            spec_off,
+            estimator=EstimatorPolicy(
+                mode="threshold", confidence=1.0 - level
+            ),
+        )
+        out = runner._execute(built, spec, built.inputs)
+        disagreement.append(
+            float((np.argmax(out, axis=-1) != base_decisions).mean())
+        )
+    return NoiseSweepResult(
+        knob="estimator",
+        levels=list(levels),
+        mean_error=list(disagreement),
+        std_error=[0.0] * len(disagreement),
+        worst_error=list(disagreement),
+        trials=1,
+    )
+
+
 @dataclass(frozen=True)
 class CampaignConfig:
     """One degradation campaign: which knobs, how far, what is tolerable."""
@@ -273,6 +333,7 @@ class CampaignConfig:
             "sa_noise": (0.0, 0.05, 0.15),
             "sa_offset": (0.0, 0.05, 0.15),
             "drift": (0.0, 0.05, 0.2),
+            "estimator": (0.0, 0.1, 0.3, 0.5),
         }
     )
     trials: int = 3
@@ -411,6 +472,8 @@ def run_campaign(
                         age=config.aging_time,
                     )
                     snapshot_digests[kind] = digest
+                elif kind == "estimator":
+                    curve = estimator_confidence_sweep(case, levels=levels)
                 elif kind in ("program", "read"):
                     curve = sei_variation_sweep(
                         built.network, built.thresholds,

@@ -112,14 +112,34 @@ class TestParser:
         assert args.artifacts == "out"
         assert args.seed == 7
         assert not args.update_golden
+        assert args.estimator == "off"
         full = build_parser().parse_args(
             ["conformance", "--cases", "5", "--engines", "fused,reference",
-             "--campaign", "--update-golden"]
+             "--campaign", "--update-golden", "--estimator", "exact"]
         )
         assert full.cases == 5
         assert full.engines == "fused,reference"
         assert full.campaign
         assert full.update_golden
+        assert full.estimator == "exact"
+
+    def test_session_estimator_flags_parse(self):
+        args = build_parser().parse_args(["infer", "network2"])
+        assert args.estimator == "off" and args.confidence == 1.0
+        exact = build_parser().parse_args(
+            ["infer", "network2", "--estimator", "exact"]
+        )
+        assert exact.estimator == "exact"
+        threshold = build_parser().parse_args(
+            ["serve", "network1", "--estimator", "threshold",
+             "--confidence", "0.8"]
+        )
+        assert threshold.estimator == "threshold"
+        assert threshold.confidence == 0.8
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["infer", "network2", "--estimator", "sometimes"]
+            )
 
 
 class TestCostCommands:
@@ -215,6 +235,19 @@ class TestSessionCommands:
         fused = [l for l in outputs["fused"].splitlines() if "predictions" in l]
         ref = [l for l in outputs["reference"].splitlines() if "predictions" in l]
         assert fused and fused == ref
+
+    def test_infer_estimator_exact_matches_off(self, tiny_zoo, capsys):
+        outputs = {}
+        for estimator in ("off", "exact"):
+            assert main([
+                "infer", "network2", "--engine", "fused",
+                "--estimator", estimator, "--count", "6", "--tile", "3",
+            ]) == 0
+            outputs[estimator] = [
+                l for l in capsys.readouterr().out.splitlines()
+                if "predictions" in l
+            ]
+        assert outputs["off"] and outputs["off"] == outputs["exact"]
 
     def test_serve_end_to_end_with_metrics(self, tiny_zoo, tmp_path):
         metrics = tmp_path / "metrics.json"
@@ -354,6 +387,24 @@ class TestTelemetryCli:
         out = capsys.readouterr().out
         assert out.count("repro-top") == 2
         assert "latency" in out and "flight" in out
+
+    def test_top_watch_renders_skip_gauges(self, capsys):
+        """The dashboard frame carries the estimator skip-rate gauges,
+        and the synthetic --watch workload drives them live (percentages,
+        not placeholders) once a window has traffic."""
+        assert main([
+            "top", "--watch", "--frames", "3", "--interval", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        skip_lines = [
+            line for line in out.splitlines() if line.startswith("  skip")
+        ]
+        assert len(skip_lines) == 3
+        assert all(
+            "rows skipped" in line and "estimator hits" in line
+            for line in skip_lines
+        )
+        assert any("%" in line for line in skip_lines)
 
     def test_top_polls_a_live_server(self, capsys):
         """top --url renders frames scraped from a real exposition server."""

@@ -1,0 +1,411 @@
+"""Unit and integration tests for the runtime activation estimator.
+
+The estimator's contract has two halves: a *soundness* half (the suffix
+bound tables and fire bands really do bracket every reachable final sum,
+so ``mode='exact'`` decisions match the off-mode arithmetic bit for bit)
+and a *plumbing* half (engines that cannot honour the contract reject
+the policy, and the skipped work flows into the metrics the power model
+prices).  Both halves are pinned here against brute-force oracles on
+randomized small matrices plus the tiny compiled network.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.engines import EngineSpec, compile_network
+from repro.core.estimate import (
+    ColumnEstimator,
+    EstimatorPolicy,
+    PackedSuffixBounds,
+    SkipStats,
+    _suffix_bound_table,
+    packed_fire_band,
+)
+from repro.core.hardware_network import HardwareConfig
+from repro.errors import ConfigurationError
+from repro.hw.array import TemporalConfig
+from repro.hw.device import RRAMDevice
+
+
+class TestEstimatorPolicy:
+    def test_defaults_are_off(self):
+        policy = EstimatorPolicy()
+        assert policy.mode == "off"
+        assert not policy.enabled
+        assert not policy.exact
+
+    def test_mode_properties(self):
+        assert EstimatorPolicy(mode="exact").exact
+        assert EstimatorPolicy(mode="exact").enabled
+        threshold = EstimatorPolicy(mode="threshold", confidence=0.8)
+        assert threshold.enabled and not threshold.exact
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            EstimatorPolicy(mode="sometimes")
+
+    @pytest.mark.parametrize("confidence", [0.0, -0.2, 1.5])
+    def test_rejects_confidence_outside_unit_interval(self, confidence):
+        with pytest.raises(ConfigurationError, match="confidence"):
+            EstimatorPolicy(mode="threshold", confidence=confidence)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"chunk_rows": 0}, {"group_check": 0}, {"max_k": -1}],
+    )
+    def test_rejects_degenerate_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            EstimatorPolicy(**kwargs)
+
+
+class TestSkipStats:
+    def test_merge_accumulates(self):
+        a = SkipStats(1, 2, 3, 4)
+        a.merge(SkipStats(10, 20, 30, 40))
+        assert (
+            a.skipped_rows,
+            a.skipped_slots,
+            a.est_positions,
+            a.est_decided,
+        ) == (11, 22, 33, 44)
+
+
+class TestSuffixBoundTable:
+    """Row ``k`` of the table is extreme over every k-row subset."""
+
+    @pytest.mark.parametrize("sign", [-1.0, 1.0])
+    def test_bounds_every_subset(self, rng, sign):
+        parts = sign * np.abs(rng.normal(size=(9, 4)))
+        cap = 6
+        table = _suffix_bound_table(parts, cap)
+        assert table.shape == (cap + 1, 4)
+        np.testing.assert_array_equal(table[0], 0.0)
+        for _ in range(50):
+            k = int(rng.integers(0, parts.shape[0] + 1))
+            subset = rng.choice(parts.shape[0], size=k, replace=False)
+            total = parts[subset].sum(axis=0)
+            bound = table[min(k, cap)]
+            if sign < 0:
+                assert np.all(bound <= total + 1e-12)
+            else:
+                assert np.all(bound >= total - 1e-12)
+
+    def test_tail_rows_hold_full_sum(self, rng):
+        parts = np.abs(rng.normal(size=(3, 2)))
+        table = _suffix_bound_table(parts, 8)
+        full = parts.sum(axis=0)
+        for k in range(3, 9):
+            np.testing.assert_allclose(table[k], full)
+
+    def test_empty_suffix_is_zero(self):
+        table = _suffix_bound_table(np.zeros((0, 3)), 4)
+        np.testing.assert_array_equal(table, 0.0)
+
+
+class TestColumnEstimator:
+    def _case(self, rng, rows=48, cols=6, n=32, density=0.35):
+        weights = rng.normal(size=(rows, cols)) / np.sqrt(rows)
+        bits = (rng.random((n, rows)) < density).astype(np.float64)
+        thresholds = rng.normal(scale=0.3, size=cols)
+        return weights, bits, thresholds
+
+    def test_exact_decisions_match_brute_force(self, rng):
+        weights, bits, thresholds = self._case(rng)
+        policy = EstimatorPolicy(mode="exact", chunk_rows=8)
+        est = ColumnEstimator(weights, policy)
+        out, ambiguous, stats = est.decide(bits, thresholds)
+        reference = (bits @ weights > thresholds).astype(np.float64)
+        settled = ~ambiguous
+        assert settled.any()
+        np.testing.assert_array_equal(out[settled], reference[settled])
+        assert stats.est_positions == bits.shape[0] * weights.shape[1]
+        assert 0 <= stats.est_decided <= stats.est_positions
+        assert stats.skipped_rows >= 0
+        assert stats.skipped_slots >= 0
+
+    def test_exact_skips_on_sparse_inputs(self, rng):
+        # The paper's upper-layer regime: ~5% activity, so suffix
+        # activity counts collapse fast and most rows retire early.
+        weights, _, _ = self._case(rng, rows=128, cols=4)
+        bits = (rng.random((24, 128)) < 0.05).astype(np.float64)
+        policy = EstimatorPolicy(mode="exact", chunk_rows=16)
+        out, ambiguous, stats = ColumnEstimator(weights, policy).decide(
+            bits, np.full(4, 0.5)
+        )
+        assert stats.skipped_slots > 0
+        assert stats.est_decided > 0
+
+    def test_per_sample_thresholds(self, rng):
+        weights, bits, _ = self._case(rng, n=16)
+        thr = rng.normal(scale=0.3, size=(16, weights.shape[1]))
+        est = ColumnEstimator(weights, EstimatorPolicy(mode="exact"))
+        out, ambiguous, _ = est.decide(bits, thr)
+        reference = (bits @ weights > thr).astype(np.float64)
+        settled = ~ambiguous
+        np.testing.assert_array_equal(out[settled], reference[settled])
+
+    def test_care_mask_frees_positions(self, rng):
+        # A position whose undecidable column is masked out retires as
+        # soon as its remaining columns settle; masked output stays 0.
+        weights, bits, thresholds = self._case(rng)
+        est = ColumnEstimator(weights, EstimatorPolicy(mode="exact"))
+        care = np.ones((bits.shape[0], weights.shape[1]), dtype=bool)
+        care[:, 0] = False
+        out, _, stats = est.decide(bits, thresholds, care=care)
+        np.testing.assert_array_equal(out[:, 0], 0.0)
+        full_stats = est.decide(bits, thresholds)[2]
+        assert stats.est_positions < full_stats.est_positions
+        assert stats.skipped_slots >= full_stats.skipped_slots
+
+    def test_threshold_mode_never_ambiguous(self, rng):
+        weights, bits, thresholds = self._case(rng)
+        est = ColumnEstimator(
+            weights, EstimatorPolicy(mode="threshold", confidence=0.7)
+        )
+        out, ambiguous, _ = est.decide(bits, thresholds)
+        assert not ambiguous.any()
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_threshold_mode_with_per_sample_thresholds(self, rng):
+        # Regression: the zero margin is (1, cols) and must broadcast to
+        # the batch even when the thresholds are already per-sample
+        # (the split path's dynamic block thresholds), or retiring a
+        # position mis-indexes the margin array.
+        weights, bits, _ = self._case(rng, rows=96, n=48, density=0.1)
+        thr = rng.normal(scale=0.3, size=(48, weights.shape[1]))
+        est = ColumnEstimator(
+            weights,
+            EstimatorPolicy(mode="threshold", confidence=0.3, chunk_rows=32),
+        )
+        out, ambiguous, stats = est.decide(bits, thr)
+        assert not ambiguous.any()
+        assert stats.skipped_slots > 0
+
+    def test_threshold_skipping_monotone_in_confidence(self, rng):
+        # Shrinking the interval by ``confidence`` can only move each
+        # decision earlier, so skipped work is monotone as confidence
+        # drops -- the invariant the campaign sweep leans on.
+        weights, bits, thresholds = self._case(rng, rows=96, n=64)
+        skipped = []
+        for confidence in (1.0, 0.8, 0.5, 0.25):
+            policy = EstimatorPolicy(
+                mode="threshold", confidence=confidence, chunk_rows=8
+            )
+            stats = ColumnEstimator(weights, policy).decide(
+                bits, thresholds
+            )[2]
+            skipped.append(stats.skipped_slots)
+        assert skipped == sorted(skipped)
+
+    def test_rejects_non_2d_weights(self):
+        with pytest.raises(ConfigurationError, match="2D"):
+            ColumnEstimator(np.zeros(8), EstimatorPolicy(mode="exact"))
+
+    def test_empty_batch(self, rng):
+        weights, _, thresholds = self._case(rng)
+        est = ColumnEstimator(weights, EstimatorPolicy(mode="exact"))
+        out, ambiguous, stats = est.decide(
+            np.zeros((0, weights.shape[0])), thresholds
+        )
+        assert out.shape == (0, weights.shape[1])
+        assert stats.est_positions == 0
+
+
+class TestPackedSuffixBounds:
+    def test_bounds_bracket_every_pattern(self, rng):
+        rows = rng.integers(-200, 201, size=(48, 5)).astype(np.int64)
+        policy = EstimatorPolicy(mode="exact", group_check=2, max_k=16)
+        bounds = PackedSuffixBounds(rows, policy)
+        assert bounds.boundaries == [2, 4]
+        for g in bounds.boundaries:
+            suffix = rows[8 * g :]
+            for _ in range(40):
+                mask = rng.random(suffix.shape[0]) < 0.3
+                remaining = suffix[mask].sum(axis=0)
+                k = np.array([int(mask.sum())])
+                lo, hi = bounds.bounds_at(g, k)
+                assert np.all(lo[0] <= remaining)
+                assert np.all(remaining <= hi[0])
+
+    def test_confidence_tightens_toward_zero(self, rng):
+        rows = rng.integers(-200, 201, size=(32, 4)).astype(np.int64)
+        exact = PackedSuffixBounds(rows, EstimatorPolicy(mode="exact"))
+        scaled = PackedSuffixBounds(
+            rows, EstimatorPolicy(mode="threshold", confidence=0.6)
+        )
+        for g in exact.boundaries:
+            kk = np.arange(8)
+            lo_e, hi_e = exact.bounds_at(g, kk)
+            lo_s, hi_s = scaled.bounds_at(g, kk)
+            assert np.all(lo_s >= lo_e)
+            assert np.all(hi_s <= hi_e)
+
+    def test_rejects_ragged_rows(self):
+        policy = EstimatorPolicy(mode="exact")
+        with pytest.raises(ConfigurationError, match="8\\*groups"):
+            PackedSuffixBounds(np.zeros((12, 3), dtype=np.int64), policy)
+
+
+class TestPackedFireBand:
+    def test_band_is_sound_against_float_comparison(self, rng):
+        # Any accumulator at/above fire_hi fires the off-mode float64
+        # comparison; any at/below kill_lo does not.  The inside of the
+        # band is the only place a replay is ever needed.
+        for _ in range(30):
+            unit = float(rng.uniform(0.001, 0.1))
+            threshold = float(rng.uniform(0.0, 1.0))
+            bias = rng.normal(scale=0.5, size=6)
+            fire_hi, kill_lo = packed_fire_band(
+                threshold, bias, unit, acc_bound=500
+            )
+            accs = np.arange(-500, 501, dtype=np.int64)
+            fired = unit * accs[:, None] + bias[None, :] > threshold
+            above = accs[:, None] >= fire_hi[None, :]
+            below = accs[:, None] <= kill_lo[None, :]
+            assert np.all(fired[above])
+            assert not np.any(fired[below])
+
+    def test_band_width_is_finite(self):
+        fire_hi, kill_lo = packed_fire_band(
+            0.5, np.zeros(3), 0.01, acc_bound=100
+        )
+        assert np.all(fire_hi > kill_lo)
+        assert np.all(np.abs(fire_hi) <= 108)
+        assert np.all(np.abs(kill_lo) <= 108)
+
+
+class TestEngineGates:
+    """Engines that cannot honour the contract must reject the policy."""
+
+    def _spec(self, engine, mode="exact", **hw):
+        return EngineSpec(
+            name=engine,
+            hardware=HardwareConfig(device=RRAMDevice(bits=4), **hw),
+            estimator=EstimatorPolicy(mode=mode),
+        )
+
+    def test_adc_engine_rejects_estimator(self, tiny_quantized):
+        with pytest.raises(ConfigurationError, match="estimator"):
+            compile_network(
+                tiny_quantized.network,
+                tiny_quantized.thresholds,
+                self._spec("adc"),
+            )
+
+    def test_reference_engine_rejects_estimator(self, tiny_quantized):
+        with pytest.raises(ConfigurationError, match="estimator-free"):
+            compile_network(
+                tiny_quantized.network,
+                tiny_quantized.thresholds,
+                self._spec("reference"),
+            )
+
+    def test_temporal_aging_rejects_estimator(self, tiny_quantized):
+        spec = self._spec(
+            "fused", temporal=TemporalConfig(drift_nu=0.05, seed=3)
+        )
+        with pytest.raises(ConfigurationError, match="temporal"):
+            compile_network(
+                tiny_quantized.network, tiny_quantized.thresholds, spec
+            )
+
+
+class TestCompiledNetworkIdentity:
+    """``mode='exact'`` is bit-identical to ``off`` end to end."""
+
+    def _predict(
+        self, engine, tiny_quantized, images, mode, chunk_rows=32,
+        confidence=1.0, **hw
+    ):
+        spec = EngineSpec(
+            name=engine,
+            hardware=HardwareConfig(device=RRAMDevice(bits=4), **hw),
+            estimator=EstimatorPolicy(
+                mode=mode, chunk_rows=chunk_rows, confidence=confidence
+            ),
+        )
+        compiled = compile_network(
+            tiny_quantized.network, tiny_quantized.thresholds, spec
+        )
+        return compiled.predict(images)
+
+    @pytest.mark.parametrize("engine", ["fused", "packed"])
+    def test_exact_matches_off_unsplit(
+        self, engine, tiny_quantized, tiny_dataset
+    ):
+        images = tiny_dataset["test_x"][:24]
+        off = self._predict(engine, tiny_quantized, images, "off")
+        exact = self._predict(engine, tiny_quantized, images, "exact")
+        np.testing.assert_array_equal(off, exact)
+
+    @pytest.mark.parametrize("engine", ["fused", "packed"])
+    def test_exact_matches_off_split(
+        self, engine, tiny_quantized, tiny_dataset
+    ):
+        images = tiny_dataset["test_x"][:24]
+        off = self._predict(
+            engine, tiny_quantized, images, "off", max_crossbar_size=128
+        )
+        exact = self._predict(
+            engine, tiny_quantized, images, "exact", max_crossbar_size=128
+        )
+        np.testing.assert_array_equal(off, exact)
+
+    def test_skip_counters_reach_metrics(self, tiny_quantized, tiny_dataset):
+        images = tiny_dataset["test_x"][:24]
+        with obs.recording() as rec:
+            self._predict(
+                "fused",
+                tiny_quantized,
+                images,
+                "exact",
+                chunk_rows=8,
+                max_crossbar_size=128,
+            )
+        counters = rec.metrics.as_dict()["counters"]
+        positions = sum(
+            value
+            for key, value in counters.items()
+            if key.endswith("/est_positions")
+        )
+        decided = sum(
+            value
+            for key, value in counters.items()
+            if key.endswith("/est_decided")
+        )
+        assert positions > 0
+        assert 0 < decided <= positions
+        assert (
+            sum(
+                value
+                for key, value in counters.items()
+                if key.endswith("/skipped_slots")
+            )
+            > 0
+        )
+
+    @pytest.mark.parametrize("hw", [{}, {"max_crossbar_size": 128}])
+    def test_threshold_disagreement_grows_from_zero(
+        self, hw, tiny_quantized, tiny_dataset
+    ):
+        # Full-confidence threshold mode keeps the entire interval, so
+        # its decisions match ``off`` on every sample (on both the
+        # unsplit and the split per-sample-threshold paths); shrinking
+        # the confidence can only add disagreement.
+        images = tiny_dataset["test_x"][:40]
+        off = self._predict("fused", tiny_quantized, images, "off", **hw)
+        rates = []
+        for confidence in (1.0, 0.8):
+            loose = self._predict(
+                "fused",
+                tiny_quantized,
+                images,
+                "threshold",
+                chunk_rows=8,
+                confidence=confidence,
+                **hw,
+            )
+            rates.append(float((off != loose).mean()))
+        assert rates[0] == 0.0
+        assert rates[1] >= rates[0]

@@ -233,6 +233,65 @@ class TestPowerEstimator:
         assert estimate_from_metrics(split)["layers"]["0"]["digital_pj"] > 0
         assert estimate_from_metrics(analog)["layers"]["0"]["digital_pj"] == 0
 
+    def test_estimator_skip_prices_selected_rows(self):
+        """Three accounting regimes, hand-computed from Table 5 constants:
+        *static* charges every physical row, *active* charges the
+        input-switched rows, and with a runtime estimator installed the
+        read/drive energy shrinks to the post-skip selection
+        (``active_rows - skipped_rows``)."""
+        tech = TechnologyModel()
+        assert tech.cell_read_energy_pj == 0.2
+        assert tech.row_drive_energy_pj == 0.05
+        assert tech.sense_amp_energy_pj == 5.0
+        reg = MetricsRegistry()
+        bits = np.zeros((10, 100))
+        bits[:, :40] = 1.0  # 40% row activity: 400 active rows
+        record_mvm_batch(
+            reg, 0, bits, cols=16, cells_per_weight=4,
+            skipped_rows=150, skipped_slots=300,
+            est_positions=160, est_decided=120,
+            sa_events=40,
+        )
+        est = estimate_from_metrics(reg, tech=tech)
+        layer = est["layers"]["0"]
+        assert layer["active_rows"] == 400
+        assert layer["skipped_rows"] == 150
+        assert layer["selected_rows"] == 250
+        assert layer["estimator_hit_rate"] == pytest.approx(120 / 160)
+        # Post-skip selection pays the read and driver energy:
+        # 250 rows x 4 cells x 16 cols x 0.2 pJ = 3200 pJ, and
+        # 250 rows x 4 cells x 0.05 pJ = 50 pJ.
+        assert layer["rram_read_pj"] == pytest.approx(3200.0)
+        assert layer["row_drive_pj"] == pytest.approx(50.0)
+        # SA events were recorded post-skip too: 40 x 5 pJ.
+        assert layer["sense_amp_pj"] == pytest.approx(200.0)
+        # The static regime still charges all 10 x 100 physical rows.
+        assert layer["static_pj"] == pytest.approx(
+            1000 * 4 * 16 * 0.2 + 1000 * 4 * 0.05 + 200.0
+        )
+        totals = est["total"]
+        assert totals["skipped_rows_pct"] == pytest.approx(150 / 400)
+        assert totals["estimator_hit_rate"] == pytest.approx(120 / 160)
+
+    def test_skip_defaults_keep_active_row_accounting(self):
+        """Without an estimator the priced rows are exactly the active
+        rows (the historical accounting) and the hit-rate gauge is None."""
+        tech = TechnologyModel()
+        reg = MetricsRegistry()
+        bits = np.zeros((4, 50))
+        bits[:, :10] = 1.0
+        record_mvm_batch(reg, 0, bits, cols=8, cells_per_weight=2)
+        est = estimate_from_metrics(reg, tech=tech)
+        layer = est["layers"]["0"]
+        assert layer["selected_rows"] == layer["active_rows"] == 40
+        assert layer["skipped_rows"] == 0
+        assert layer["estimator_hit_rate"] is None
+        assert layer["rram_read_pj"] == pytest.approx(
+            40 * 2 * 8 * tech.cell_read_energy_pj
+        )
+        assert est["total"]["skipped_rows_pct"] == pytest.approx(0.0)
+        assert est["total"]["estimator_hit_rate"] is None
+
     def test_no_hw_counters_returns_none(self):
         reg = MetricsRegistry()
         reg.inc("train/steps", 10)
